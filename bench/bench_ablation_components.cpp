@@ -1,0 +1,119 @@
+// Component microbenchmarks: per-packet decode, each Table-1 parser,
+// flow-table lookup, sampling, and the top-k window operations — the
+// per-stage costs behind the Fig. 5/6 system numbers.
+#include <benchmark/benchmark.h>
+
+#include "nf/parser.hpp"
+#include "nf/sampler.hpp"
+#include "parsers/parsers.hpp"
+#include "pktgen/generator.hpp"
+#include "sdn/flow_table.hpp"
+#include "stream/topk.hpp"
+
+using namespace netalytics;
+
+namespace {
+
+struct NullSink final : nf::RecordSink {
+  void emit(nf::Record) override {}
+};
+
+void BM_DecodePacket(benchmark::State& state) {
+  pktgen::GeneratorConfig cfg;
+  cfg.kind = pktgen::TrafficKind::http_get;
+  cfg.frame_size = static_cast<std::size_t>(state.range(0));
+  pktgen::TrafficGenerator gen(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::decode_packet(gen.next_frame()));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DecodePacket)->Arg(64)->Arg(512)->Arg(1024);
+
+void BM_Parser(benchmark::State& state, const char* parser_name,
+               pktgen::TrafficKind kind) {
+  parsers::register_builtin_parsers();
+  pktgen::GeneratorConfig cfg;
+  cfg.kind = kind;
+  cfg.frame_size = 512;
+  pktgen::TrafficGenerator gen(cfg);
+  auto parser = nf::ParserRegistry::instance().make(parser_name);
+  NullSink sink;
+  for (auto _ : state) {
+    auto decoded = net::decode_packet(gen.next_frame());
+    parser->on_packet(*decoded, sink);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_CAPTURE(BM_Parser, tcp_flow_key, "tcp_flow_key",
+                  pktgen::TrafficKind::raw_tcp);
+BENCHMARK_CAPTURE(BM_Parser, tcp_conn_time, "tcp_conn_time",
+                  pktgen::TrafficKind::tcp_lifecycle);
+BENCHMARK_CAPTURE(BM_Parser, tcp_pkt_size, "tcp_pkt_size",
+                  pktgen::TrafficKind::raw_tcp);
+BENCHMARK_CAPTURE(BM_Parser, http_get, "http_get", pktgen::TrafficKind::http_get);
+BENCHMARK_CAPTURE(BM_Parser, memcached_get, "memcached_get",
+                  pktgen::TrafficKind::memcached_get);
+BENCHMARK_CAPTURE(BM_Parser, mysql_query, "mysql_query",
+                  pktgen::TrafficKind::mysql_query);
+
+void BM_FlowSampler(benchmark::State& state) {
+  nf::FlowSampler sampler(0.5);
+  std::uint64_t h = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.keep(h++));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlowSampler);
+
+void BM_FlowTableLookup(benchmark::State& state) {
+  const int rules = static_cast<int>(state.range(0));
+  sdn::FlowTable table(static_cast<std::size_t>(rules) + 1);
+  for (int i = 0; i < rules; ++i) {
+    sdn::FlowRule rule;
+    rule.priority = 10;
+    rule.match.dst_port = static_cast<net::Port>(1000 + i);
+    rule.actions = {sdn::OutputAction{0}};
+    table.install(rule, 0);
+  }
+  sdn::FlowRule fallback;
+  fallback.priority = 0;
+  fallback.actions = {sdn::OutputAction{0}};
+  table.install(fallback, 0);
+
+  pktgen::GeneratorConfig cfg;
+  cfg.kind = pktgen::TrafficKind::raw_tcp;
+  pktgen::TrafficGenerator gen(cfg);
+  const auto decoded = net::decode_packet(gen.next_frame());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.lookup(*decoded, 1));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlowTableLookup)->Arg(4)->Arg(64)->Arg(512);
+
+void BM_RollingCounterIncr(benchmark::State& state) {
+  stream::RollingCounter counter(10);
+  const std::string keys[] = {"/a", "/b", "/c", "/d"};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    counter.incr(keys[i++ % 4]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RollingCounterIncr);
+
+void BM_RankingsUpdate(benchmark::State& state) {
+  stream::Rankings rankings(10);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    rankings.update("key" + std::to_string(i % 50), i);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RankingsUpdate);
+
+}  // namespace

@@ -1,0 +1,72 @@
+// Ablation — lock-free SPSC rings on the hot path (§5.1 "Zero-copy,
+// Lockless"). Compares the monitor's SPSC ring against a mutex-based MPMC
+// queue and measures the batching win at the ring hop.
+#include <benchmark/benchmark.h>
+
+#include <deque>
+#include <mutex>
+
+#include "common/mpmc_queue.hpp"
+#include "common/spsc_ring.hpp"
+
+using namespace netalytics;
+
+namespace {
+
+void BM_SpscRingSingleItem(benchmark::State& state) {
+  common::SpscRing<std::uint64_t> ring(4096);
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    ring.try_push(v++);
+    std::uint64_t out;
+    benchmark::DoNotOptimize(ring.try_pop(out));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpscRingSingleItem);
+
+void BM_SpscRingBulk(benchmark::State& state) {
+  const std::size_t burst = static_cast<std::size_t>(state.range(0));
+  common::SpscRing<std::uint64_t> ring(4096);
+  std::vector<std::uint64_t> in(burst, 7), out(burst);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.try_push_bulk(in));
+    benchmark::DoNotOptimize(ring.try_pop_bulk(out));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(burst));
+}
+BENCHMARK(BM_SpscRingBulk)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_MpmcQueue(benchmark::State& state) {
+  common::MpmcQueue<std::uint64_t> queue(4096);
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    queue.try_push(v++);
+    benchmark::DoNotOptimize(queue.try_pop());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MpmcQueue);
+
+void BM_MutexDeque(benchmark::State& state) {
+  std::mutex mutex;
+  std::deque<std::uint64_t> deque;
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    {
+      std::lock_guard lock(mutex);
+      deque.push_back(v++);
+    }
+    {
+      std::lock_guard lock(mutex);
+      if (!deque.empty()) {
+        benchmark::DoNotOptimize(deque.front());
+        deque.pop_front();
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MutexDeque);
+
+}  // namespace

@@ -1,0 +1,115 @@
+// Feedback-driven sampling (§4.2): when the processors cannot keep up, the
+// aggregation layer's buffers fill; the monitor reacts to the backpressure
+// signal by lowering its flow-sampling rate, protecting the pipeline from
+// wasted bandwidth and retention drops.
+//
+// Harness: a monitor ships http_get records into a deliberately tiny
+// broker while a slow consumer drains a fraction of the input. We compare
+// a fixed-rate monitor against the adaptive loop.
+#include <cstdio>
+
+#include "mq/consumer.hpp"
+#include "mq/producer.hpp"
+#include "nf/monitor.hpp"
+#include "parsers/parsers.hpp"
+#include "pktgen/generator.hpp"
+
+using namespace netalytics;
+
+namespace {
+
+struct Outcome {
+  double final_rate = 1.0;
+  std::uint64_t retention_drops = 0;
+  std::uint64_t records_shipped = 0;
+  std::uint64_t records_consumed = 0;
+};
+
+Outcome run(bool adaptive) {
+  mq::BrokerConfig bcfg;
+  bcfg.partition_capacity = 64;  // small elastic buffer: a fast control signal
+  bcfg.high_watermark = 0.5;
+  mq::Cluster cluster(1, bcfg);
+
+  nf::MonitorConfig mcfg;
+  mcfg.parsers = {{"http_get", 1}};
+  mcfg.output_batch_records = 16;
+
+  mq::Producer producer(cluster, 1);
+  nf::Monitor monitor(mcfg, [&producer](const std::string& topic,
+                                        std::vector<std::byte> payload,
+                                        std::size_t) {
+    producer.send(topic, std::move(payload), 0);
+  });
+
+  pktgen::GeneratorConfig gcfg;
+  gcfg.kind = pktgen::TrafficKind::http_get;
+  gcfg.frame_size = 512;
+  gcfg.flow_count = 4096;
+  pktgen::TrafficGenerator gen(gcfg);
+
+  mq::Consumer consumer(cluster, "slow-storm");
+  Outcome out;
+  // 60 rounds: each round the monitor sees 2000 packets (-> ~125 batch
+  // messages at full rate) but the processor only drains 40 — a 3x
+  // overload at full sampling. The adaptive loop mirrors the engine's
+  // pump() plus the updater bolt's backoff: halve on high occupancy (at
+  // most once per backoff window, so a draining backlog is not punished
+  // repeatedly), inch back up when the buffer has headroom.
+  int backoff = 0;
+  for (int round = 0; round < 60; ++round) {
+    for (int i = 0; i < 2000; ++i) monitor.process(gen.next_frame(), i);
+    monitor.tick(static_cast<common::Timestamp>(round) * common::kSecond);
+    if (adaptive) {
+      // The aggregator judges its buffers when data arrives (§4.2): "the
+      // aggregation layer observes its input and output rates to see if
+      // the system is overloaded".
+      const double occupancy = cluster.occupancy("http_get");
+      if (backoff > 0) --backoff;
+      if (occupancy > 0.9 && backoff == 0) {
+        monitor.on_backpressure();
+        backoff = 3;  // give the backlog time to drain before re-judging
+      } else if (occupancy < 0.4) {
+        monitor.set_sample_rate(std::min(1.0, monitor.sample_rate() + 0.03));
+      }
+    }
+    out.records_consumed += consumer.poll("http_get", 40).size();
+  }
+  out.final_rate = monitor.sample_rate();
+  out.retention_drops = cluster.aggregate_stats().dropped_retention;
+  out.records_shipped = cluster.aggregate_stats().produced;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  parsers::register_builtin_parsers();
+  const auto fixed = run(/*adaptive=*/false);
+  const auto adaptive = run(/*adaptive=*/true);
+
+  std::printf("== Feedback-driven sampling under 5x processor overload ==\n");
+  std::printf("%-22s %12s %12s %14s %12s\n", "mode", "rate(end)", "shipped",
+              "lost(retention)", "consumed");
+  std::printf("%-22s %12.2f %12llu %14llu %12llu\n", "fixed (rate=1.0)",
+              fixed.final_rate,
+              static_cast<unsigned long long>(fixed.records_shipped),
+              static_cast<unsigned long long>(fixed.retention_drops),
+              static_cast<unsigned long long>(fixed.records_consumed));
+  std::printf("%-22s %12.2f %12llu %14llu %12llu\n", "adaptive (SAMPLE auto)",
+              adaptive.final_rate,
+              static_cast<unsigned long long>(adaptive.records_shipped),
+              static_cast<unsigned long long>(adaptive.retention_drops),
+              static_cast<unsigned long long>(adaptive.records_consumed));
+
+  std::printf("\nshape checks (§4.2):\n");
+  std::printf("  adaptive rate settles below 1.0: %s (%.2f)\n",
+              adaptive.final_rate < 0.9 ? "yes" : "NO", adaptive.final_rate);
+  std::printf("  wasted transfers cut sharply: %s (%llu -> %llu lost records)\n",
+              adaptive.retention_drops * 2 < fixed.retention_drops ? "yes" : "NO",
+              static_cast<unsigned long long>(fixed.retention_drops),
+              static_cast<unsigned long long>(adaptive.retention_drops));
+  std::printf("  consumers still fed: %s\n",
+              adaptive.records_consumed > fixed.records_consumed / 2 ? "yes" : "NO");
+  return 0;
+}

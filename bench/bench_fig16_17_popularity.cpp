@@ -1,0 +1,88 @@
+// Figures 16-17 — real-time popularity monitoring and automated
+// replication (§7.3): a churning-Zipf video trace watched by top-k
+// (Fig. 16), then a hot burst at t=10s that the updater bolt answers by
+// growing the server pool, redistributing load (Fig. 17).
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "apps/videoservice.hpp"
+#include "core/netalytics.hpp"
+
+using namespace netalytics;
+
+int main() {
+  auto emu = core::Emulation::make_small(4);
+  core::NetAlytics engine(emu);
+  stream::KvStore kvstore;
+  apps::VideoService service(emu, kvstore, {});
+
+  stream::UpdaterConfig updater;
+  updater.upper_threshold = 40;
+  updater.lower_threshold = 2;
+  updater.backoff = 3 * common::kSecond;
+  int scale_ups = 0;
+  engine.set_automation(
+      &kvstore, updater,
+      [&](const std::string& url, std::uint64_t count) {
+        ++scale_ups;
+        service.scale_up(url, count);
+      },
+      nullptr);
+
+  const auto q = engine.submit(
+      "PARSE http_get FROM * TO 10.30.1.0/24:80 LIMIT 600s SAMPLE * "
+      "PROCESS (top-k: k=10, w=5s)",
+      0);
+  if (!q) {
+    std::fprintf(stderr, "query rejected: %s\n", q.error().to_string().c_str());
+    return 1;
+  }
+
+  std::printf("== Figure 16: video popularity over time (top-k, %% of #1) ==\n");
+  std::printf("%-6s %-8s %-8s %-6s  server requests/s (Fig. 17 series)\n",
+              "t(s)", "vid#2", "vid#3", "pool");
+
+  std::vector<std::size_t> pool_series;
+  std::map<std::string, std::vector<std::uint64_t>> server_series;
+  common::Timestamp now = 0;
+  for (int second = 1; second <= 30; ++second) {
+    now = static_cast<common::Timestamp>(second) * common::kSecond;
+    service.run_baseline(now - common::kSecond, 60, common::kSecond);
+    if (second >= 10) service.run_hot_burst(now - common::kSecond, 90, common::kSecond);
+    if (second % 5 == 0) service.churn_popularity(0.05);
+    engine.pump(now + common::kMillisecond);
+
+    std::vector<std::uint64_t> counts;
+    for (const auto& [url, text] : kvstore.hgetall("topk")) {
+      counts.push_back(std::stoull(text));
+    }
+    std::sort(counts.rbegin(), counts.rend());
+    const double top = counts.empty() ? 1.0 : std::max<double>(counts[0], 1);
+    const double v2 = counts.size() > 1 ? 100.0 * counts[1] / top : 0;
+    const double v3 = counts.size() > 2 ? 100.0 * counts[2] / top : 0;
+    pool_series.push_back(service.pool_size());
+
+    std::printf("%-6d %-8.0f %-8.0f %-6zu ", second, v2, v3, service.pool_size());
+    for (const auto& [server, count] : service.take_per_server_counts()) {
+      server_series[server].push_back(count);
+      std::printf(" %s=%-4llu", server.c_str() + 4,  // strip "vid-"
+                  static_cast<unsigned long long>(count));
+    }
+    std::printf("\n");
+  }
+  engine.stop_all(now);
+
+  std::printf("\nshape checks (paper §7.3):\n");
+  std::printf("  popularity ranks fluctuate over intervals (Fig. 16): yes by "
+              "construction of the churned trace\n");
+  std::printf("  pool grew after the burst: %s (1 -> %zu servers, %d scale-ups)\n",
+              pool_series.back() > 1 ? "yes" : "NO", pool_series.back(), scale_ups);
+  const auto& s2 = server_series["vid-server2"];
+  const bool redistributed =
+      !s2.empty() && s2.back() > 0 &&
+      std::all_of(s2.begin(), s2.begin() + 9, [](std::uint64_t c) { return c == 0; });
+  std::printf("  load redistributed to new servers after t=10s (Fig. 17): %s\n",
+              redistributed ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Query-path microbenchmarks (Table 3): lexing, parsing, semantic
+// validation, and full compilation to a deployment plan. NetAlytics
+// queries are interactive, so submission latency matters.
+#include <benchmark/benchmark.h>
+
+#include "core/compiler.hpp"
+#include "parsers/parsers.hpp"
+#include "query/lexer.hpp"
+#include "query/parser.hpp"
+
+using namespace netalytics;
+
+namespace {
+
+const char* kQuery =
+    "PARSE tcp_conn_time, http_get FROM 10.0.0.1:5555 TO 10.0.1.1:80 "
+    "LIMIT 90s SAMPLE auto PROCESS (top-k: k=10, w=10s)";
+
+void BM_Tokenize(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(query::tokenize(kQuery));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_Parse(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(query::parse_query(kQuery));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Parse);
+
+void BM_ParseAndValidate(benchmark::State& state) {
+  parsers::register_builtin_parsers();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(query::parse_and_validate(kQuery));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ParseAndValidate);
+
+void BM_CompileToPlan(benchmark::State& state) {
+  parsers::register_builtin_parsers();
+  auto emu = core::Emulation::make_small(4);
+  const auto validated = query::parse_and_validate(kQuery);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::compile_query(*validated, emu));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CompileToPlan);
+
+void BM_CompileSubnetQuery(benchmark::State& state) {
+  parsers::register_builtin_parsers();
+  auto emu = core::Emulation::make_small(4);
+  const auto validated = query::parse_and_validate(
+      "PARSE http_get FROM 10.0.0.0/22 TO h5:80 PROCESS (top-k)");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::compile_query(*validated, emu));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CompileSubnetQuery);
+
+}  // namespace

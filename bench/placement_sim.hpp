@@ -1,0 +1,79 @@
+// Shared setup for the Fig. 7 / Fig. 8 placement simulation (§6.2): fat
+// tree k=16, ~1M-flow staggered workload at ~1.2 Tbps, monitored subsets
+// swept from 50K to 300K flows, averaged over seeds.
+#pragma once
+
+#include <vector>
+
+#include "dcn/workload.hpp"
+#include "placement/strategies.hpp"
+
+namespace netalytics::benchsim {
+
+struct SimSetup {
+  dcn::Topology topo;
+  dcn::Workload workload;
+  placement::WorkloadPathCost workload_cost;
+  placement::ProcessSpec spec;
+};
+
+inline SimSetup make_paper_setup(std::size_t flow_count = 1'000'000) {
+  SimSetup setup;
+  setup.topo = dcn::build_fat_tree(16);  // 1024 hosts / 128+128+64 switches
+  common::Rng rng(42);
+  setup.topo.randomize_host_resources(rng);
+  dcn::WorkloadConfig wcfg;
+  wcfg.flow_count = flow_count;
+  wcfg.total_traffic_bps = 1.2e12;
+  setup.workload = dcn::generate_workload(setup.topo, wcfg);
+  setup.workload_cost = placement::workload_path_cost(setup.topo, setup.workload);
+  return setup;
+}
+
+/// One placement run: monitor `monitored` randomly-sampled flows with
+/// `strategy`, returning its cost report.
+inline placement::CostReport run_once(const SimSetup& setup,
+                                      std::size_t monitored,
+                                      placement::Strategy strategy,
+                                      std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<dcn::Flow> flows;
+  flows.reserve(monitored);
+  for (const auto i : setup.workload.sample_flow_indices(monitored, rng)) {
+    flows.push_back(setup.workload.flows[i]);
+  }
+  dcn::Topology topo = setup.topo;  // placement consumes host resources
+  const auto placement =
+      placement::run_placement(topo, flows, setup.spec, strategy, rng);
+  return placement::compute_cost(topo, placement, setup.spec,
+                                 setup.workload_cost);
+}
+
+/// Average cost across `seeds` runs ("we run each experiment at least 10
+/// times with random seed to get a stable average cost" — scaled down to
+/// keep the harness fast; the variance at this size is small).
+inline placement::CostReport run_avg(const SimSetup& setup, std::size_t monitored,
+                                     placement::Strategy strategy,
+                                     int seeds = 3) {
+  placement::CostReport avg;
+  for (int s = 0; s < seeds; ++s) {
+    const auto r = run_once(setup, monitored, strategy, 100 + s);
+    avg.extra_bandwidth_pct += r.extra_bandwidth_pct;
+    avg.extra_weighted_bandwidth_pct += r.extra_weighted_bandwidth_pct;
+    avg.monitors += r.monitors;
+    avg.aggregators += r.aggregators;
+    avg.processors += r.processors;
+    avg.total_processes += r.total_processes;
+    avg.monitored_traffic_bps += r.monitored_traffic_bps;
+  }
+  avg.extra_bandwidth_pct /= seeds;
+  avg.extra_weighted_bandwidth_pct /= seeds;
+  avg.monitors /= seeds;
+  avg.aggregators /= seeds;
+  avg.processors /= seeds;
+  avg.total_processes /= seeds;
+  avg.monitored_traffic_bps /= seeds;
+  return avg;
+}
+
+}  // namespace netalytics::benchsim

@@ -1,0 +1,99 @@
+// Use case §7.2 — coordinated performance analysis (Figs. 12-15).
+//
+// A PHP-style web app runs Sakila-like pages against MySQL. NetAlytics
+// queries combine parsers across network layers:
+//   1. tcp_conn_time alone          -> client response times (Fig. 12);
+//   2. tcp_conn_time + http_get     -> per-URL response CDFs (Figs. 13-14),
+//      exposing the buggy page that is suspiciously fast;
+//   3. mysql_query                  -> per-SQL-statement latencies (Fig. 15),
+//      visible even though queries multiplex over one connection.
+#include <cstdio>
+#include <map>
+
+#include "apps/webapp.hpp"
+#include "core/netalytics.hpp"
+
+using namespace netalytics;
+
+int main() {
+  auto emu = core::Emulation::make_small(4);
+  core::NetAlytics engine(emu);
+  apps::SakilaWebApp app(emu, {});
+
+  const std::string web = net::format_ipv4(app.web_ip());
+  const std::string db = net::format_ipv4(app.db_ip());
+
+  auto q_conn = engine.submit("PARSE tcp_conn_time FROM * TO " + web +
+                                  ":80 LIMIT 500s SAMPLE * "
+                                  "PROCESS (diff-group: group=destIP, agg=none)",
+                              0);
+  auto q_urls = engine.submit("PARSE (tcp_conn_time, http_get) FROM * TO " + web +
+                                  ":80 LIMIT 500s SAMPLE * "
+                                  "PROCESS (diff-group: group=get, agg=none)",
+                              0);
+  auto q_sql = engine.submit("PARSE mysql_query FROM * TO " + db +
+                                 ":3306 LIMIT 500s SAMPLE * PROCESS (identity)",
+                             0);
+  for (const auto* q : {&q_conn, &q_urls, &q_sql}) {
+    if (!q->has_value()) {
+      std::fprintf(stderr, "query rejected: %s\n", q->error().to_string().c_str());
+      return 1;
+    }
+  }
+
+  common::Timestamp now = common::kSecond;
+  for (int burst = 0; burst < 12; ++burst) {
+    app.run(now, 60, 15 * common::kMillisecond);
+    now += common::kSecond + common::kMillisecond;
+    engine.pump(now);
+  }
+  engine.stop_all(now);
+
+  // ---- Fig. 12: client response-time histogram ---------------------------
+  std::printf("Fig.12 — web response-time histogram (ms, count)\n");
+  common::Histogram hist(0, 500, 50);
+  for (const auto& row : (*q_conn)->results()) {
+    hist.add(static_cast<double>(stream::as_u64(row.at(1))) / common::kMillisecond);
+  }
+  std::printf("%s\n", hist.to_rows().c_str());
+
+  // ---- Figs. 13-14: per-URL response-time CDFs ----------------------------
+  std::map<std::string, common::SampleSet> by_url;
+  for (const auto& row : (*q_urls)->results()) {
+    by_url[stream::as_str(row.at(2))].add(
+        static_cast<double>(stream::as_u64(row.at(1))) / common::kMillisecond);
+  }
+  std::printf("Fig.13/14 — per-URL response times (ms)\n");
+  std::printf("  %-28s %8s %8s %8s %6s\n", "url", "p10", "p50", "p90", "n");
+  for (const auto& [url, samples] : by_url) {
+    std::printf("  %-28s %8.1f %8.1f %8.1f %6zu\n", url.c_str(),
+                samples.percentile(10), samples.percentile(50),
+                samples.percentile(90), samples.size());
+  }
+  if (by_url.contains("/overdue.php") && by_url.contains("/overdue-bug.php")) {
+    std::printf("  -> /overdue-bug.php finishes %.0fx faster than /overdue.php:"
+                " its queries never run (the Fig. 14 regression)\n",
+                by_url.at("/overdue.php").percentile(50) /
+                    std::max(0.001, by_url.at("/overdue-bug.php").percentile(50)));
+  }
+
+  // ---- Fig. 15: per-SQL-query latency histogram ---------------------------
+  // identity rows over mysql_query records: [id, ts, statement, latency_ns].
+  std::printf("\nFig.15 — per-SQL-statement latency (ms) by statement class\n");
+  std::map<std::string, common::SampleSet> by_stmt;
+  for (const auto& row : (*q_sql)->results()) {
+    std::string stmt = stream::as_str(row.at(2));
+    if (stmt.size() > 40) stmt.resize(40);
+    by_stmt[stmt].add(static_cast<double>(stream::as_u64(row.at(3))) /
+                      common::kMillisecond);
+  }
+  for (const auto& [stmt, samples] : by_stmt) {
+    std::printf("  %-42s median %7.1f ms  (%zu queries)\n", stmt.c_str(),
+                samples.percentile(50), samples.size());
+  }
+  std::printf(
+      "\nConnection-level timing (Fig. 12) hides per-query behaviour; the\n"
+      "mysql_query parser recovers it without enabling the server's query\n"
+      "log (which §7.2 measures at ~20%% throughput cost).\n");
+  return 0;
+}

@@ -1,0 +1,157 @@
+#include "apps/multitier.hpp"
+
+#include <stdexcept>
+
+#include "pktgen/payloads.hpp"
+#include "pktgen/session.hpp"
+
+namespace netalytics::apps {
+
+namespace {
+
+/// Ephemeral port allocator so concurrent sessions get distinct flows.
+net::Port ephemeral_port(std::uint64_t counter) {
+  return static_cast<net::Port>(20000 + (counter * 13) % 40000);
+}
+
+}  // namespace
+
+MultiTierApp::MultiTierApp(core::Emulation& emu, MultiTierConfig config)
+    : emu_(emu), config_(config), rng_(config.seed) {
+  // Spread the tiers across racks so traffic crosses the fabric like the
+  // testbed deployment in Fig. 9.
+  const auto& topo = emu_.topology();
+  const auto& tors = topo.tor_switches();
+  if (tors.size() < 6) throw std::invalid_argument("multitier: need >= 6 racks");
+  auto host_in_rack = [&](std::size_t rack, std::size_t slot) {
+    return topo.hosts_under_tor(tors[rack]).at(slot);
+  };
+  struct Binding {
+    const char* name;
+    net::Ipv4Addr ip;
+    std::size_t rack;
+  };
+  const Binding bindings[] = {
+      {"mt-client", net::make_ipv4(10, 10, 0, 1), 0},
+      {"mt-proxy", net::make_ipv4(10, 10, 1, 1), 1},
+      {"mt-app1", net::make_ipv4(10, 10, 2, 1), 2},
+      {"mt-app2", net::make_ipv4(10, 10, 3, 1), 3},
+      {"mt-mysql", net::make_ipv4(10, 10, 4, 1), 4},
+      {"mt-memcached", net::make_ipv4(10, 10, 5, 1), 5},
+  };
+  for (const auto& b : bindings) {
+    emu_.bind_host(b.name, b.ip, host_in_rack(b.rack, 1));
+  }
+  hosts_.client = bindings[0].ip;
+  hosts_.proxy = bindings[1].ip;
+  hosts_.app1 = bindings[2].ip;
+  hosts_.app2 = bindings[3].ip;
+  hosts_.mysql = bindings[4].ip;
+  hosts_.memcached = bindings[5].ip;
+}
+
+common::Duration MultiTierApp::call_backend(net::Ipv4Addr app_ip,
+                                            const Backend& backend,
+                                            common::Timestamp start) {
+  const bool is_mysql = backend.port == 3306;
+  const auto request = is_mysql
+                           ? pktgen::mysql_query_packet(
+                                 "SELECT data FROM items WHERE id = " +
+                                 std::to_string(rng_.uniform(1, 10000)))
+                           : pktgen::memcached_get_request(
+                                 "item:" + std::to_string(rng_.uniform(1, 10000)));
+  const auto response =
+      is_mysql ? pktgen::mysql_resultset_packet(backend.response_bytes)
+               : pktgen::memcached_value_response("item", backend.response_bytes);
+
+  pktgen::SessionSpec session;
+  session.flow = {app_ip, backend.ip, ephemeral_port(request_counter_++),
+                  backend.port, static_cast<std::uint8_t>(net::IpProto::tcp)};
+  session.start = start;
+  session.rtt = common::from_millis(config_.network_rtt_ms);
+  // Jitter the service time (lognormal-ish spread around the mean).
+  const double jitter = 0.75 + rng_.next_double() * 0.5;
+  session.server_latency = common::from_millis(backend.latency_ms * jitter);
+  session.request = request;
+  session.response = response;
+  const auto timing = pktgen::emit_tcp_session(
+      session, [this](std::span<const std::byte> frame, common::Timestamp ts) {
+        emu_.transmit(frame, ts);
+      });
+  return timing.fin_time - timing.syn_time;
+}
+
+common::Timestamp MultiTierApp::run_request(common::Timestamp now) {
+  // Round-robin load balancing at the proxy.
+  const bool use_app1 = (request_counter_ % 2) == 0;
+  const net::Ipv4Addr app_ip = use_app1 ? hosts_.app1 : hosts_.app2;
+  const double cache_ratio = (use_app1 && config_.app1_misconfigured)
+                                 ? config_.cache_ratio_misconfigured
+                                 : config_.cache_ratio_healthy;
+
+  const bool cache_hit = rng_.bernoulli(cache_ratio);
+  const Backend backend =
+      cache_hit ? Backend{hosts_.memcached, 11211, config_.memcached_latency_ms,
+                          config_.memcached_response_bytes}
+                : Backend{hosts_.mysql, 3306, config_.mysql_latency_ms,
+                          config_.mysql_response_bytes};
+
+  // The app tier's work happens inside the proxy->app window, and the
+  // backend call happens inside the app's window; emit inner-most first so
+  // every layer's duration is known when its parent session is emitted.
+  const auto rtt = common::from_millis(config_.network_rtt_ms);
+  const auto app_start = now + 2 * rtt;  // after two handshakes reach the app
+  const common::Duration backend_time =
+      call_backend(app_ip, backend, app_start +
+                                        common::from_millis(config_.app_processing_ms));
+
+  const common::Duration app_latency =
+      common::from_millis(config_.app_processing_ms) + backend_time;
+
+  pktgen::SessionSpec proxy_to_app;
+  proxy_to_app.flow = {hosts_.proxy, app_ip, ephemeral_port(request_counter_++),
+                       8080, static_cast<std::uint8_t>(net::IpProto::tcp)};
+  proxy_to_app.start = now + rtt;
+  proxy_to_app.rtt = rtt;
+  proxy_to_app.server_latency = app_latency;
+  const auto inner_req = pktgen::http_get_request("/render", "app.internal");
+  const auto inner_resp = pktgen::http_response(200, 2000);
+  proxy_to_app.request = inner_req;
+  proxy_to_app.response = inner_resp;
+  const auto app_timing = pktgen::emit_tcp_session(
+      proxy_to_app, [this](std::span<const std::byte> frame, common::Timestamp ts) {
+        emu_.transmit(frame, ts);
+      });
+
+  pktgen::SessionSpec client_to_proxy;
+  client_to_proxy.flow = {hosts_.client, hosts_.proxy,
+                          ephemeral_port(request_counter_++), 80,
+                          static_cast<std::uint8_t>(net::IpProto::tcp)};
+  client_to_proxy.start = now;
+  client_to_proxy.rtt = rtt;
+  client_to_proxy.server_latency =
+      app_timing.fin_time - app_timing.syn_time;  // proxy waits for the app
+  const auto outer_req = pktgen::http_get_request("/page", "www.example.com");
+  const auto outer_resp = pktgen::http_response(200, 4000);
+  client_to_proxy.request = outer_req;
+  client_to_proxy.response = outer_resp;
+  const auto timing = pktgen::emit_tcp_session(
+      client_to_proxy,
+      [this](std::span<const std::byte> frame, common::Timestamp ts) {
+        emu_.transmit(frame, ts);
+      });
+
+  client_times_ms_.add(common::to_millis(timing.fin_time - timing.syn_time));
+  return timing.fin_time;
+}
+
+void MultiTierApp::run(common::Timestamp start, std::size_t requests,
+                       common::Duration interarrival) {
+  common::Timestamp now = start;
+  for (std::size_t i = 0; i < requests; ++i) {
+    run_request(now);
+    now += interarrival;
+  }
+}
+
+}  // namespace netalytics::apps

@@ -1,0 +1,76 @@
+// The two-tier web application of §7.1 (Fig. 9): a front-end proxy load
+// balances requests over two replicated app servers, which fetch data from
+// MySQL or Memcached. AppServer1 can be misconfigured so most of its
+// requests hit the (much slower) database instead of the cache — producing
+// the bimodal client response times of Fig. 10 and the skewed per-tier
+// throughput of Fig. 11. All tier-to-tier traffic is emitted as byte-exact
+// TCP sessions through the emulation, where NetAlytics monitors see it.
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "core/emulation.hpp"
+
+namespace netalytics::apps {
+
+struct MultiTierConfig {
+  bool app1_misconfigured = true;
+  /// Probability a request is served from the cache.
+  double cache_ratio_healthy = 0.85;
+  double cache_ratio_misconfigured = 0.15;
+  /// Backend service times.
+  double mysql_latency_ms = 80.0;
+  double memcached_latency_ms = 2.0;
+  double app_processing_ms = 1.0;
+  double network_rtt_ms = 0.5;
+  /// Response payload sizes (drive Fig. 11's byte counts).
+  std::size_t mysql_response_bytes = 6000;
+  std::size_t memcached_response_bytes = 1500;
+  std::uint64_t seed = 7;
+};
+
+/// Well-known endpoints (bound by the constructor).
+struct MultiTierHosts {
+  net::Ipv4Addr client, proxy, app1, app2, mysql, memcached;
+};
+
+class MultiTierApp {
+ public:
+  /// Binds client/proxy/app1/app2/mysql/memcached onto hosts of `emu`
+  /// spread across racks.
+  MultiTierApp(core::Emulation& emu, MultiTierConfig config);
+
+  /// Run one client request at virtual time `now`; returns its completion
+  /// time. The proxy alternates between app servers (round robin).
+  common::Timestamp run_request(common::Timestamp now);
+
+  /// Run a fixed-rate request stream.
+  void run(common::Timestamp start, std::size_t requests,
+           common::Duration interarrival);
+
+  const common::SampleSet& client_response_times_ms() const noexcept {
+    return client_times_ms_;
+  }
+  const MultiTierHosts& hosts() const noexcept { return hosts_; }
+
+ private:
+  struct Backend {
+    net::Ipv4Addr ip;
+    net::Port port;
+    double latency_ms;
+    std::size_t response_bytes;
+  };
+
+  /// Emit one nested tier call; returns the observed duration.
+  common::Duration call_backend(net::Ipv4Addr app_ip, const Backend& backend,
+                                common::Timestamp start);
+
+  core::Emulation& emu_;
+  MultiTierConfig config_;
+  MultiTierHosts hosts_{};
+  common::Rng rng_;
+  common::SampleSet client_times_ms_;
+  std::uint64_t request_counter_ = 0;
+};
+
+}  // namespace netalytics::apps

@@ -1,0 +1,131 @@
+#include "apps/videoservice.hpp"
+
+#include <stdexcept>
+
+#include "pktgen/payloads.hpp"
+#include "pktgen/session.hpp"
+
+namespace netalytics::apps {
+
+VideoService::VideoService(core::Emulation& emu, stream::KvStore& kvstore,
+                           VideoServiceConfig config)
+    : emu_(emu),
+      kvstore_(kvstore),
+      config_(config),
+      rng_(config.seed),
+      catalog_(config.catalog_size, config.zipf_exponent, config.seed) {
+  const auto& topo = emu_.topology();
+  const auto& tors = topo.tor_switches();
+  if (tors.size() < 2 + config_.server_count) {
+    throw std::invalid_argument("videoservice: not enough racks");
+  }
+
+  client1_ip_ = net::make_ipv4(10, 30, 0, 1);
+  client2_ip_ = net::make_ipv4(10, 30, 0, 2);
+  emu_.bind_host("vid-client1", client1_ip_, topo.hosts_under_tor(tors[0]).at(2));
+  emu_.bind_host("vid-client2", client2_ip_, topo.hosts_under_tor(tors[1]).at(2));
+  for (std::size_t s = 0; s < config_.server_count; ++s) {
+    const auto ip = net::make_ipv4(10, 30, 1, static_cast<std::uint8_t>(s + 1));
+    const std::string name = "vid-server" + std::to_string(s + 1);
+    emu_.bind_host(name, ip, topo.hosts_under_tor(tors[2 + s]).at(2));
+    server_ips_.push_back(ip);
+    server_names_.push_back(name);
+  }
+
+  // The hot set the second client hammers (Fig. 17's popular content).
+  for (std::size_t i = 0; i < config_.hot_set_size; ++i) {
+    hot_set_.push_back("/hot/video-" + std::to_string(i) + ".mp4");
+  }
+
+  // Initially only server 1 is in the proxy pool.
+  kvstore_.del_list("pool");
+  kvstore_.rpush("pool", server_names_[0]);
+}
+
+std::size_t VideoService::pool_size() const {
+  return kvstore_.lrange("pool").size();
+}
+
+std::size_t VideoService::route(const std::string& url) {
+  // The dynamic proxy (§7.3): hot content is spread round-robin over the
+  // current pool; cold catalog content stays on server 1.
+  const bool is_hot =
+      std::find(hot_set_.begin(), hot_set_.end(), url) != hot_set_.end();
+  if (!is_hot) return 0;
+  const auto pool = kvstore_.lrange("pool");
+  if (pool.size() <= 1) return 0;
+  const std::string& pick = pool[rr_cursor_++ % pool.size()];
+  for (std::size_t s = 0; s < server_names_.size(); ++s) {
+    if (server_names_[s] == pick) return s;
+  }
+  return 0;
+}
+
+void VideoService::request(const std::string& url, net::Ipv4Addr client,
+                           common::Timestamp now) {
+  const std::size_t server = route(url);
+  ++per_server_[server_names_[server]];
+
+  pktgen::SessionSpec session;
+  session.flow = {client, server_ips_[server],
+                  static_cast<net::Port>(25000 + (counter_++ * 7) % 30000), 80,
+                  static_cast<std::uint8_t>(net::IpProto::tcp)};
+  session.start = now;
+  session.rtt = common::from_millis(config_.network_rtt_ms);
+  session.server_latency = common::from_millis(config_.server_latency_ms);
+  const auto request_payload = pktgen::http_get_request(url, "video.cdn");
+  const auto response_payload = pktgen::http_response(200, 1200);
+  session.request = request_payload;
+  session.response = response_payload;
+  pktgen::emit_tcp_session(
+      session, [this](std::span<const std::byte> frame, common::Timestamp ts) {
+        emu_.transmit(frame, ts);
+      });
+}
+
+void VideoService::run_baseline(common::Timestamp now, std::size_t count,
+                                common::Duration span) {
+  const common::Duration step = count > 0 ? span / count : span;
+  for (std::size_t i = 0; i < count; ++i) {
+    request(catalog_.sample(rng_), client1_ip_, now + i * step);
+  }
+}
+
+void VideoService::run_hot_burst(common::Timestamp now, std::size_t count,
+                                 common::Duration span) {
+  const common::Duration step = count > 0 ? span / count : span;
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto& url = hot_set_[rng_.uniform(0, hot_set_.size() - 1)];
+    request(url, client2_ip_, now + i * step);
+  }
+}
+
+void VideoService::churn_popularity(double fraction) {
+  catalog_.churn(rng_, fraction);
+}
+
+void VideoService::scale_up(const std::string& hot_url, std::uint64_t) {
+  const auto pool = kvstore_.lrange("pool");
+  if (pool.size() >= server_names_.size()) return;
+  // Add the next server and "replicate the popular content to it".
+  const std::string& next = server_names_[pool.size()];
+  kvstore_.rpush("pool", next);
+  kvstore_.hset("replicas", hot_url, next);
+}
+
+void VideoService::scale_down(const std::string&, std::uint64_t) {
+  const auto pool = kvstore_.lrange("pool");
+  if (pool.size() <= 1) return;
+  kvstore_.del_list("pool");
+  for (std::size_t i = 0; i + 1 < pool.size(); ++i) kvstore_.rpush("pool", pool[i]);
+}
+
+std::map<std::string, std::uint64_t> VideoService::take_per_server_counts() {
+  auto out = per_server_;
+  per_server_.clear();
+  // Every server appears in the series, including idle ones.
+  for (const auto& name : server_names_) out.try_emplace(name, 0);
+  return out;
+}
+
+}  // namespace netalytics::apps

@@ -1,0 +1,78 @@
+// The video-service automation scenario of §7.3 (Figs. 16-17): clients
+// request videos whose popularity follows a churning Zipf distribution
+// (the synthetic stand-in for the Zink et al. YouTube trace); a dynamic
+// proxy load balances over a server pool whose membership lives in the KV
+// store. NetAlytics' top-k processor + updater bolt grow the pool when hot
+// content surges, and the proxy redistributes load.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/emulation.hpp"
+#include "pktgen/generator.hpp"
+#include "stream/kvstore.hpp"
+
+namespace netalytics::apps {
+
+struct VideoServiceConfig {
+  std::size_t server_count = 3;       // s1..sN; only s1 starts in the pool
+  std::size_t catalog_size = 1000;    // distinct URLs
+  double zipf_exponent = 0.8;         // baseline popularity skew
+  std::size_t hot_set_size = 10;      // the second client's hot URLs
+  double network_rtt_ms = 0.5;
+  double server_latency_ms = 3.0;
+  std::uint64_t seed = 31;
+};
+
+class VideoService {
+ public:
+  VideoService(core::Emulation& emu, stream::KvStore& kvstore,
+               VideoServiceConfig config);
+
+  /// Baseline client: `count` catalog requests spread over [now, now+span).
+  void run_baseline(common::Timestamp now, std::size_t count,
+                    common::Duration span);
+
+  /// Hot client: `count` requests for the hot set over [now, now+span)
+  /// (the burst that starts at t=10s in Fig. 17).
+  void run_hot_burst(common::Timestamp now, std::size_t count,
+                     common::Duration span);
+
+  /// Churn the catalog's popularity ranking (Fig. 16's fluctuations).
+  void churn_popularity(double fraction);
+
+  /// Pool-management callbacks for the engine's updater bolt.
+  void scale_up(const std::string& hot_url, std::uint64_t count);
+  void scale_down(const std::string& url, std::uint64_t count);
+
+  /// Requests served per server since the last call (Fig. 17 series).
+  std::map<std::string, std::uint64_t> take_per_server_counts();
+
+  std::size_t pool_size() const;
+  const std::string& hot_url(std::size_t i) const { return hot_set_.at(i); }
+  net::Ipv4Addr server_ip(std::size_t index) const { return server_ips_.at(index); }
+
+ private:
+  void request(const std::string& url, net::Ipv4Addr client,
+               common::Timestamp now);
+  /// Dynamic proxy: pick the serving backend for a URL from the pool.
+  std::size_t route(const std::string& url);
+
+  core::Emulation& emu_;
+  stream::KvStore& kvstore_;
+  VideoServiceConfig config_;
+  common::Rng rng_;
+  pktgen::UrlWorkload catalog_;
+  std::vector<std::string> hot_set_;
+  net::Ipv4Addr client1_ip_{}, client2_ip_{};
+  std::vector<net::Ipv4Addr> server_ips_;
+  std::vector<std::string> server_names_;
+  std::map<std::string, std::uint64_t> per_server_;
+  std::uint64_t counter_ = 0;
+  std::size_t rr_cursor_ = 0;
+};
+
+}  // namespace netalytics::apps

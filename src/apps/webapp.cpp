@@ -1,0 +1,123 @@
+#include "apps/webapp.hpp"
+
+#include <stdexcept>
+
+#include "pktgen/builder.hpp"
+#include "pktgen/payloads.hpp"
+#include "pktgen/session.hpp"
+
+namespace netalytics::apps {
+
+std::vector<PageProfile> default_sakila_pages() {
+  return {
+      {"/simple.php", "SELECT first_name FROM actor WHERE actor_id = ?", 1, 1.5,
+       4.0, false},
+      {"/polyglot-actors.php",
+       "SELECT name FROM language JOIN film USING (language_id) WHERE actor = ?",
+       2, 8.0, 2.0, false},
+      {"/expensive-films.php",
+       "SELECT title FROM film ORDER BY replacement_cost DESC LIMIT 20", 3, 25.0,
+       2.0, false},
+      {"/country-max-payments.php",
+       "SELECT country, MAX(amount) FROM payment GROUP BY country", 5, 120.0, 1.0,
+       false},
+      {"/overdue.php",
+       "SELECT rental_id FROM rental WHERE return_date IS NULL AND due < NOW()",
+       3, 40.0, 1.0, false},
+      {"/overdue-bug.php",
+       "SELECT rental_id FROM rental WHERE return_date IS NULL AND due < NOW()",
+       3, 40.0, 1.0, true},
+  };
+}
+
+SakilaWebApp::SakilaWebApp(core::Emulation& emu, WebAppConfig config)
+    : emu_(emu), config_(std::move(config)), rng_(config_.seed) {
+  if (config_.pages.empty()) config_.pages = default_sakila_pages();
+  for (const auto& p : config_.pages) total_weight_ += p.weight;
+
+  const auto& topo = emu_.topology();
+  const auto& tors = topo.tor_switches();
+  if (tors.size() < 3) throw std::invalid_argument("webapp: need >= 3 racks");
+  client_ip_ = net::make_ipv4(10, 20, 0, 1);
+  web_ip_ = net::make_ipv4(10, 20, 1, 1);
+  db_ip_ = net::make_ipv4(10, 20, 2, 1);
+  emu_.bind_host("web-client", client_ip_, topo.hosts_under_tor(tors[0]).at(0));
+  emu_.bind_host("web-server", web_ip_, topo.hosts_under_tor(tors[1]).at(0));
+  emu_.bind_host("db-server", db_ip_, topo.hosts_under_tor(tors[2]).at(0));
+
+  db_connection_ = {web_ip_, db_ip_, 33000, 3306,
+                    static_cast<std::uint8_t>(net::IpProto::tcp)};
+}
+
+const PageProfile& SakilaWebApp::sample_page() {
+  double draw = rng_.next_double() * total_weight_;
+  for (const auto& p : config_.pages) {
+    draw -= p.weight;
+    if (draw <= 0) return p;
+  }
+  return config_.pages.back();
+}
+
+common::Timestamp SakilaWebApp::run_request(common::Timestamp now) {
+  const PageProfile& page = sample_page();
+  const auto rtt = common::from_millis(config_.network_rtt_ms);
+
+  // PHP runs the page's queries sequentially over the persistent DB
+  // connection (the MySQL parser times each COM_QUERY/response pair).
+  common::Timestamp t = now + 2 * rtt;  // request has reached the web tier
+  common::Duration db_total = 0;
+  if (!page.buggy) {
+    for (std::size_t q = 0; q < page.queries_per_page; ++q) {
+      const double jitter = 0.7 + rng_.next_double() * 0.6;
+      const auto latency = common::from_millis(page.query_latency_ms * jitter);
+
+      pktgen::TcpFrameSpec query;
+      query.flow = db_connection_;
+      query.flags = net::tcp_flags::kPsh | net::tcp_flags::kAck;
+      const auto query_payload = pktgen::mysql_query_packet(page.sql, db_sequence_);
+      query.payload = query_payload;
+      emu_.transmit(pktgen::build_tcp_frame(query), t);
+
+      pktgen::TcpFrameSpec response;
+      response.flow = db_connection_.reversed();
+      response.flags = net::tcp_flags::kPsh | net::tcp_flags::kAck;
+      const auto response_payload = pktgen::mysql_resultset_packet(400, 1);
+      response.payload = response_payload;
+      emu_.transmit(pktgen::build_tcp_frame(response), t + latency);
+
+      t += latency + rtt / 2;
+      db_total += latency + rtt / 2;
+    }
+  }
+
+  // The client-observed page time: PHP overhead plus its DB time.
+  pktgen::SessionSpec session;
+  session.flow = {client_ip_, web_ip_,
+                  static_cast<net::Port>(40000 + (counter_++ * 17) % 20000), 80,
+                  static_cast<std::uint8_t>(net::IpProto::tcp)};
+  session.start = now;
+  session.rtt = rtt;
+  session.server_latency = common::from_millis(config_.php_overhead_ms) + db_total;
+  const auto request = pktgen::http_get_request(page.url, "sakila.example.com");
+  const auto response = pktgen::http_response(200, 3000);
+  session.request = request;
+  session.response = response;
+  const auto timing = pktgen::emit_tcp_session(
+      session, [this](std::span<const std::byte> frame, common::Timestamp ts) {
+        emu_.transmit(frame, ts);
+      });
+
+  page_times_ms_[page.url].add(common::to_millis(timing.fin_time - timing.syn_time));
+  return timing.fin_time;
+}
+
+void SakilaWebApp::run(common::Timestamp start, std::size_t requests,
+                       common::Duration interarrival) {
+  common::Timestamp now = start;
+  for (std::size_t i = 0; i < requests; ++i) {
+    run_request(now);
+    now += interarrival;
+  }
+}
+
+}  // namespace netalytics::apps

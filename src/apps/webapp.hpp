@@ -1,0 +1,74 @@
+// The PHP-over-Sakila web application of §7.2 (Figs. 12-15): a set of
+// pages with distinct latency profiles backed by MySQL queries that
+// multiplex over persistent connections. One page has an injected bug (a
+// wrong variable name skips its database queries), reproducing Fig. 14's
+// "suspiciously fast" regression signature.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "core/emulation.hpp"
+
+namespace netalytics::apps {
+
+struct PageProfile {
+  std::string url;
+  /// SQL statement template this page runs (per query).
+  std::string sql;
+  std::size_t queries_per_page = 1;
+  double query_latency_ms = 5.0;  // mean per-query DB time
+  double weight = 1.0;            // request mix weight
+  bool buggy = false;             // bug: page skips its queries entirely
+};
+
+struct WebAppConfig {
+  std::vector<PageProfile> pages;  // empty = the default Sakila-style mix
+  double network_rtt_ms = 0.5;
+  double php_overhead_ms = 1.0;
+  std::uint64_t seed = 21;
+};
+
+class SakilaWebApp {
+ public:
+  /// Binds web-client / web server (:80) / db server (:3306).
+  SakilaWebApp(core::Emulation& emu, WebAppConfig config);
+
+  /// One page request at `now`: emits the client->web session and the
+  /// page's MySQL query/response exchanges on a persistent web->db
+  /// connection. Returns completion time.
+  common::Timestamp run_request(common::Timestamp now);
+
+  void run(common::Timestamp start, std::size_t requests,
+           common::Duration interarrival);
+
+  /// Per-URL client-observed response times (ms).
+  const std::map<std::string, common::SampleSet>& page_times_ms() const noexcept {
+    return page_times_ms_;
+  }
+  const std::vector<PageProfile>& pages() const noexcept { return config_.pages; }
+
+  net::Ipv4Addr web_ip() const noexcept { return web_ip_; }
+  net::Ipv4Addr db_ip() const noexcept { return db_ip_; }
+
+ private:
+  const PageProfile& sample_page();
+
+  core::Emulation& emu_;
+  WebAppConfig config_;
+  net::Ipv4Addr client_ip_{}, web_ip_{}, db_ip_{};
+  common::Rng rng_;
+  double total_weight_ = 0;
+  std::map<std::string, common::SampleSet> page_times_ms_;
+  std::uint64_t counter_ = 0;
+  net::FiveTuple db_connection_{};  // persistent web->db connection
+  std::uint8_t db_sequence_ = 0;
+};
+
+/// The default page mix modelled on Fig. 13's URLs.
+std::vector<PageProfile> default_sakila_pages();
+
+}  // namespace netalytics::apps

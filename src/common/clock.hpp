@@ -1,0 +1,63 @@
+// Time sources. NetAlytics runs in two modes: live (wall clock, used by the
+// threaded monitor and stream cluster) and simulated (virtual nanoseconds,
+// used by the use-case emulations and the placement simulator so results
+// are deterministic).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace netalytics::common {
+
+/// Nanoseconds since an arbitrary epoch.
+using Timestamp = std::uint64_t;
+/// Nanosecond duration.
+using Duration = std::uint64_t;
+
+constexpr Duration kMicrosecond = 1'000;
+constexpr Duration kMillisecond = 1'000'000;
+constexpr Duration kSecond = 1'000'000'000;
+
+constexpr double to_seconds(Duration d) noexcept {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+constexpr double to_millis(Duration d) noexcept {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+constexpr Duration from_seconds(double s) noexcept {
+  return static_cast<Duration>(s * static_cast<double>(kSecond));
+}
+constexpr Duration from_millis(double ms) noexcept {
+  return static_cast<Duration>(ms * static_cast<double>(kMillisecond));
+}
+
+/// Abstract clock so components can run against wall time or virtual time.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual Timestamp now() const noexcept = 0;
+};
+
+/// Monotonic wall clock.
+class WallClock final : public Clock {
+ public:
+  Timestamp now() const noexcept override {
+    return static_cast<Timestamp>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+};
+
+/// Manually-advanced clock for deterministic simulation.
+class SimClock final : public Clock {
+ public:
+  Timestamp now() const noexcept override { return now_; }
+  void advance(Duration d) noexcept { now_ += d; }
+  void set(Timestamp t) noexcept { now_ = t; }
+
+ private:
+  Timestamp now_ = 0;
+};
+
+}  // namespace netalytics::common

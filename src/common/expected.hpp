@@ -1,0 +1,62 @@
+// Minimal expected/error types. GCC 12 in C++20 mode has no std::expected,
+// so NetAlytics carries a small equivalent for recoverable errors (query
+// parsing, semantic validation, configuration). Unrecoverable logic errors
+// still throw.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace netalytics::common {
+
+/// A recoverable error: a short machine-readable code plus human detail.
+struct Error {
+  std::string code;
+  std::string message;
+
+  std::string to_string() const { return code + ": " + message; }
+};
+
+/// Result of an operation that can fail recoverably.
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : storage_(std::move(value)) {}        // NOLINT(google-explicit-constructor)
+  Expected(Error error) : storage_(std::move(error)) {}    // NOLINT(google-explicit-constructor)
+
+  bool has_value() const noexcept { return std::holds_alternative<T>(storage_); }
+  explicit operator bool() const noexcept { return has_value(); }
+
+  /// Access the value; throws if this holds an error.
+  T& value() {
+    if (!has_value()) throw std::runtime_error("Expected: " + error().to_string());
+    return std::get<T>(storage_);
+  }
+  const T& value() const {
+    if (!has_value()) throw std::runtime_error("Expected: " + error().to_string());
+    return std::get<T>(storage_);
+  }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  const Error& error() const { return std::get<Error>(storage_); }
+
+  T value_or(T fallback) const {
+    return has_value() ? std::get<T>(storage_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> storage_;
+};
+
+/// Helper for functions with nothing to return on success.
+struct Ok {};
+using Status = Expected<Ok>;
+
+inline Status ok_status() { return Status(Ok{}); }
+
+}  // namespace netalytics::common

@@ -1,0 +1,55 @@
+// Hashing primitives used across NetAlytics: flow hashing for sampling,
+// field grouping in the stream engine, and partition selection in the
+// message queue. All hashes are deterministic across runs so simulations
+// and tests are reproducible.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace netalytics::common {
+
+/// 64-bit FNV-1a over a byte range. Stable, endian-independent.
+constexpr std::uint64_t fnv1a64(std::span<const std::byte> data) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::byte b : data) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+constexpr std::uint64_t fnv1a64(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Finalizing mix (splitmix64 finalizer). Good avalanche for integer keys.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Order-dependent combination of two hashes.
+constexpr std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t v) noexcept {
+  return mix64(seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2)));
+}
+
+/// Map a hash uniformly onto [0, buckets). `buckets` must be > 0.
+constexpr std::size_t hash_to_bucket(std::uint64_t h, std::size_t buckets) noexcept {
+  // Multiply-shift avoids modulo bias for non-power-of-two bucket counts.
+  return static_cast<std::size_t>(
+      (static_cast<unsigned __int128>(h) * buckets) >> 64);
+}
+
+}  // namespace netalytics::common

@@ -1,0 +1,38 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace netalytics::common {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::warn};
+std::mutex g_log_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::debug: return "DEBUG";
+    case LogLevel::info: return "INFO";
+    case LogLevel::warn: return "WARN";
+    case LogLevel::error: return "ERROR";
+    case LogLevel::off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+void log_line(LogLevel level, std::string_view component, std::string_view message) {
+  if (level < log_level()) return;
+  std::lock_guard lock(g_log_mutex);
+  std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(level),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace netalytics::common

@@ -1,0 +1,48 @@
+// Tiny leveled logger. NetAlytics components log sparsely (placement
+// decisions, rule installation, backpressure events); benches silence
+// everything below `warn` so output stays parseable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace netalytics::common {
+
+enum class LogLevel { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
+
+/// Global minimum level. Not thread-synchronized by design: it is set once
+/// at startup before worker threads exist.
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+/// Emit a single line `[level] component: message` to stderr (thread-safe).
+void log_line(LogLevel level, std::string_view component, std::string_view message);
+
+namespace detail {
+template <typename... Args>
+void log_fmt(LogLevel level, std::string_view component, const Args&... args) {
+  if (level < log_level()) return;
+  std::ostringstream oss;
+  (oss << ... << args);
+  log_line(level, component, oss.str());
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(std::string_view component, const Args&... args) {
+  detail::log_fmt(LogLevel::debug, component, args...);
+}
+template <typename... Args>
+void log_info(std::string_view component, const Args&... args) {
+  detail::log_fmt(LogLevel::info, component, args...);
+}
+template <typename... Args>
+void log_warn(std::string_view component, const Args&... args) {
+  detail::log_fmt(LogLevel::warn, component, args...);
+}
+template <typename... Args>
+void log_error(std::string_view component, const Args&... args) {
+  detail::log_fmt(LogLevel::error, component, args...);
+}
+
+}  // namespace netalytics::common

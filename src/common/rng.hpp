@@ -1,0 +1,77 @@
+// Deterministic random number generation for simulations and workload
+// synthesis. All NetAlytics experiments seed these explicitly so every run
+// of a bench or test reproduces the same series.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace netalytics::common {
+
+/// splitmix64: tiny, fast, and statistically adequate for simulation use.
+class Rng {
+ public:
+  explicit constexpr Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept
+      : state_(seed) {}
+
+  constexpr std::uint64_t next_u64() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  constexpr std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) noexcept {
+    const std::uint64_t range = hi - lo + 1;
+    if (range == 0) return next_u64();  // full 64-bit range
+    return lo + static_cast<std::uint64_t>(
+                    (static_cast<unsigned __int128>(next_u64()) * range) >> 64);
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double uniform_real(double lo, double hi) noexcept {
+    return lo + next_double() * (hi - lo);
+  }
+
+  /// True with probability p.
+  constexpr bool bernoulli(double p) noexcept { return next_double() < p; }
+
+  /// Exponential with the given rate (mean 1/rate).
+  double exponential(double rate) noexcept;
+
+  /// Log-normal with parameters of the underlying normal.
+  double lognormal(double mu, double sigma) noexcept;
+
+  /// Standard normal via Box-Muller.
+  double normal(double mean, double stddev) noexcept;
+
+  /// Pareto with scale xm > 0 and shape alpha > 0.
+  double pareto(double xm, double alpha) noexcept;
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Zipf-distributed sampler over ranks [0, n). Precomputes the CDF once;
+/// sampling is a binary search. Used for content-popularity workloads
+/// (video trace, hot URLs).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double exponent);
+
+  std::size_t sample(Rng& rng) const noexcept;
+  std::size_t size() const noexcept { return cdf_.size(); }
+  /// Probability mass of rank r.
+  double pmf(std::size_t rank) const noexcept;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace netalytics::common

@@ -1,0 +1,106 @@
+// Single-producer/single-consumer lock-free ring buffer, modelled on the
+// DPDK rte_ring SP/SC fast path: power-of-two capacity, cached peer indices,
+// and bulk enqueue/dequeue for batching. This is the hot-path queue between
+// the monitor's collector and each parser (§5.1-5.2 of the paper).
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace netalytics::common {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two; usable slots = capacity - 1.
+  explicit SpscRing(std::size_t min_capacity)
+      : capacity_(std::bit_ceil(std::max<std::size_t>(min_capacity, 2))),
+        mask_(capacity_ - 1),
+        slots_(capacity_) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const noexcept { return capacity_ - 1; }
+
+  /// Producer side. Returns false when the ring is full.
+  bool try_push(T value) noexcept {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t next = head + 1;
+    if (next - cached_tail_ > capacity_ - 1) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (next - cached_tail_ > capacity_ - 1) return false;
+    }
+    slots_[head & mask_] = std::move(value);
+    head_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  /// Bulk producer push; returns the number of items actually enqueued.
+  std::size_t try_push_bulk(std::span<T> values) noexcept {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    std::size_t free_slots = capacity_ - 1 - (head - cached_tail_);
+    if (free_slots < values.size()) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      free_slots = capacity_ - 1 - (head - cached_tail_);
+    }
+    const std::size_t n = std::min(free_slots, values.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      slots_[(head + i) & mask_] = std::move(values[i]);
+    }
+    head_.store(head + n, std::memory_order_release);
+    return n;
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  bool try_pop(T& out) noexcept {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == cached_head_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail == cached_head_) return false;
+    }
+    out = std::move(slots_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Bulk consumer pop into `out`; returns the number of items dequeued.
+  std::size_t try_pop_bulk(std::span<T> out) noexcept {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    std::size_t avail = cached_head_ - tail;
+    if (avail < out.size()) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      avail = cached_head_ - tail;
+    }
+    const std::size_t n = std::min(avail, out.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = std::move(slots_[(tail + i) & mask_]);
+    }
+    tail_.store(tail + n, std::memory_order_release);
+    return n;
+  }
+
+  /// Approximate occupancy (exact only when both sides are quiescent).
+  std::size_t size_approx() const noexcept {
+    return head_.load(std::memory_order_acquire) -
+           tail_.load(std::memory_order_acquire);
+  }
+
+  bool empty_approx() const noexcept { return size_approx() == 0; }
+
+ private:
+  const std::size_t capacity_;
+  const std::size_t mask_;
+  std::vector<T> slots_;
+
+  alignas(64) std::atomic<std::size_t> head_{0};  // written by producer
+  alignas(64) std::size_t cached_tail_{0};        // producer-local
+  alignas(64) std::atomic<std::size_t> tail_{0};  // written by consumer
+  alignas(64) std::size_t cached_head_{0};        // consumer-local
+};
+
+}  // namespace netalytics::common

@@ -1,0 +1,81 @@
+// Statistics containers used by the evaluation harnesses: fixed-bucket and
+// log-bucket histograms, running mean/variance, percentile extraction, and
+// text renderers that print paper-style rows.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace netalytics::common {
+
+/// Welford running mean/variance.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  std::uint64_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double sum() const noexcept { return sum_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Fixed-width-bucket histogram over [lo, hi); out-of-range samples clamp to
+/// the first/last bucket.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x) noexcept;
+  std::uint64_t total() const noexcept { return total_; }
+  std::size_t bucket_count() const noexcept { return counts_.size(); }
+  std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+  /// Midpoint of bucket i.
+  double bucket_center(std::size_t i) const;
+  double bucket_low(std::size_t i) const;
+  /// Approximate quantile (linear within bucket), q in [0,1].
+  double quantile(double q) const noexcept;
+  /// Render "center count" rows, optionally skipping empty buckets.
+  std::string to_rows(bool skip_empty = true) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Exact-sample percentile set; stores all samples (fine at bench scale).
+class SampleSet {
+ public:
+  void add(double x) { samples_.push_back(x); sorted_ = false; }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+  std::size_t size() const noexcept { return samples_.size(); }
+  bool empty() const noexcept { return samples_.empty(); }
+  /// Percentile p in [0,100]. Requires non-empty.
+  double percentile(double p) const;
+  double mean() const;
+  /// Render a CDF as "value probability" rows at the given resolution.
+  std::string cdf_rows(std::size_t points = 20) const;
+  const std::vector<double>& samples() const noexcept { return samples_; }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  void ensure_sorted() const;
+};
+
+/// Format helpers for bench output.
+std::string format_si(double value, const std::string& unit);  // e.g. 4.2 Gbps
+std::string format_fixed(double value, int decimals);
+
+}  // namespace netalytics::common

@@ -1,0 +1,31 @@
+// Small string helpers shared by the query lexer, protocol parsers, and
+// result renderers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace netalytics::common {
+
+/// Split on a single character; empty fields are preserved.
+std::vector<std::string_view> split(std::string_view s, char sep);
+
+/// Trim ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+std::string to_lower(std::string_view s);
+
+bool starts_with_ci(std::string_view s, std::string_view prefix);
+
+/// Parse a non-negative integer; returns false on any non-digit or overflow.
+bool parse_u64(std::string_view s, std::uint64_t& out);
+
+/// Parse a double; returns false on trailing garbage.
+bool parse_double(std::string_view s, double& out);
+
+/// Left-pad/right-pad for table rendering.
+std::string pad_right(std::string_view s, std::size_t width);
+std::string pad_left(std::string_view s, std::size_t width);
+
+}  // namespace netalytics::common

@@ -1,0 +1,267 @@
+#include "core/netalytics.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.hpp"
+#include "common/string_util.hpp"
+#include "parsers/parsers.hpp"
+
+namespace netalytics::core {
+
+std::vector<stream::Tuple> QueryHandle::latest_by_key(std::size_t key_fields) const {
+  std::map<std::string, stream::Tuple> latest;
+  for (const auto& t : results_) {
+    std::string key;
+    for (std::size_t i = 0; i < key_fields && i < t.size(); ++i) {
+      key += stream::format_value(t.at(i));
+      key += '\x1f';
+    }
+    latest.insert_or_assign(key, t);
+  }
+  std::vector<stream::Tuple> out;
+  out.reserve(latest.size());
+  for (auto& [k, t] : latest) out.push_back(std::move(t));
+  return out;
+}
+
+nf::MonitorStats QueryHandle::monitor_stats() const {
+  if (finished_) return final_stats_;
+  nf::MonitorStats total;
+  for (const auto* m : monitors) {
+    const auto s = m->stats();
+    total.rx_packets += s.rx_packets;
+    total.rx_dropped += s.rx_dropped;
+    total.sampled_out += s.sampled_out;
+    total.dispatched += s.dispatched;
+    total.worker_dropped += s.worker_dropped;
+    total.parsed += s.parsed;
+    total.records += s.records;
+    total.record_bytes += s.record_bytes;
+    total.raw_bytes += s.raw_bytes;
+  }
+  return total;
+}
+
+double QueryHandle::sample_rate() const {
+  if (finished_ || monitors.empty()) return final_sample_rate_;
+  return monitors.front()->sample_rate();
+}
+
+std::string QueryHandle::render(std::size_t key_fields, std::size_t max_rows) const {
+  std::string out;
+  std::size_t n = 0;
+  for (const auto& t : latest_by_key(key_fields)) {
+    if (n++ >= max_rows) {
+      out += "...\n";
+      break;
+    }
+    out += stream::format_tuple(t);
+    out += '\n';
+  }
+  return out;
+}
+
+NetAlytics::NetAlytics(Emulation& emu, EngineConfig config)
+    : emu_(emu), config_(config), cluster_(config.mq_brokers, config.broker) {
+  parsers::register_builtin_parsers();
+}
+
+common::Expected<QueryHandle*> NetAlytics::submit(std::string_view text,
+                                                  common::Timestamp now) {
+  now_ = now;
+  auto validated = query::parse_and_validate(text);
+  if (!validated) return validated.error();
+  auto plan = compile_query(*validated, emu_, config_.monitor_strategy);
+  if (!plan) return plan.error();
+
+  auto handle = std::make_unique<QueryHandle>();
+  handle->id_ = next_query_id_++;
+  handle->plan_ = std::move(*plan);
+  handle->start_time = now;
+  handle->last_tick = now;
+  if (handle->plan_.duration > 0) handle->end_time = now + handle->plan_.duration;
+
+  deploy_monitors(*handle, now);
+  build_processors(*handle);
+
+  common::log_info("engine", "query ", handle->id_, " deployed: ",
+                   handle->monitors.size(), " monitors, ",
+                   handle->rule_cookies.size(), " rules, ",
+                   handle->topologies.size(), " processors");
+  queries_.push_back(std::move(handle));
+  return queries_.back().get();
+}
+
+void NetAlytics::deploy_monitors(QueryHandle& q, common::Timestamp now) {
+  for (const auto& mp : q.plan_.monitors) {
+    // One producer per monitor; its key spreads this monitor's batches
+    // across brokers while keeping them ordered.
+    auto producer = std::make_unique<mq::Producer>(cluster_, next_producer_id_++);
+    mq::Producer* producer_ptr = producer.get();
+
+    nf::MonitorConfig mcfg;
+    for (const auto& topic : q.plan_.topics) mcfg.parsers.push_back({topic, 1});
+    mcfg.sample_rate = q.plan_.initial_sample_rate;
+    mcfg.output_batch_records = config_.monitor_output_batch;
+
+    nf::BatchSink sink = [this, producer_ptr](const std::string& topic,
+                                              std::vector<std::byte> payload,
+                                              std::size_t) {
+      producer_ptr->send(topic, std::move(payload), now_);
+    };
+
+    const std::string host_name = "host-" + std::to_string(mp.host);
+    const std::string id = orchestrator_.deploy(host_name, mcfg, std::move(sink));
+    nf::Monitor* monitor = orchestrator_.find(id);
+
+    // Wire the monitor to its ToR switch (inline processing keeps the
+    // emulation deterministic) and mirror the matched pairs to it.
+    const auto port = emu_.attach_monitor(
+        mp.tor, [monitor](std::span<const std::byte> frame, common::Timestamp ts) {
+          monitor->process(frame, ts);
+        });
+
+    for (const auto pair_index : mp.pair_indices) {
+      const EndpointPair& pair = q.plan_.pairs[pair_index];
+      sdn::FlowMatch fwd;
+      fwd.eth_type = net::kEtherTypeIpv4;
+      fwd.src_prefix = pair.src_prefix;
+      fwd.src_port = pair.src_port;
+      fwd.dst_prefix = pair.dst_prefix;
+      fwd.dst_port = pair.dst_port;
+      // Mirror both directions: connection-time, HTTP and MySQL parsers
+      // all need the server's responses too.
+      sdn::FlowMatch rev;
+      rev.eth_type = net::kEtherTypeIpv4;
+      rev.src_prefix = pair.dst_prefix;
+      rev.src_port = pair.dst_port;
+      rev.dst_prefix = pair.src_prefix;
+      rev.dst_port = pair.src_port;
+
+      for (const auto& match : {fwd, rev}) {
+        const auto cookie = emu_.controller().install_mirror(
+            Emulation::switch_id(mp.tor), match, Emulation::kDeliveryPort, port,
+            config_.mirror_rule_priority, now, q.plan_.duration);
+        if (cookie) {
+          q.rule_cookies.emplace_back(Emulation::switch_id(mp.tor), *cookie);
+        }
+      }
+    }
+
+    q.monitor_ids.push_back(id);
+    q.monitors.push_back(monitor);
+    q.producers.push_back(std::move(producer));
+  }
+}
+
+void NetAlytics::build_processors(QueryHandle& q) {
+  QueryHandle* qp = &q;
+  for (std::size_t i = 0; i < q.plan_.processors.size(); ++i) {
+    const auto& call = q.plan_.processors[i];
+    stream::ProcessorContext ctx;
+    ctx.cluster = &cluster_;
+    ctx.consumer_group =
+        "q" + std::to_string(q.id_) + "-" + call.name + std::to_string(i);
+    ctx.topics = q.plan_.topics;
+    ctx.parallelism = config_.processor_parallelism;
+    ctx.result_sink = [qp](const stream::Tuple& t) { qp->results_.push_back(t); };
+    if (automation_store_ != nullptr && call.name == "top-k") {
+      ctx.kvstore = automation_store_;
+      ctx.updater_config = automation_config_;
+      ctx.on_scale_up = automation_up_;
+      ctx.on_scale_down = automation_down_;
+    }
+    stream::ProcessorParams params;
+    params.args = call.args;
+    auto spec = stream::build_processor(call.name, params, ctx);
+    // Semantic analysis pre-validated names/topics; a failure here is a
+    // programming error in the processor library.
+    q.topologies.push_back(
+        std::make_unique<stream::SteppedTopology>(std::move(spec.value())));
+  }
+}
+
+void NetAlytics::apply_feedback(QueryHandle& q, double occupancy) {
+  if (occupancy >= config_.feedback_high_occupancy) {
+    for (auto* m : q.monitors) m->on_backpressure();
+  } else if (occupancy <= config_.feedback_low_occupancy) {
+    for (auto* m : q.monitors) m->set_sample_rate(std::min(1.0, m->sample_rate() + 0.05));
+  }
+}
+
+void NetAlytics::pump(common::Timestamp now) {
+  now_ = now;
+  for (auto& qp : queries_) {
+    QueryHandle& q = *qp;
+    if (q.finished_) continue;
+
+    // Sample buffer pressure before the processors drain: the aggregation
+    // layer's backlog at this instant is the overload signal (§4.2).
+    double occupancy = 0;
+    if (q.plan_.auto_sample) {
+      for (const auto& topic : q.plan_.topics) {
+        occupancy = std::max(occupancy, cluster_.occupancy(topic));
+      }
+    }
+
+    for (auto& topo : q.topologies) topo->run_until_idle(now);
+
+    if (now - q.last_tick >= config_.tick_interval) {
+      // Monitor ticks flush aggregating parsers (tcp_pkt_size windows),
+      // then the topologies' windows advance on the fresh data.
+      for (auto* m : q.monitors) m->tick(now);
+      for (auto& topo : q.topologies) {
+        topo->run_until_idle(now);
+        topo->tick(now);
+      }
+      if (q.plan_.auto_sample) apply_feedback(q, occupancy);
+      q.last_tick = now;
+    }
+
+    const bool time_up = q.end_time != 0 && now >= q.end_time;
+    const bool packets_up = q.plan_.packet_limit != 0 &&
+                            q.monitor_stats().parsed >= q.plan_.packet_limit;
+    if (time_up || packets_up) stop_query(q, now);
+  }
+}
+
+void NetAlytics::stop_query(QueryHandle& q, common::Timestamp now) {
+  if (q.finished_) return;
+  emu_.controller().remove_rules(q.rule_cookies);
+  q.rule_cookies.clear();
+
+  // Flush parser state and pending batches, then drain the analytics side
+  // completely: data -> final window tick -> cleanup flush.
+  for (auto* m : q.monitors) m->close(now);
+  for (auto& topo : q.topologies) {
+    topo->run_until_idle(now);
+    topo->tick(now);
+    topo->run_until_idle(now);
+    topo->close(now);
+  }
+  q.final_stats_ = q.monitor_stats();
+  q.final_sample_rate_ = q.sample_rate();
+  for (const auto& id : q.monitor_ids) orchestrator_.undeploy(id);
+  q.monitors.clear();
+  q.monitor_ids.clear();
+  q.finished_ = true;
+  common::log_info("engine", "query ", q.id_, " finished with ",
+                   q.results_.size(), " result tuples");
+}
+
+void NetAlytics::stop_all(common::Timestamp now) {
+  for (auto& q : queries_) stop_query(*q, now);
+}
+
+void NetAlytics::set_automation(stream::KvStore* store,
+                                stream::UpdaterConfig config,
+                                stream::UpdaterBolt::ScaleCallback on_scale_up,
+                                stream::UpdaterBolt::ScaleCallback on_scale_down) {
+  automation_store_ = store;
+  automation_config_ = config;
+  automation_up_ = std::move(on_scale_up);
+  automation_down_ = std::move(on_scale_down);
+}
+
+}  // namespace netalytics::core

@@ -1,0 +1,132 @@
+// The NetAlytics engine façade (Fig. 1): input query -> SDN rules + NFV
+// monitors -> distributed queue -> stream processors -> result interface.
+// Runs against an Emulation in virtual time: application traffic goes in
+// through Emulation::transmit and the caller pumps the engine as the clock
+// advances.
+#pragma once
+
+#include <deque>
+#include <memory>
+
+#include "core/compiler.hpp"
+#include "mq/cluster.hpp"
+#include "mq/producer.hpp"
+#include "nf/orchestrator.hpp"
+#include "stream/processors.hpp"
+#include "stream/stepped.hpp"
+
+namespace netalytics::core {
+
+struct EngineConfig {
+  std::size_t mq_brokers = 2;
+  mq::BrokerConfig broker{};  // default: RAM-disk persistence (§6.1)
+  placement::MonitorStrategy monitor_strategy = placement::MonitorStrategy::greedy;
+  std::size_t processor_parallelism = 1;
+  common::Duration tick_interval = common::kSecond;
+  /// Feedback-driven sampling (§4.2): halve the rate above the high
+  /// occupancy watermark, recover below the low one.
+  double feedback_high_occupancy = 0.5;
+  double feedback_low_occupancy = 0.1;
+  /// Monitor tuning knobs applied to every deployed monitor.
+  std::size_t monitor_output_batch = 32;
+  int mirror_rule_priority = 10;
+};
+
+class NetAlytics;
+
+/// A live (or finished) query: the result interface of Fig. 1.
+class QueryHandle {
+ public:
+  std::uint64_t id() const noexcept { return id_; }
+  bool finished() const noexcept { return finished_; }
+  const DeploymentPlan& plan() const noexcept { return plan_; }
+
+  /// Every tuple the processors' sinks emitted, in arrival order. Windowed
+  /// processors re-emit snapshots each tick; see latest_by_key.
+  const std::vector<stream::Tuple>& results() const noexcept { return results_; }
+
+  /// Collapse periodic re-emissions: the last tuple seen for each distinct
+  /// value of the first `key_fields` fields, in key order.
+  std::vector<stream::Tuple> latest_by_key(std::size_t key_fields) const;
+
+  /// Combined statistics across this query's monitors.
+  nf::MonitorStats monitor_stats() const;
+  double sample_rate() const;
+
+  /// Plain-text rendering of latest_by_key results.
+  std::string render(std::size_t key_fields, std::size_t max_rows = 50) const;
+
+ private:
+  friend class NetAlytics;
+
+  std::uint64_t id_ = 0;
+  DeploymentPlan plan_;
+  bool finished_ = false;
+  common::Timestamp start_time = 0;
+  common::Timestamp end_time = 0;  // 0 = no deadline
+  common::Timestamp last_tick = 0;
+
+  std::vector<std::string> monitor_ids;                 // orchestrator ids
+  std::vector<nf::Monitor*> monitors;                   // borrowed
+  std::vector<std::unique_ptr<mq::Producer>> producers; // one per monitor
+  std::vector<std::pair<sdn::SwitchId, std::uint64_t>> rule_cookies;
+  std::vector<std::unique_ptr<stream::SteppedTopology>> topologies;
+  std::vector<stream::Tuple> results_;
+  nf::MonitorStats final_stats_;  // captured at stop_query
+  double final_sample_rate_ = 1.0;
+};
+
+class NetAlytics {
+ public:
+  explicit NetAlytics(Emulation& emu, EngineConfig config = {});
+
+  /// Parse, validate, compile and deploy a query. The returned handle is
+  /// owned by the engine and stays valid until the engine is destroyed.
+  common::Expected<QueryHandle*> submit(std::string_view text,
+                                        common::Timestamp now);
+
+  /// Advance the analytics side: drain processors, run periodic ticks,
+  /// enforce LIMITs, and drive feedback sampling. Call as virtual time
+  /// advances (at least once per tick interval).
+  void pump(common::Timestamp now);
+
+  /// Tear down a query now (uninstall rules, flush monitors, final tick).
+  void stop_query(QueryHandle& q, common::Timestamp now);
+  void stop_all(common::Timestamp now);
+
+  mq::Cluster& cluster() noexcept { return cluster_; }
+  nf::NfvOrchestrator& orchestrator() noexcept { return orchestrator_; }
+  Emulation& emulation() noexcept { return emu_; }
+
+  /// Automation hooks (§7.3): subsequently submitted top-k queries write
+  /// rankings to `store` and drive the updater callbacks.
+  void set_automation(stream::KvStore* store, stream::UpdaterConfig config,
+                      stream::UpdaterBolt::ScaleCallback on_scale_up,
+                      stream::UpdaterBolt::ScaleCallback on_scale_down);
+
+  const std::deque<std::unique_ptr<QueryHandle>>& queries() const noexcept {
+    return queries_;
+  }
+
+ private:
+  void deploy_monitors(QueryHandle& q, common::Timestamp now);
+  void build_processors(QueryHandle& q);
+  /// `occupancy` is the pre-drain aggregation-buffer pressure.
+  void apply_feedback(QueryHandle& q, double occupancy);
+
+  Emulation& emu_;
+  EngineConfig config_;
+  mq::Cluster cluster_;
+  nf::NfvOrchestrator orchestrator_;
+  std::deque<std::unique_ptr<QueryHandle>> queries_;
+  std::uint64_t next_query_id_ = 1;
+  std::uint64_t next_producer_id_ = 1;
+  common::Timestamp now_ = 0;
+
+  stream::KvStore* automation_store_ = nullptr;
+  stream::UpdaterConfig automation_config_{};
+  stream::UpdaterBolt::ScaleCallback automation_up_;
+  stream::UpdaterBolt::ScaleCallback automation_down_;
+};
+
+}  // namespace netalytics::core

@@ -1,0 +1,87 @@
+#include "dcn/routing.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace netalytics::dcn {
+
+std::vector<NodeId> shortest_path(const Topology& topo, NodeId from, NodeId to) {
+  if (from == to) return {from};
+  std::vector<NodeId> parent(topo.node_count(), static_cast<NodeId>(-1));
+  std::deque<NodeId> frontier{from};
+  parent[from] = from;
+  while (!frontier.empty()) {
+    const NodeId n = frontier.front();
+    frontier.pop_front();
+    for (const NodeId next : topo.neighbors(n)) {
+      if (parent[next] != static_cast<NodeId>(-1)) continue;
+      parent[next] = n;
+      if (next == to) {
+        std::vector<NodeId> path{to};
+        for (NodeId cur = to; cur != from;) {
+          cur = parent[cur];
+          path.push_back(cur);
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      frontier.push_back(next);
+    }
+  }
+  return {};
+}
+
+std::size_t hop_count(const Topology& topo, NodeId from, NodeId to) {
+  const auto path = shortest_path(topo, from, to);
+  return path.empty() ? 0 : path.size() - 1;
+}
+
+double link_weight(const Topology& topo, NodeId a, NodeId b) {
+  const NodeKind ka = topo.node(a).kind;
+  const NodeKind kb = topo.node(b).kind;
+  auto has = [&](NodeKind k) { return ka == k || kb == k; };
+  if (has(NodeKind::core)) return 4.0;
+  if (has(NodeKind::aggregate)) return 2.0;
+  return 1.0;  // host-ToR
+}
+
+double weighted_hop_cost(const Topology& topo, NodeId from, NodeId to) {
+  const auto path = shortest_path(topo, from, to);
+  double cost = 0;
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    cost += link_weight(topo, path[i - 1], path[i]);
+  }
+  return cost;
+}
+
+PairLocality classify_pair(const Topology& topo, NodeId host_a, NodeId host_b) {
+  if (host_a == host_b) return PairLocality::same_host;
+  const NodeId tor_a = topo.tor_of_host(host_a);
+  const NodeId tor_b = topo.tor_of_host(host_b);
+  if (tor_a == tor_b) return PairLocality::same_tor;
+  if (topo.node(tor_a).pod == topo.node(tor_b).pod) return PairLocality::same_pod;
+  return PairLocality::cross_core;
+}
+
+std::size_t locality_hops(PairLocality loc) {
+  switch (loc) {
+    case PairLocality::same_host: return 0;
+    case PairLocality::same_tor: return 2;
+    case PairLocality::same_pod: return 4;
+    case PairLocality::cross_core: return 6;
+  }
+  throw std::logic_error("unreachable");
+}
+
+double locality_weighted_cost(PairLocality loc) {
+  switch (loc) {
+    case PairLocality::same_host: return 0.0;
+    case PairLocality::same_tor: return 2.0;          // 1+1
+    case PairLocality::same_pod: return 6.0;          // 1+2+2+1
+    case PairLocality::cross_core: return 14.0;       // 1+2+4+4+2+1
+  }
+  throw std::logic_error("unreachable");
+}
+
+}  // namespace netalytics::dcn

@@ -1,0 +1,42 @@
+// Shortest-path routing and the paper's two bandwidth-cost metrics (§6.2):
+// hop count, and weighted hops where "not all links are equal in the data
+// center" — host->ToR weighs 1, links to the aggregate layer weigh 2, and
+// core links weigh 4.
+#pragma once
+
+#include <vector>
+
+#include "dcn/topology.hpp"
+
+namespace netalytics::dcn {
+
+/// BFS shortest path (node ids, inclusive of endpoints). Empty if
+/// unreachable. Deterministic: neighbors explored in insertion order.
+std::vector<NodeId> shortest_path(const Topology& topo, NodeId from, NodeId to);
+
+/// Number of links on the shortest path between two nodes.
+std::size_t hop_count(const Topology& topo, NodeId from, NodeId to);
+
+/// Weight of one link by its endpoint kinds: host-ToR=1, ToR-agg=2,
+/// agg-core=4 (either direction).
+double link_weight(const Topology& topo, NodeId a, NodeId b);
+
+/// Sum of link weights along the shortest path.
+double weighted_hop_cost(const Topology& topo, NodeId from, NodeId to);
+
+/// Precomputed distances from every host to every host would be O(H^2);
+/// the placement simulator instead classifies host pairs by locality,
+/// which is O(1) per pair on a fat tree.
+enum class PairLocality { same_host, same_tor, same_pod, cross_core };
+
+PairLocality classify_pair(const Topology& topo, NodeId host_a, NodeId host_b);
+
+/// Hop count between two hosts implied by locality (2 / 4 / 6 on a
+/// three-level tree).
+std::size_t locality_hops(PairLocality loc);
+
+/// Weighted cost between two hosts implied by locality
+/// (1+1 / 1+2+2+1 / 1+2+4+4+2+1).
+double locality_weighted_cost(PairLocality loc);
+
+}  // namespace netalytics::dcn

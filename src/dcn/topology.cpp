@@ -1,0 +1,131 @@
+#include "dcn/topology.hpp"
+
+#include <stdexcept>
+
+namespace netalytics::dcn {
+
+NodeId Topology::add_node(NodeKind kind, int pod) {
+  Node n;
+  n.id = static_cast<NodeId>(nodes_.size());
+  n.kind = kind;
+  n.pod = pod;
+  nodes_.push_back(n);
+  adj_.emplace_back();
+  switch (kind) {
+    case NodeKind::host: hosts_.push_back(n.id); break;
+    case NodeKind::tor: tors_.push_back(n.id); break;
+    case NodeKind::aggregate: aggs_.push_back(n.id); break;
+    case NodeKind::core: cores_.push_back(n.id); break;
+  }
+  return n.id;
+}
+
+void Topology::add_link(NodeId a, NodeId b) {
+  adj_.at(a).push_back(b);
+  adj_.at(b).push_back(a);
+}
+
+NodeId Topology::tor_of_host(NodeId host) const {
+  for (const NodeId n : neighbors(host)) {
+    if (nodes_[n].kind == NodeKind::tor) return n;
+  }
+  throw std::logic_error("host has no ToR switch");
+}
+
+std::vector<NodeId> Topology::hosts_under_tor(NodeId tor) const {
+  std::vector<NodeId> out;
+  for (const NodeId n : neighbors(tor)) {
+    if (nodes_[n].kind == NodeKind::host) out.push_back(n);
+  }
+  return out;
+}
+
+std::vector<NodeId> Topology::aggs_of_tor(NodeId tor) const {
+  std::vector<NodeId> out;
+  for (const NodeId n : neighbors(tor)) {
+    if (nodes_[n].kind == NodeKind::aggregate) out.push_back(n);
+  }
+  return out;
+}
+
+std::vector<NodeId> Topology::hosts_under_agg(NodeId agg) const {
+  std::vector<NodeId> out;
+  for (const NodeId tor : neighbors(agg)) {
+    if (nodes_[tor].kind != NodeKind::tor) continue;
+    for (const NodeId h : neighbors(tor)) {
+      if (nodes_[h].kind == NodeKind::host) out.push_back(h);
+    }
+  }
+  return out;
+}
+
+void Topology::randomize_host_resources(common::Rng& rng,
+                                        const HostResourceConfig& config) {
+  for (const NodeId h : hosts_) {
+    Node& node = nodes_[h];
+    node.mem_capacity_gb = rng.uniform_real(config.mem_min_gb, config.mem_max_gb);
+    node.cpu_capacity = rng.uniform_real(config.cpu_min, config.cpu_max);
+    const double util = rng.uniform_real(config.util_min, config.util_max);
+    node.mem_used_gb = node.mem_capacity_gb * util;
+    node.cpu_used = node.cpu_capacity * util;
+  }
+}
+
+Topology build_fat_tree(int k) {
+  if (k < 2 || k % 2 != 0) {
+    throw std::invalid_argument("fat tree: k must be even and >= 2");
+  }
+  Topology topo;
+  const int half = k / 2;
+
+  // Core layer: (k/2)^2 switches in k/2 groups of k/2.
+  std::vector<NodeId> cores;
+  for (int c = 0; c < half * half; ++c) {
+    cores.push_back(topo.add_node(NodeKind::core));
+  }
+
+  for (int p = 0; p < k; ++p) {
+    std::vector<NodeId> pod_aggs;
+    for (int a = 0; a < half; ++a) {
+      const NodeId agg = topo.add_node(NodeKind::aggregate, p);
+      pod_aggs.push_back(agg);
+      // Aggregate a connects to core group a: cores [a*half, (a+1)*half).
+      for (int c = 0; c < half; ++c) {
+        topo.add_link(agg, cores[static_cast<std::size_t>(a) * half + c]);
+      }
+    }
+    for (int t = 0; t < half; ++t) {
+      const NodeId tor = topo.add_node(NodeKind::tor, p);
+      for (const NodeId agg : pod_aggs) topo.add_link(tor, agg);
+      for (int h = 0; h < half; ++h) {
+        const NodeId host = topo.add_node(NodeKind::host, p);
+        topo.add_link(host, tor);
+      }
+    }
+  }
+  return topo;
+}
+
+Topology build_small_tree(std::size_t hosts_per_rack) {
+  // 2 cores; 2 pods, each with 2 aggregates and 4 racks (Fig. 2 shape).
+  Topology topo;
+  const NodeId core0 = topo.add_node(NodeKind::core);
+  const NodeId core1 = topo.add_node(NodeKind::core);
+  for (int p = 0; p < 2; ++p) {
+    const NodeId agg0 = topo.add_node(NodeKind::aggregate, p);
+    const NodeId agg1 = topo.add_node(NodeKind::aggregate, p);
+    topo.add_link(agg0, core0);
+    topo.add_link(agg1, core1);
+    for (int t = 0; t < 4; ++t) {
+      const NodeId tor = topo.add_node(NodeKind::tor, p);
+      topo.add_link(tor, agg0);
+      topo.add_link(tor, agg1);
+      for (std::size_t h = 0; h < hosts_per_rack; ++h) {
+        topo.add_link(topo.add_node(NodeKind::host, p), tor);
+      }
+    }
+  }
+  return topo;
+}
+
+}  // namespace netalytics::dcn

@@ -1,0 +1,96 @@
+// Data-center topology model for the placement simulator (§4.1, §6.2).
+// "Our simulations use a three-level fat tree topology with k=16, which
+// contains 1024 hosts, 128 edge switches, 128 aggregate switches and 64
+// core switches... The memory capacity of each host is a random number
+// between 32 to 128 GB and the CPU capacity is a random number between 12
+// to 24. The utilization of both resources is between 40% to 80%."
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace netalytics::dcn {
+
+using NodeId = std::uint32_t;
+
+enum class NodeKind : std::uint8_t { host, tor, aggregate, core };
+
+struct Node {
+  NodeId id = 0;
+  NodeKind kind = NodeKind::host;
+  int pod = -1;  // -1 for core switches
+
+  // Host resources (hosts only). `*_used` covers the pre-existing tenant
+  // load; NetAlytics processes add on top, bounded by capacity.
+  double cpu_capacity = 0;
+  double cpu_used = 0;
+  double mem_capacity_gb = 0;
+  double mem_used_gb = 0;
+
+  double cpu_free() const noexcept { return cpu_capacity - cpu_used; }
+  double mem_free_gb() const noexcept { return mem_capacity_gb - mem_used_gb; }
+  /// Load fraction used by "pick the least-loaded host" steps.
+  double load() const noexcept {
+    return cpu_capacity > 0 ? cpu_used / cpu_capacity : 1.0;
+  }
+};
+
+struct HostResourceConfig {
+  double mem_min_gb = 32, mem_max_gb = 128;
+  double cpu_min = 12, cpu_max = 24;
+  double util_min = 0.4, util_max = 0.8;
+};
+
+class Topology {
+ public:
+  NodeId add_node(NodeKind kind, int pod = -1);
+  void add_link(NodeId a, NodeId b);
+
+  const Node& node(NodeId id) const { return nodes_.at(id); }
+  Node& node(NodeId id) { return nodes_.at(id); }
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+
+  const std::vector<NodeId>& neighbors(NodeId id) const { return adj_.at(id); }
+
+  const std::vector<NodeId>& hosts() const noexcept { return hosts_; }
+  const std::vector<NodeId>& tor_switches() const noexcept { return tors_; }
+  const std::vector<NodeId>& aggregate_switches() const noexcept { return aggs_; }
+  const std::vector<NodeId>& core_switches() const noexcept { return cores_; }
+
+  /// A host's ToR switch (its unique switch neighbor).
+  NodeId tor_of_host(NodeId host) const;
+
+  /// Hosts attached to a ToR switch.
+  std::vector<NodeId> hosts_under_tor(NodeId tor) const;
+
+  /// Aggregate switches adjacent to a ToR.
+  std::vector<NodeId> aggs_of_tor(NodeId tor) const;
+
+  /// Hosts whose ToR is adjacent to this aggregate switch.
+  std::vector<NodeId> hosts_under_agg(NodeId agg) const;
+
+  /// Assign randomized host resources per the simulation setup.
+  void randomize_host_resources(common::Rng& rng,
+                                const HostResourceConfig& config = {});
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<std::vector<NodeId>> adj_;
+  std::vector<NodeId> hosts_;
+  std::vector<NodeId> tors_;
+  std::vector<NodeId> aggs_;
+  std::vector<NodeId> cores_;
+};
+
+/// Build a k-ary three-level fat tree (k even): k pods of k/2 ToR + k/2
+/// aggregate switches, (k/2)^2 cores, k^3/4 hosts.
+Topology build_fat_tree(int k);
+
+/// Small two-pod tree like the paper's Fig. 2 (2 cores, 4 aggs, 8 racks,
+/// `hosts_per_rack` hosts each) for examples and tests.
+Topology build_small_tree(std::size_t hosts_per_rack = 4);
+
+}  // namespace netalytics::dcn

@@ -1,0 +1,93 @@
+#include "dcn/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace netalytics::dcn {
+
+namespace {
+
+/// Pick a destination host honoring the staggered locality draw.
+NodeId pick_destination(const Topology& topo, NodeId src, common::Rng& rng) {
+  const NodeId tor = topo.tor_of_host(src);
+  const double draw = rng.next_double();
+  const auto& all_hosts = topo.hosts();
+
+  if (draw < 0.5) {
+    // Same rack (excluding the source itself when possible).
+    const auto rack = topo.hosts_under_tor(tor);
+    if (rack.size() > 1) {
+      NodeId dst = src;
+      while (dst == src) {
+        dst = rack[rng.uniform(0, rack.size() - 1)];
+      }
+      return dst;
+    }
+  } else if (draw < 0.8) {
+    // Same pod, different rack.
+    const int pod = topo.node(src).pod;
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const NodeId dst = all_hosts[rng.uniform(0, all_hosts.size() - 1)];
+      if (topo.node(dst).pod == pod && topo.tor_of_host(dst) != tor) return dst;
+    }
+  }
+  // Cross-core (or fallback): any host in another pod.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const NodeId dst = all_hosts[rng.uniform(0, all_hosts.size() - 1)];
+    if (topo.node(dst).pod != topo.node(src).pod) return dst;
+  }
+  return all_hosts[rng.uniform(0, all_hosts.size() - 1)];
+}
+
+}  // namespace
+
+Workload generate_workload(const Topology& topo, const WorkloadConfig& config) {
+  if (topo.hosts().empty()) throw std::invalid_argument("workload: no hosts");
+  common::Rng rng(config.seed);
+  Workload w;
+  w.flows.reserve(config.flow_count);
+
+  const auto& hosts = topo.hosts();
+  double total = 0;
+  for (std::size_t i = 0; i < config.flow_count; ++i) {
+    Flow f;
+    f.src_host = hosts[rng.uniform(0, hosts.size() - 1)];
+    f.dst_host = pick_destination(topo, f.src_host, rng);
+    // Lognormal sizes: sigma 1.5 gives the heavy tail Benson et al.
+    // observed (most flows tiny, a few elephants).
+    constexpr double kSigma = 1.5;
+    const double mu =
+        std::log(config.mean_flow_size_bytes) - kSigma * kSigma / 2.0;
+    f.size_bytes = rng.lognormal(mu, kSigma);
+    f.rate_bps = f.size_bytes;  // provisional; scaled below
+    total += f.rate_bps;
+    w.flows.push_back(f);
+  }
+
+  // Scale rates so aggregate traffic hits the configured total.
+  const double scale = total > 0 ? config.total_traffic_bps / total : 0;
+  w.total_rate_bps = 0;
+  for (auto& f : w.flows) {
+    f.rate_bps *= scale;
+    w.total_rate_bps += f.rate_bps;
+  }
+  return w;
+}
+
+std::vector<std::uint32_t> Workload::sample_flow_indices(std::size_t count,
+                                                         common::Rng& rng) const {
+  count = std::min(count, flows.size());
+  // Partial Fisher-Yates over an index vector.
+  std::vector<std::uint32_t> indices(flows.size());
+  std::iota(indices.begin(), indices.end(), 0u);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t j = i + rng.uniform(0, indices.size() - 1 - i);
+    std::swap(indices[i], indices[j]);
+  }
+  indices.resize(count);
+  return indices;
+}
+
+}  // namespace netalytics::dcn

@@ -1,0 +1,46 @@
+// Workload generation for the placement simulation (§6.2): staggered
+// locality ("50% within the ToR switch, 30% within the same aggregate
+// switch, and 20% across a core switch"), Benson-style heavy-tailed flow
+// sizes, ~1000K flows and ~1.2 Tbps total at the k=16 scale.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dcn/topology.hpp"
+
+namespace netalytics::dcn {
+
+struct Flow {
+  NodeId src_host = 0;
+  NodeId dst_host = 0;
+  double rate_bps = 0;
+  double size_bytes = 0;
+};
+
+struct WorkloadConfig {
+  std::size_t flow_count = 1'000'000;
+  // Staggered locality distribution (ToRP, PodP, CoreP).
+  double tor_p = 0.5;
+  double pod_p = 0.3;
+  double core_p = 0.2;
+  /// Target aggregate traffic; per-flow rates are heavy-tailed (lognormal)
+  /// and then scaled so the total matches.
+  double total_traffic_bps = 1.2e12;
+  /// Benson et al.: most flows are small; sizes are lognormal around 10 KB.
+  double mean_flow_size_bytes = 10'000;
+  std::uint64_t seed = 1;
+};
+
+struct Workload {
+  std::vector<Flow> flows;
+  double total_rate_bps = 0;
+
+  /// Draw `count` distinct flow indices (the monitored set of a query).
+  std::vector<std::uint32_t> sample_flow_indices(std::size_t count,
+                                                 common::Rng& rng) const;
+};
+
+Workload generate_workload(const Topology& topo, const WorkloadConfig& config);
+
+}  // namespace netalytics::dcn

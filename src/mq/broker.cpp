@@ -1,0 +1,128 @@
+#include "mq/broker.hpp"
+
+#include <algorithm>
+
+#include "common/hash.hpp"
+
+namespace netalytics::mq {
+
+Broker::Broker(BrokerConfig config) : config_(config) {
+  if (config_.partitions_per_topic == 0) config_.partitions_per_topic = 1;
+  if (config_.partition_capacity == 0) config_.partition_capacity = 1;
+}
+
+Broker::Topic& Broker::topic_locked(const std::string& name) {
+  auto it = topics_.find(name);
+  if (it == topics_.end()) {
+    Topic t;
+    t.partitions.resize(config_.partitions_per_topic);
+    it = topics_.emplace(name, std::move(t)).first;
+  }
+  return it->second;
+}
+
+std::size_t Broker::unread_locked(const std::string& name, const Partition& part,
+                                  std::size_t index) const {
+  bool any_group = false;
+  std::uint64_t slowest = part.next_offset;
+  for (const auto& [key, offset] : offsets_) {
+    if (std::get<1>(key) != name || std::get<2>(key) != index) continue;
+    any_group = true;
+    slowest = std::min(slowest, offset);
+  }
+  if (!any_group) return part.log.size();
+  const std::uint64_t floor = std::max(slowest, part.base_offset);
+  return static_cast<std::size_t>(part.next_offset - floor);
+}
+
+ProduceStatus Broker::produce(Message msg, common::Timestamp now) {
+  std::lock_guard lock(mutex_);
+
+  // Disk persistence model: every byte takes 1/rate seconds to persist; the
+  // log's write point may lag `now` by at most max_persist_lag.
+  if (config_.persist_bytes_per_sec > 0) {
+    const common::Duration cost = static_cast<common::Duration>(
+        static_cast<double>(msg.payload.size()) /
+        static_cast<double>(config_.persist_bytes_per_sec) *
+        static_cast<double>(common::kSecond));
+    const common::Timestamp start = std::max(disk_busy_until_, now);
+    if (start + cost > now + config_.max_persist_lag) {
+      ++stats_.blocked;
+      return ProduceStatus::blocked;
+    }
+    disk_busy_until_ = start + cost;
+  }
+
+  const std::string topic_name = msg.topic;
+  Topic& topic = topic_locked(topic_name);
+  const std::size_t index =
+      common::hash_to_bucket(common::mix64(msg.key), topic.partitions.size());
+  Partition& part = topic.partitions[index];
+
+  // Retention: evict the oldest message when the partition is full. Kafka
+  // drops by age; with a fixed cap this is the same policy at bench scale.
+  if (part.log.size() >= config_.partition_capacity) {
+    part.log.pop_front();
+    ++part.base_offset;
+    ++stats_.dropped_retention;
+  }
+
+  msg.offset = part.next_offset++;
+  stats_.bytes_in += msg.payload.size();
+  ++stats_.produced;
+  part.log.push_back(std::move(msg));
+
+  const double occ = static_cast<double>(unread_locked(topic_name, part, index)) /
+                     static_cast<double>(config_.partition_capacity);
+  return occ >= config_.high_watermark ? ProduceStatus::low_buffer
+                                       : ProduceStatus::ok;
+}
+
+std::vector<Message> Broker::poll(const std::string& group,
+                                  const std::string& topic_name, std::size_t max) {
+  std::lock_guard lock(mutex_);
+  std::vector<Message> out;
+  const auto it = topics_.find(topic_name);
+  if (it == topics_.end()) return out;
+
+  Topic& topic = it->second;
+  for (std::size_t p = 0; p < topic.partitions.size() && out.size() < max; ++p) {
+    Partition& part = topic.partitions[p];
+    auto& next = offsets_[{group, topic_name, p}];
+    // If retention ran past the group's offset, skip to the oldest retained.
+    if (next < part.base_offset) next = part.base_offset;
+    while (next < part.next_offset && out.size() < max) {
+      out.push_back(part.log[next - part.base_offset]);
+      ++next;
+    }
+  }
+  stats_.consumed += out.size();
+  return out;
+}
+
+double Broker::occupancy(const std::string& topic_name) const {
+  std::lock_guard lock(mutex_);
+  const auto it = topics_.find(topic_name);
+  if (it == topics_.end()) return 0.0;
+  std::size_t worst = 0;
+  for (std::size_t p = 0; p < it->second.partitions.size(); ++p) {
+    worst = std::max(worst, unread_locked(topic_name, it->second.partitions[p], p));
+  }
+  return static_cast<double>(worst) / static_cast<double>(config_.partition_capacity);
+}
+
+std::size_t Broker::depth(const std::string& topic_name) const {
+  std::lock_guard lock(mutex_);
+  const auto it = topics_.find(topic_name);
+  if (it == topics_.end()) return 0;
+  std::size_t total = 0;
+  for (const auto& part : it->second.partitions) total += part.log.size();
+  return total;
+}
+
+BrokerStats Broker::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace netalytics::mq

@@ -1,0 +1,103 @@
+// A single aggregation broker — the Kafka substitute (§3.2, §6.1). It is a
+// distributed queuing service in miniature: topics are split into
+// partitions, each an append-only bounded log with a retention cap;
+// consumer groups track per-partition offsets; and producers receive
+// watermark-based backpressure signals that drive the feedback sampling
+// loop (§4.2).
+//
+// The persistence model reproduces the paper's throughput observation:
+// "Kafka provides reliable message delivery by persisting copies of all
+// messages to disk, limiting throughput to the disk write rate (70 MB/s).
+// Instead, we use a RAM disk..., which improves throughput by more than an
+// order of magnitude." A broker configured with persist_bytes_per_sec > 0
+// models the disk-backed log; 0 models the RAM disk.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "mq/message.hpp"
+
+namespace netalytics::mq {
+
+enum class ProduceStatus {
+  ok,          // appended
+  low_buffer,  // appended, but occupancy crossed the high watermark
+  blocked,     // persistence (disk model) saturated; retry later
+  dropped,     // partition full even after retention eviction
+};
+
+struct BrokerConfig {
+  std::size_t partitions_per_topic = 1;
+  std::size_t partition_capacity = 65536;   // retained messages per partition
+  double high_watermark = 0.75;             // occupancy ratio -> low_buffer
+  std::uint64_t persist_bytes_per_sec = 0;  // 0 = RAM disk (unlimited)
+  /// How far the simulated disk may lag behind `now` before produce blocks.
+  common::Duration max_persist_lag = 50 * common::kMillisecond;
+};
+
+struct BrokerStats {
+  std::uint64_t produced = 0;
+  std::uint64_t blocked = 0;
+  std::uint64_t dropped_retention = 0;  // evicted unread by retention
+  std::uint64_t consumed = 0;
+  std::uint64_t bytes_in = 0;
+};
+
+class Broker {
+ public:
+  explicit Broker(BrokerConfig config = {});
+
+  /// Append a message; assigns its offset. `now` drives the disk model.
+  ProduceStatus produce(Message msg, common::Timestamp now);
+
+  /// Poll up to `max` messages for a consumer group across all partitions
+  /// of `topic`, advancing the group's offsets.
+  std::vector<Message> poll(const std::string& group, const std::string& topic,
+                            std::size_t max);
+
+  /// Buffer pressure in [0,1] of the most-backlogged partition of `topic`:
+  /// the fraction of the partition's capacity holding messages the slowest
+  /// consumer group has not yet read (everything counts while no group has
+  /// consumed the topic). Consuming does not delete messages — retention
+  /// does — so pressure must be measured as consumer lag, not log size.
+  double occupancy(const std::string& topic) const;
+
+  /// Total buffered messages in `topic` not yet evicted.
+  std::size_t depth(const std::string& topic) const;
+
+  BrokerStats stats() const;
+  const BrokerConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Partition {
+    std::deque<Message> log;
+    std::uint64_t base_offset = 0;  // offset of log.front()
+    std::uint64_t next_offset = 0;
+  };
+  struct Topic {
+    std::vector<Partition> partitions;
+  };
+
+  Topic& topic_locked(const std::string& name);
+  /// Messages in partition `index` of `name` not yet read by the slowest
+  /// group (== retained size while the topic has no consumers).
+  std::size_t unread_locked(const std::string& name, const Partition& part,
+                            std::size_t index) const;
+
+  BrokerConfig config_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Topic> topics_;
+  // (group, topic, partition index) -> next offset to read.
+  std::map<std::tuple<std::string, std::string, std::size_t>, std::uint64_t> offsets_;
+  common::Timestamp disk_busy_until_ = 0;
+  BrokerStats stats_;
+};
+
+}  // namespace netalytics::mq

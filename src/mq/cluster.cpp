@@ -1,0 +1,62 @@
+#include "mq/cluster.hpp"
+
+#include <algorithm>
+
+#include "common/hash.hpp"
+
+namespace netalytics::mq {
+
+Cluster::Cluster(std::size_t brokers, BrokerConfig config) {
+  const std::size_t n = brokers == 0 ? 1 : brokers;
+  brokers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    brokers_.push_back(std::make_unique<Broker>(config));
+  }
+}
+
+ProduceStatus Cluster::produce(Message msg, common::Timestamp now) {
+  const std::size_t idx =
+      common::hash_to_bucket(common::mix64(msg.key ^ 0x5ca1ab1e), brokers_.size());
+  return brokers_[idx]->produce(std::move(msg), now);
+}
+
+std::vector<Message> Cluster::poll(const std::string& group,
+                                   const std::string& topic, std::size_t max) {
+  std::vector<Message> out;
+  for (auto& broker : brokers_) {
+    if (out.size() >= max) break;
+    auto batch = broker->poll(group, topic, max - out.size());
+    out.insert(out.end(), std::make_move_iterator(batch.begin()),
+               std::make_move_iterator(batch.end()));
+  }
+  return out;
+}
+
+double Cluster::occupancy(const std::string& topic) const {
+  double worst = 0.0;
+  for (const auto& broker : brokers_) {
+    worst = std::max(worst, broker->occupancy(topic));
+  }
+  return worst;
+}
+
+std::size_t Cluster::depth(const std::string& topic) const {
+  std::size_t total = 0;
+  for (const auto& broker : brokers_) total += broker->depth(topic);
+  return total;
+}
+
+BrokerStats Cluster::aggregate_stats() const {
+  BrokerStats total;
+  for (const auto& broker : brokers_) {
+    const auto s = broker->stats();
+    total.produced += s.produced;
+    total.blocked += s.blocked;
+    total.dropped_retention += s.dropped_retention;
+    total.consumed += s.consumed;
+    total.bytes_in += s.bytes_in;
+  }
+  return total;
+}
+
+}  // namespace netalytics::mq

@@ -1,0 +1,40 @@
+// A cluster of aggregation brokers. "Parsers, potentially distributed
+// across multiple monitoring hosts, send their data to one of the Kafka
+// servers. Using Kafka, we can fuse together data streams from parsers
+// replicated at different points in the network" (§3.2). Messages route to
+// a broker by key hash, so one topic spreads across brokers while a given
+// producer's stream stays ordered.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "mq/broker.hpp"
+
+namespace netalytics::mq {
+
+class Cluster {
+ public:
+  /// `brokers` nodes, each configured identically.
+  Cluster(std::size_t brokers, BrokerConfig config = {});
+
+  ProduceStatus produce(Message msg, common::Timestamp now);
+
+  /// Poll up to `max` messages across all brokers for a group.
+  std::vector<Message> poll(const std::string& group, const std::string& topic,
+                            std::size_t max);
+
+  /// Worst-case partition occupancy of `topic` across brokers — the signal
+  /// the feedback-sampling controller watches (§4.2).
+  double occupancy(const std::string& topic) const;
+  std::size_t depth(const std::string& topic) const;
+
+  std::size_t broker_count() const noexcept { return brokers_.size(); }
+  Broker& broker(std::size_t i) { return *brokers_.at(i); }
+  BrokerStats aggregate_stats() const;
+
+ private:
+  std::vector<std::unique_ptr<Broker>> brokers_;
+};
+
+}  // namespace netalytics::mq

@@ -1,0 +1,30 @@
+// Consumer facade for the stream engine's spouts: "Storm then uses multiple
+// Kafka 'Spouts' (i.e. data sources linked to the Kafka servers) to poll
+// for new messages" (§5.3). Offsets are tracked per consumer group inside
+// the brokers; distinct group names replay independently.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mq/cluster.hpp"
+
+namespace netalytics::mq {
+
+class Consumer {
+ public:
+  Consumer(Cluster& cluster, std::string group);
+
+  /// Fetch up to `max` new messages on `topic`.
+  std::vector<Message> poll(const std::string& topic, std::size_t max);
+
+  std::uint64_t total_consumed() const noexcept { return consumed_; }
+  const std::string& group() const noexcept { return group_; }
+
+ private:
+  Cluster& cluster_;
+  std::string group_;
+  std::uint64_t consumed_ = 0;
+};
+
+}  // namespace netalytics::mq

@@ -1,0 +1,22 @@
+// Messages in the aggregation layer (§3.2). A message is one serialized
+// record batch from a monitor; the topic is the parser type, "since the
+// parser type is used to select a buffer".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+
+namespace netalytics::mq {
+
+struct Message {
+  std::string topic;
+  std::uint64_t key = 0;  // partition selector (e.g. monitor id hash)
+  std::vector<std::byte> payload;
+  common::Timestamp timestamp = 0;
+  std::uint64_t offset = 0;  // assigned by the broker on append
+};
+
+}  // namespace netalytics::mq

@@ -1,0 +1,49 @@
+#include "mq/producer.hpp"
+
+namespace netalytics::mq {
+
+Producer::Producer(Cluster& cluster, std::uint64_t producer_id,
+                   BackpressureCallback on_backpressure)
+    : cluster_(cluster),
+      producer_id_(producer_id),
+      on_backpressure_(std::move(on_backpressure)) {}
+
+bool Producer::send(const std::string& topic, std::vector<std::byte> payload,
+                    common::Timestamp now) {
+  Message msg;
+  msg.topic = topic;
+  msg.key = producer_id_;
+  msg.timestamp = now;
+  const std::size_t bytes = payload.size();
+  msg.payload = std::move(payload);
+
+  const ProduceStatus status = cluster_.produce(std::move(msg), now);
+  {
+    std::lock_guard lock(mutex_);
+    switch (status) {
+      case ProduceStatus::ok:
+        ++stats_.sent;
+        stats_.bytes += bytes;
+        break;
+      case ProduceStatus::low_buffer:
+        ++stats_.sent;
+        stats_.bytes += bytes;
+        ++stats_.backpressure_events;
+        break;
+      case ProduceStatus::blocked:
+      case ProduceStatus::dropped:
+        ++stats_.lost;
+        ++stats_.backpressure_events;
+        break;
+    }
+  }
+  if (status != ProduceStatus::ok && on_backpressure_) on_backpressure_(status);
+  return status == ProduceStatus::ok || status == ProduceStatus::low_buffer;
+}
+
+ProducerStats Producer::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace netalytics::mq

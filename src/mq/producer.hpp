@@ -1,0 +1,45 @@
+// Producer facade used by monitors' output interfaces. Adds retry-aware
+// delivery on top of the cluster and surfaces backpressure to a callback —
+// the hook the feedback-driven sampling mechanism uses: "the aggregator
+// sends a status message back to the monitor indicating it has low buffer
+// space" (§4.2).
+#pragma once
+
+#include <functional>
+
+#include "mq/cluster.hpp"
+
+namespace netalytics::mq {
+
+/// Invoked when the broker reports low buffer space or blocks on
+/// persistence. The receiver (monitor side) lowers its sampling rate.
+using BackpressureCallback = std::function<void(ProduceStatus status)>;
+
+struct ProducerStats {
+  std::uint64_t sent = 0;
+  std::uint64_t backpressure_events = 0;
+  std::uint64_t lost = 0;  // blocked sends abandoned after retries
+  std::uint64_t bytes = 0;
+};
+
+class Producer {
+ public:
+  Producer(Cluster& cluster, std::uint64_t producer_id,
+           BackpressureCallback on_backpressure = nullptr);
+
+  /// Send one payload (a serialized record batch). Returns false if the
+  /// message was abandoned because the broker stayed blocked.
+  bool send(const std::string& topic, std::vector<std::byte> payload,
+            common::Timestamp now);
+
+  ProducerStats stats() const;
+
+ private:
+  Cluster& cluster_;
+  std::uint64_t producer_id_;
+  BackpressureCallback on_backpressure_;
+  mutable std::mutex mutex_;
+  ProducerStats stats_;
+};
+
+}  // namespace netalytics::mq

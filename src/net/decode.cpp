@@ -1,0 +1,58 @@
+#include "net/decode.hpp"
+
+#include <algorithm>
+
+namespace netalytics::net {
+
+std::optional<DecodedPacket> decode_packet(std::span<const std::byte> frame) {
+  DecodedPacket d;
+  d.frame = frame;
+
+  const auto eth = EthernetHeader::parse(frame);
+  if (!eth) return std::nullopt;
+  d.eth = *eth;
+  std::size_t offset = EthernetHeader::kSize;
+  if (d.eth.ether_type != kEtherTypeIpv4) return d;
+
+  const auto ipv4 = Ipv4Header::parse(frame.subspan(offset));
+  if (!ipv4) return d;
+  d.has_ipv4 = true;
+  d.ipv4 = *ipv4;
+  d.five_tuple.src_ip = d.ipv4.src;
+  d.five_tuple.dst_ip = d.ipv4.dst;
+  d.five_tuple.protocol = d.ipv4.protocol;
+  offset += d.ipv4.header_bytes();
+
+  // The IP total_length bounds the L4 region; guard against frames shorter
+  // than the header claims (truncated capture).
+  const std::size_t ip_end = std::min(
+      frame.size(), EthernetHeader::kSize + std::size_t{d.ipv4.total_length});
+  if (ip_end <= offset) return d;
+  const auto l4 = frame.subspan(offset, ip_end - offset);
+
+  if (d.ipv4.protocol == static_cast<std::uint8_t>(IpProto::tcp)) {
+    const auto tcp = TcpHeader::parse(l4);
+    if (!tcp) return d;
+    d.has_tcp = true;
+    d.tcp = *tcp;
+    d.five_tuple.src_port = d.tcp.src_port;
+    d.five_tuple.dst_port = d.tcp.dst_port;
+    d.l4_payload_offset = offset + d.tcp.header_bytes();
+    d.l4_payload_size = ip_end - d.l4_payload_offset;
+  } else if (d.ipv4.protocol == static_cast<std::uint8_t>(IpProto::udp)) {
+    const auto udp = UdpHeader::parse(l4);
+    if (!udp) return d;
+    d.has_udp = true;
+    d.udp = *udp;
+    d.five_tuple.src_port = d.udp.src_port;
+    d.five_tuple.dst_port = d.udp.dst_port;
+    d.l4_payload_offset = offset + UdpHeader::kSize;
+    d.l4_payload_size = ip_end - d.l4_payload_offset;
+  }
+
+  d.flow_hash = d.five_tuple.hash();
+  d.bidirectional_flow_hash = d.five_tuple.bidirectional_hash();
+  return d;
+}
+
+}  // namespace netalytics::net

@@ -1,0 +1,65 @@
+// Flow identification. The five-tuple is the unit of sampling (§3.3:
+// sampling is by flow, not packet) and the default tuple ID emitted by
+// parsers so processors can join data from different parsers (§3.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/hash.hpp"
+#include "net/ip.hpp"
+
+namespace netalytics::net {
+
+enum class IpProto : std::uint8_t { tcp = 6, udp = 17 };
+
+struct FiveTuple {
+  Ipv4Addr src_ip = 0;
+  Ipv4Addr dst_ip = 0;
+  Port src_port = 0;
+  Port dst_port = 0;
+  std::uint8_t protocol = 0;
+
+  constexpr bool operator==(const FiveTuple&) const noexcept = default;
+
+  /// Direction-sensitive hash (a flow and its reverse hash differently).
+  constexpr std::uint64_t hash(std::uint64_t seed = 0) const noexcept {
+    std::uint64_t h = common::hash_combine(seed, src_ip);
+    h = common::hash_combine(h, dst_ip);
+    h = common::hash_combine(h, (static_cast<std::uint64_t>(src_port) << 32) |
+                                    (static_cast<std::uint64_t>(dst_port) << 16) |
+                                    protocol);
+    return h;
+  }
+
+  /// Direction-insensitive hash: the two directions of a TCP connection map
+  /// to the same value, so request and response packets sample together.
+  constexpr std::uint64_t bidirectional_hash(std::uint64_t seed = 0) const noexcept {
+    const std::uint64_t fwd =
+        common::hash_combine(common::hash_combine(seed, src_ip),
+                             (static_cast<std::uint64_t>(src_port) << 16) | protocol);
+    const std::uint64_t rev =
+        common::hash_combine(common::hash_combine(seed, dst_ip),
+                             (static_cast<std::uint64_t>(dst_port) << 16) | protocol);
+    return fwd ^ rev;
+  }
+
+  constexpr FiveTuple reversed() const noexcept {
+    return FiveTuple{dst_ip, src_ip, dst_port, src_port, protocol};
+  }
+};
+
+inline std::string format_five_tuple(const FiveTuple& t) {
+  return format_ipv4(t.src_ip) + ":" + std::to_string(t.src_port) + "->" +
+         format_ipv4(t.dst_ip) + ":" + std::to_string(t.dst_port) + "/" +
+         std::to_string(t.protocol);
+}
+
+}  // namespace netalytics::net
+
+template <>
+struct std::hash<netalytics::net::FiveTuple> {
+  std::size_t operator()(const netalytics::net::FiveTuple& t) const noexcept {
+    return static_cast<std::size_t>(t.hash());
+  }
+};

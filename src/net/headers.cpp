@@ -1,0 +1,116 @@
+#include "net/headers.hpp"
+
+#include "common/byte_io.hpp"
+
+namespace netalytics::net {
+
+using common::load_be16;
+using common::load_be32;
+using common::load_u8;
+using common::store_be16;
+using common::store_be32;
+using common::store_u8;
+
+std::optional<EthernetHeader> EthernetHeader::parse(std::span<const std::byte> buf) {
+  if (buf.size() < kSize) return std::nullopt;
+  EthernetHeader h;
+  for (std::size_t i = 0; i < 6; ++i) h.dst[i] = load_u8(buf, i);
+  for (std::size_t i = 0; i < 6; ++i) h.src[i] = load_u8(buf, 6 + i);
+  h.ether_type = load_be16(buf, 12);
+  return h;
+}
+
+void EthernetHeader::write(std::span<std::byte> buf) const {
+  for (std::size_t i = 0; i < 6; ++i) store_u8(buf, i, dst[i]);
+  for (std::size_t i = 0; i < 6; ++i) store_u8(buf, 6 + i, src[i]);
+  store_be16(buf, 12, ether_type);
+}
+
+std::optional<Ipv4Header> Ipv4Header::parse(std::span<const std::byte> buf) {
+  if (buf.size() < kMinSize) return std::nullopt;
+  const std::uint8_t version_ihl = load_u8(buf, 0);
+  if ((version_ihl >> 4) != 4) return std::nullopt;
+  Ipv4Header h;
+  h.ihl = version_ihl & 0x0f;
+  if (h.ihl < 5 || buf.size() < h.header_bytes()) return std::nullopt;
+  h.tos = load_u8(buf, 1);
+  h.total_length = load_be16(buf, 2);
+  h.identification = load_be16(buf, 4);
+  h.ttl = load_u8(buf, 8);
+  h.protocol = load_u8(buf, 9);
+  h.checksum = load_be16(buf, 10);
+  h.src = load_be32(buf, 12);
+  h.dst = load_be32(buf, 16);
+  return h;
+}
+
+void Ipv4Header::write(std::span<std::byte> buf) const {
+  store_u8(buf, 0, static_cast<std::uint8_t>((4u << 4) | ihl));
+  store_u8(buf, 1, tos);
+  store_be16(buf, 2, total_length);
+  store_be16(buf, 4, identification);
+  store_be16(buf, 6, 0);  // flags + fragment offset: unfragmented
+  store_u8(buf, 8, ttl);
+  store_u8(buf, 9, protocol);
+  store_be16(buf, 10, 0);  // checksum placeholder
+  store_be32(buf, 12, src);
+  store_be32(buf, 16, dst);
+  const std::uint16_t cksum = compute_checksum(buf.first(header_bytes()));
+  store_be16(buf, 10, cksum);
+}
+
+std::uint16_t Ipv4Header::compute_checksum(std::span<const std::byte> header) {
+  std::uint32_t sum = 0;
+  for (std::size_t i = 0; i + 1 < header.size(); i += 2) {
+    sum += load_be16(header, i);
+  }
+  if (header.size() % 2 == 1) {
+    sum += static_cast<std::uint32_t>(load_u8(header, header.size() - 1)) << 8;
+  }
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+std::optional<TcpHeader> TcpHeader::parse(std::span<const std::byte> buf) {
+  if (buf.size() < kMinSize) return std::nullopt;
+  TcpHeader h;
+  h.src_port = load_be16(buf, 0);
+  h.dst_port = load_be16(buf, 2);
+  h.seq = load_be32(buf, 4);
+  h.ack = load_be32(buf, 8);
+  h.data_offset = load_u8(buf, 12) >> 4;
+  if (h.data_offset < 5 || buf.size() < h.header_bytes()) return std::nullopt;
+  h.flags = load_u8(buf, 13);
+  h.window = load_be16(buf, 14);
+  return h;
+}
+
+void TcpHeader::write(std::span<std::byte> buf) const {
+  store_be16(buf, 0, src_port);
+  store_be16(buf, 2, dst_port);
+  store_be32(buf, 4, seq);
+  store_be32(buf, 8, ack);
+  store_u8(buf, 12, static_cast<std::uint8_t>(data_offset << 4));
+  store_u8(buf, 13, flags);
+  store_be16(buf, 14, window);
+  store_be16(buf, 16, 0);  // checksum: not modelled (no wire corruption)
+  store_be16(buf, 18, 0);  // urgent pointer
+}
+
+std::optional<UdpHeader> UdpHeader::parse(std::span<const std::byte> buf) {
+  if (buf.size() < kSize) return std::nullopt;
+  UdpHeader h;
+  h.src_port = load_be16(buf, 0);
+  h.dst_port = load_be16(buf, 2);
+  h.length = load_be16(buf, 4);
+  return h;
+}
+
+void UdpHeader::write(std::span<std::byte> buf) const {
+  store_be16(buf, 0, src_port);
+  store_be16(buf, 2, dst_port);
+  store_be16(buf, 4, length);
+  store_be16(buf, 6, 0);  // checksum optional in IPv4
+}
+
+}  // namespace netalytics::net

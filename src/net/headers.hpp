@@ -1,0 +1,92 @@
+// Ethernet/IPv4/TCP/UDP header codecs (the paper's ProtocolLib, §5.2).
+// Headers are parsed from and written to raw bytes explicitly — no struct
+// punning — so the code is portable and alignment/strict-aliasing safe.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "net/ip.hpp"
+
+namespace netalytics::net {
+
+using MacAddr = std::array<std::uint8_t, 6>;
+
+constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+
+struct EthernetHeader {
+  static constexpr std::size_t kSize = 14;
+
+  MacAddr dst{};
+  MacAddr src{};
+  std::uint16_t ether_type = kEtherTypeIpv4;
+
+  /// Parse from the start of `buf`; nullopt if too short.
+  static std::optional<EthernetHeader> parse(std::span<const std::byte> buf);
+  /// Write kSize bytes at the start of `buf`; requires buf.size() >= kSize.
+  void write(std::span<std::byte> buf) const;
+};
+
+namespace tcp_flags {
+constexpr std::uint8_t kFin = 0x01;
+constexpr std::uint8_t kSyn = 0x02;
+constexpr std::uint8_t kRst = 0x04;
+constexpr std::uint8_t kPsh = 0x08;
+constexpr std::uint8_t kAck = 0x10;
+}  // namespace tcp_flags
+
+struct Ipv4Header {
+  static constexpr std::size_t kMinSize = 20;
+
+  std::uint8_t ihl = 5;  // header length in 32-bit words
+  std::uint8_t tos = 0;
+  std::uint16_t total_length = 0;  // header + payload, bytes
+  std::uint16_t identification = 0;
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = 0;
+  std::uint16_t checksum = 0;
+  Ipv4Addr src = 0;
+  Ipv4Addr dst = 0;
+
+  std::size_t header_bytes() const noexcept { return std::size_t{ihl} * 4; }
+
+  static std::optional<Ipv4Header> parse(std::span<const std::byte> buf);
+  /// Writes the header with a freshly computed checksum.
+  void write(std::span<std::byte> buf) const;
+
+  /// RFC 1071 checksum over a serialized header (checksum field zeroed).
+  static std::uint16_t compute_checksum(std::span<const std::byte> header);
+};
+
+struct TcpHeader {
+  static constexpr std::size_t kMinSize = 20;
+
+  Port src_port = 0;
+  Port dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t data_offset = 5;  // header length in 32-bit words
+  std::uint8_t flags = 0;
+  std::uint16_t window = 65535;
+
+  std::size_t header_bytes() const noexcept { return std::size_t{data_offset} * 4; }
+  bool has_flag(std::uint8_t f) const noexcept { return (flags & f) != 0; }
+
+  static std::optional<TcpHeader> parse(std::span<const std::byte> buf);
+  void write(std::span<std::byte> buf) const;
+};
+
+struct UdpHeader {
+  static constexpr std::size_t kSize = 8;
+
+  Port src_port = 0;
+  Port dst_port = 0;
+  std::uint16_t length = 0;  // header + payload
+
+  static std::optional<UdpHeader> parse(std::span<const std::byte> buf);
+  void write(std::span<std::byte> buf) const;
+};
+
+}  // namespace netalytics::net

@@ -1,0 +1,51 @@
+#include "net/ip.hpp"
+
+#include <cstdio>
+
+#include "common/string_util.hpp"
+
+namespace netalytics::net {
+
+std::optional<Ipv4Addr> parse_ipv4(std::string_view s) {
+  const auto parts = common::split(s, '.');
+  if (parts.size() != 4) return std::nullopt;
+  Ipv4Addr addr = 0;
+  for (const auto part : parts) {
+    std::uint64_t v = 0;
+    if (!common::parse_u64(part, v) || v > 255) return std::nullopt;
+    addr = (addr << 8) | static_cast<Ipv4Addr>(v);
+  }
+  return addr;
+}
+
+std::string format_ipv4(Ipv4Addr addr) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (addr >> 24) & 0xff,
+                (addr >> 16) & 0xff, (addr >> 8) & 0xff, addr & 0xff);
+  return buf;
+}
+
+std::optional<Ipv4Prefix> parse_ipv4_prefix(std::string_view s) {
+  const std::size_t slash = s.find('/');
+  std::uint8_t length = 32;
+  if (slash != std::string_view::npos) {
+    std::uint64_t v = 0;
+    if (!common::parse_u64(s.substr(slash + 1), v) || v > 32) return std::nullopt;
+    length = static_cast<std::uint8_t>(v);
+    s = s.substr(0, slash);
+  }
+  const auto addr = parse_ipv4(s);
+  if (!addr) return std::nullopt;
+  return Ipv4Prefix{*addr, length};
+}
+
+std::string format_ipv4_prefix(const Ipv4Prefix& p) {
+  if (p.length == 32) return format_ipv4(p.addr);
+  return format_ipv4(p.addr) + "/" + std::to_string(p.length);
+}
+
+std::string format_endpoint(const Endpoint& e) {
+  return format_ipv4(e.ip) + ":" + std::to_string(e.port);
+}
+
+}  // namespace netalytics::net

@@ -1,0 +1,56 @@
+// IPv4 address and endpoint types. Addresses are host-order uint32 inside
+// NetAlytics; conversion to network order happens only at the header codec.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace netalytics::net {
+
+using Ipv4Addr = std::uint32_t;
+using Port = std::uint16_t;
+
+/// Build an address from dotted components, e.g. make_ipv4(10,0,2,8).
+constexpr Ipv4Addr make_ipv4(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                             std::uint8_t d) noexcept {
+  return (static_cast<Ipv4Addr>(a) << 24) | (static_cast<Ipv4Addr>(b) << 16) |
+         (static_cast<Ipv4Addr>(c) << 8) | static_cast<Ipv4Addr>(d);
+}
+
+/// Parse dotted-quad notation; nullopt on malformed input.
+std::optional<Ipv4Addr> parse_ipv4(std::string_view s);
+
+std::string format_ipv4(Ipv4Addr addr);
+
+/// An IPv4 prefix (address + mask length) used in SDN match rules and the
+/// query language's subnet addresses.
+struct Ipv4Prefix {
+  Ipv4Addr addr = 0;
+  std::uint8_t length = 32;  // 0 = match everything
+
+  constexpr bool contains(Ipv4Addr a) const noexcept {
+    if (length == 0) return true;
+    const Ipv4Addr mask = length >= 32 ? ~Ipv4Addr{0} : ~((Ipv4Addr{1} << (32 - length)) - 1);
+    return (a & mask) == (addr & mask);
+  }
+  constexpr bool operator==(const Ipv4Prefix&) const noexcept = default;
+};
+
+/// Parse "a.b.c.d" or "a.b.c.d/len"; nullopt on malformed input.
+std::optional<Ipv4Prefix> parse_ipv4_prefix(std::string_view s);
+
+std::string format_ipv4_prefix(const Ipv4Prefix& p);
+
+/// ip:port endpoint.
+struct Endpoint {
+  Ipv4Addr ip = 0;
+  Port port = 0;
+
+  constexpr bool operator==(const Endpoint&) const noexcept = default;
+};
+
+std::string format_endpoint(const Endpoint& e);
+
+}  // namespace netalytics::net

@@ -1,0 +1,64 @@
+#include "net/packet.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <mutex>
+
+namespace netalytics::net {
+
+void PacketPtr::release() noexcept {
+  if (packet_ == nullptr) return;
+  if (packet_->refcount_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    packet_->pool_->deallocate(packet_);
+  }
+  packet_ = nullptr;
+}
+
+PacketPool::PacketPool(std::size_t capacity) : packets_(capacity) {
+  free_list_.reserve(capacity);
+  for (std::size_t i = 0; i < capacity; ++i) {
+    packets_[i].pool_ = this;
+    packets_[i].index_ = static_cast<std::uint32_t>(i);
+    free_list_.push_back(static_cast<std::uint32_t>(i));
+  }
+}
+
+PacketPtr PacketPool::allocate() noexcept {
+  Packet* p = nullptr;
+  {
+    std::lock_guard lock(free_mutex_);
+    if (free_list_.empty()) {
+      alloc_failures_.fetch_add(1, std::memory_order_relaxed);
+      return PacketPtr{};
+    }
+    p = &packets_[free_list_.back()];
+    free_list_.pop_back();
+  }
+  p->len_ = 0;
+  p->timestamp_ = 0;
+  p->refcount_.store(1, std::memory_order_relaxed);
+  return PacketPtr{p};
+}
+
+PacketPtr PacketPool::make_packet(std::span<const std::byte> bytes,
+                                  common::Timestamp timestamp) noexcept {
+  if (bytes.size() > Packet::kMaxSize) return PacketPtr{};
+  PacketPtr p = allocate();
+  if (!p) return p;
+  std::memcpy(p->writable().data(), bytes.data(), bytes.size());
+  p->set_size(bytes.size());
+  p->set_timestamp(timestamp);
+  return p;
+}
+
+std::size_t PacketPool::available() const noexcept {
+  std::lock_guard lock(free_mutex_);
+  return free_list_.size();
+}
+
+void PacketPool::deallocate(Packet* p) noexcept {
+  std::lock_guard lock(free_mutex_);
+  free_list_.push_back(p->index_);
+}
+
+}  // namespace netalytics::net

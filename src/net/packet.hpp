@@ -1,0 +1,139 @@
+// Packet buffers and the refcounted packet pool — the DPDK mbuf-pool
+// equivalent. The collector hands the *same* buffer to every parser by
+// enqueueing descriptors (PacketPtr), and a reference count frees the
+// buffer once all parsers are done with it (§5.2: "we have a reference
+// count on each packet so we know when all collectors and parsers have
+// finished with it").
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/spsc_ring.hpp"
+
+namespace netalytics::net {
+
+class PacketPool;
+
+/// A fixed-size packet buffer owned by a PacketPool.
+class Packet {
+ public:
+  static constexpr std::size_t kMaxSize = 2048;
+
+  std::span<std::byte> writable() noexcept { return {data_.data(), kMaxSize}; }
+  std::span<const std::byte> bytes() const noexcept { return {data_.data(), len_}; }
+  std::size_t size() const noexcept { return len_; }
+  void set_size(std::size_t len) noexcept { len_ = len; }
+
+  common::Timestamp timestamp() const noexcept { return timestamp_; }
+  void set_timestamp(common::Timestamp t) noexcept { timestamp_ = t; }
+
+ private:
+  friend class PacketPool;
+  friend class PacketPtr;
+
+  std::array<std::byte, kMaxSize> data_;
+  std::size_t len_ = 0;
+  common::Timestamp timestamp_ = 0;
+  std::atomic<std::uint32_t> refcount_{0};
+  PacketPool* pool_ = nullptr;
+  std::uint32_t index_ = 0;
+};
+
+/// Intrusive refcounted handle. Copying adds a reference (another parser
+/// queue); destruction releases it, returning the buffer to the pool at
+/// zero. Cheap to move.
+class PacketPtr {
+ public:
+  PacketPtr() noexcept = default;
+  ~PacketPtr() { release(); }
+
+  PacketPtr(const PacketPtr& other) noexcept : packet_(other.packet_) { acquire(); }
+  PacketPtr& operator=(const PacketPtr& other) noexcept {
+    if (this != &other) {
+      release();
+      packet_ = other.packet_;
+      acquire();
+    }
+    return *this;
+  }
+  PacketPtr(PacketPtr&& other) noexcept : packet_(other.packet_) {
+    other.packet_ = nullptr;
+  }
+  PacketPtr& operator=(PacketPtr&& other) noexcept {
+    if (this != &other) {
+      release();
+      packet_ = other.packet_;
+      other.packet_ = nullptr;
+    }
+    return *this;
+  }
+
+  explicit operator bool() const noexcept { return packet_ != nullptr; }
+  Packet* operator->() const noexcept { return packet_; }
+  Packet& operator*() const noexcept { return *packet_; }
+  Packet* get() const noexcept { return packet_; }
+
+  void reset() noexcept {
+    release();
+    packet_ = nullptr;
+  }
+
+ private:
+  friend class PacketPool;
+  explicit PacketPtr(Packet* p) noexcept : packet_(p) {}  // refcount pre-set
+
+  void acquire() noexcept {
+    if (packet_ != nullptr) {
+      packet_->refcount_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  void release() noexcept;
+
+  Packet* packet_ = nullptr;
+};
+
+/// Preallocated pool of packet buffers with a free list. Allocation never
+/// touches the heap after construction; exhaustion returns an empty handle
+/// (the caller drops the packet, as a NIC would under pool pressure).
+class PacketPool {
+ public:
+  explicit PacketPool(std::size_t capacity);
+
+  PacketPool(const PacketPool&) = delete;
+  PacketPool& operator=(const PacketPool&) = delete;
+
+  /// Allocate a buffer with refcount 1; empty handle if the pool is dry.
+  PacketPtr allocate() noexcept;
+
+  /// Allocate and fill from `bytes` with the given timestamp.
+  PacketPtr make_packet(std::span<const std::byte> bytes,
+                        common::Timestamp timestamp) noexcept;
+
+  std::size_t capacity() const noexcept { return packets_.size(); }
+  std::size_t available() const noexcept;
+  std::uint64_t allocation_failures() const noexcept {
+    return alloc_failures_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class PacketPtr;
+  void deallocate(Packet* p) noexcept;
+
+  std::vector<Packet> packets_;
+  // Free list as a lock-protected stack: release can come from any parser
+  // thread, allocate from any generator thread. Depth is small and accesses
+  // are batched at the ring level, so contention is not on the hot path.
+  mutable std::mutex free_mutex_;
+  std::vector<std::uint32_t> free_list_;
+  std::atomic<std::uint64_t> alloc_failures_{0};
+};
+
+}  // namespace netalytics::net

@@ -1,0 +1,210 @@
+#include "nf/monitor.hpp"
+
+#include <chrono>
+
+#include "common/hash.hpp"
+#include "common/logging.hpp"
+#include "net/decode.hpp"
+
+namespace netalytics::nf {
+
+Monitor::Monitor(MonitorConfig config, BatchSink sink)
+    : config_(std::move(config)),
+      sink_(std::move(sink)),
+      sampler_(config_.sample_rate),
+      rx_ring_(config_.rx_ring_capacity) {
+  groups_.reserve(config_.parsers.size());
+  for (const auto& spec : config_.parsers) {
+    ParserGroup group;
+    group.name = spec.name;
+    const std::size_t workers = spec.workers == 0 ? 1 : spec.workers;
+    for (std::size_t w = 0; w < workers; ++w) {
+      auto worker = std::make_unique<Worker>();
+      worker->parser = ParserRegistry::instance().make(spec.name);
+      worker->ring =
+          std::make_unique<common::SpscRing<WorkItem>>(config_.worker_ring_capacity);
+      worker->output =
+          std::make_unique<OutputInterface>(sink_, config_.output_batch_records);
+      group.workers.push_back(std::move(worker));
+    }
+    groups_.push_back(std::move(group));
+  }
+}
+
+Monitor::~Monitor() {
+  if (running()) stop();
+}
+
+void Monitor::start() {
+  if (running()) return;
+  collector_done_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  for (auto& group : groups_) {
+    for (auto& worker : group.workers) {
+      worker->thread = std::thread([this, w = worker.get()] { worker_loop(*w); });
+    }
+  }
+  collector_thread_ = std::thread([this] { collector_loop(); });
+}
+
+void Monitor::stop() {
+  if (!running()) return;
+  running_.store(false, std::memory_order_release);
+  if (collector_thread_.joinable()) collector_thread_.join();
+  for (auto& group : groups_) {
+    for (auto& worker : group.workers) {
+      if (worker->thread.joinable()) worker->thread.join();
+    }
+  }
+}
+
+bool Monitor::inject(net::PacketPtr pkt) noexcept {
+  rx_packets_.fetch_add(1, std::memory_order_relaxed);
+  if (!rx_ring_.try_push(std::move(pkt))) {
+    rx_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+void Monitor::dispatch(const net::PacketPtr& pkt, const net::DecodedPacket& decoded) {
+  for (auto& group : groups_) {
+    // Flow-id dispatch: both directions of a connection land on the same
+    // worker, so per-flow parser state is single-threaded by construction.
+    const std::size_t idx =
+        group.workers.size() == 1
+            ? 0
+            : common::hash_to_bucket(decoded.bidirectional_flow_hash,
+                                     group.workers.size());
+    Worker& w = *group.workers[idx];
+    WorkItem item{pkt, decoded};
+    if (w.ring->try_push(std::move(item))) {
+      dispatched_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      worker_dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void Monitor::collector_loop() {
+  std::vector<net::PacketPtr> burst(config_.burst_size);
+  while (true) {
+    const std::size_t n = rx_ring_.try_pop_bulk(burst);
+    if (n == 0) {
+      if (!running()) {
+        collector_done_.store(true, std::memory_order_release);
+        return;  // RX drained after stop
+      }
+      std::this_thread::yield();
+      continue;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      net::PacketPtr& pkt = burst[i];
+      auto decoded = net::decode_packet(pkt->bytes());
+      if (!decoded) {
+        pkt.reset();
+        continue;
+      }
+      decoded->timestamp = pkt->timestamp();
+      if (!sampler_.keep(decoded->bidirectional_flow_hash)) {
+        sampled_out_.fetch_add(1, std::memory_order_relaxed);
+        pkt.reset();
+        continue;
+      }
+      dispatch(pkt, *decoded);
+      pkt.reset();
+    }
+  }
+}
+
+void Monitor::worker_loop(Worker& w) {
+  common::WallClock clock;
+  std::vector<WorkItem> burst(config_.burst_size);
+  common::Timestamp last_tick = clock.now();
+  while (true) {
+    const std::size_t n = w.ring->try_pop_bulk(burst);
+    if (n == 0) {
+      if (collector_done_.load(std::memory_order_acquire)) break;
+      const common::Timestamp now = clock.now();
+      if (now - last_tick >= config_.tick_interval) {
+        w.parser->on_tick(now, *w.output);
+        w.output->flush();
+        last_tick = now;
+      }
+      std::this_thread::yield();
+      continue;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      WorkItem& item = burst[i];
+      w.parser->on_packet(item.decoded, *w.output);
+      w.parsed.fetch_add(1, std::memory_order_relaxed);
+      w.raw_bytes.fetch_add(item.pkt->size(), std::memory_order_relaxed);
+      item.pkt.reset();
+    }
+  }
+  w.parser->on_close(clock.now(), *w.output);
+  w.output->flush();
+}
+
+void Monitor::process(std::span<const std::byte> frame, common::Timestamp ts) {
+  rx_packets_.fetch_add(1, std::memory_order_relaxed);
+  auto decoded = net::decode_packet(frame);
+  if (!decoded) return;
+  decoded->timestamp = ts;
+  if (!sampler_.keep(decoded->bidirectional_flow_hash)) {
+    sampled_out_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  for (auto& group : groups_) {
+    const std::size_t idx =
+        group.workers.size() == 1
+            ? 0
+            : common::hash_to_bucket(decoded->bidirectional_flow_hash,
+                                     group.workers.size());
+    Worker& w = *group.workers[idx];
+    w.parser->on_packet(*decoded, *w.output);
+    w.parsed.fetch_add(1, std::memory_order_relaxed);
+    w.raw_bytes.fetch_add(frame.size(), std::memory_order_relaxed);
+    dispatched_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Monitor::tick(common::Timestamp now) {
+  for (auto& group : groups_) {
+    for (auto& worker : group.workers) {
+      worker->parser->on_tick(now, *worker->output);
+      // Ship partially-filled batches so downstream latency is bounded by
+      // the tick interval even at low record rates.
+      worker->output->flush();
+    }
+  }
+}
+
+void Monitor::close(common::Timestamp now) {
+  for (auto& group : groups_) {
+    for (auto& worker : group.workers) {
+      worker->parser->on_close(now, *worker->output);
+      worker->output->flush();
+    }
+  }
+}
+
+MonitorStats Monitor::stats() const {
+  MonitorStats s;
+  s.rx_packets = rx_packets_.load(std::memory_order_relaxed);
+  s.rx_dropped = rx_dropped_.load(std::memory_order_relaxed);
+  s.sampled_out = sampled_out_.load(std::memory_order_relaxed);
+  s.dispatched = dispatched_.load(std::memory_order_relaxed);
+  s.worker_dropped = worker_dropped_.load(std::memory_order_relaxed);
+  for (const auto& group : groups_) {
+    for (const auto& worker : group.workers) {
+      s.parsed += worker->parsed.load(std::memory_order_relaxed);
+      s.raw_bytes += worker->raw_bytes.load(std::memory_order_relaxed);
+      s.records += worker->output->stats().records;
+      s.record_bytes += worker->output->stats().bytes;
+    }
+  }
+  return s;
+}
+
+}  // namespace netalytics::nf

@@ -1,0 +1,135 @@
+// The NetAlytics monitor (§5.1-5.2, Fig. 3): Collector -> per-parser SPSC
+// descriptor queues -> parser workers -> output interface. Design pillars
+// from the paper, all present here:
+//   * zero-copy: queues carry refcounted packet descriptors, never bytes;
+//   * lockless: the hot path uses SPSC rings only;
+//   * multi-level queuing: an RX ring feeds per-worker rings, one ring and
+//     one parser instance per worker thread;
+//   * batching: bursts at every ring hop and batched record output;
+//   * sampling: flow-hash sampling drops early, before any parser work.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/spsc_ring.hpp"
+#include "net/packet.hpp"
+#include "nf/output.hpp"
+#include "nf/parser.hpp"
+#include "nf/sampler.hpp"
+
+namespace netalytics::nf {
+
+struct ParserSpec {
+  std::string name;
+  std::size_t workers = 1;  // worker threads (and parser instances)
+};
+
+struct MonitorConfig {
+  std::vector<ParserSpec> parsers;
+  std::size_t rx_ring_capacity = 8192;
+  std::size_t worker_ring_capacity = 4096;
+  std::size_t burst_size = 32;
+  std::size_t output_batch_records = 64;
+  double sample_rate = 1.0;
+  /// Interval between parser on_tick calls (aggregating parsers flush here).
+  common::Duration tick_interval = 100 * common::kMillisecond;
+};
+
+struct MonitorStats {
+  std::uint64_t rx_packets = 0;       // packets offered to the monitor
+  std::uint64_t rx_dropped = 0;       // RX ring full
+  std::uint64_t sampled_out = 0;      // dropped by the flow sampler
+  std::uint64_t dispatched = 0;       // descriptors enqueued to workers
+  std::uint64_t worker_dropped = 0;   // worker ring full
+  std::uint64_t parsed = 0;           // packets run through a parser
+  std::uint64_t records = 0;          // records emitted (all workers)
+  std::uint64_t record_bytes = 0;     // serialized record bytes shipped
+  std::uint64_t raw_bytes = 0;        // raw bytes of parsed packets
+};
+
+/// A software NF monitor. Two execution modes:
+///  - threaded: start()/stop() spawn the collector and worker threads and
+///    packets are delivered with inject() (used by throughput benches);
+///  - inline: process() runs collect+parse on the caller's thread (used by
+///    deterministic simulations and tests).
+class Monitor {
+ public:
+  Monitor(MonitorConfig config, BatchSink sink);
+  ~Monitor();
+
+  Monitor(const Monitor&) = delete;
+  Monitor& operator=(const Monitor&) = delete;
+
+  // ---- threaded mode ----
+  void start();
+  /// Stop threads, drain rings, flush outputs.
+  void stop();
+  bool running() const noexcept { return running_.load(std::memory_order_acquire); }
+  /// Offer a packet to the RX ring; false = dropped (ring full).
+  bool inject(net::PacketPtr pkt) noexcept;
+
+  // ---- inline mode ----
+  /// Decode/sample/parse one raw frame synchronously on this thread.
+  void process(std::span<const std::byte> frame, common::Timestamp ts);
+  /// Run aggregating parsers' periodic flush (inline mode).
+  void tick(common::Timestamp now);
+  /// Flush parser state and pending output batches (inline mode).
+  void close(common::Timestamp now);
+
+  MonitorStats stats() const;
+  double sample_rate() const noexcept { return sampler_.rate(); }
+  /// Feedback-driven sampling hook (§4.2).
+  void set_sample_rate(double rate) noexcept { sampler_.set_rate(rate); }
+  void on_backpressure() noexcept { sampler_.decrease(); }
+
+  const MonitorConfig& config() const noexcept { return config_; }
+
+ private:
+  struct WorkItem {
+    net::PacketPtr pkt;
+    net::DecodedPacket decoded;  // spans reference pkt's buffer
+  };
+
+  struct Worker {
+    std::unique_ptr<PacketParser> parser;
+    std::unique_ptr<common::SpscRing<WorkItem>> ring;
+    std::unique_ptr<OutputInterface> output;
+    std::thread thread;
+    std::atomic<std::uint64_t> parsed{0};
+    std::atomic<std::uint64_t> raw_bytes{0};
+  };
+
+  struct ParserGroup {
+    std::string name;
+    std::vector<std::unique_ptr<Worker>> workers;
+  };
+
+  void collector_loop();
+  void worker_loop(Worker& w);
+  /// Fan one decoded packet out to every parser group (flow-id dispatch).
+  void dispatch(const net::PacketPtr& pkt, const net::DecodedPacket& decoded);
+
+  MonitorConfig config_;
+  BatchSink sink_;
+  FlowSampler sampler_;
+  common::SpscRing<net::PacketPtr> rx_ring_;
+  std::vector<ParserGroup> groups_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> collector_done_{false};
+  std::thread collector_thread_;
+
+  std::atomic<std::uint64_t> rx_packets_{0};
+  std::atomic<std::uint64_t> rx_dropped_{0};
+  std::atomic<std::uint64_t> sampled_out_{0};
+  std::atomic<std::uint64_t> dispatched_{0};
+  std::atomic<std::uint64_t> worker_dropped_{0};
+};
+
+}  // namespace netalytics::nf

@@ -1,0 +1,31 @@
+#include "nf/output.hpp"
+
+namespace netalytics::nf {
+
+OutputInterface::OutputInterface(BatchSink sink, std::size_t batch_records)
+    : sink_(std::move(sink)),
+      batch_records_(batch_records == 0 ? 1 : batch_records) {}
+
+void OutputInterface::emit(Record record) {
+  auto [it, inserted] = pending_.try_emplace(record.topic);
+  (void)inserted;
+  it->second.push_back(std::move(record));
+  if (it->second.size() >= batch_records_) ship(it->first, it->second);
+}
+
+void OutputInterface::flush() {
+  for (auto& [topic, batch] : pending_) {
+    if (!batch.empty()) ship(topic, batch);
+  }
+}
+
+void OutputInterface::ship(const std::string& topic, std::vector<Record>& batch) {
+  auto payload = serialize_batch(batch);
+  records_.fetch_add(batch.size(), std::memory_order_relaxed);
+  bytes_.fetch_add(payload.size(), std::memory_order_relaxed);
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  sink_(topic, std::move(payload), batch.size());
+  batch.clear();
+}
+
+}  // namespace netalytics::nf

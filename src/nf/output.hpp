@@ -1,0 +1,62 @@
+// Output interface (§5.2): "reorganizes processed data in a specific format
+// and outputs the message via a TCP socket or Kafka producer". Records are
+// grouped by topic and shipped in batches to cut per-tuple overhead
+// ("NetAlytics further reduces the overhead of transmitting data tuples by
+// aggregating tuples produced by all parsers and having the monitor send
+// them in batches", §3.1).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "nf/parser.hpp"
+#include "nf/record.hpp"
+
+namespace netalytics::nf {
+
+/// Downstream of the monitor: the core layer wires this to an mq producer.
+/// Must be callable from multiple worker threads.
+using BatchSink = std::function<void(const std::string& topic,
+                                     std::vector<std::byte> payload,
+                                     std::size_t record_count)>;
+
+struct OutputStats {
+  std::uint64_t records = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Per-worker batching stage. emit()/flush() are single-threaded (each
+/// worker owns one instance); stats() may be read from other threads.
+class OutputInterface final : public RecordSink {
+ public:
+  OutputInterface(BatchSink sink, std::size_t batch_records = 64);
+
+  void emit(Record record) override;
+
+  /// Ship all partially-filled batches.
+  void flush();
+
+  OutputStats stats() const noexcept {
+    return {records_.load(std::memory_order_relaxed),
+            batches_.load(std::memory_order_relaxed),
+            bytes_.load(std::memory_order_relaxed)};
+  }
+
+ private:
+  void ship(const std::string& topic, std::vector<Record>& batch);
+
+  BatchSink sink_;
+  std::size_t batch_records_;
+  std::map<std::string, std::vector<Record>> pending_;
+  std::atomic<std::uint64_t> records_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+};
+
+}  // namespace netalytics::nf

@@ -1,0 +1,45 @@
+#include "nf/parser.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace netalytics::nf {
+
+void PacketParser::on_tick(common::Timestamp, RecordSink&) {}
+
+void PacketParser::on_close(common::Timestamp now, RecordSink& sink) {
+  on_tick(now, sink);
+}
+
+ParserRegistry& ParserRegistry::instance() {
+  static ParserRegistry registry;
+  return registry;
+}
+
+bool ParserRegistry::register_parser(std::string name, ParserFactory factory) {
+  if (contains(name)) return false;
+  entries_.emplace_back(std::move(name), std::move(factory));
+  return true;
+}
+
+bool ParserRegistry::contains(std::string_view name) const {
+  return std::any_of(entries_.begin(), entries_.end(),
+                     [name](const auto& e) { return e.first == name; });
+}
+
+std::unique_ptr<PacketParser> ParserRegistry::make(std::string_view name) const {
+  for (const auto& [n, factory] : entries_) {
+    if (n == name) return factory();
+  }
+  throw std::invalid_argument("ParserRegistry: unknown parser '" +
+                              std::string(name) + "'");
+}
+
+std::vector<std::string> ParserRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [n, _] : entries_) out.push_back(n);
+  return out;
+}
+
+}  // namespace netalytics::nf

@@ -1,0 +1,113 @@
+#include "nf/record.hpp"
+
+#include <algorithm>
+
+#include "common/byte_io.hpp"
+
+namespace netalytics::nf {
+
+namespace {
+
+enum class FieldTag : std::uint8_t { i64 = 0, u64 = 1, f64 = 2, str = 3 };
+
+// Batch layouts. Batches are built per topic by the output interface, so
+// the common case hoists the topic string out of every record.
+enum class BatchLayout : std::uint8_t { uniform_topic = 1, per_record_topic = 2 };
+
+void write_record(common::ByteWriter& w, const Record& r, bool with_topic) {
+  if (with_topic) w.str(r.topic);
+  w.u64(r.id);
+  w.u64(r.timestamp);
+  w.u16(static_cast<std::uint16_t>(r.fields.size()));
+  for (const auto& f : r.fields) {
+    std::visit(
+        [&w](const auto& v) {
+          using T = std::decay_t<decltype(v)>;
+          if constexpr (std::is_same_v<T, std::int64_t>) {
+            w.u8(static_cast<std::uint8_t>(FieldTag::i64));
+            w.u64(static_cast<std::uint64_t>(v));
+          } else if constexpr (std::is_same_v<T, std::uint64_t>) {
+            w.u8(static_cast<std::uint8_t>(FieldTag::u64));
+            w.u64(v);
+          } else if constexpr (std::is_same_v<T, double>) {
+            w.u8(static_cast<std::uint8_t>(FieldTag::f64));
+            w.f64(v);
+          } else {
+            w.u8(static_cast<std::uint8_t>(FieldTag::str));
+            w.str(v);
+          }
+        },
+        f);
+  }
+}
+
+Record read_record(common::ByteReader& r, const std::string* shared_topic) {
+  Record rec;
+  rec.topic = shared_topic != nullptr ? *shared_topic : r.str();
+  rec.id = r.u64();
+  rec.timestamp = r.u64();
+  const std::uint16_t n = r.u16();
+  rec.fields.reserve(n);
+  for (std::uint16_t i = 0; i < n; ++i) {
+    switch (static_cast<FieldTag>(r.u8())) {
+      case FieldTag::i64:
+        rec.fields.emplace_back(static_cast<std::int64_t>(r.u64()));
+        break;
+      case FieldTag::u64:
+        rec.fields.emplace_back(r.u64());
+        break;
+      case FieldTag::f64:
+        rec.fields.emplace_back(r.f64());
+        break;
+      case FieldTag::str:
+        rec.fields.emplace_back(r.str());
+        break;
+      default:
+        throw std::out_of_range("Record: unknown field tag");
+    }
+  }
+  return rec;
+}
+
+}  // namespace
+
+std::size_t serialized_size(const Record& r) {
+  common::ByteWriter w;
+  write_record(w, r, /*with_topic=*/true);
+  return w.size();
+}
+
+std::vector<std::byte> serialize_batch(std::span<const Record> records) {
+  common::ByteWriter w;
+  const bool uniform =
+      !records.empty() &&
+      std::all_of(records.begin(), records.end(),
+                  [&](const Record& r) { return r.topic == records[0].topic; });
+  w.u8(static_cast<std::uint8_t>(uniform ? BatchLayout::uniform_topic
+                                         : BatchLayout::per_record_topic));
+  if (uniform) w.str(records[0].topic);
+  w.u32(static_cast<std::uint32_t>(records.size()));
+  for (const auto& rec : records) write_record(w, rec, !uniform);
+  return w.take();
+}
+
+std::vector<Record> deserialize_batch(std::span<const std::byte> payload) {
+  common::ByteReader r(payload);
+  const auto layout = static_cast<BatchLayout>(r.u8());
+  if (layout != BatchLayout::uniform_topic &&
+      layout != BatchLayout::per_record_topic) {
+    throw std::out_of_range("Record batch: unknown layout");
+  }
+  std::string shared_topic;
+  const bool uniform = layout == BatchLayout::uniform_topic;
+  if (uniform) shared_topic = r.str();
+  const std::uint32_t n = r.u32();
+  std::vector<Record> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    out.push_back(read_record(r, uniform ? &shared_topic : nullptr));
+  }
+  return out;
+}
+
+}  // namespace netalytics::nf

@@ -1,0 +1,74 @@
+// Bounded per-flow state map shared by the stateful parsers. Parsers must
+// run at line rate, so state is capped: when full, the oldest entry is
+// evicted (long-lived idle flows lose tracking rather than the monitor
+// losing memory).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace netalytics::parsers {
+
+template <typename V>
+class FlowStateMap {
+ public:
+  explicit FlowStateMap(std::size_t capacity = 65536) : capacity_(capacity) {}
+
+  /// Find existing state; nullptr if absent.
+  V* find(std::uint64_t key) {
+    const auto it = map_.find(key);
+    return it == map_.end() ? nullptr : &it->second.value;
+  }
+
+  /// Insert (or overwrite) state, evicting the oldest entry when full.
+  V& put(std::uint64_t key, V value) {
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      it->second.value = std::move(value);
+      return it->second.value;
+    }
+    if (map_.size() >= capacity_ && !order_.empty()) {
+      map_.erase(order_.front());
+      order_.pop_front();
+      ++evictions_;
+    }
+    order_.push_back(key);
+    auto [pos, _] = map_.emplace(key, Entry{std::move(value), std::prev(order_.end())});
+    pos->second.order_it = std::prev(order_.end());
+    return pos->second.value;
+  }
+
+  void erase(std::uint64_t key) {
+    const auto it = map_.find(key);
+    if (it == map_.end()) return;
+    order_.erase(it->second.order_it);
+    map_.erase(it);
+  }
+
+  std::size_t size() const noexcept { return map_.size(); }
+  std::uint64_t evictions() const noexcept { return evictions_; }
+
+  /// Iterate over (key, value) pairs; F may not mutate the map.
+  template <typename F>
+  void for_each(F&& f) const {
+    for (const auto& [k, e] : map_) f(k, e.value);
+  }
+
+  void clear() {
+    map_.clear();
+    order_.clear();
+  }
+
+ private:
+  struct Entry {
+    V value;
+    std::list<std::uint64_t>::iterator order_it;
+  };
+  std::size_t capacity_;
+  std::unordered_map<std::uint64_t, Entry> map_;
+  std::list<std::uint64_t> order_;  // insertion order for eviction
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace netalytics::parsers

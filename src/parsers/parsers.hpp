@@ -1,0 +1,36 @@
+// The common NetAlytics parsers (Table 1) and their record layouts.
+//
+// | parser         | layer | record fields (after topic/id/timestamp)        |
+// |----------------|-------|--------------------------------------------------|
+// | tcp_flow_key   | Net   | src_ip:u64, dst_ip:u64, src_port:u64, dst_port:u64 (once per flow) |
+// | tcp_conn_time  | Net   | event:str ("start"/"end"), src_ip:u64, dst_ip:u64, src_port:u64, dst_port:u64; record timestamp is the event time |
+// | tcp_pkt_size   | Net   | src_ip:u64, dst_ip:u64, dst_port:u64, bytes:u64, packets:u64 (per flow, per tick window) |
+// | http_get       | App   | kind:str ("request"/"response"), url:str or status:u64 |
+// | memcached_get  | App   | key:str                                          |
+// | mysql_query    | App   | statement:str, latency_ns:u64 (emitted when the response arrives) |
+//
+// The record id is the bidirectional flow hash (except tcp_flow_key and
+// tcp_pkt_size, which are directional), so records from different parsers
+// about the same connection share an id and can be joined downstream (§3.1).
+#pragma once
+
+#include <array>
+#include <string_view>
+
+namespace netalytics::parsers {
+
+inline constexpr std::string_view kTcpFlowKey = "tcp_flow_key";
+inline constexpr std::string_view kTcpConnTime = "tcp_conn_time";
+inline constexpr std::string_view kTcpPktSize = "tcp_pkt_size";
+inline constexpr std::string_view kHttpGet = "http_get";
+inline constexpr std::string_view kMemcachedGet = "memcached_get";
+inline constexpr std::string_view kMysqlQuery = "mysql_query";
+
+inline constexpr std::array<std::string_view, 6> kBuiltinParsers = {
+    kTcpFlowKey, kTcpConnTime, kTcpPktSize, kHttpGet, kMemcachedGet, kMysqlQuery};
+
+/// Register every built-in parser with the global ParserRegistry.
+/// Idempotent; call before compiling queries or constructing monitors.
+void register_builtin_parsers();
+
+}  // namespace netalytics::parsers

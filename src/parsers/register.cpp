@@ -1,0 +1,13 @@
+#include "parsers/parsers.hpp"
+#include "parsers/register.hpp"
+
+namespace netalytics::parsers {
+
+void register_builtin_parsers() {
+  // ParserRegistry::register_parser ignores duplicates, so this is
+  // idempotent.
+  register_tcp_parsers();
+  register_app_parsers();
+}
+
+}  // namespace netalytics::parsers

@@ -1,0 +1,9 @@
+// Internal registration hooks; use parsers.hpp / register_builtin_parsers().
+#pragma once
+
+namespace netalytics::parsers {
+
+void register_tcp_parsers();
+void register_app_parsers();
+
+}  // namespace netalytics::parsers

@@ -1,0 +1,87 @@
+#include "pktgen/builder.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace netalytics::pktgen {
+
+namespace {
+
+std::size_t padded_payload_size(std::size_t payload_size, std::size_t overhead,
+                                std::size_t pad_to_frame_size) {
+  if (pad_to_frame_size == 0) return payload_size;
+  if (pad_to_frame_size < overhead) {
+    throw std::invalid_argument("pad_to_frame_size smaller than headers");
+  }
+  return std::max(payload_size, pad_to_frame_size - overhead);
+}
+
+}  // namespace
+
+std::vector<std::byte> build_tcp_frame(const TcpFrameSpec& spec) {
+  const std::size_t payload_size = padded_payload_size(
+      spec.payload.size(), kTcpFrameOverhead, spec.pad_to_frame_size);
+  const std::size_t frame_size = kTcpFrameOverhead + payload_size;
+  std::vector<std::byte> frame(frame_size, std::byte{0});
+  std::span<std::byte> buf(frame);
+
+  net::EthernetHeader eth;
+  eth.ether_type = net::kEtherTypeIpv4;
+  eth.write(buf);
+
+  net::Ipv4Header ip;
+  ip.total_length = static_cast<std::uint16_t>(
+      net::Ipv4Header::kMinSize + net::TcpHeader::kMinSize + payload_size);
+  ip.protocol = static_cast<std::uint8_t>(net::IpProto::tcp);
+  ip.src = spec.flow.src_ip;
+  ip.dst = spec.flow.dst_ip;
+  ip.write(buf.subspan(net::EthernetHeader::kSize));
+
+  net::TcpHeader tcp;
+  tcp.src_port = spec.flow.src_port;
+  tcp.dst_port = spec.flow.dst_port;
+  tcp.seq = spec.seq;
+  tcp.ack = spec.ack;
+  tcp.flags = spec.flags;
+  tcp.write(buf.subspan(net::EthernetHeader::kSize + net::Ipv4Header::kMinSize));
+
+  if (!spec.payload.empty()) {
+    std::memcpy(frame.data() + kTcpFrameOverhead, spec.payload.data(),
+                spec.payload.size());
+  }
+  return frame;
+}
+
+std::vector<std::byte> build_udp_frame(const UdpFrameSpec& spec) {
+  const std::size_t payload_size = padded_payload_size(
+      spec.payload.size(), kUdpFrameOverhead, spec.pad_to_frame_size);
+  const std::size_t frame_size = kUdpFrameOverhead + payload_size;
+  std::vector<std::byte> frame(frame_size, std::byte{0});
+  std::span<std::byte> buf(frame);
+
+  net::EthernetHeader eth;
+  eth.write(buf);
+
+  net::Ipv4Header ip;
+  ip.total_length = static_cast<std::uint16_t>(
+      net::Ipv4Header::kMinSize + net::UdpHeader::kSize + payload_size);
+  ip.protocol = static_cast<std::uint8_t>(net::IpProto::udp);
+  ip.src = spec.flow.src_ip;
+  ip.dst = spec.flow.dst_ip;
+  ip.write(buf.subspan(net::EthernetHeader::kSize));
+
+  net::UdpHeader udp;
+  udp.src_port = spec.flow.src_port;
+  udp.dst_port = spec.flow.dst_port;
+  udp.length = static_cast<std::uint16_t>(net::UdpHeader::kSize + payload_size);
+  udp.write(buf.subspan(net::EthernetHeader::kSize + net::Ipv4Header::kMinSize));
+
+  if (!spec.payload.empty()) {
+    std::memcpy(frame.data() + kUdpFrameOverhead, spec.payload.data(),
+                spec.payload.size());
+  }
+  return frame;
+}
+
+}  // namespace netalytics::pktgen

@@ -1,0 +1,45 @@
+// Frame builders: compose well-formed Ethernet/IPv4/TCP/UDP frames from a
+// five-tuple and a payload. The traffic generator and the application
+// emulations build every packet through these, so everything the monitors
+// see is byte-exact protocol traffic.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/flow.hpp"
+#include "net/headers.hpp"
+
+namespace netalytics::pktgen {
+
+struct TcpFrameSpec {
+  net::FiveTuple flow;
+  std::uint8_t flags = net::tcp_flags::kAck;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::span<const std::byte> payload{};
+  /// If non-zero, pad the frame (with zero bytes of payload) up to this
+  /// total frame size; used by fixed-packet-size throughput sweeps.
+  std::size_t pad_to_frame_size = 0;
+};
+
+/// Build a TCP/IPv4/Ethernet frame. Returns the raw frame bytes.
+std::vector<std::byte> build_tcp_frame(const TcpFrameSpec& spec);
+
+struct UdpFrameSpec {
+  net::FiveTuple flow;  // protocol field is forced to UDP
+  std::span<const std::byte> payload{};
+  std::size_t pad_to_frame_size = 0;
+};
+
+std::vector<std::byte> build_udp_frame(const UdpFrameSpec& spec);
+
+/// Frame overhead for a plain TCP data packet (Ethernet+IPv4+TCP headers).
+constexpr std::size_t kTcpFrameOverhead =
+    net::EthernetHeader::kSize + net::Ipv4Header::kMinSize + net::TcpHeader::kMinSize;
+
+constexpr std::size_t kUdpFrameOverhead =
+    net::EthernetHeader::kSize + net::Ipv4Header::kMinSize + net::UdpHeader::kSize;
+
+}  // namespace netalytics::pktgen

@@ -1,0 +1,165 @@
+#include "pktgen/generator.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "net/headers.hpp"
+#include "pktgen/builder.hpp"
+#include "pktgen/payloads.hpp"
+
+namespace netalytics::pktgen {
+
+namespace {
+
+net::FiveTuple flow_for(const GeneratorConfig& c, std::size_t i) {
+  net::FiveTuple t;
+  t.src_ip = c.src_base + static_cast<net::Ipv4Addr>(i % 65536);
+  t.dst_ip = c.dst_base + static_cast<net::Ipv4Addr>((i / 7) % 256);
+  t.src_port = static_cast<net::Port>(10000 + (i % 50000));
+  t.dst_port = c.dst_port;
+  t.protocol = static_cast<std::uint8_t>(net::IpProto::tcp);
+  return t;
+}
+
+std::string sample_sql(common::Rng& rng, std::size_t variant) {
+  static constexpr const char* kTemplates[] = {
+      "SELECT * FROM film WHERE film_id = ",
+      "SELECT customer_id, amount FROM payment WHERE customer_id = ",
+      "SELECT title FROM film JOIN film_actor USING (film_id) WHERE actor_id = ",
+      "UPDATE rental SET return_date = NOW() WHERE rental_id = ",
+  };
+  std::string sql = kTemplates[variant % std::size(kTemplates)];
+  sql += std::to_string(rng.uniform(1, 9999));
+  return sql;
+}
+
+}  // namespace
+
+TrafficGenerator::TrafficGenerator(const GeneratorConfig& config)
+    : config_(config) {
+  common::Rng rng(config_.seed);
+  const std::size_t flows = std::max<std::size_t>(config_.flow_count, 1);
+
+  switch (config_.kind) {
+    case TrafficKind::raw_tcp: {
+      frames_.reserve(flows);
+      for (std::size_t i = 0; i < flows; ++i) {
+        TcpFrameSpec f;
+        f.flow = flow_for(config_, i);
+        f.pad_to_frame_size = config_.frame_size;
+        frames_.push_back(build_tcp_frame(f));
+      }
+      break;
+    }
+    case TrafficKind::tcp_lifecycle: {
+      // Three frames per flow: SYN, one data segment, FIN. Replayed in
+      // order per flow so connection-time parsers see valid lifecycles.
+      frames_.reserve(flows * 3);
+      for (std::size_t i = 0; i < flows; ++i) {
+        TcpFrameSpec f;
+        f.flow = flow_for(config_, i);
+        f.flags = net::tcp_flags::kSyn;
+        f.pad_to_frame_size = config_.frame_size;
+        frames_.push_back(build_tcp_frame(f));
+        f.flags = net::tcp_flags::kAck | net::tcp_flags::kPsh;
+        frames_.push_back(build_tcp_frame(f));
+        f.flags = net::tcp_flags::kFin | net::tcp_flags::kAck;
+        frames_.push_back(build_tcp_frame(f));
+      }
+      break;
+    }
+    case TrafficKind::http_get: {
+      UrlWorkload urls(config_.url_count, config_.zipf_exponent, config_.seed);
+      frames_.reserve(flows);
+      for (std::size_t i = 0; i < flows; ++i) {
+        const auto payload = http_get_request(urls.sample(rng), "backend.internal");
+        TcpFrameSpec f;
+        f.flow = flow_for(config_, i);
+        f.flags = net::tcp_flags::kAck | net::tcp_flags::kPsh;
+        f.payload = payload;
+        f.pad_to_frame_size = config_.frame_size;
+        frames_.push_back(build_tcp_frame(f));
+      }
+      break;
+    }
+    case TrafficKind::memcached_get: {
+      frames_.reserve(flows);
+      for (std::size_t i = 0; i < flows; ++i) {
+        const std::string key = "user:" + std::to_string(rng.uniform(0, config_.url_count));
+        const auto payload = memcached_get_request(key);
+        TcpFrameSpec f;
+        f.flow = flow_for(config_, i);
+        f.flow.dst_port = 11211;
+        f.flags = net::tcp_flags::kAck | net::tcp_flags::kPsh;
+        f.payload = payload;
+        f.pad_to_frame_size = config_.frame_size;
+        frames_.push_back(build_tcp_frame(f));
+      }
+      break;
+    }
+    case TrafficKind::mysql_query: {
+      frames_.reserve(flows);
+      for (std::size_t i = 0; i < flows; ++i) {
+        const auto payload = mysql_query_packet(sample_sql(rng, i));
+        TcpFrameSpec f;
+        f.flow = flow_for(config_, i);
+        f.flow.dst_port = 3306;
+        f.flags = net::tcp_flags::kAck | net::tcp_flags::kPsh;
+        f.payload = payload;
+        f.pad_to_frame_size = config_.frame_size;
+        frames_.push_back(build_tcp_frame(f));
+      }
+      break;
+    }
+  }
+
+  // Pre-shuffle the replay order (except lifecycle traffic, which must stay
+  // in per-flow order) so flow-hash sampling sees interleaved flows.
+  play_order_.resize(frames_.size());
+  std::iota(play_order_.begin(), play_order_.end(), 0u);
+  if (config_.kind != TrafficKind::tcp_lifecycle) {
+    for (std::size_t i = play_order_.size(); i > 1; --i) {
+      std::swap(play_order_[i - 1], play_order_[rng.uniform(0, i - 1)]);
+    }
+  }
+}
+
+std::span<const std::byte> TrafficGenerator::next_frame() noexcept {
+  const auto& f = frames_[play_order_[cursor_]];
+  cursor_ = (cursor_ + 1) % play_order_.size();
+  return f;
+}
+
+double TrafficGenerator::mean_frame_size() const noexcept {
+  if (frames_.empty()) return 0.0;
+  std::size_t total = 0;
+  for (const auto& f : frames_) total += f.size();
+  return static_cast<double>(total) / static_cast<double>(frames_.size());
+}
+
+UrlWorkload::UrlWorkload(std::size_t url_count, double zipf_exponent,
+                         std::uint64_t seed)
+    : zipf_(std::max<std::size_t>(url_count, 1), zipf_exponent) {
+  common::Rng rng(seed);
+  urls_by_rank_.reserve(zipf_.size());
+  for (std::size_t i = 0; i < zipf_.size(); ++i) {
+    urls_by_rank_.push_back("/video/" + std::to_string(rng.next_u64() % 1000000) +
+                            "-" + std::to_string(i) + ".mp4");
+  }
+}
+
+const std::string& UrlWorkload::sample(common::Rng& rng) const {
+  return urls_by_rank_[zipf_.sample(rng)];
+}
+
+void UrlWorkload::churn(common::Rng& rng, double fraction) {
+  const auto swaps =
+      static_cast<std::size_t>(fraction * static_cast<double>(urls_by_rank_.size()));
+  for (std::size_t i = 0; i < swaps; ++i) {
+    const std::size_t a = rng.uniform(0, urls_by_rank_.size() - 1);
+    const std::size_t b = rng.uniform(0, urls_by_rank_.size() - 1);
+    std::swap(urls_by_rank_[a], urls_by_rank_[b]);
+  }
+}
+
+}  // namespace netalytics::pktgen

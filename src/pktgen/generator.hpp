@@ -1,0 +1,79 @@
+// High-rate traffic generation for throughput experiments (Fig. 5/6).
+// Like PktGen-DPDK, the generator precomputes a set of template frames
+// (distinct flows x payload variants) and then replays them — the per-packet
+// cost at the source is a pointer fetch, so the monitor under test is the
+// bottleneck being measured.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "net/flow.hpp"
+
+namespace netalytics::pktgen {
+
+enum class TrafficKind {
+  raw_tcp,        // padded ACK data segments
+  tcp_lifecycle,  // cycles SYN -> data -> FIN per flow (feeds tcp_conn_time)
+  http_get,       // HTTP GET requests with Zipf-popular URLs
+  memcached_get,  // memcached text protocol gets
+  mysql_query,    // COM_QUERY packets
+};
+
+struct GeneratorConfig {
+  TrafficKind kind = TrafficKind::raw_tcp;
+  std::size_t frame_size = 256;   // total frame bytes (padded when needed)
+  std::size_t flow_count = 1024;  // distinct five-tuples
+  std::size_t url_count = 1000;   // distinct URLs/keys/statements
+  double zipf_exponent = 1.0;     // content-popularity skew
+  net::Ipv4Addr src_base = 0x0a000000;  // 10.0.0.0
+  net::Ipv4Addr dst_base = 0x0a800000;  // 10.128.0.0
+  net::Port dst_port = 80;
+  std::uint64_t seed = 42;
+};
+
+class TrafficGenerator {
+ public:
+  explicit TrafficGenerator(const GeneratorConfig& config);
+
+  /// Next template frame. Valid until the generator is destroyed.
+  std::span<const std::byte> next_frame() noexcept;
+
+  std::size_t template_count() const noexcept { return frames_.size(); }
+  const GeneratorConfig& config() const noexcept { return config_; }
+
+  /// Mean frame size across templates (padding can make sizes uneven).
+  double mean_frame_size() const noexcept;
+
+ private:
+  GeneratorConfig config_;
+  std::vector<std::vector<std::byte>> frames_;
+  std::vector<std::uint32_t> play_order_;  // pre-shuffled index sequence
+  std::size_t cursor_ = 0;
+};
+
+/// A set of URLs with Zipf popularity whose rank order can drift over time
+/// — the synthetic stand-in for the Zink et al. YouTube trace (Fig. 16).
+class UrlWorkload {
+ public:
+  UrlWorkload(std::size_t url_count, double zipf_exponent, std::uint64_t seed);
+
+  /// Sample a URL according to current popularity.
+  const std::string& sample(common::Rng& rng) const;
+  const std::string& url(std::size_t rank) const { return urls_by_rank_.at(rank); }
+  std::size_t size() const noexcept { return urls_by_rank_.size(); }
+
+  /// Churn the popularity ranking: each call randomly promotes/demotes a
+  /// fraction of entries, so interval-by-interval top-k fluctuates.
+  void churn(common::Rng& rng, double fraction);
+
+ private:
+  common::ZipfSampler zipf_;
+  std::vector<std::string> urls_by_rank_;
+};
+
+}  // namespace netalytics::pktgen

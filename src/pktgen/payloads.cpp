@@ -1,0 +1,93 @@
+#include "pktgen/payloads.hpp"
+
+#include <cstring>
+
+#include "common/byte_io.hpp"
+
+namespace netalytics::pktgen {
+
+namespace {
+
+std::vector<std::byte> from_string(const std::string& s) {
+  const auto b = common::as_bytes(s);
+  return {b.begin(), b.end()};
+}
+
+/// MySQL packet framing: 3-byte little-endian body length, 1-byte sequence.
+std::vector<std::byte> mysql_frame(std::uint8_t sequence_id,
+                                   std::span<const std::byte> body) {
+  std::vector<std::byte> out(4 + body.size());
+  const auto n = static_cast<std::uint32_t>(body.size());
+  out[0] = static_cast<std::byte>(n & 0xff);
+  out[1] = static_cast<std::byte>((n >> 8) & 0xff);
+  out[2] = static_cast<std::byte>((n >> 16) & 0xff);
+  out[3] = static_cast<std::byte>(sequence_id);
+  std::memcpy(out.data() + 4, body.data(), body.size());
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::byte> http_get_request(std::string_view url, std::string_view host) {
+  std::string s = "GET ";
+  s += url;
+  s += " HTTP/1.1\r\nHost: ";
+  s += host;
+  s += "\r\nUser-Agent: netalytics-pktgen\r\n\r\n";
+  return from_string(s);
+}
+
+std::vector<std::byte> http_response(int status_code, std::size_t body_size) {
+  std::string s = "HTTP/1.1 ";
+  s += std::to_string(status_code);
+  s += status_code == 200 ? " OK" : " Error";
+  s += "\r\nContent-Length: ";
+  s += std::to_string(body_size);
+  s += "\r\nContent-Type: text/html\r\n\r\n";
+  s.append(body_size, 'x');
+  return from_string(s);
+}
+
+std::vector<std::byte> memcached_get_request(std::string_view key) {
+  std::string s = "get ";
+  s += key;
+  s += "\r\n";
+  return from_string(s);
+}
+
+std::vector<std::byte> memcached_value_response(std::string_view key,
+                                                std::size_t value_size) {
+  std::string s = "VALUE ";
+  s += key;
+  s += " 0 ";
+  s += std::to_string(value_size);
+  s += "\r\n";
+  s.append(value_size, 'v');
+  s += "\r\nEND\r\n";
+  return from_string(s);
+}
+
+std::vector<std::byte> mysql_query_packet(std::string_view sql,
+                                          std::uint8_t sequence_id) {
+  std::vector<std::byte> body(1 + sql.size());
+  body[0] = std::byte{0x03};  // COM_QUERY
+  std::memcpy(body.data() + 1, sql.data(), sql.size());
+  return mysql_frame(sequence_id, body);
+}
+
+std::vector<std::byte> mysql_ok_packet(std::uint8_t sequence_id) {
+  // OK packet: header 0x00, affected_rows=0, last_insert_id=0, status, warnings.
+  const std::byte body[] = {std::byte{0x00}, std::byte{0x00}, std::byte{0x00},
+                            std::byte{0x02}, std::byte{0x00}, std::byte{0x00},
+                            std::byte{0x00}};
+  return mysql_frame(sequence_id, body);
+}
+
+std::vector<std::byte> mysql_resultset_packet(std::size_t payload_size,
+                                              std::uint8_t sequence_id) {
+  std::vector<std::byte> body(payload_size, std::byte{'r'});
+  if (!body.empty()) body[0] = std::byte{0x01};  // column-count stub
+  return mysql_frame(sequence_id, body);
+}
+
+}  // namespace netalytics::pktgen

@@ -1,0 +1,40 @@
+// Application-layer payload synthesis for the protocols NetAlytics parsers
+// understand (Table 1): HTTP, Memcached (text protocol), and the MySQL
+// client/server wire protocol (COM_QUERY subset).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace netalytics::pktgen {
+
+/// "GET <url> HTTP/1.1\r\nHost: <host>\r\n\r\n"
+std::vector<std::byte> http_get_request(std::string_view url, std::string_view host);
+
+/// Minimal HTTP response with a zero-filled body of `body_size` bytes.
+std::vector<std::byte> http_response(int status_code, std::size_t body_size);
+
+/// Memcached text protocol "get <key>\r\n".
+std::vector<std::byte> memcached_get_request(std::string_view key);
+
+/// Memcached "VALUE <key> 0 <len>\r\n<data>\r\nEND\r\n".
+std::vector<std::byte> memcached_value_response(std::string_view key,
+                                                std::size_t value_size);
+
+/// MySQL protocol packet carrying COM_QUERY (0x03) + statement text,
+/// framed with the 3-byte little-endian length + sequence id header.
+std::vector<std::byte> mysql_query_packet(std::string_view sql,
+                                          std::uint8_t sequence_id = 0);
+
+/// MySQL OK packet (0x00 header) framed the same way.
+std::vector<std::byte> mysql_ok_packet(std::uint8_t sequence_id = 1);
+
+/// MySQL result-set stub: a framed packet whose body is `payload_size`
+/// filler bytes, standing in for column/row packets.
+std::vector<std::byte> mysql_resultset_packet(std::size_t payload_size,
+                                              std::uint8_t sequence_id = 1);
+
+}  // namespace netalytics::pktgen

@@ -1,0 +1,100 @@
+#include "pktgen/session.hpp"
+
+#include "pktgen/builder.hpp"
+
+namespace netalytics::pktgen {
+
+namespace {
+
+using net::tcp_flags::kAck;
+using net::tcp_flags::kFin;
+using net::tcp_flags::kPsh;
+using net::tcp_flags::kSyn;
+
+struct SessionEmitter {
+  const SessionSpec& spec;
+  const FrameSink& sink;
+  bool client_only;
+  SessionTiming timing{};
+  std::uint32_t client_seq = 1;
+  std::uint32_t server_seq = 1;
+
+  void frame(const net::FiveTuple& flow, std::uint8_t flags, std::uint32_t seq,
+             std::uint32_t ack, std::span<const std::byte> payload,
+             common::Timestamp ts) {
+    const bool from_client = flow == spec.flow;
+    if (client_only && !from_client) return;
+    TcpFrameSpec f;
+    f.flow = flow;
+    f.flags = flags;
+    f.seq = seq;
+    f.ack = ack;
+    f.payload = payload;
+    const auto bytes = build_tcp_frame(f);
+    sink(bytes, ts);
+    ++timing.frames;
+    if (from_client) {
+      timing.client_payload_bytes += payload.size();
+    } else {
+      timing.server_payload_bytes += payload.size();
+    }
+  }
+
+  /// Segment `data` into MSS-sized packets, one per `gap` nanoseconds.
+  common::Timestamp send_data(const net::FiveTuple& flow, std::uint32_t& seq,
+                              std::span<const std::byte> data,
+                              common::Timestamp ts) {
+    std::size_t off = 0;
+    while (off < data.size()) {
+      const std::size_t n = std::min(spec.mss, data.size() - off);
+      const bool last = off + n >= data.size();
+      frame(flow, static_cast<std::uint8_t>(kAck | (last ? kPsh : 0)), seq, 0,
+            data.subspan(off, n), ts);
+      seq += static_cast<std::uint32_t>(n);
+      off += n;
+      ts += common::kMicrosecond;  // back-to-back segments on a fast link
+    }
+    return ts;
+  }
+
+  SessionTiming run() {
+    const auto rev = spec.flow.reversed();
+    const common::Duration half_rtt = spec.rtt / 2;
+    common::Timestamp t = spec.start;
+
+    timing.syn_time = t;
+    frame(spec.flow, kSyn, 0, 0, {}, t);                       // SYN
+    frame(rev, static_cast<std::uint8_t>(kSyn | kAck), 0, 1, {}, t + half_rtt);
+    t += spec.rtt;
+    frame(spec.flow, kAck, 1, 1, {}, t);                       // handshake ACK
+
+    t = send_data(spec.flow, client_seq, spec.request, t);     // request
+    t += half_rtt + spec.server_latency;                       // server thinks
+    t = send_data(rev, server_seq, spec.response, t);          // response
+    t += half_rtt;
+
+    // Active close by the client once the response arrives.
+    frame(spec.flow, static_cast<std::uint8_t>(kFin | kAck), client_seq, server_seq, {}, t);
+    frame(rev, static_cast<std::uint8_t>(kFin | kAck), server_seq, client_seq + 1, {},
+          t + half_rtt);
+    t += spec.rtt;
+    frame(spec.flow, kAck, client_seq + 1, server_seq + 1, {}, t);
+    timing.fin_time = t;
+    return timing;
+  }
+};
+
+}  // namespace
+
+SessionTiming emit_tcp_session(const SessionSpec& spec, const FrameSink& sink) {
+  SessionEmitter e{spec, sink, /*client_only=*/false};
+  return e.run();
+}
+
+SessionTiming emit_tcp_session_client_half(const SessionSpec& spec,
+                                           const FrameSink& sink) {
+  SessionEmitter e{spec, sink, /*client_only=*/true};
+  return e.run();
+}
+
+}  // namespace netalytics::pktgen

@@ -1,0 +1,48 @@
+// TCP session emulation: turns an application-level exchange (request,
+// think time at the server, response) into a timestamped, byte-exact frame
+// sequence — SYN/SYN-ACK/ACK, segmented data in both directions, FIN
+// teardown. The use-case emulations (§7) generate all tier-to-tier traffic
+// through this, so tcp_conn_time observes real connection lifetimes and
+// tcp_pkt_size observes real byte counts.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "net/flow.hpp"
+
+namespace netalytics::pktgen {
+
+struct SessionSpec {
+  net::FiveTuple flow;  // client -> server direction
+  common::Timestamp start = 0;
+  common::Duration rtt = common::kMillisecond;          // network round trip
+  common::Duration server_latency = common::kMillisecond;  // request->response
+  std::span<const std::byte> request{};
+  std::span<const std::byte> response{};
+  std::size_t mss = 1448;  // payload bytes per data segment
+};
+
+/// Receives each emitted frame. The span is only valid during the call.
+using FrameSink =
+    std::function<void(std::span<const std::byte> frame, common::Timestamp ts)>;
+
+struct SessionTiming {
+  common::Timestamp syn_time = 0;
+  common::Timestamp fin_time = 0;  // last FIN of the teardown
+  std::size_t frames = 0;
+  std::size_t client_payload_bytes = 0;
+  std::size_t server_payload_bytes = 0;
+};
+
+/// Emit one full TCP session; returns observable timing facts for tests.
+SessionTiming emit_tcp_session(const SessionSpec& spec, const FrameSink& sink);
+
+/// Emit only the client->server half of a session (what a monitor on the
+/// server-side ToR sees for asymmetric routing scenarios).
+SessionTiming emit_tcp_session_client_half(const SessionSpec& spec,
+                                           const FrameSink& sink);
+
+}  // namespace netalytics::pktgen

@@ -1,0 +1,184 @@
+#include "placement/analytics_placement.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace netalytics::placement {
+
+namespace {
+
+/// Aggregate switches adjacent to the host's ToR.
+std::vector<dcn::NodeId> aggs_of_host(const dcn::Topology& topo, dcn::NodeId host) {
+  return topo.aggs_of_tor(topo.tor_of_host(host));
+}
+
+/// Host with enough free capacity, preferring the given candidate set;
+/// falls back to the least-loaded host overall (Algorithm 2 line 7: "if h
+/// is NULL then select one from all hosts with enough capacity").
+dcn::NodeId pick_host(const dcn::Topology& topo,
+                      const std::vector<dcn::NodeId>& preferred,
+                      const ProcessSpec& spec, common::Rng& rng) {
+  auto fits = [&](dcn::NodeId h) {
+    return topo.node(h).cpu_free() >= spec.cpu_per_process &&
+           topo.node(h).mem_free_gb() >= spec.mem_per_process_gb;
+  };
+  std::vector<dcn::NodeId> ok;
+  for (const auto h : preferred) {
+    if (fits(h)) ok.push_back(h);
+  }
+  if (!ok.empty()) return ok[rng.uniform(0, ok.size() - 1)];
+  for (const auto h : topo.hosts()) {
+    if (fits(h)) ok.push_back(h);
+  }
+  if (!ok.empty()) return ok[rng.uniform(0, ok.size() - 1)];
+  // Cluster saturated: over-commit the least-loaded host.
+  dcn::NodeId best = topo.hosts().front();
+  for (const auto h : topo.hosts()) {
+    if (topo.node(h).load() < topo.node(best).load()) best = h;
+  }
+  return best;
+}
+
+int new_engine(dcn::Topology& topo, Placement& placement, ProcessKind kind,
+               dcn::NodeId host, const ProcessSpec& spec) {
+  consume_host_resources(topo.node(host), spec);
+  PlacedProcess p;
+  p.kind = kind;
+  p.host = host;
+  placement.processes.push_back(p);
+  return static_cast<int>(placement.processes.size()) - 1;
+}
+
+}  // namespace
+
+std::vector<int> place_analytics(dcn::Topology& topo, Placement& placement,
+                                 const std::vector<int>& source_indices,
+                                 const std::vector<double>& source_output_bps,
+                                 ProcessKind kind, double capacity_bps,
+                                 const ProcessSpec& spec,
+                                 AnalyticsStrategy strategy, common::Rng& rng) {
+  std::vector<int> assignment(source_indices.size(), -1);
+  if (source_indices.empty()) return assignment;
+  std::vector<int> engines;  // engine process indices created here
+
+  auto engine_fits = [&](int engine, double load) {
+    return placement.processes[engine].load_bps + load <= capacity_bps;
+  };
+  auto assign = [&](std::size_t src_pos, int engine) {
+    placement.processes[engine].load_bps += source_output_bps[src_pos];
+    assignment[src_pos] = engine;
+  };
+
+  switch (strategy) {
+    case AnalyticsStrategy::local_random: {
+      for (std::size_t i = 0; i < source_indices.size(); ++i) {
+        const dcn::NodeId src_host =
+            placement.processes[source_indices[i]].host;
+        const auto src_aggs = aggs_of_host(topo, src_host);
+        int chosen = -1;
+        for (const int e : engines) {
+          if (!engine_fits(e, source_output_bps[i])) continue;
+          const auto engine_aggs =
+              aggs_of_host(topo, placement.processes[e].host);
+          const bool shares = std::any_of(
+              src_aggs.begin(), src_aggs.end(), [&](dcn::NodeId a) {
+                return std::find(engine_aggs.begin(), engine_aggs.end(), a) !=
+                       engine_aggs.end();
+              });
+          if (shares) {
+            chosen = e;
+            break;
+          }
+        }
+        if (chosen < 0) {
+          const dcn::NodeId host =
+              topo.hosts()[rng.uniform(0, topo.hosts().size() - 1)];
+          chosen = new_engine(topo, placement, kind, host, spec);
+          engines.push_back(chosen);
+        }
+        assign(i, chosen);
+      }
+      break;
+    }
+
+    case AnalyticsStrategy::first_fit: {
+      int current = -1;
+      for (std::size_t i = 0; i < source_indices.size(); ++i) {
+        if (current < 0 || !engine_fits(current, source_output_bps[i])) {
+          const dcn::NodeId host =
+              topo.hosts()[rng.uniform(0, topo.hosts().size() - 1)];
+          current = new_engine(topo, placement, kind, host, spec);
+          engines.push_back(current);
+        }
+        assign(i, current);
+      }
+      break;
+    }
+
+    case AnalyticsStrategy::greedy: {
+      // Algorithm 2: repeatedly take the aggregate switch serving the most
+      // unassigned sources and open an engine on a host beneath it.
+      std::set<std::size_t> unassigned;
+      for (std::size_t i = 0; i < source_indices.size(); ++i) unassigned.insert(i);
+      while (!unassigned.empty()) {
+        std::map<dcn::NodeId, std::vector<std::size_t>> under;
+        for (const std::size_t i : unassigned) {
+          const dcn::NodeId host = placement.processes[source_indices[i]].host;
+          for (const auto agg : aggs_of_host(topo, host)) {
+            under[agg].push_back(i);
+          }
+        }
+        dcn::NodeId best_agg = under.begin()->first;
+        for (const auto& [agg, list] : under) {
+          if (list.size() > under[best_agg].size()) best_agg = agg;
+        }
+        // "choose a host nearby the monitor under that aggregate switch":
+        // prefer the rack holding the most covered sources, so their legs
+        // stay within the ToR; fall back to the pod, then anywhere.
+        std::map<dcn::NodeId, std::size_t> tor_counts;
+        for (const std::size_t i : under[best_agg]) {
+          const dcn::NodeId src_host = placement.processes[source_indices[i]].host;
+          ++tor_counts[topo.tor_of_host(src_host)];
+        }
+        dcn::NodeId best_tor = tor_counts.begin()->first;
+        for (const auto& [tor, count] : tor_counts) {
+          if (count > tor_counts[best_tor]) best_tor = tor;
+        }
+        dcn::NodeId host;
+        {
+          // Tiered choice: rack first, then pod, then the global fallback
+          // inside pick_host.
+          auto fits = [&](dcn::NodeId h) {
+            return topo.node(h).cpu_free() >= spec.cpu_per_process &&
+                   topo.node(h).mem_free_gb() >= spec.mem_per_process_gb;
+          };
+          std::vector<dcn::NodeId> rack_ok;
+          for (const auto h : topo.hosts_under_tor(best_tor)) {
+            if (fits(h)) rack_ok.push_back(h);
+          }
+          if (!rack_ok.empty()) {
+            host = rack_ok[rng.uniform(0, rack_ok.size() - 1)];
+          } else {
+            host = pick_host(topo, topo.hosts_under_agg(best_agg), spec, rng);
+          }
+        }
+        const int engine = new_engine(topo, placement, kind, host, spec);
+        engines.push_back(engine);
+
+        bool assigned_any = false;
+        for (const std::size_t i : under[best_agg]) {
+          if (assignment[i] >= 0) continue;
+          if (assigned_any && !engine_fits(engine, source_output_bps[i])) break;
+          assign(i, engine);
+          assigned_any = true;
+          unassigned.erase(i);
+        }
+      }
+      break;
+    }
+  }
+  return assignment;
+}
+
+}  // namespace netalytics::placement

@@ -1,0 +1,32 @@
+// Analytics-engine placement (§4.1, Algorithm 2). "Data extracted from any
+// monitor can be sent to any analytics engine" — there is no position
+// constraint, so the strategies trade network locality against the number
+// of processes:
+//   local-random — reuse an engine that shares an aggregate switch with
+//     the source, otherwise pick a random host;
+//   first-fit — fill the current engine completely before opening another
+//     (fewest processes, worst locality);
+//   greedy — Algorithm 2: place engines under the aggregate switch that
+//     serves the most unassigned sources (keeps traffic below the core).
+#pragma once
+
+#include "common/rng.hpp"
+#include "placement/types.hpp"
+
+namespace netalytics::placement {
+
+enum class AnalyticsStrategy { local_random, first_fit, greedy };
+
+/// Assign a downstream engine (aggregator or processor) to every source
+/// process listed in `source_indices`. `source_output_bps(i)` is the data
+/// rate process i ships downstream; `capacity_bps` bounds an engine's total
+/// input. New engines of `kind` are appended to placement.processes.
+/// Returns assignment: position in source_indices -> engine process index.
+std::vector<int> place_analytics(dcn::Topology& topo, Placement& placement,
+                                 const std::vector<int>& source_indices,
+                                 const std::vector<double>& source_output_bps,
+                                 ProcessKind kind, double capacity_bps,
+                                 const ProcessSpec& spec,
+                                 AnalyticsStrategy strategy, common::Rng& rng);
+
+}  // namespace netalytics::placement

@@ -1,0 +1,78 @@
+#include "placement/cost.hpp"
+
+#include "dcn/routing.hpp"
+
+namespace netalytics::placement {
+
+namespace {
+
+/// Extra bandwidth of `rate_bps` flowing between two hosts, in both the
+/// hop-count and weighted metrics.
+void add_leg(const dcn::Topology& topo, dcn::NodeId from, dcn::NodeId to,
+             double rate_bps, double& plain, double& weighted) {
+  const auto loc = dcn::classify_pair(topo, from, to);
+  plain += rate_bps * static_cast<double>(dcn::locality_hops(loc));
+  weighted += rate_bps * dcn::locality_weighted_cost(loc);
+}
+
+}  // namespace
+
+WorkloadPathCost workload_path_cost(const dcn::Topology& topo,
+                                    const dcn::Workload& workload) {
+  WorkloadPathCost cost;
+  for (const auto& f : workload.flows) {
+    const auto loc = dcn::classify_pair(topo, f.src_host, f.dst_host);
+    cost.plain += f.rate_bps * static_cast<double>(dcn::locality_hops(loc));
+    cost.weighted += f.rate_bps * dcn::locality_weighted_cost(loc);
+  }
+  return cost;
+}
+
+CostReport compute_cost(const dcn::Topology& topo, const Placement& placement,
+                        const ProcessSpec& spec,
+                        const WorkloadPathCost& workload_cost) {
+  CostReport report;
+  report.monitors = placement.count(ProcessKind::monitor);
+  report.aggregators = placement.count(ProcessKind::aggregator);
+  report.processors = placement.count(ProcessKind::processor);
+  report.total_processes = placement.total_processes();
+
+  double plain = 0, weighted = 0;
+
+  // Monitor -> aggregator legs carry the reduced (10%) stream.
+  for (std::size_t m = 0; m < placement.monitor_to_aggregator.size(); ++m) {
+    const int agg = placement.monitor_to_aggregator[m];
+    if (agg < 0) continue;
+    // monitor_to_aggregator is indexed by position in the monitor list;
+    // monitors are the first processes placed, in order.
+    const PlacedProcess& monitor = placement.processes[m];
+    if (monitor.kind != ProcessKind::monitor) continue;
+    report.monitored_traffic_bps += monitor.load_bps;
+    const double out_bps = monitor.load_bps * spec.reduction;
+    add_leg(topo, monitor.host, placement.processes[agg].host, out_bps, plain,
+            weighted);
+  }
+
+  // Aggregator -> processor legs forward everything they receive.
+  for (std::size_t a = 0; a < placement.aggregator_to_processor.size(); ++a) {
+    const int proc = placement.aggregator_to_processor[a];
+    if (proc < 0) continue;
+    // Positions map to aggregator process indices via the placement's
+    // aggregator ordering; resolved by the strategy layer, which stores
+    // process indices directly in aggregator_order.
+    const PlacedProcess& agg = placement.processes[a];
+    if (agg.kind != ProcessKind::aggregator) continue;
+    add_leg(topo, agg.host, placement.processes[proc].host, agg.load_bps, plain,
+            weighted);
+  }
+
+  if (workload_cost.plain > 0) {
+    report.extra_bandwidth_pct = 100.0 * plain / workload_cost.plain;
+  }
+  if (workload_cost.weighted > 0) {
+    report.extra_weighted_bandwidth_pct = 100.0 * weighted / workload_cost.weighted;
+  }
+  return report;
+}
+
+}  // namespace netalytics::placement

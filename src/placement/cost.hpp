@@ -1,0 +1,39 @@
+// Placement cost metrics (§6.2). Network cost is "the ratio of extra
+// bandwidth consumed by NetAlytics to the original workload traffic",
+// computed two ways: Bandwidth Cost (rate x hop count) and
+// Weighted-Bandwidth Cost (rate x weighted hops, with core links weighing
+// 4). Resource cost is the total number of NetAlytics processes.
+#pragma once
+
+#include "placement/types.hpp"
+
+namespace netalytics::placement {
+
+struct CostReport {
+  double extra_bandwidth_pct = 0;           // unweighted, % of workload cost
+  double extra_weighted_bandwidth_pct = 0;  // weighted hops variant
+  std::size_t monitors = 0;
+  std::size_t aggregators = 0;
+  std::size_t processors = 0;
+  std::size_t total_processes = 0;
+  double monitored_traffic_bps = 0;  // input side of the monitors
+};
+
+/// Bandwidth resources the workload itself consumes: each flow's rate
+/// multiplied by its path length (plain hops / weighted hops). These are
+/// the denominators of the Fig. 7 ratios — a flow "consumes bandwidth" on
+/// every link it crosses, and NetAlytics' extra consumption is compared
+/// against that.
+struct WorkloadPathCost {
+  double plain = 0;     // sum(rate x hop count)
+  double weighted = 0;  // sum(rate x weighted hops)
+};
+
+WorkloadPathCost workload_path_cost(const dcn::Topology& topo,
+                                    const dcn::Workload& workload);
+
+CostReport compute_cost(const dcn::Topology& topo, const Placement& placement,
+                        const ProcessSpec& spec,
+                        const WorkloadPathCost& workload_cost);
+
+}  // namespace netalytics::placement

@@ -1,0 +1,105 @@
+#include "placement/monitor_placement.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace netalytics::placement {
+
+namespace {
+
+/// Pick the host under `tor` with minimal load ("host on switch sw with
+/// minimal load", Algorithm 1).
+dcn::NodeId min_load_host(const dcn::Topology& topo, dcn::NodeId tor) {
+  const auto hosts = topo.hosts_under_tor(tor);
+  dcn::NodeId best = hosts.front();
+  for (const auto h : hosts) {
+    if (topo.node(h).load() < topo.node(best).load()) best = h;
+  }
+  return best;
+}
+
+}  // namespace
+
+void place_monitors(dcn::Topology& topo, const std::vector<dcn::Flow>& flows,
+                    const ProcessSpec& spec, MonitorStrategy strategy,
+                    common::Rng& rng, Placement& placement) {
+  placement.flow_to_monitor.assign(flows.size(), -1);
+  if (flows.empty()) return;
+
+  // ToR -> indices of flows it covers (a flow is covered by its source and
+  // destination racks). Lazy deletion via the assigned map.
+  std::map<dcn::NodeId, std::vector<std::uint32_t>> covered_by;
+  std::map<dcn::NodeId, std::size_t> remaining;
+  std::vector<bool> assigned(flows.size(), false);
+  for (std::uint32_t i = 0; i < flows.size(); ++i) {
+    const dcn::NodeId src_tor = topo.tor_of_host(flows[i].src_host);
+    const dcn::NodeId dst_tor = topo.tor_of_host(flows[i].dst_host);
+    covered_by[src_tor].push_back(i);
+    ++remaining[src_tor];
+    if (dst_tor != src_tor) {
+      covered_by[dst_tor].push_back(i);
+      ++remaining[dst_tor];
+    }
+  }
+
+  std::size_t flows_left = flows.size();
+  while (flows_left > 0) {
+    // Candidate ToRs still covering at least one unassigned flow.
+    std::vector<dcn::NodeId> candidates;
+    candidates.reserve(remaining.size());
+    for (const auto& [tor, count] : remaining) {
+      if (count > 0) candidates.push_back(tor);
+    }
+    if (candidates.empty()) break;  // defensive; flows_left should be 0
+
+    dcn::NodeId sw;
+    if (strategy == MonitorStrategy::random) {
+      sw = candidates[rng.uniform(0, candidates.size() - 1)];
+    } else {
+      sw = candidates.front();
+      for (const auto tor : candidates) {
+        if (remaining[tor] > remaining[sw]) sw = tor;
+      }
+    }
+
+    const dcn::NodeId host = min_load_host(topo, sw);
+    consume_host_resources(topo.node(host), spec);
+    PlacedProcess monitor;
+    monitor.kind = ProcessKind::monitor;
+    monitor.host = host;
+    const int monitor_index = static_cast<int>(placement.processes.size());
+    placement.processes.push_back(monitor);
+    PlacedProcess& m = placement.processes.back();
+
+    // Assign flows covered by sw until the monitor is out of capacity.
+    auto& flow_list = covered_by[sw];
+    std::size_t kept = 0;
+    bool assigned_any = false;
+    for (std::size_t pos = 0; pos < flow_list.size(); ++pos) {
+      const std::uint32_t f = flow_list[pos];
+      if (assigned[f]) continue;
+      // A flow larger than a whole monitor still gets one to itself;
+      // otherwise an elephant flow could never be placed.
+      if (assigned_any &&
+          m.load_bps + flows[f].rate_bps > spec.monitor_capacity_bps) {
+        // Monitor full: keep the rest for a future monitor on this ToR.
+        flow_list[kept++] = f;
+        continue;
+      }
+      m.load_bps += flows[f].rate_bps;
+      placement.flow_to_monitor[f] = monitor_index;
+      assigned[f] = true;
+      assigned_any = true;
+      --flows_left;
+      --remaining[sw];
+      // The flow's other covering ToR loses a candidate too.
+      const dcn::NodeId other_src = topo.tor_of_host(flows[f].src_host);
+      const dcn::NodeId other_dst = topo.tor_of_host(flows[f].dst_host);
+      const dcn::NodeId other = other_src == sw ? other_dst : other_src;
+      if (other != sw) --remaining[other];
+    }
+    flow_list.resize(kept);
+  }
+}
+
+}  // namespace netalytics::placement

@@ -1,0 +1,23 @@
+// Algorithm 1 — monitor placement. Two facts drive it (§4.1): "a flow f
+// can only be monitored by a monitor under a ToR switch which covers f"
+// and "one monitor under a ToR switch sw is able to monitor all flows
+// covered by sw". The random strategy picks covering ToRs uniformly; the
+// greedy strategy always takes the ToR covering the most unmonitored flows
+// to minimize the number of monitors.
+#pragma once
+
+#include "common/rng.hpp"
+#include "placement/types.hpp"
+
+namespace netalytics::placement {
+
+enum class MonitorStrategy { random, greedy };
+
+/// Place monitors for `flows` (the monitored subset of the workload) on
+/// `topo` hosts, consuming host resources. Appends monitor processes to
+/// `placement.processes` and fills `placement.flow_to_monitor`.
+void place_monitors(dcn::Topology& topo, const std::vector<dcn::Flow>& flows,
+                    const ProcessSpec& spec, MonitorStrategy strategy,
+                    common::Rng& rng, Placement& placement);
+
+}  // namespace netalytics::placement

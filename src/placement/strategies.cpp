@@ -1,0 +1,76 @@
+#include "placement/strategies.hpp"
+
+namespace netalytics::placement {
+
+bool consume_host_resources(dcn::Node& host, const ProcessSpec& spec) {
+  const bool fits = host.cpu_free() >= spec.cpu_per_process &&
+                    host.mem_free_gb() >= spec.mem_per_process_gb;
+  host.cpu_used += spec.cpu_per_process;
+  host.mem_used_gb += spec.mem_per_process_gb;
+  return fits;
+}
+
+std::string strategy_name(Strategy s) {
+  switch (s) {
+    case Strategy::local_random: return "Local-Random";
+    case Strategy::netalytics_node: return "Netalytics-Node";
+    case Strategy::netalytics_network: return "Netalytics-Network";
+  }
+  return "?";
+}
+
+Placement run_placement(dcn::Topology& topo, const std::vector<dcn::Flow>& flows,
+                        const ProcessSpec& spec, Strategy strategy,
+                        common::Rng& rng) {
+  const MonitorStrategy monitor_strategy =
+      strategy == Strategy::netalytics_network ? MonitorStrategy::greedy
+                                               : MonitorStrategy::random;
+  AnalyticsStrategy analytics_strategy = AnalyticsStrategy::greedy;
+  if (strategy == Strategy::local_random) {
+    analytics_strategy = AnalyticsStrategy::local_random;
+  } else if (strategy == Strategy::netalytics_node) {
+    analytics_strategy = AnalyticsStrategy::first_fit;
+  }
+
+  Placement placement;
+  place_monitors(topo, flows, spec, monitor_strategy, rng, placement);
+
+  // Aggregators serve the monitors' reduced output streams.
+  std::vector<int> monitor_indices;
+  std::vector<double> monitor_output;
+  for (std::size_t i = 0; i < placement.processes.size(); ++i) {
+    if (placement.processes[i].kind == ProcessKind::monitor) {
+      monitor_indices.push_back(static_cast<int>(i));
+      monitor_output.push_back(placement.processes[i].load_bps * spec.reduction);
+    }
+  }
+  const auto agg_assignment = place_analytics(
+      topo, placement, monitor_indices, monitor_output, ProcessKind::aggregator,
+      spec.aggregator_capacity_bps, spec, analytics_strategy, rng);
+
+  // Processors serve the aggregators, which forward everything.
+  std::vector<int> aggregator_indices;
+  std::vector<double> aggregator_output;
+  for (std::size_t i = 0; i < placement.processes.size(); ++i) {
+    if (placement.processes[i].kind == ProcessKind::aggregator) {
+      aggregator_indices.push_back(static_cast<int>(i));
+      aggregator_output.push_back(placement.processes[i].load_bps);
+    }
+  }
+  const auto proc_assignment = place_analytics(
+      topo, placement, aggregator_indices, aggregator_output,
+      ProcessKind::processor, spec.processor_capacity_bps, spec,
+      analytics_strategy, rng);
+
+  placement.monitor_to_aggregator.assign(placement.processes.size(), -1);
+  for (std::size_t i = 0; i < monitor_indices.size(); ++i) {
+    placement.monitor_to_aggregator[monitor_indices[i]] = agg_assignment[i];
+  }
+  placement.aggregator_to_processor.assign(placement.processes.size(), -1);
+  for (std::size_t i = 0; i < aggregator_indices.size(); ++i) {
+    placement.aggregator_to_processor[aggregator_indices[i]] = proc_assignment[i];
+  }
+  return placement;
+}
+
+}  // namespace netalytics::placement

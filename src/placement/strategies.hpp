@@ -1,0 +1,28 @@
+// The three composite placement strategies evaluated in §6.2:
+//   Local-Random       — random monitors, local-random analytics;
+//   Netalytics-Node    — random monitors, first-fit analytics (minimizes
+//                        the number of processes);
+//   Netalytics-Network — greedy monitors, greedy analytics (minimizes
+//                        monitoring traffic, keeps it inside the rack/pod).
+#pragma once
+
+#include <string>
+
+#include "placement/analytics_placement.hpp"
+#include "placement/cost.hpp"
+#include "placement/monitor_placement.hpp"
+
+namespace netalytics::placement {
+
+enum class Strategy { local_random, netalytics_node, netalytics_network };
+
+std::string strategy_name(Strategy s);
+
+/// Run the full three-stage placement (monitors, aggregators, processors)
+/// for the monitored `flows` on a copy of the caller's topology state.
+/// Host resources in `topo` are consumed by the placement.
+Placement run_placement(dcn::Topology& topo, const std::vector<dcn::Flow>& flows,
+                        const ProcessSpec& spec, Strategy strategy,
+                        common::Rng& rng);
+
+}  // namespace netalytics::placement

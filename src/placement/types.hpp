@@ -1,0 +1,61 @@
+// Shared types for the placement algorithms (§4.1, §6.2). The process
+// parameters come from the system evaluation: "each monitor process can
+// handle 10 Gbps traffic, one aggregator and two analyzer processes can
+// handle 1 Gbps traffic... At the monitors, only 10% data will be
+// extracted and sent to the aggregators, and the aggregators will send all
+// data to the processors."
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dcn/topology.hpp"
+#include "dcn/workload.hpp"
+
+namespace netalytics::placement {
+
+enum class ProcessKind : std::uint8_t { monitor, aggregator, processor };
+
+struct ProcessSpec {
+  double monitor_capacity_bps = 10e9;
+  double aggregator_capacity_bps = 1e9;
+  /// Two analyzer processes per 1 Gbps -> 0.5 Gbps each.
+  double processor_capacity_bps = 0.5e9;
+  /// Fraction of monitored traffic the monitors forward downstream.
+  double reduction = 0.1;
+  /// Host resources one NetAlytics process consumes.
+  double cpu_per_process = 1.0;
+  double mem_per_process_gb = 2.0;
+};
+
+struct PlacedProcess {
+  ProcessKind kind = ProcessKind::monitor;
+  dcn::NodeId host = 0;
+  double load_bps = 0;  // input traffic assigned to this process
+};
+
+struct Placement {
+  std::vector<PlacedProcess> processes;
+  /// monitored-flow index -> process index (-1 if unassigned).
+  std::vector<int> flow_to_monitor;
+  /// Indexed by process index: the aggregator serving process i when i is
+  /// a monitor, else -1. Sized to processes.size().
+  std::vector<int> monitor_to_aggregator;
+  /// Indexed by process index: the processor serving process i when i is
+  /// an aggregator, else -1. Sized to processes.size().
+  std::vector<int> aggregator_to_processor;
+
+  std::size_t count(ProcessKind kind) const noexcept {
+    std::size_t n = 0;
+    for (const auto& p : processes) n += (p.kind == kind);
+    return n;
+  }
+  std::size_t total_processes() const noexcept { return processes.size(); }
+};
+
+/// Consume host resources for one process if available; over-commits (and
+/// reports false) when the host is already full, so placement always makes
+/// progress on saturated clusters.
+bool consume_host_resources(dcn::Node& host, const ProcessSpec& spec);
+
+}  // namespace netalytics::placement

@@ -1,0 +1,68 @@
+// Abstract syntax of the NetAlytics query language (Table 3):
+//   PARSE parser-list FROM address-list TO address-list
+//   LIMIT limit-rate SAMPLE sample-rate PROCESS processor-list
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "net/ip.hpp"
+
+namespace netalytics::query {
+
+/// One endpoint in a FROM/TO list: ip:port, subnet:port, hostname:port or
+/// "*". A missing or "*" port means all ports of the host.
+struct Address {
+  enum class Kind { any, ip, subnet, hostname };
+
+  Kind kind = Kind::any;
+  std::string text;  // original spelling (hostname or address literal)
+  std::optional<net::Ipv4Prefix> prefix;  // ip/subnet kinds
+  std::optional<net::Port> port;
+
+  bool operator==(const Address&) const = default;
+};
+
+/// LIMIT: how long the monitors and processors run, by time or packets.
+struct LimitSpec {
+  enum class Kind { none, duration, packets };
+  Kind kind = Kind::none;
+  common::Duration duration = 0;
+  std::uint64_t packets = 0;
+
+  bool operator==(const LimitSpec&) const = default;
+};
+
+/// SAMPLE: a fixed per-flow rate, "auto" (feedback-driven, §4.2) or "*"
+/// (sampling disabled).
+struct SampleSpec {
+  enum class Mode { disabled, fixed, automatic };
+  Mode mode = Mode::disabled;
+  double rate = 1.0;  // for Mode::fixed
+
+  bool operator==(const SampleSpec&) const = default;
+};
+
+/// One processor in the PROCESS clause: (name: arg=value, ...).
+struct ProcessorCall {
+  std::string name;
+  std::map<std::string, std::string> args;
+
+  bool operator==(const ProcessorCall&) const = default;
+};
+
+struct Query {
+  std::vector<std::string> parsers;
+  std::vector<Address> from;
+  std::vector<Address> to;
+  LimitSpec limit;
+  SampleSpec sample;
+  std::vector<ProcessorCall> processors;
+
+  bool operator==(const Query&) const = default;
+};
+
+}  // namespace netalytics::query

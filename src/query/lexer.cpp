@@ -1,0 +1,89 @@
+#include "query/lexer.hpp"
+
+#include <cctype>
+
+#include "common/string_util.hpp"
+
+namespace netalytics::query {
+
+namespace {
+
+bool is_word_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.' ||
+         c == '-' || c == '/';
+}
+
+TokenKind keyword_kind(std::string_view word) {
+  const std::string lower = common::to_lower(word);
+  if (lower == "parse") return TokenKind::kw_parse;
+  if (lower == "from") return TokenKind::kw_from;
+  if (lower == "to") return TokenKind::kw_to;
+  if (lower == "limit") return TokenKind::kw_limit;
+  if (lower == "sample") return TokenKind::kw_sample;
+  if (lower == "process") return TokenKind::kw_process;
+  return TokenKind::word;
+}
+
+}  // namespace
+
+const char* token_kind_name(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kw_parse: return "PARSE";
+    case TokenKind::kw_from: return "FROM";
+    case TokenKind::kw_to: return "TO";
+    case TokenKind::kw_limit: return "LIMIT";
+    case TokenKind::kw_sample: return "SAMPLE";
+    case TokenKind::kw_process: return "PROCESS";
+    case TokenKind::word: return "word";
+    case TokenKind::star: return "'*'";
+    case TokenKind::comma: return "','";
+    case TokenKind::colon: return "':'";
+    case TokenKind::lparen: return "'('";
+    case TokenKind::rparen: return "')'";
+    case TokenKind::equals: return "'='";
+    case TokenKind::end: return "end of query";
+  }
+  return "?";
+}
+
+common::Expected<std::vector<Token>> tokenize(std::string_view input) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  while (i < input.size()) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token t;
+    t.offset = i;
+    switch (c) {
+      case '*': t.kind = TokenKind::star; t.text = "*"; ++i; break;
+      case ',': t.kind = TokenKind::comma; t.text = ","; ++i; break;
+      case ':': t.kind = TokenKind::colon; t.text = ":"; ++i; break;
+      case '(': t.kind = TokenKind::lparen; t.text = "("; ++i; break;
+      case ')': t.kind = TokenKind::rparen; t.text = ")"; ++i; break;
+      case '=': t.kind = TokenKind::equals; t.text = "="; ++i; break;
+      default: {
+        if (!is_word_char(c)) {
+          return common::Error{
+              "lex", "unexpected character '" + std::string(1, c) + "' at offset " +
+                         std::to_string(i)};
+        }
+        std::size_t start = i;
+        while (i < input.size() && is_word_char(input[i])) ++i;
+        t.text = std::string(input.substr(start, i - start));
+        t.kind = keyword_kind(t.text);
+        break;
+      }
+    }
+    tokens.push_back(std::move(t));
+  }
+  Token eof;
+  eof.kind = TokenKind::end;
+  eof.offset = input.size();
+  tokens.push_back(eof);
+  return tokens;
+}
+
+}  // namespace netalytics::query

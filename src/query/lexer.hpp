@@ -1,0 +1,43 @@
+// Tokenizer for the query language. Keywords are case-insensitive; words
+// cover identifiers, numbers, durations ("90s"), packet counts ("5000p"),
+// rates ("0.1"), hostnames and dotted/prefixed addresses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/expected.hpp"
+
+namespace netalytics::query {
+
+enum class TokenKind {
+  kw_parse,
+  kw_from,
+  kw_to,
+  kw_limit,
+  kw_sample,
+  kw_process,
+  word,    // identifiers, numbers, addresses, durations
+  star,    // *
+  comma,   // ,
+  colon,   // :
+  lparen,  // (
+  rparen,  // )
+  equals,  // =
+  end,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::end;
+  std::string text;
+  std::size_t offset = 0;  // byte offset in the input, for error messages
+
+  bool operator==(const Token&) const = default;
+};
+
+const char* token_kind_name(TokenKind kind);
+
+/// Tokenize; fails on characters outside the language.
+common::Expected<std::vector<Token>> tokenize(std::string_view input);
+
+}  // namespace netalytics::query

@@ -1,0 +1,234 @@
+#include "query/parser.hpp"
+
+#include "common/string_util.hpp"
+#include "query/lexer.hpp"
+
+namespace netalytics::query {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  common::Expected<Query> run() {
+    Query q;
+
+    if (auto e = expect(TokenKind::kw_parse)) return *e;
+    if (auto e = parse_name_list(q.parsers)) return *e;
+
+    if (peek().kind == TokenKind::kw_from) {
+      advance();
+      if (auto e = parse_address_list(q.from)) return *e;
+    }
+    if (peek().kind == TokenKind::kw_to) {
+      advance();
+      if (auto e = parse_address_list(q.to)) return *e;
+    }
+    if (q.from.empty() && q.to.empty()) {
+      return err("query requires a FROM and/or TO clause");
+    }
+
+    if (peek().kind == TokenKind::kw_limit) {
+      advance();
+      if (auto e = parse_limit(q.limit)) return *e;
+    }
+    if (peek().kind == TokenKind::kw_sample) {
+      advance();
+      if (auto e = parse_sample(q.sample)) return *e;
+    }
+
+    if (auto e = expect(TokenKind::kw_process)) return *e;
+    if (auto e = parse_processor_list(q.processors)) return *e;
+
+    if (peek().kind != TokenKind::end) {
+      return err("unexpected trailing input '" + peek().text + "'");
+    }
+    return q;
+  }
+
+ private:
+  const Token& peek() const { return tokens_[pos_]; }
+  const Token& advance() { return tokens_[pos_++]; }
+
+  common::Error err(std::string message) const {
+    return common::Error{"parse", message + " (at offset " +
+                                      std::to_string(peek().offset) + ")"};
+  }
+
+  /// Returns an error if the next token is not `kind`; consumes it if it is.
+  std::optional<common::Error> expect(TokenKind kind) {
+    if (peek().kind != kind) {
+      return err(std::string("expected ") + token_kind_name(kind) + ", found '" +
+                 (peek().kind == TokenKind::end ? "<end>" : peek().text) + "'");
+    }
+    advance();
+    return std::nullopt;
+  }
+
+  std::optional<common::Error> parse_name_list(std::vector<std::string>& out) {
+    // Optional parentheses around the list (paper §7.2 examples).
+    const bool parenthesized = peek().kind == TokenKind::lparen;
+    if (parenthesized) advance();
+    while (true) {
+      if (peek().kind != TokenKind::word) return err("expected a parser name");
+      out.push_back(advance().text);
+      if (peek().kind != TokenKind::comma) break;
+      advance();
+    }
+    if (parenthesized) {
+      if (auto e = expect(TokenKind::rparen)) return e;
+    }
+    return std::nullopt;
+  }
+
+  std::optional<common::Error> parse_address(Address& out) {
+    if (peek().kind == TokenKind::star) {
+      advance();
+      out.kind = Address::Kind::any;
+      out.text = "*";
+      // "*" may not take a port.
+      return std::nullopt;
+    }
+    if (peek().kind != TokenKind::word) {
+      return err("expected an address (ip, subnet, hostname or *)");
+    }
+    out.text = advance().text;
+    if (const auto prefix = net::parse_ipv4_prefix(out.text)) {
+      out.prefix = *prefix;
+      out.kind = prefix->length == 32 ? Address::Kind::ip : Address::Kind::subnet;
+    } else {
+      out.kind = Address::Kind::hostname;
+    }
+
+    if (peek().kind == TokenKind::colon) {
+      advance();
+      if (peek().kind == TokenKind::star) {
+        advance();  // explicit all-ports
+      } else if (peek().kind == TokenKind::word) {
+        std::uint64_t port = 0;
+        if (!common::parse_u64(peek().text, port) || port > 65535) {
+          return err("invalid port '" + peek().text + "'");
+        }
+        out.port = static_cast<net::Port>(port);
+        advance();
+      } else {
+        return err("expected a port number or * after ':'");
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::optional<common::Error> parse_address_list(std::vector<Address>& out) {
+    while (true) {
+      Address a;
+      if (auto e = parse_address(a)) return e;
+      out.push_back(std::move(a));
+      if (peek().kind != TokenKind::comma) break;
+      advance();
+    }
+    return std::nullopt;
+  }
+
+  std::optional<common::Error> parse_limit(LimitSpec& out) {
+    if (peek().kind != TokenKind::word) {
+      return err("expected a limit like 90s or 5000p");
+    }
+    const std::string text = advance().text;
+    if (text.empty()) return err("empty LIMIT value");
+    const char suffix = text.back();
+    std::uint64_t value = 0;
+    const std::string digits = text.substr(0, text.size() - 1);
+    if (suffix == 's' || suffix == 'm') {
+      if (!common::parse_u64(digits, value)) {
+        return err("invalid duration '" + text + "'");
+      }
+      out.kind = LimitSpec::Kind::duration;
+      out.duration = value * (suffix == 'm' ? 60 * common::kSecond : common::kSecond);
+    } else if (suffix == 'p') {
+      if (!common::parse_u64(digits, value)) {
+        return err("invalid packet count '" + text + "'");
+      }
+      out.kind = LimitSpec::Kind::packets;
+      out.packets = value;
+    } else {
+      return err("LIMIT must end in 's', 'm' (time) or 'p' (packets): '" + text +
+                 "'");
+    }
+    return std::nullopt;
+  }
+
+  std::optional<common::Error> parse_sample(SampleSpec& out) {
+    if (peek().kind == TokenKind::star) {
+      advance();
+      out.mode = SampleSpec::Mode::disabled;
+      return std::nullopt;
+    }
+    if (peek().kind != TokenKind::word) {
+      return err("expected a sample rate, 'auto' or '*'");
+    }
+    const std::string text = advance().text;
+    if (common::to_lower(text) == "auto") {
+      out.mode = SampleSpec::Mode::automatic;
+      return std::nullopt;
+    }
+    double rate = 0;
+    if (!common::parse_double(text, rate) || rate < 0.0 || rate > 1.0) {
+      return err("sample rate must be in [0,1], 'auto' or '*': '" + text + "'");
+    }
+    out.mode = SampleSpec::Mode::fixed;
+    out.rate = rate;
+    return std::nullopt;
+  }
+
+  std::optional<common::Error> parse_processor(ProcessorCall& out) {
+    if (auto e = expect(TokenKind::lparen)) return e;
+    if (peek().kind != TokenKind::word) return err("expected a processor name");
+    out.name = advance().text;
+    if (peek().kind == TokenKind::colon) {
+      advance();
+      while (true) {
+        if (peek().kind != TokenKind::word) return err("expected an argument name");
+        const std::string key = advance().text;
+        if (auto e = expect(TokenKind::equals)) return e;
+        std::string value;
+        if (peek().kind == TokenKind::word) {
+          value = advance().text;
+        } else if (peek().kind == TokenKind::star) {
+          advance();
+          value = "*";
+        } else {
+          return err("expected a value for argument '" + key + "'");
+        }
+        out.args[key] = value;
+        if (peek().kind != TokenKind::comma) break;
+        advance();
+      }
+    }
+    return expect(TokenKind::rparen);
+  }
+
+  std::optional<common::Error> parse_processor_list(std::vector<ProcessorCall>& out) {
+    while (true) {
+      ProcessorCall p;
+      if (auto e = parse_processor(p)) return e;
+      out.push_back(std::move(p));
+      if (peek().kind != TokenKind::comma) break;
+      advance();
+    }
+    return std::nullopt;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+common::Expected<Query> parse_query(std::string_view input) {
+  auto tokens = tokenize(input);
+  if (!tokens) return tokens.error();
+  return Parser(std::move(*tokens)).run();
+}
+
+}  // namespace netalytics::query

@@ -1,0 +1,19 @@
+// Recursive-descent parser for the Table 3 grammar. Produces an AST or a
+// recoverable error with the offending position — queries are user input.
+#pragma once
+
+#include "common/expected.hpp"
+#include "query/ast.hpp"
+
+namespace netalytics::query {
+
+/// Parse one query. The grammar (Table 3):
+///   PARSE parser[, parser]...
+///   [FROM address[, address]...] [TO address[, address]...]
+///   [LIMIT <90s|5000p>] [SAMPLE <0.1|auto|*>]
+///   PROCESS (name: arg=value[, arg=value]...)[, (name: ...)]...
+/// At least one of FROM/TO is required (§3.4). Parser lists may be
+/// parenthesized, matching the paper's examples.
+common::Expected<Query> parse_query(std::string_view input);
+
+}  // namespace netalytics::query

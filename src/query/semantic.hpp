@@ -1,0 +1,26 @@
+// Semantic validation: parser names against the parser registry, processor
+// names against the stream library, and structural rules the grammar can't
+// express (duplicate parsers, processor/parser compatibility, sampling
+// bounds).
+#pragma once
+
+#include "common/expected.hpp"
+#include "query/ast.hpp"
+
+namespace netalytics::query {
+
+struct ValidatedQuery {
+  Query query;
+  /// Parser topics in PARSE order (equal to query.parsers, deduplicated).
+  std::vector<std::string> topics;
+};
+
+/// Validate a parsed query. Registry-backed checks consult
+/// nf::ParserRegistry and stream::is_known_processor; call
+/// parsers::register_builtin_parsers() first.
+common::Expected<ValidatedQuery> validate(Query query);
+
+/// Convenience: parse + validate in one step.
+common::Expected<ValidatedQuery> parse_and_validate(std::string_view input);
+
+}  // namespace netalytics::query

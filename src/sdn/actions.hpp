@@ -1,0 +1,42 @@
+// OpenFlow-style actions. Query instantiation (§3.4) builds "an action list
+// with both the standard output port leading to the destination and a
+// secondary output leading to the monitor" — mirroring copies packets off
+// the critical path without adding latency.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace netalytics::sdn {
+
+/// Forward out a port (the normal delivery path).
+struct OutputAction {
+  std::uint32_t port = 0;
+  bool operator==(const OutputAction&) const = default;
+};
+
+/// Copy the packet out a port (monitor mirror). Semantically Output on a
+/// second port; kept distinct so mirror traffic is accounted separately.
+struct MirrorAction {
+  std::uint32_t port = 0;
+  bool operator==(const MirrorAction&) const = default;
+};
+
+struct DropAction {
+  bool operator==(const DropAction&) const = default;
+};
+
+/// Punt to the controller (reactive path).
+struct ToControllerAction {
+  bool operator==(const ToControllerAction&) const = default;
+};
+
+using Action = std::variant<OutputAction, MirrorAction, DropAction, ToControllerAction>;
+using ActionList = std::vector<Action>;
+
+std::string format_action(const Action& a);
+std::string format_actions(const ActionList& actions);
+
+}  // namespace netalytics::sdn

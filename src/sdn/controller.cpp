@@ -1,0 +1,161 @@
+#include "sdn/controller.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace netalytics::sdn {
+
+Controller::Controller(ForwardingApp default_app)
+    : default_app_(std::move(default_app)) {}
+
+void Controller::register_switch(SdnSwitch& sw) {
+  switches_[sw.id()] = &sw;
+  sw.set_packet_in_handler(this);
+}
+
+SdnSwitch* Controller::find_switch(SwitchId id) noexcept {
+  const auto it = switches_.find(id);
+  return it == switches_.end() ? nullptr : it->second;
+}
+
+std::optional<std::uint64_t> Controller::install_rule(SwitchId sw, FlowRule rule,
+                                                      common::Timestamp now) {
+  SdnSwitch* target = find_switch(sw);
+  if (target == nullptr) return std::nullopt;
+  FlowMod mod;
+  mod.command = FlowMod::Command::add;
+  mod.switch_id = sw;
+  mod.rule = std::move(rule);
+  ++flow_mods_;
+  return target->apply(mod, now);
+}
+
+bool Controller::sync_entry(MirrorEntry& entry, common::Timestamp now) {
+  SdnSwitch* target = find_switch(entry.sw);
+  if (target == nullptr) return false;
+  FlowRule rule;
+  rule.priority = entry.priority;
+  rule.match = entry.match;
+  rule.actions = {OutputAction{entry.normal_port}};
+  for (const auto& [cookie, port] : entry.mirrors) {
+    rule.actions.push_back(MirrorAction{port});
+  }
+  rule.hard_timeout = entry.hard_timeout;
+  // Same (priority, match) replaces the previous incarnation in place.
+  FlowMod mod;
+  mod.command = FlowMod::Command::add;
+  mod.switch_id = entry.sw;
+  mod.rule = std::move(rule);
+  ++flow_mods_;
+  const auto cookie = target->apply(mod, now);
+  if (!cookie) return false;
+  entry.rule_cookie = *cookie;
+  return true;
+}
+
+std::optional<std::uint64_t> Controller::install_mirror(
+    SwitchId sw, FlowMatch match, std::uint32_t normal_port,
+    std::uint32_t monitor_port, int priority, common::Timestamp now,
+    common::Duration hard_timeout) {
+  // Merge into an existing entry when another query mirrors the same match.
+  MirrorEntry* entry = nullptr;
+  for (auto& e : mirror_entries_) {
+    if (e.sw == sw && e.priority == priority && e.match == match) {
+      entry = &e;
+      break;
+    }
+  }
+  if (entry == nullptr) {
+    MirrorEntry fresh;
+    fresh.sw = sw;
+    fresh.priority = priority;
+    fresh.match = std::move(match);
+    fresh.normal_port = normal_port;
+    fresh.hard_timeout = hard_timeout;
+    mirror_entries_.push_back(std::move(fresh));
+    entry = &mirror_entries_.back();
+  } else {
+    // A shared rule may not expire under the other query's feet; the
+    // longest-lived owner wins (0 = permanent).
+    if (hard_timeout == 0 || entry->hard_timeout == 0) {
+      entry->hard_timeout = 0;
+    } else {
+      entry->hard_timeout = std::max(entry->hard_timeout, hard_timeout);
+    }
+  }
+
+  const std::uint64_t cookie = next_mirror_cookie_++;
+  entry->mirrors.emplace_back(cookie, monitor_port);
+  common::log_info("sdn", "mirror on sw", sw, " ", entry->match.to_string(),
+                   " ports=", entry->mirrors.size());
+  if (!sync_entry(*entry, now)) {
+    entry->mirrors.pop_back();
+    if (entry->mirrors.empty()) mirror_entries_.pop_back();
+    return std::nullopt;
+  }
+  return cookie;
+}
+
+bool Controller::remove_rule(SwitchId sw, std::uint64_t cookie) {
+  if (cookie >= kMirrorCookieBase) {
+    for (std::size_t i = 0; i < mirror_entries_.size(); ++i) {
+      MirrorEntry& entry = mirror_entries_[i];
+      if (entry.sw != sw) continue;
+      const auto it = std::find_if(
+          entry.mirrors.begin(), entry.mirrors.end(),
+          [cookie](const auto& m) { return m.first == cookie; });
+      if (it == entry.mirrors.end()) continue;
+      entry.mirrors.erase(it);
+      if (entry.mirrors.empty()) {
+        SdnSwitch* target = find_switch(sw);
+        if (target != nullptr) {
+          FlowMod mod;
+          mod.command = FlowMod::Command::remove;
+          mod.switch_id = sw;
+          mod.cookie = entry.rule_cookie;
+          ++flow_mods_;
+          target->apply(mod, 0);
+        }
+        mirror_entries_.erase(mirror_entries_.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+      } else {
+        sync_entry(entry, 0);
+      }
+      return true;
+    }
+    return false;
+  }
+
+  SdnSwitch* target = find_switch(sw);
+  if (target == nullptr) return false;
+  FlowMod mod;
+  mod.command = FlowMod::Command::remove;
+  mod.switch_id = sw;
+  mod.cookie = cookie;
+  ++flow_mods_;
+  return target->apply(mod, 0).has_value();
+}
+
+void Controller::remove_rules(
+    const std::vector<std::pair<SwitchId, std::uint64_t>>& cookies) {
+  for (const auto& [sw, cookie] : cookies) remove_rule(sw, cookie);
+}
+
+std::vector<FlowStatsEntry> Controller::flow_stats(SwitchId sw) const {
+  std::vector<FlowStatsEntry> out;
+  const auto it = switches_.find(sw);
+  if (it == switches_.end()) return out;
+  for (const auto& rule : it->second->table().rules()) {
+    out.push_back({rule.cookie, rule.priority, rule.packet_count, rule.byte_count});
+  }
+  return out;
+}
+
+ActionList Controller::on_packet_in(const PacketIn& event) {
+  ++packet_ins_;
+  if (!default_app_) return {};
+  return default_app_(event);
+}
+
+}  // namespace netalytics::sdn

@@ -1,0 +1,92 @@
+// The centralized SDN controller (§2.1). Owns the switch registry,
+// exposes the northbound API the query interpreter calls ("the query
+// interpreter combines the match and action criteria to build a rule
+// transmitted to the SDN controller via its Northbound interface", §3.4),
+// and serves the reactive packet-in path with a pluggable forwarding
+// application.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "sdn/switch.hpp"
+
+namespace netalytics::sdn {
+
+/// Decides default forwarding for a miss (e.g. L2 learning or topology
+/// routing). Returns the action list for the flow.
+using ForwardingApp = std::function<ActionList(const PacketIn&)>;
+
+class Controller final : public PacketInHandler {
+ public:
+  /// `default_app` handles misses; if omitted, misses drop.
+  explicit Controller(ForwardingApp default_app = nullptr);
+
+  /// Attach a switch; the controller becomes its packet-in handler.
+  void register_switch(SdnSwitch& sw);
+  SdnSwitch* find_switch(SwitchId id) noexcept;
+
+  // ---- Northbound API -----------------------------------------------------
+
+  /// Proactively install a rule. Returns the cookie, or nullopt if the
+  /// switch is unknown or its table is full.
+  std::optional<std::uint64_t> install_rule(SwitchId sw, FlowRule rule,
+                                            common::Timestamp now);
+
+  /// Install the NetAlytics mirror pair for a monitored flow: the matched
+  /// traffic keeps flowing out `normal_port` and a copy goes to
+  /// `monitor_port` (§3.4). When another query already mirrors the same
+  /// (priority, match), the controller merges both monitors into one rule
+  /// (a switch applies a single matching rule, so stacked rules would
+  /// starve one query). Returns a controller-level cookie that removes
+  /// only this query's mirror.
+  std::optional<std::uint64_t> install_mirror(SwitchId sw, FlowMatch match,
+                                              std::uint32_t normal_port,
+                                              std::uint32_t monitor_port,
+                                              int priority, common::Timestamp now,
+                                              common::Duration hard_timeout = 0);
+
+  /// Remove by cookie: mirror cookies detach one monitor from a merged
+  /// rule; plain cookies remove the switch rule directly.
+  bool remove_rule(SwitchId sw, std::uint64_t cookie);
+
+  /// Remove a set of rules (end of a query's LIMIT window).
+  void remove_rules(const std::vector<std::pair<SwitchId, std::uint64_t>>& cookies);
+
+  /// Collect flow stats from one switch.
+  std::vector<FlowStatsEntry> flow_stats(SwitchId sw) const;
+
+  // ---- Reactive path ------------------------------------------------------
+  ActionList on_packet_in(const PacketIn& event) override;
+
+  std::uint64_t packet_in_count() const noexcept { return packet_ins_; }
+  std::uint64_t flow_mods_sent() const noexcept { return flow_mods_; }
+
+ private:
+  /// Controller-side state of one merged mirror rule.
+  struct MirrorEntry {
+    SwitchId sw = 0;
+    int priority = 0;
+    FlowMatch match;
+    std::uint32_t normal_port = 0;
+    common::Duration hard_timeout = 0;
+    std::uint64_t rule_cookie = 0;  // current rule on the switch
+    /// (controller cookie, monitor port) per attached query.
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> mirrors;
+  };
+
+  /// Reinstall the entry's rule reflecting its current mirror set.
+  bool sync_entry(MirrorEntry& entry, common::Timestamp now);
+
+  ForwardingApp default_app_;
+  std::map<SwitchId, SdnSwitch*> switches_;
+  std::vector<MirrorEntry> mirror_entries_;
+  /// Controller cookies live in a distinct space from switch rule cookies.
+  static constexpr std::uint64_t kMirrorCookieBase = 1ULL << 48;
+  std::uint64_t next_mirror_cookie_ = kMirrorCookieBase;
+  std::uint64_t packet_ins_ = 0;
+  std::uint64_t flow_mods_ = 0;
+};
+
+}  // namespace netalytics::sdn

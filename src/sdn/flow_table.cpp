@@ -1,0 +1,85 @@
+#include "sdn/flow_table.hpp"
+
+#include <algorithm>
+
+namespace netalytics::sdn {
+
+FlowTable::FlowTable(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::optional<std::uint64_t> FlowTable::install(FlowRule rule, common::Timestamp now) {
+  rule.cookie = next_cookie_++;
+  rule.install_time = now;
+  rule.packet_count = 0;
+  rule.byte_count = 0;
+
+  // Identical (priority, match) replaces in place (OpenFlow modify).
+  const auto existing = std::find_if(
+      rules_.begin(), rules_.end(), [&rule](const FlowRule& r) {
+        return r.priority == rule.priority && r.match == rule.match;
+      });
+  if (existing != rules_.end()) {
+    const std::uint64_t cookie = rule.cookie;
+    *existing = std::move(rule);
+    return cookie;
+  }
+
+  if (rules_.size() >= capacity_) return std::nullopt;
+  const std::uint64_t cookie = rule.cookie;
+  const auto pos = std::upper_bound(
+      rules_.begin(), rules_.end(), rule.priority,
+      [](int priority, const FlowRule& r) { return priority > r.priority; });
+  rules_.insert(pos, std::move(rule));
+  return cookie;
+}
+
+bool FlowTable::remove(std::uint64_t cookie) {
+  const auto it = std::find_if(rules_.begin(), rules_.end(),
+                               [cookie](const FlowRule& r) { return r.cookie == cookie; });
+  if (it == rules_.end()) return false;
+  rules_.erase(it);
+  return true;
+}
+
+FlowRule* FlowTable::lookup(const net::DecodedPacket& pkt, std::uint32_t in_port) {
+  for (auto& rule : rules_) {  // sorted by priority desc: first hit wins
+    if (rule.match.matches(pkt, in_port)) return &rule;
+  }
+  return nullptr;
+}
+
+std::size_t FlowTable::expire(common::Timestamp now) {
+  const auto before = rules_.size();
+  std::erase_if(rules_, [now](const FlowRule& r) {
+    return r.hard_timeout != 0 && now >= r.install_time + r.hard_timeout;
+  });
+  return before - rules_.size();
+}
+
+std::string format_action(const Action& a) {
+  return std::visit(
+      [](const auto& act) -> std::string {
+        using T = std::decay_t<decltype(act)>;
+        if constexpr (std::is_same_v<T, OutputAction>) {
+          return "output:" + std::to_string(act.port);
+        } else if constexpr (std::is_same_v<T, MirrorAction>) {
+          return "mirror:" + std::to_string(act.port);
+        } else if constexpr (std::is_same_v<T, DropAction>) {
+          return "drop";
+        } else {
+          return "controller";
+        }
+      },
+      a);
+}
+
+std::string format_actions(const ActionList& actions) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < actions.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += format_action(actions[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace netalytics::sdn

@@ -1,0 +1,54 @@
+// Priority-ordered flow table with per-rule statistics and timeouts —
+// one per switch.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "sdn/actions.hpp"
+#include "sdn/match.hpp"
+
+namespace netalytics::sdn {
+
+struct FlowRule {
+  std::uint64_t cookie = 0;  // assigned by the table on install
+  int priority = 0;          // higher wins
+  FlowMatch match;
+  ActionList actions;
+  common::Duration hard_timeout = 0;  // 0 = permanent
+  // Statistics maintained by the switch.
+  std::uint64_t packet_count = 0;
+  std::uint64_t byte_count = 0;
+  common::Timestamp install_time = 0;
+};
+
+class FlowTable {
+ public:
+  explicit FlowTable(std::size_t capacity = 4096);
+
+  /// Install a rule; returns its cookie, or nullopt when the table is full.
+  /// A rule with an identical (priority, match) replaces the old one.
+  std::optional<std::uint64_t> install(FlowRule rule, common::Timestamp now);
+
+  bool remove(std::uint64_t cookie);
+
+  /// Highest-priority matching rule; nullptr on miss. The caller updates
+  /// the returned rule's counters.
+  FlowRule* lookup(const net::DecodedPacket& pkt, std::uint32_t in_port);
+
+  /// Drop rules whose hard timeout elapsed; returns how many expired.
+  std::size_t expire(common::Timestamp now);
+
+  std::size_t size() const noexcept { return rules_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+  const std::vector<FlowRule>& rules() const noexcept { return rules_; }
+
+ private:
+  std::size_t capacity_;
+  std::vector<FlowRule> rules_;  // kept sorted by priority desc
+  std::uint64_t next_cookie_ = 1;
+};
+
+}  // namespace netalytics::sdn

@@ -1,0 +1,75 @@
+#include "sdn/match.hpp"
+
+namespace netalytics::sdn {
+
+bool FlowMatch::matches(const net::DecodedPacket& pkt,
+                        std::uint32_t packet_in_port) const {
+  if (in_port && *in_port != packet_in_port) return false;
+  if (eth_type && pkt.eth.ether_type != *eth_type) return false;
+
+  // Any L3/L4 field set requires the packet to actually have that layer.
+  const bool needs_ip = ip_proto || src_prefix || dst_prefix || src_port || dst_port;
+  if (needs_ip && !pkt.has_ipv4) return false;
+  if (ip_proto && pkt.ipv4.protocol != *ip_proto) return false;
+  if (src_prefix && !src_prefix->contains(pkt.ipv4.src)) return false;
+  if (dst_prefix && !dst_prefix->contains(pkt.ipv4.dst)) return false;
+
+  const bool needs_l4 = src_port || dst_port;
+  if (needs_l4 && !pkt.has_tcp && !pkt.has_udp) return false;
+  if (src_port && pkt.five_tuple.src_port != *src_port) return false;
+  if (dst_port && pkt.five_tuple.dst_port != *dst_port) return false;
+  return true;
+}
+
+bool FlowMatch::is_wildcard() const noexcept {
+  return !in_port && !eth_type && !ip_proto && !src_prefix && !dst_prefix &&
+         !src_port && !dst_port;
+}
+
+int FlowMatch::specificity() const noexcept {
+  int n = 0;
+  n += in_port.has_value();
+  n += eth_type.has_value();
+  n += ip_proto.has_value();
+  n += src_prefix.has_value();
+  n += dst_prefix.has_value();
+  n += src_port.has_value();
+  n += dst_port.has_value();
+  return n;
+}
+
+std::string FlowMatch::to_string() const {
+  if (is_wildcard()) return "match(*)";
+  std::string out = "match(";
+  auto field = [&out](const std::string& text) {
+    if (out.back() != '(') out += ", ";
+    out += text;
+  };
+  if (in_port) field("in_port=" + std::to_string(*in_port));
+  if (eth_type) field("eth_type=0x" + std::to_string(*eth_type));
+  if (ip_proto) field("proto=" + std::to_string(*ip_proto));
+  if (src_prefix) field("src=" + net::format_ipv4_prefix(*src_prefix));
+  if (dst_prefix) field("dst=" + net::format_ipv4_prefix(*dst_prefix));
+  if (src_port) field("sport=" + std::to_string(*src_port));
+  if (dst_port) field("dport=" + std::to_string(*dst_port));
+  out += ")";
+  return out;
+}
+
+FlowMatch match_from_endpoint(net::Ipv4Prefix src, std::optional<net::Port> sport) {
+  FlowMatch m;
+  m.eth_type = net::kEtherTypeIpv4;
+  m.src_prefix = src;
+  m.src_port = sport;
+  return m;
+}
+
+FlowMatch match_to_endpoint(net::Ipv4Prefix dst, std::optional<net::Port> dport) {
+  FlowMatch m;
+  m.eth_type = net::kEtherTypeIpv4;
+  m.dst_prefix = dst;
+  m.dst_port = dport;
+  return m;
+}
+
+}  // namespace netalytics::sdn

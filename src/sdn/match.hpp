@@ -1,0 +1,42 @@
+// OpenFlow-style match (§2.1): flows "are typically matched by a set of IP
+// header fields"; unset fields are wildcards. The query compiler translates
+// FROM/TO clauses into these (§3.4).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/decode.hpp"
+#include "net/ip.hpp"
+
+namespace netalytics::sdn {
+
+struct FlowMatch {
+  std::optional<std::uint32_t> in_port;
+  std::optional<std::uint16_t> eth_type;
+  std::optional<std::uint8_t> ip_proto;
+  std::optional<net::Ipv4Prefix> src_prefix;
+  std::optional<net::Ipv4Prefix> dst_prefix;
+  std::optional<net::Port> src_port;
+  std::optional<net::Port> dst_port;
+
+  bool operator==(const FlowMatch&) const = default;
+
+  /// True when every set field matches the packet.
+  bool matches(const net::DecodedPacket& pkt, std::uint32_t packet_in_port) const;
+
+  /// True when no field is set (matches everything).
+  bool is_wildcard() const noexcept;
+
+  /// Number of set fields; a coarse specificity measure for debugging.
+  int specificity() const noexcept;
+
+  std::string to_string() const;
+};
+
+/// Convenience builders for the common query-compiler shapes.
+FlowMatch match_from_endpoint(net::Ipv4Prefix src, std::optional<net::Port> sport);
+FlowMatch match_to_endpoint(net::Ipv4Prefix dst, std::optional<net::Port> dport);
+
+}  // namespace netalytics::sdn

@@ -1,0 +1,42 @@
+// OpenFlow-shaped control messages between switches and the controller.
+// Only the fields the NetAlytics control plane uses are modelled; the point
+// is that rule installation and the reactive path flow through explicit
+// protocol messages, as they would over a real southbound channel.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "sdn/flow_table.hpp"
+
+namespace netalytics::sdn {
+
+using SwitchId = std::uint32_t;
+
+/// FLOW_MOD: install or delete a rule on a switch.
+struct FlowMod {
+  enum class Command { add, remove };
+  Command command = Command::add;
+  SwitchId switch_id = 0;
+  FlowRule rule;              // for add
+  std::uint64_t cookie = 0;   // for remove
+};
+
+/// PACKET_IN: a table miss punted to the controller.
+struct PacketIn {
+  SwitchId switch_id = 0;
+  std::uint32_t in_port = 0;
+  common::Timestamp timestamp = 0;
+  net::DecodedPacket packet;  // spans valid only during the callback
+};
+
+/// Per-rule counters reported by a stats request.
+struct FlowStatsEntry {
+  std::uint64_t cookie = 0;
+  int priority = 0;
+  std::uint64_t packet_count = 0;
+  std::uint64_t byte_count = 0;
+};
+
+}  // namespace netalytics::sdn

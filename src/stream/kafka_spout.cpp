@@ -1,0 +1,27 @@
+#include "stream/kafka_spout.hpp"
+
+#include "common/byte_io.hpp"
+
+namespace netalytics::stream {
+
+KafkaSpout::KafkaSpout(mq::Cluster& cluster, std::string group, std::string topic,
+                       std::size_t poll_batch)
+    : consumer_(cluster, std::move(group)),
+      topic_(std::move(topic)),
+      poll_batch_(poll_batch == 0 ? 1 : poll_batch) {}
+
+bool KafkaSpout::next_tuple(Collector& out) {
+  if (buffer_.empty()) {
+    auto batch = consumer_.poll(topic_, poll_batch_);
+    for (auto& m : batch) buffer_.push_back(std::move(m));
+  }
+  if (buffer_.empty()) return false;
+
+  const mq::Message& msg = buffer_.front();
+  out.emit(Tuple{{std::string(common::as_string_view(msg.payload))}});
+  buffer_.pop_front();
+  ++emitted_;
+  return true;
+}
+
+}  // namespace netalytics::stream

@@ -1,0 +1,33 @@
+// The spout linking the stream engine to the aggregation layer (§5.3):
+// polls one topic of the mq cluster and emits each message's payload as a
+// [payload:string] tuple for the parsing bolt. Pull-based, so when the
+// processors fall behind, data accumulates in the brokers — the behaviour
+// the feedback-sampling loop reacts to.
+#pragma once
+
+#include <deque>
+#include <string>
+
+#include "mq/consumer.hpp"
+#include "stream/topology.hpp"
+
+namespace netalytics::stream {
+
+class KafkaSpout final : public Spout {
+ public:
+  KafkaSpout(mq::Cluster& cluster, std::string group, std::string topic,
+             std::size_t poll_batch = 64);
+
+  bool next_tuple(Collector& out) override;
+
+  std::uint64_t messages_emitted() const noexcept { return emitted_; }
+
+ private:
+  mq::Consumer consumer_;
+  std::string topic_;
+  std::size_t poll_batch_;
+  std::deque<mq::Message> buffer_;
+  std::uint64_t emitted_ = 0;
+};
+
+}  // namespace netalytics::stream

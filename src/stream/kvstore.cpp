@@ -1,0 +1,67 @@
+#include "stream/kvstore.hpp"
+
+namespace netalytics::stream {
+
+void KvStore::set(const std::string& key, std::string value) {
+  std::lock_guard lock(mutex_);
+  strings_[key] = std::move(value);
+}
+
+std::optional<std::string> KvStore::get(const std::string& key) const {
+  std::lock_guard lock(mutex_);
+  const auto it = strings_.find(key);
+  if (it == strings_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool KvStore::erase(const std::string& key) {
+  std::lock_guard lock(mutex_);
+  return strings_.erase(key) > 0;
+}
+
+void KvStore::hset(const std::string& key, const std::string& field,
+                   std::string value) {
+  std::lock_guard lock(mutex_);
+  hashes_[key][field] = std::move(value);
+}
+
+std::optional<std::string> KvStore::hget(const std::string& key,
+                                         const std::string& field) const {
+  std::lock_guard lock(mutex_);
+  const auto it = hashes_.find(key);
+  if (it == hashes_.end()) return std::nullopt;
+  const auto fit = it->second.find(field);
+  if (fit == it->second.end()) return std::nullopt;
+  return fit->second;
+}
+
+std::map<std::string, std::string> KvStore::hgetall(const std::string& key) const {
+  std::lock_guard lock(mutex_);
+  const auto it = hashes_.find(key);
+  if (it == hashes_.end()) return {};
+  return it->second;
+}
+
+void KvStore::rpush(const std::string& key, std::string value) {
+  std::lock_guard lock(mutex_);
+  lists_[key].push_back(std::move(value));
+}
+
+std::vector<std::string> KvStore::lrange(const std::string& key) const {
+  std::lock_guard lock(mutex_);
+  const auto it = lists_.find(key);
+  if (it == lists_.end()) return {};
+  return it->second;
+}
+
+void KvStore::del_list(const std::string& key) {
+  std::lock_guard lock(mutex_);
+  lists_.erase(key);
+}
+
+std::size_t KvStore::size() const {
+  std::lock_guard lock(mutex_);
+  return strings_.size() + hashes_.size() + lists_.size();
+}
+
+}  // namespace netalytics::stream

@@ -1,0 +1,40 @@
+// In-memory key-value store — the Redis substitute of §7.3. The top-k
+// database bolt writes here and the dynamic proxy reads its pool
+// configuration from here, closing the automation loop. Thread-safe.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace netalytics::stream {
+
+class KvStore {
+ public:
+  void set(const std::string& key, std::string value);
+  std::optional<std::string> get(const std::string& key) const;
+  bool erase(const std::string& key);
+
+  /// Redis-style hash operations.
+  void hset(const std::string& key, const std::string& field, std::string value);
+  std::optional<std::string> hget(const std::string& key,
+                                  const std::string& field) const;
+  std::map<std::string, std::string> hgetall(const std::string& key) const;
+
+  /// Redis-style list append / full read (used for server pools).
+  void rpush(const std::string& key, std::string value);
+  std::vector<std::string> lrange(const std::string& key) const;
+  void del_list(const std::string& key);
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::string> strings_;
+  std::map<std::string, std::map<std::string, std::string>> hashes_;
+  std::map<std::string, std::vector<std::string>> lists_;
+};
+
+}  // namespace netalytics::stream

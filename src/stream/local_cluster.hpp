@@ -1,0 +1,85 @@
+// Threaded topology executor: one thread per task, bounded MPMC inboxes,
+// blocking emit for natural backpressure. Runs the same TopologySpec as the
+// stepped executor; used where real parallelism matters (the Fig. 6
+// pipeline-scaling bench and the live quickstart).
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/mpmc_queue.hpp"
+#include "stream/topology.hpp"
+
+namespace netalytics::stream {
+
+struct LocalClusterConfig {
+  std::size_t inbox_capacity = 8192;
+  common::Duration tick_interval = 200 * common::kMillisecond;
+};
+
+class LocalCluster {
+ public:
+  explicit LocalCluster(TopologySpec spec, LocalClusterConfig config = {});
+  ~LocalCluster();
+
+  LocalCluster(const LocalCluster&) = delete;
+  LocalCluster& operator=(const LocalCluster&) = delete;
+
+  void start();
+  /// Stop spouts, drain every bolt in topological order, run cleanups.
+  void stop();
+  bool running() const noexcept { return running_.load(std::memory_order_acquire); }
+
+  std::uint64_t tuples_executed() const noexcept {
+    return executed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Task {
+    std::unique_ptr<Spout> spout;
+    std::unique_ptr<Bolt> bolt;
+    std::unique_ptr<common::MpmcQueue<Tuple>> inbox;  // bolts only
+    std::thread thread;
+  };
+
+  struct Edge {
+    std::size_t dst = 0;
+    GroupingType type = GroupingType::shuffle;
+    std::vector<std::size_t> field_indices;
+    std::atomic<std::size_t> rr_cursor{0};
+  };
+
+  struct Node {
+    ComponentSpec spec;
+    std::vector<std::unique_ptr<Task>> tasks;
+    std::vector<std::unique_ptr<Edge>> out_edges;
+    std::atomic<bool> stop{false};
+  };
+
+  class EmitCollector final : public Collector {
+   public:
+    EmitCollector(LocalCluster& cluster, std::size_t src)
+        : cluster_(cluster), src_(src) {}
+    void emit(Tuple tuple) override { cluster_.route(src_, std::move(tuple)); }
+
+   private:
+    LocalCluster& cluster_;
+    std::size_t src_;
+  };
+
+  void route(std::size_t src_component, Tuple tuple);
+  void spout_loop(Node& node, Task& task, std::size_t component_index);
+  void bolt_loop(Node& node, Task& task, std::size_t component_index);
+
+  TopologySpec spec_;
+  LocalClusterConfig config_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::size_t> topo_order_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> executed_{0};
+};
+
+}  // namespace netalytics::stream

@@ -1,0 +1,173 @@
+#include "stream/stepped.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace netalytics::stream {
+
+SteppedTopology::SteppedTopology(TopologySpec spec) : spec_(std::move(spec)) {
+  std::map<std::string, std::size_t> index_of;
+  nodes_.reserve(spec_.components.size());
+  for (const auto& c : spec_.components) {
+    index_of[c.name] = nodes_.size();
+    Node node;
+    node.spec = c;
+    node.tasks.resize(c.parallelism);
+    for (auto& task : node.tasks) {
+      if (c.is_spout()) {
+        task.spout = c.spout_factory();
+        task.spout->open();
+      } else {
+        task.bolt = c.bolt_factory();
+        task.bolt->prepare();
+      }
+    }
+    nodes_.push_back(std::move(node));
+  }
+
+  // Wire edges source -> subscriber with resolved grouping field indices.
+  for (std::size_t dst = 0; dst < nodes_.size(); ++dst) {
+    for (const auto& sub : nodes_[dst].spec.subscriptions) {
+      const std::size_t src = index_of.at(sub.source);
+      Edge edge;
+      edge.dst = dst;
+      edge.type = sub.grouping.type;
+      if (edge.type == GroupingType::fields) {
+        const auto& schema = nodes_[src].spec.output_fields;
+        for (const auto& f : sub.grouping.fields) {
+          const auto it = std::find(schema.begin(), schema.end(), f);
+          edge.field_indices.push_back(
+              static_cast<std::size_t>(it - schema.begin()));
+        }
+      }
+      nodes_[src].out_edges.push_back(std::move(edge));
+    }
+  }
+
+  // Topological order (spec validated acyclic by TopologyBuilder::build).
+  std::vector<std::size_t> in_degree(nodes_.size(), 0);
+  for (const auto& node : nodes_) {
+    for (const auto& e : node.out_edges) ++in_degree[e.dst];
+  }
+  std::vector<std::size_t> frontier;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (in_degree[i] == 0) frontier.push_back(i);
+  }
+  while (!frontier.empty()) {
+    const std::size_t n = frontier.front();
+    frontier.erase(frontier.begin());
+    topo_order_.push_back(n);
+    for (const auto& e : nodes_[n].out_edges) {
+      if (--in_degree[e.dst] == 0) frontier.push_back(e.dst);
+    }
+  }
+  if (topo_order_.size() != nodes_.size()) {
+    throw std::invalid_argument("SteppedTopology: cyclic spec");
+  }
+}
+
+void SteppedTopology::route(std::size_t src_component, Tuple tuple) {
+  Node& src = nodes_[src_component];
+  for (std::size_t e = 0; e < src.out_edges.size(); ++e) {
+    Edge& edge = src.out_edges[e];
+    Node& dst = nodes_[edge.dst];
+    const bool last_edge = (e + 1 == src.out_edges.size());
+    switch (edge.type) {
+      case GroupingType::shuffle: {
+        const std::size_t idx = edge.rr_cursor++ % dst.tasks.size();
+        dst.tasks[idx].inbox.push_back(last_edge ? std::move(tuple) : tuple);
+        break;
+      }
+      case GroupingType::fields: {
+        const std::uint64_t h = hash_fields(tuple, edge.field_indices);
+        const std::size_t idx = h % dst.tasks.size();
+        dst.tasks[idx].inbox.push_back(last_edge ? std::move(tuple) : tuple);
+        break;
+      }
+      case GroupingType::global:
+        dst.tasks[0].inbox.push_back(last_edge ? std::move(tuple) : tuple);
+        break;
+      case GroupingType::all:
+        for (auto& task : dst.tasks) task.inbox.push_back(tuple);
+        break;
+    }
+  }
+}
+
+std::size_t SteppedTopology::drain(common::Timestamp) {
+  std::size_t processed = 0;
+  for (const std::size_t n : topo_order_) {
+    Node& node = nodes_[n];
+    if (node.spec.is_spout()) continue;
+    for (std::size_t t = 0; t < node.tasks.size(); ++t) {
+      Task& task = node.tasks[t];
+      RoutingCollector collector(*this, n);
+      while (!task.inbox.empty()) {
+        Tuple tuple = std::move(task.inbox.front());
+        task.inbox.pop_front();
+        task.bolt->execute(tuple, collector);
+        ++processed;
+      }
+    }
+  }
+  executed_ += processed;
+  return processed;
+}
+
+std::size_t SteppedTopology::step(common::Timestamp now,
+                                  std::size_t spout_budget_per_task) {
+  for (const std::size_t n : topo_order_) {
+    Node& node = nodes_[n];
+    if (!node.spec.is_spout()) continue;
+    for (auto& task : node.tasks) {
+      RoutingCollector collector(*this, n);
+      for (std::size_t i = 0; i < spout_budget_per_task; ++i) {
+        if (!task.spout->next_tuple(collector)) break;
+      }
+    }
+  }
+  return drain(now);
+}
+
+std::size_t SteppedTopology::run_until_idle(common::Timestamp now,
+                                            std::size_t max_rounds) {
+  std::size_t total = 0;
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    const std::size_t n = step(now);
+    total += n;
+    if (n == 0) break;
+  }
+  return total;
+}
+
+void SteppedTopology::tick(common::Timestamp now) {
+  for (const std::size_t n : topo_order_) {
+    Node& node = nodes_[n];
+    if (node.spec.is_spout()) continue;
+    for (auto& task : node.tasks) {
+      RoutingCollector collector(*this, n);
+      task.bolt->tick(now, collector);
+    }
+    // Drain immediately so downstream bolts see window emissions in the
+    // same tick (a ranking bolt's tick must observe fresh counts).
+    drain(now);
+  }
+}
+
+void SteppedTopology::close(common::Timestamp now) {
+  for (const std::size_t n : topo_order_) {
+    Node& node = nodes_[n];
+    for (auto& task : node.tasks) {
+      RoutingCollector collector(*this, n);
+      if (node.spec.is_spout()) {
+        task.spout->close(collector);
+      } else {
+        task.bolt->cleanup(now, collector);
+      }
+    }
+    drain(now);
+  }
+}
+
+}  // namespace netalytics::stream

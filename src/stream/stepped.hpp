@@ -1,0 +1,80 @@
+// Deterministic single-threaded topology executor. Components are run in
+// topological order each step, so a tuple emitted by a spout flows through
+// every downstream bolt within the same step. Used by the simulated
+// use-case pipelines, the figure benches, and the tests; the threaded
+// LocalCluster (local_cluster.hpp) runs the same TopologySpec with real
+// parallelism.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "stream/topology.hpp"
+
+namespace netalytics::stream {
+
+class SteppedTopology {
+ public:
+  explicit SteppedTopology(TopologySpec spec);
+
+  /// One scheduling round: every spout task may emit up to
+  /// `spout_budget_per_task` tuples, then all inboxes drain through the
+  /// bolts in topological order. Returns the number of tuples executed.
+  std::size_t step(common::Timestamp now, std::size_t spout_budget_per_task = 32);
+
+  /// Step until the spouts report idle and all inboxes are empty, or until
+  /// `max_rounds` is hit. Returns tuples executed.
+  std::size_t run_until_idle(common::Timestamp now, std::size_t max_rounds = 4096);
+
+  /// Deliver a tick to every bolt (rolling windows advance, rankings emit)
+  /// and drain the results.
+  void tick(common::Timestamp now);
+
+  /// cleanup() every bolt and drain final emissions.
+  void close(common::Timestamp now);
+
+  std::uint64_t tuples_executed() const noexcept { return executed_; }
+  const TopologySpec& spec() const noexcept { return spec_; }
+
+ private:
+  struct Task {
+    std::unique_ptr<Spout> spout;  // exactly one of spout/bolt set
+    std::unique_ptr<Bolt> bolt;
+    std::deque<Tuple> inbox;
+  };
+
+  struct Edge {
+    std::size_t dst = 0;  // component index
+    GroupingType type = GroupingType::shuffle;
+    std::vector<std::size_t> field_indices;
+    std::size_t rr_cursor = 0;  // shuffle round-robin
+  };
+
+  struct Node {
+    ComponentSpec spec;
+    std::vector<Task> tasks;
+    std::vector<Edge> out_edges;
+  };
+
+  class RoutingCollector final : public Collector {
+   public:
+    RoutingCollector(SteppedTopology& topo, std::size_t src) : topo_(topo), src_(src) {}
+    void emit(Tuple tuple) override { topo_.route(src_, std::move(tuple)); }
+
+   private:
+    SteppedTopology& topo_;
+    std::size_t src_;
+  };
+
+  void route(std::size_t src_component, Tuple tuple);
+  std::size_t drain(common::Timestamp now);
+
+  TopologySpec spec_;
+  std::vector<Node> nodes_;
+  std::vector<std::size_t> topo_order_;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace netalytics::stream

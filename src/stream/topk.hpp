@@ -1,0 +1,122 @@
+// The top-k topology bolts of Fig. 4: Parsing -> Counting (rolling counts,
+// fields-grouped by key) -> intermediate Rankings -> global Rankings ->
+// Database/Updater. This is the processor behind trending-content queries
+// (§5.3, §7.3).
+#pragma once
+
+#include <functional>
+
+#include "stream/kvstore.hpp"
+#include "stream/topology.hpp"
+#include "stream/window.hpp"
+
+namespace netalytics::stream {
+
+/// Rolling count per key. Emits [key:str, count:u64] for every windowed key
+/// on tick, then advances the window slot.
+class CountingBolt final : public Bolt {
+ public:
+  /// `key_index`: which input value is the counted key. `slots`: window
+  /// slots retained (Storm's rolling-count "window length / emit period").
+  CountingBolt(std::size_t key_index, std::size_t slots)
+      : key_index_(key_index), counter_(slots) {}
+
+  void execute(const Tuple& input, Collector&) override {
+    counter_.incr(format_value(input.at(key_index_)));
+  }
+  void tick(common::Timestamp, Collector& out) override {
+    for (const auto& [key, count] : counter_.totals()) {
+      out.emit(Tuple{{key, std::uint64_t{count}}});
+    }
+    counter_.advance();
+  }
+
+ private:
+  std::size_t key_index_;
+  RollingCounter counter_;
+};
+
+/// Local top-k over [key, count] updates; emits its rankings on tick as
+/// [key:str, count:u64] rows (the parallel-reduction step of §5.3).
+class IntermediateRankingsBolt final : public Bolt {
+ public:
+  explicit IntermediateRankingsBolt(std::size_t k) : rankings_(k) {}
+
+  void execute(const Tuple& input, Collector&) override {
+    rankings_.update(as_str(input.at(0)), as_u64(input.at(1)));
+  }
+  void tick(common::Timestamp, Collector& out) override {
+    for (const auto& e : rankings_.entries()) {
+      out.emit(Tuple{{e.key, std::uint64_t{e.count}}});
+    }
+  }
+
+ private:
+  Rankings rankings_;
+};
+
+/// Global top-k (global-grouped): merges local rankings and emits the final
+/// ordered list on tick as [rank:u64, key:str, count:u64].
+class TotalRankingsBolt final : public Bolt {
+ public:
+  explicit TotalRankingsBolt(std::size_t k) : rankings_(k) {}
+
+  void execute(const Tuple& input, Collector&) override {
+    rankings_.update(as_str(input.at(0)), as_u64(input.at(1)));
+  }
+  void tick(common::Timestamp, Collector& out) override {
+    std::uint64_t rank = 1;
+    for (const auto& e : rankings_.entries()) {
+      out.emit(Tuple{{std::uint64_t{rank++}, e.key, std::uint64_t{e.count}}});
+    }
+  }
+
+ private:
+  Rankings rankings_;
+};
+
+/// Stores the rolling top-k into the KV store (Redis substitute): hash
+/// "topk" maps key -> count, and "topk:rank:<n>" holds the ordered list
+/// (§7.3: "store the URLs of the most popular content into a Redis
+/// in-memory data store"). Forwards its input unchanged.
+class DatabaseBolt final : public Bolt {
+ public:
+  explicit DatabaseBolt(KvStore& store) : store_(store) {}
+  void execute(const Tuple& input, Collector& out) override;
+
+ private:
+  KvStore& store_;
+};
+
+/// Drives automation (§7.3): fires scale-up when a key's frequency crosses
+/// the upper threshold and scale-down when the whole top-k stays below the
+/// lower one, with a backoff so rolling counts don't thrash the pool.
+struct UpdaterConfig {
+  std::uint64_t upper_threshold = 1000;
+  std::uint64_t lower_threshold = 100;
+  common::Duration backoff = 5 * common::kSecond;
+};
+
+class UpdaterBolt final : public Bolt {
+ public:
+  using ScaleCallback = std::function<void(const std::string& key, std::uint64_t count)>;
+
+  UpdaterBolt(UpdaterConfig config, ScaleCallback on_scale_up,
+              ScaleCallback on_scale_down)
+      : config_(config),
+        on_scale_up_(std::move(on_scale_up)),
+        on_scale_down_(std::move(on_scale_down)) {}
+
+  void execute(const Tuple& input, Collector&) override;
+  void tick(common::Timestamp now, Collector&) override;
+
+ private:
+  UpdaterConfig config_;
+  ScaleCallback on_scale_up_;
+  ScaleCallback on_scale_down_;
+  std::uint64_t window_peak_ = 0;
+  std::string peak_key_;
+  common::Timestamp next_allowed_action_ = 0;
+};
+
+}  // namespace netalytics::stream

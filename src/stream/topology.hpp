@@ -1,0 +1,115 @@
+// Topology model (§2.2, §3.2): "Storm conceptualizes its workflow as a
+// directed acyclic graph wherein one processor emits data to other
+// processors in the graph... a graph is a 'topology' whose root nodes, or
+// 'spouts', feed other nodes, or 'bolts'". Components declare output
+// fields; edges carry a grouping (shuffle / fields / global / all) that
+// determines which task of the consumer receives each tuple.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "stream/tuple.hpp"
+
+namespace netalytics::stream {
+
+/// Passed to components so they can emit downstream.
+class Collector {
+ public:
+  virtual ~Collector() = default;
+  virtual void emit(Tuple tuple) = 0;
+};
+
+/// A data source. next_tuple() returns false when nothing is available
+/// right now (the executor will retry later).
+class Spout {
+ public:
+  virtual ~Spout() = default;
+  virtual void open() {}
+  virtual bool next_tuple(Collector& out) = 0;
+  virtual void close(Collector& /*out*/) {}
+};
+
+/// A processing node.
+class Bolt {
+ public:
+  virtual ~Bolt() = default;
+  virtual void prepare() {}
+  virtual void execute(const Tuple& input, Collector& out) = 0;
+  /// Periodic tick (rolling windows, ranking emission). Storm models this
+  /// with tick tuples; here it is an explicit callback.
+  virtual void tick(common::Timestamp /*now*/, Collector& /*out*/) {}
+  /// Final flush when the topology shuts down.
+  virtual void cleanup(common::Timestamp /*now*/, Collector& /*out*/) {}
+};
+
+enum class GroupingType { shuffle, fields, global, all };
+
+struct Grouping {
+  GroupingType type = GroupingType::shuffle;
+  Fields fields{};  // for GroupingType::fields: names in the source's schema
+};
+
+using SpoutFactory = std::function<std::unique_ptr<Spout>()>;
+using BoltFactory = std::function<std::unique_ptr<Bolt>()>;
+
+struct Subscription {
+  std::string source;
+  Grouping grouping;
+};
+
+struct ComponentSpec {
+  std::string name;
+  std::size_t parallelism = 1;
+  Fields output_fields;
+  SpoutFactory spout_factory;  // exactly one of spout/bolt factory is set
+  BoltFactory bolt_factory;
+  std::vector<Subscription> subscriptions;  // empty for spouts
+
+  bool is_spout() const noexcept { return static_cast<bool>(spout_factory); }
+};
+
+struct TopologySpec {
+  std::string name;
+  std::vector<ComponentSpec> components;
+
+  const ComponentSpec* find(const std::string& component) const noexcept;
+};
+
+/// Fluent builder mirroring Storm's TopologyBuilder.
+class TopologyBuilder {
+ public:
+  explicit TopologyBuilder(std::string name);
+
+  class BoltHandle {
+   public:
+    BoltHandle& shuffle_grouping(const std::string& source);
+    BoltHandle& fields_grouping(const std::string& source, Fields fields);
+    BoltHandle& global_grouping(const std::string& source);
+    BoltHandle& all_grouping(const std::string& source);
+
+   private:
+    friend class TopologyBuilder;
+    BoltHandle(TopologyBuilder& builder, std::size_t index)
+        : builder_(builder), index_(index) {}
+    TopologyBuilder& builder_;
+    std::size_t index_;
+  };
+
+  void set_spout(const std::string& name, SpoutFactory factory, Fields output_fields,
+                 std::size_t parallelism = 1);
+  BoltHandle set_bolt(const std::string& name, BoltFactory factory,
+                      Fields output_fields, std::size_t parallelism = 1);
+
+  /// Validate wiring (unique names, known sources, grouping fields exist,
+  /// acyclic) and return the spec. Throws std::invalid_argument on errors.
+  TopologySpec build();
+
+ private:
+  TopologySpec spec_;
+};
+
+}  // namespace netalytics::stream

@@ -1,0 +1,52 @@
+// Tuples flowing through the stream engine. Mirrors Storm's model: a tuple
+// is a list of dynamically-typed values whose names are declared by the
+// emitting component ("declare output fields"); fields groupings hash a
+// subset of the values to pick the consumer task.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/clock.hpp"
+
+namespace netalytics::stream {
+
+using Value = std::variant<std::int64_t, std::uint64_t, double, std::string>;
+
+/// Declared names for a component's output values, in position order.
+using Fields = std::vector<std::string>;
+
+struct Tuple {
+  std::vector<Value> values;
+
+  const Value& at(std::size_t i) const { return values.at(i); }
+  std::size_t size() const noexcept { return values.size(); }
+
+  bool operator==(const Tuple&) const = default;
+};
+
+/// Stable hash of one value (for fields grouping and key aggregation).
+std::uint64_t hash_value(const Value& v) noexcept;
+
+/// Hash of the values at `indices`.
+std::uint64_t hash_fields(const Tuple& t, const std::vector<std::size_t>& indices);
+
+/// Human-readable rendering, e.g. (42, "url", 2.5).
+std::string format_tuple(const Tuple& t);
+
+/// Render a single value as text (keys, table cells).
+std::string format_value(const Value& v);
+
+// Typed accessors; throw std::bad_variant_access on type mismatch.
+inline std::int64_t as_i64(const Value& v) { return std::get<std::int64_t>(v); }
+inline std::uint64_t as_u64(const Value& v) { return std::get<std::uint64_t>(v); }
+inline double as_f64(const Value& v) { return std::get<double>(v); }
+inline const std::string& as_str(const Value& v) { return std::get<std::string>(v); }
+
+/// Numeric coercion for aggregation blocks (sum/avg/max/min work on any
+/// numeric value); throws std::invalid_argument for strings.
+double as_number(const Value& v);
+
+}  // namespace netalytics::stream

@@ -1,0 +1,80 @@
+#include "apps/multitier.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netalytics::apps {
+namespace {
+
+TEST(MultiTier, RequiresEnoughRacks) {
+  auto emu = core::Emulation(dcn::build_small_tree(2));
+  MultiTierConfig cfg;
+  EXPECT_NO_THROW(MultiTierApp(emu, cfg));  // small tree has 8 racks
+}
+
+TEST(MultiTier, MisconfiguredAppProducesBimodalLatency) {
+  auto emu = core::Emulation::make_small(4);
+  MultiTierConfig cfg;
+  cfg.app1_misconfigured = true;
+  MultiTierApp app(emu, cfg);
+  app.run(common::kSecond, 200, 50 * common::kMillisecond);
+
+  const auto& times = app.client_response_times_ms();
+  ASSERT_EQ(times.size(), 200u);
+  // Bimodal: a fast cache mode near a few ms and a slow DB mode near 80ms.
+  const double p25 = times.percentile(25);
+  const double p90 = times.percentile(90);
+  EXPECT_LT(p25, 30.0);
+  EXPECT_GT(p90, 60.0);
+}
+
+TEST(MultiTier, HealthyConfigurationIsFast) {
+  auto emu = core::Emulation::make_small(4);
+  MultiTierConfig cfg;
+  cfg.app1_misconfigured = false;
+  MultiTierApp app(emu, cfg);
+  app.run(common::kSecond, 200, 50 * common::kMillisecond);
+  // With ~85% cache hits the median is cache-fast.
+  EXPECT_LT(app.client_response_times_ms().percentile(50), 30.0);
+}
+
+TEST(MultiTier, MisconfigurationRaisesMedian) {
+  auto emu_bad = core::Emulation::make_small(4);
+  auto emu_ok = core::Emulation::make_small(4);
+  MultiTierConfig bad, ok;
+  bad.app1_misconfigured = true;
+  ok.app1_misconfigured = false;
+  MultiTierApp app_bad(emu_bad, bad);
+  MultiTierApp app_ok(emu_ok, ok);
+  app_bad.run(common::kSecond, 300, 10 * common::kMillisecond);
+  app_ok.run(common::kSecond, 300, 10 * common::kMillisecond);
+  EXPECT_GT(app_bad.client_response_times_ms().mean(),
+            app_ok.client_response_times_ms().mean() * 1.5);
+}
+
+TEST(MultiTier, TrafficFlowsThroughFabric) {
+  auto emu = core::Emulation::make_small(4);
+  MultiTierConfig cfg;
+  MultiTierApp app(emu, cfg);
+  app.run(common::kSecond, 10, 10 * common::kMillisecond);
+  // Each request = 3 sessions (client->proxy, proxy->app, app->backend),
+  // each at least 8 frames.
+  EXPECT_GE(emu.transmitted_packets(), 10u * 3u * 8u);
+  EXPECT_EQ(emu.delivered_packets(), emu.transmitted_packets());
+}
+
+TEST(MultiTier, HostsBoundOnDistinctRacks) {
+  auto emu = core::Emulation::make_small(4);
+  MultiTierApp app(emu, {});
+  const auto& h = app.hosts();
+  const auto& topo = emu.topology();
+  std::set<dcn::NodeId> tors;
+  for (const auto ip : {h.client, h.proxy, h.app1, h.app2, h.mysql, h.memcached}) {
+    const auto node = emu.node_of_ip(ip);
+    ASSERT_TRUE(node.has_value());
+    tors.insert(topo.tor_of_host(*node));
+  }
+  EXPECT_EQ(tors.size(), 6u);
+}
+
+}  // namespace
+}  // namespace netalytics::apps

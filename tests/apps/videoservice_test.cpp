@@ -1,0 +1,79 @@
+#include "apps/videoservice.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netalytics::apps {
+namespace {
+
+class VideoServiceTest : public ::testing::Test {
+ protected:
+  VideoServiceTest()
+      : emu_(core::Emulation::make_small(4)), service_(emu_, kvstore_, {}) {}
+
+  core::Emulation emu_;
+  stream::KvStore kvstore_;
+  VideoService service_;
+};
+
+TEST_F(VideoServiceTest, StartsWithOneServerInPool) {
+  EXPECT_EQ(service_.pool_size(), 1u);
+}
+
+TEST_F(VideoServiceTest, BaselineLoadStaysOnServerOne) {
+  service_.run_baseline(common::kSecond, 100, common::kSecond);
+  const auto counts = service_.take_per_server_counts();
+  EXPECT_EQ(counts.at("vid-server1"), 100u);
+  EXPECT_EQ(counts.at("vid-server2"), 0u);
+  EXPECT_EQ(counts.at("vid-server3"), 0u);
+}
+
+TEST_F(VideoServiceTest, ScaleUpSpreadsHotLoad) {
+  service_.scale_up(service_.hot_url(0), 1000);
+  service_.scale_up(service_.hot_url(0), 1000);
+  EXPECT_EQ(service_.pool_size(), 3u);
+
+  service_.run_hot_burst(common::kSecond, 300, common::kSecond);
+  const auto counts = service_.take_per_server_counts();
+  // Hot traffic round-robins across the grown pool (Fig. 17's
+  // redistribution).
+  EXPECT_EQ(counts.at("vid-server1"), 100u);
+  EXPECT_EQ(counts.at("vid-server2"), 100u);
+  EXPECT_EQ(counts.at("vid-server3"), 100u);
+}
+
+TEST_F(VideoServiceTest, ScaleUpCapsAtServerCount) {
+  for (int i = 0; i < 10; ++i) service_.scale_up(service_.hot_url(0), 1);
+  EXPECT_EQ(service_.pool_size(), 3u);
+}
+
+TEST_F(VideoServiceTest, ScaleDownShrinksButKeepsOne) {
+  service_.scale_up(service_.hot_url(0), 1);
+  EXPECT_EQ(service_.pool_size(), 2u);
+  service_.scale_down("x", 0);
+  EXPECT_EQ(service_.pool_size(), 1u);
+  service_.scale_down("x", 0);
+  EXPECT_EQ(service_.pool_size(), 1u);  // never empty
+}
+
+TEST_F(VideoServiceTest, TakeCountsResets) {
+  service_.run_baseline(common::kSecond, 10, common::kSecond);
+  service_.take_per_server_counts();
+  const auto counts = service_.take_per_server_counts();
+  EXPECT_EQ(counts.at("vid-server1"), 0u);
+}
+
+TEST_F(VideoServiceTest, RequestsFlowThroughFabric) {
+  const auto before = emu_.transmitted_packets();
+  service_.run_baseline(common::kSecond, 5, common::kSecond);
+  EXPECT_GE(emu_.transmitted_packets(), before + 5 * 8);
+}
+
+TEST_F(VideoServiceTest, ChurnKeepsCatalogIntact) {
+  // Popularity churn must not break request generation.
+  service_.churn_popularity(0.3);
+  service_.run_baseline(common::kSecond, 20, common::kSecond);
+  EXPECT_EQ(service_.take_per_server_counts().at("vid-server1"), 20u);
+}
+
+}  // namespace
+}  // namespace netalytics::apps

@@ -1,0 +1,63 @@
+#include "apps/webapp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netalytics::apps {
+namespace {
+
+TEST(WebApp, DefaultPagesIncludePaperUrls) {
+  const auto pages = default_sakila_pages();
+  std::set<std::string> urls;
+  for (const auto& p : pages) urls.insert(p.url);
+  EXPECT_TRUE(urls.contains("/simple.php"));
+  EXPECT_TRUE(urls.contains("/country-max-payments.php"));
+  EXPECT_TRUE(urls.contains("/overdue.php"));
+  EXPECT_TRUE(urls.contains("/overdue-bug.php"));
+}
+
+TEST(WebApp, PageTimesOrderedBySlowness) {
+  auto emu = core::Emulation::make_small(4);
+  SakilaWebApp app(emu, {});
+  app.run(common::kSecond, 600, 20 * common::kMillisecond);
+
+  const auto& times = app.page_times_ms();
+  ASSERT_TRUE(times.contains("/simple.php"));
+  ASSERT_TRUE(times.contains("/country-max-payments.php"));
+  const double simple = times.at("/simple.php").mean();
+  const double heavy = times.at("/country-max-payments.php").mean();
+  EXPECT_GT(heavy, simple * 10);  // Fig. 13: CDFs clearly separated
+}
+
+TEST(WebApp, BuggyPageIsSuspiciouslyFast) {
+  auto emu = core::Emulation::make_small(4);
+  SakilaWebApp app(emu, {});
+  app.run(common::kSecond, 800, 20 * common::kMillisecond);
+  const auto& times = app.page_times_ms();
+  ASSERT_TRUE(times.contains("/overdue.php"));
+  ASSERT_TRUE(times.contains("/overdue-bug.php"));
+  // Fig. 14: the buggy page completes with minimal latency because its
+  // queries never run.
+  EXPECT_LT(times.at("/overdue-bug.php").mean(),
+            times.at("/overdue.php").mean() / 10);
+}
+
+TEST(WebApp, EmitsMysqlQueriesOnPersistentConnection) {
+  auto emu = core::Emulation::make_small(4);
+  SakilaWebApp app(emu, {});
+  const auto before = emu.transmitted_packets();
+  app.run_request(common::kSecond);
+  EXPECT_GT(emu.transmitted_packets(), before);
+}
+
+TEST(WebApp, CustomPageMix) {
+  auto emu = core::Emulation::make_small(4);
+  WebAppConfig cfg;
+  cfg.pages = {{"/only.php", "SELECT 1", 1, 2.0, 1.0, false}};
+  SakilaWebApp app(emu, cfg);
+  app.run(common::kSecond, 20, common::kMillisecond);
+  EXPECT_EQ(app.page_times_ms().size(), 1u);
+  EXPECT_EQ(app.page_times_ms().begin()->first, "/only.php");
+}
+
+}  // namespace
+}  // namespace netalytics::apps

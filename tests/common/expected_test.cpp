@@ -1,0 +1,51 @@
+#include "common/expected.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netalytics::common {
+namespace {
+
+Expected<int> parse_positive(int x) {
+  if (x <= 0) return Error{"range", "value must be positive"};
+  return x;
+}
+
+TEST(Expected, ValuePath) {
+  const auto r = parse_positive(5);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.value(), 5);
+  EXPECT_EQ(*r, 5);
+}
+
+TEST(Expected, ErrorPath) {
+  const auto r = parse_positive(-1);
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error().code, "range");
+  EXPECT_EQ(r.error().to_string(), "range: value must be positive");
+}
+
+TEST(Expected, ValueThrowsOnError) {
+  const auto r = parse_positive(0);
+  EXPECT_THROW(r.value(), std::runtime_error);
+}
+
+TEST(Expected, ValueOr) {
+  EXPECT_EQ(parse_positive(7).value_or(-1), 7);
+  EXPECT_EQ(parse_positive(-7).value_or(-1), -1);
+}
+
+TEST(Expected, ArrowOperator) {
+  Expected<std::string> r = std::string("abc");
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(Expected, StatusHelpers) {
+  const Status s = ok_status();
+  EXPECT_TRUE(s.has_value());
+  const Status failed = Error{"io", "boom"};
+  EXPECT_FALSE(failed.has_value());
+}
+
+}  // namespace
+}  // namespace netalytics::common

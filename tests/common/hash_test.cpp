@@ -1,0 +1,72 @@
+#include "common/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace netalytics::common {
+namespace {
+
+TEST(Hash, Fnv1a64KnownValues) {
+  // Reference values for the 64-bit FNV-1a algorithm.
+  EXPECT_EQ(fnv1a64(std::string_view{""}), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64(std::string_view{"a"}), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64(std::string_view{"foobar"}), 0x85944171f73967e8ULL);
+}
+
+TEST(Hash, Fnv1a64BytesMatchesStringView) {
+  const std::string s = "netalytics";
+  const auto bytes = std::as_bytes(std::span(s.data(), s.size()));
+  EXPECT_EQ(fnv1a64(bytes), fnv1a64(std::string_view{s}));
+}
+
+TEST(Hash, Mix64IsInjectiveOnSmallRange) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 10000; ++i) seen.insert(mix64(i));
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(Hash, Mix64Avalanche) {
+  // Flipping one input bit should flip roughly half the output bits.
+  int total_flips = 0;
+  constexpr int kTrials = 256;
+  for (int t = 0; t < kTrials; ++t) {
+    const std::uint64_t x = mix64(static_cast<std::uint64_t>(t) * 0x9e3779b9);
+    const std::uint64_t y = x ^ (1ULL << (t % 64));
+    total_flips += std::popcount(mix64(x) ^ mix64(y));
+  }
+  const double avg = static_cast<double>(total_flips) / kTrials;
+  EXPECT_GT(avg, 24.0);
+  EXPECT_LT(avg, 40.0);
+}
+
+TEST(Hash, HashCombineOrderMatters) {
+  EXPECT_NE(hash_combine(hash_combine(0, 1), 2),
+            hash_combine(hash_combine(0, 2), 1));
+}
+
+TEST(Hash, HashToBucketInRange) {
+  for (std::size_t buckets : {1u, 2u, 3u, 7u, 100u}) {
+    for (std::uint64_t i = 0; i < 1000; ++i) {
+      EXPECT_LT(hash_to_bucket(mix64(i), buckets), buckets);
+    }
+  }
+}
+
+TEST(Hash, HashToBucketRoughlyUniform) {
+  constexpr std::size_t kBuckets = 16;
+  constexpr int kSamples = 160000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[hash_to_bucket(mix64(static_cast<std::uint64_t>(i)), kBuckets)];
+  }
+  const int expected = kSamples / kBuckets;
+  for (int c : counts) {
+    EXPECT_GT(c, expected * 0.9);
+    EXPECT_LT(c, expected * 1.1);
+  }
+}
+
+}  // namespace
+}  // namespace netalytics::common

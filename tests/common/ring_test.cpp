@@ -1,0 +1,169 @@
+#include "common/spsc_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "common/mpmc_queue.hpp"
+
+namespace netalytics::common {
+namespace {
+
+TEST(SpscRing, CapacityRoundsToPowerOfTwo) {
+  SpscRing<int> r(100);
+  EXPECT_EQ(r.capacity(), 127u);  // 128 slots, one reserved
+}
+
+TEST(SpscRing, FifoOrderSingleThread) {
+  SpscRing<int> r(16);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(r.try_push(i));
+  for (int i = 0; i < 10; ++i) {
+    int v = -1;
+    EXPECT_TRUE(r.try_pop(v));
+    EXPECT_EQ(v, i);
+  }
+  int v;
+  EXPECT_FALSE(r.try_pop(v));
+}
+
+TEST(SpscRing, PushFailsWhenFull) {
+  SpscRing<int> r(4);  // 3 usable slots
+  EXPECT_TRUE(r.try_push(1));
+  EXPECT_TRUE(r.try_push(2));
+  EXPECT_TRUE(r.try_push(3));
+  EXPECT_FALSE(r.try_push(4));
+  int v;
+  EXPECT_TRUE(r.try_pop(v));
+  EXPECT_TRUE(r.try_push(4));  // space freed
+}
+
+TEST(SpscRing, BulkOperations) {
+  SpscRing<int> r(8);
+  std::vector<int> in = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  const std::size_t pushed = r.try_push_bulk(in);
+  EXPECT_EQ(pushed, 7u);  // 8 slots -> 7 usable
+  std::vector<int> out(16, -1);
+  const std::size_t popped = r.try_pop_bulk(out);
+  EXPECT_EQ(popped, 7u);
+  for (std::size_t i = 0; i < popped; ++i) EXPECT_EQ(out[i], in[i]);
+}
+
+TEST(SpscRing, WrapAroundPreservesOrder) {
+  SpscRing<int> r(4);
+  int next_push = 0, next_pop = 0;
+  for (int round = 0; round < 100; ++round) {
+    while (r.try_push(next_push)) ++next_push;
+    int v;
+    while (r.try_pop(v)) {
+      EXPECT_EQ(v, next_pop);
+      ++next_pop;
+    }
+  }
+  EXPECT_EQ(next_push, next_pop);
+}
+
+TEST(SpscRing, ThreadedIntegrity) {
+  // Property: everything pushed is popped exactly once, in order.
+  constexpr int kCount = 200000;
+  SpscRing<int> r(1024);
+  std::thread producer([&] {
+    for (int i = 0; i < kCount;) {
+      if (r.try_push(i)) ++i;
+    }
+  });
+  long long sum = 0;
+  int expected = 0;
+  while (expected < kCount) {
+    int v;
+    if (r.try_pop(v)) {
+      ASSERT_EQ(v, expected);
+      sum += v;
+      ++expected;
+    }
+  }
+  producer.join();
+  EXPECT_EQ(sum, static_cast<long long>(kCount - 1) * kCount / 2);
+}
+
+TEST(SpscRing, MoveOnlyTypes) {
+  SpscRing<std::unique_ptr<int>> r(8);
+  EXPECT_TRUE(r.try_push(std::make_unique<int>(7)));
+  std::unique_ptr<int> out;
+  EXPECT_TRUE(r.try_pop(out));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 7);
+}
+
+TEST(MpmcQueue, BasicPushPop) {
+  MpmcQueue<int> q(4);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.try_pop().value(), 1);
+  EXPECT_EQ(q.try_pop().value(), 2);
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(MpmcQueue, TryPushFailsWhenFull) {
+  MpmcQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));
+}
+
+TEST(MpmcQueue, CloseDrainsRemainingItems) {
+  MpmcQueue<int> q(8);
+  q.push(1);
+  q.push(2);
+  q.close();
+  EXPECT_FALSE(q.push(3));
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_FALSE(q.pop().has_value());  // drained + closed
+}
+
+TEST(MpmcQueue, PopForTimesOut) {
+  MpmcQueue<int> q(4);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(q.pop_for(std::chrono::milliseconds(20)).has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - start,
+            std::chrono::milliseconds(15));
+}
+
+TEST(MpmcQueue, MultiProducerMultiConsumerConservation) {
+  constexpr int kPerProducer = 20000;
+  constexpr int kProducers = 3;
+  constexpr int kConsumers = 3;
+  MpmcQueue<int> q(256);
+  std::atomic<long long> consumed_sum{0};
+  std::atomic<int> consumed_count{0};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&q] {
+      for (int i = 1; i <= kPerProducer; ++i) q.push(i);
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (auto v = q.pop()) {
+        consumed_sum += *v;
+        ++consumed_count;
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[p].join();
+  q.close();
+  for (int c = 0; c < kConsumers; ++c) threads[kProducers + c].join();
+
+  EXPECT_EQ(consumed_count.load(), kProducers * kPerProducer);
+  EXPECT_EQ(consumed_sum.load(),
+            static_cast<long long>(kProducers) * kPerProducer * (kPerProducer + 1) / 2);
+}
+
+}  // namespace
+}  // namespace netalytics::common

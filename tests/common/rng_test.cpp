@@ -1,0 +1,138 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace netalytics::common {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next_u64() == b.next_u64());
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+class RngUniformTest : public ::testing::TestWithParam<std::pair<std::uint64_t, std::uint64_t>> {};
+
+TEST_P(RngUniformTest, StaysInClosedRange) {
+  const auto [lo, hi] = GetParam();
+  Rng r(99);
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = r.uniform(lo, hi);
+    EXPECT_GE(v, lo);
+    EXPECT_LE(v, hi);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranges, RngUniformTest,
+                         ::testing::Values(std::pair{0ULL, 0ULL},
+                                           std::pair{0ULL, 1ULL},
+                                           std::pair{5ULL, 10ULL},
+                                           std::pair{1000ULL, 1000000ULL}));
+
+TEST(Rng, UniformCoversFullRange) {
+  Rng r(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000 && !(saw_lo && saw_hi); ++i) {
+    const auto v = r.uniform(0, 9);
+    saw_lo |= (v == 0);
+    saw_hi |= (v == 9);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng r(11);
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += r.exponential(2.0);
+  EXPECT_NEAR(sum / kN, 0.5, 0.02);
+}
+
+TEST(Rng, NormalMeanAndStddev) {
+  Rng r(13);
+  double sum = 0, sq = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = r.normal(10.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.1);
+}
+
+TEST(Rng, ParetoRespectsScale) {
+  Rng r(17);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(r.pareto(1.5, 2.0), 1.5);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng r(19);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) hits += r.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Zipf, RejectsEmpty) { EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument); }
+
+TEST(Zipf, PmfSumsToOne) {
+  ZipfSampler z(100, 1.1);
+  double sum = 0;
+  for (std::size_t i = 0; i < z.size(); ++i) sum += z.pmf(i);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Zipf, LowerRanksMorePopular) {
+  ZipfSampler z(50, 1.0);
+  for (std::size_t i = 1; i < z.size(); ++i) EXPECT_GE(z.pmf(i - 1), z.pmf(i));
+}
+
+TEST(Zipf, SamplesInRange) {
+  ZipfSampler z(10, 0.9);
+  Rng r(23);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(z.sample(r), 10u);
+}
+
+TEST(Zipf, Rank0FrequencyMatchesPmf) {
+  ZipfSampler z(1000, 1.0);
+  Rng r(29);
+  int rank0 = 0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) rank0 += (z.sample(r) == 0);
+  EXPECT_NEAR(static_cast<double>(rank0) / kN, z.pmf(0), 0.01);
+}
+
+class ZipfExponentTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfExponentTest, HigherExponentMoreSkewThanUniform) {
+  ZipfSampler z(100, GetParam());
+  EXPECT_GT(z.pmf(0), 1.0 / 100.0);
+  EXPECT_LT(z.pmf(99), 1.0 / 100.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfExponentTest,
+                         ::testing::Values(0.5, 0.8, 1.0, 1.2, 2.0));
+
+}  // namespace
+}  // namespace netalytics::common

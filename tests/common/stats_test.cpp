@@ -1,0 +1,103 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace netalytics::common {
+namespace {
+
+TEST(RunningStats, MatchesNaiveComputation) {
+  RunningStats s;
+  const double xs[] = {1.0, 2.0, 4.0, 8.0, 16.0};
+  double sum = 0;
+  for (double x : xs) {
+    s.add(x);
+    sum += x;
+  }
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.sum(), sum);
+  EXPECT_DOUBLE_EQ(s.mean(), sum / 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 16.0);
+  // Sample variance of {1,2,4,8,16}: mean=6.2, ss=148.8, var=37.2.
+  EXPECT_NEAR(s.variance(), 37.2, 1e-9);
+}
+
+TEST(RunningStats, SingleValueHasZeroVariance) {
+  RunningStats s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(0, 10, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(10, 10, 5), std::invalid_argument);
+}
+
+TEST(Histogram, BucketsAndClamping) {
+  Histogram h(0, 10, 10);
+  h.add(0.5);   // bucket 0
+  h.add(9.5);   // bucket 9
+  h.add(-5.0);  // clamps to bucket 0
+  h.add(25.0);  // clamps to bucket 9
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, QuantileOnUniformData) {
+  Histogram h(0, 100, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+}
+
+TEST(Histogram, RowsSkipEmptyBuckets) {
+  Histogram h(0, 10, 10);
+  h.add(1.5);
+  const std::string out = h.to_rows(true);
+  // Only one populated bucket -> exactly one line.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 1);
+}
+
+TEST(SampleSet, PercentileEndpoints) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_NEAR(s.percentile(50), 50.5, 1e-9);
+}
+
+TEST(SampleSet, PercentileThrowsOnEmpty) {
+  SampleSet s;
+  EXPECT_THROW(s.percentile(50), std::logic_error);
+}
+
+TEST(SampleSet, InterleavedAddAndQuery) {
+  SampleSet s;
+  s.add(10);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 10.0);
+  s.add(20);
+  EXPECT_NEAR(s.percentile(50), 15.0, 1e-9);
+}
+
+TEST(SampleSet, CdfRowsMonotonic) {
+  SampleSet s;
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) s.add(r.next_double() * 100);
+  const std::string cdf = s.cdf_rows(10);
+  EXPECT_EQ(std::count(cdf.begin(), cdf.end(), '\n'), 11);
+}
+
+TEST(Format, SiScaling) {
+  EXPECT_EQ(format_si(1500.0, "bps"), "1.50 Kbps");
+  EXPECT_EQ(format_si(4200000000.0, "bps"), "4.20 Gbps");
+  EXPECT_EQ(format_si(12.0, "pps"), "12.00 pps");
+}
+
+}  // namespace
+}  // namespace netalytics::common

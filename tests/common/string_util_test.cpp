@@ -1,0 +1,73 @@
+#include "common/string_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netalytics::common {
+namespace {
+
+TEST(Split, BasicAndEmptyFields) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Split, NoSeparatorYieldsWhole) {
+  const auto parts = split("hello", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "hello");
+}
+
+TEST(Split, EmptyInput) {
+  const auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Trim, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  hi \t\n"), "hi");
+  EXPECT_EQ(trim("nothing"), "nothing");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(ToLower, Basic) { EXPECT_EQ(to_lower("PaRsE"), "parse"); }
+
+TEST(StartsWithCi, CaseInsensitive) {
+  EXPECT_TRUE(starts_with_ci("GET /index.html", "get "));
+  EXPECT_TRUE(starts_with_ci("PARSE http_get", "parse"));
+  EXPECT_FALSE(starts_with_ci("GE", "GET"));
+  EXPECT_FALSE(starts_with_ci("POST /", "GET"));
+}
+
+TEST(ParseU64, ValidAndInvalid) {
+  std::uint64_t v = 0;
+  EXPECT_TRUE(parse_u64("12345", v));
+  EXPECT_EQ(v, 12345u);
+  EXPECT_FALSE(parse_u64("", v));
+  EXPECT_FALSE(parse_u64("12x", v));
+  EXPECT_FALSE(parse_u64("-5", v));
+  EXPECT_FALSE(parse_u64("99999999999999999999999", v));  // overflow
+}
+
+TEST(ParseDouble, ValidAndInvalid) {
+  double v = 0;
+  EXPECT_TRUE(parse_double("0.25", v));
+  EXPECT_DOUBLE_EQ(v, 0.25);
+  EXPECT_TRUE(parse_double("-3.5", v));
+  EXPECT_DOUBLE_EQ(v, -3.5);
+  EXPECT_FALSE(parse_double("1.5abc", v));
+  EXPECT_FALSE(parse_double("", v));
+}
+
+TEST(Pad, RightAndLeft) {
+  EXPECT_EQ(pad_right("ab", 5), "ab   ");
+  EXPECT_EQ(pad_left("ab", 5), "   ab");
+  EXPECT_EQ(pad_right("abcdef", 3), "abcdef");  // never truncates
+  EXPECT_EQ(pad_left("abcdef", 3), "abcdef");
+}
+
+}  // namespace
+}  // namespace netalytics::common

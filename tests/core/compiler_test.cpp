@@ -1,0 +1,119 @@
+#include "core/compiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "parsers/parsers.hpp"
+
+namespace netalytics::core {
+namespace {
+
+class CompilerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { parsers::register_builtin_parsers(); }
+
+  CompilerTest() : emu_(Emulation::make_small(4)) {}
+
+  common::Expected<DeploymentPlan> compile(const std::string& text) {
+    auto v = query::parse_and_validate(text);
+    if (!v) return v.error();
+    return compile_query(*v, emu_);
+  }
+
+  Emulation emu_;
+};
+
+TEST_F(CompilerTest, SimpleHostPairPlan) {
+  const auto plan = compile(
+      "PARSE tcp_conn_time, http_get FROM h0:* TO h5:80 "
+      "LIMIT 90s SAMPLE auto PROCESS (top-k: k=10)");
+  ASSERT_TRUE(plan.has_value()) << plan.error().to_string();
+  ASSERT_EQ(plan->pairs.size(), 1u);
+  EXPECT_EQ(plan->pairs[0].dst_port, 80);
+  EXPECT_FALSE(plan->pairs[0].src_port.has_value());
+  ASSERT_EQ(plan->monitors.size(), 1u);
+  // The monitor sits under a ToR covering the pair.
+  const auto src_tor = emu_.topology().tor_of_host(*emu_.node_of_name("h0"));
+  const auto dst_tor = emu_.topology().tor_of_host(*emu_.node_of_name("h5"));
+  EXPECT_TRUE(plan->monitors[0].tor == src_tor || plan->monitors[0].tor == dst_tor);
+  EXPECT_TRUE(plan->auto_sample);
+  EXPECT_EQ(plan->duration, 90 * common::kSecond);
+  EXPECT_EQ(plan->topics,
+            (std::vector<std::string>{"tcp_conn_time", "http_get"}));
+}
+
+TEST_F(CompilerTest, WildcardFromAnchorsOnDestination) {
+  const auto plan =
+      compile("PARSE http_get FROM * TO h5:80 PROCESS (top-k)");
+  ASSERT_TRUE(plan.has_value()) << plan.error().to_string();
+  ASSERT_EQ(plan->monitors.size(), 1u);
+  const auto dst_tor = emu_.topology().tor_of_host(*emu_.node_of_name("h5"));
+  EXPECT_EQ(plan->monitors[0].tor, dst_tor);
+  EXPECT_FALSE(plan->pairs[0].src_prefix.has_value());
+}
+
+TEST_F(CompilerTest, MultipleDestinationsShareMonitorsWhenCoLocated) {
+  // h4 and h5 are in the same rack: one monitor covers both pairs.
+  const auto plan = compile(
+      "PARSE tcp_conn_time FROM h0:* TO h4:80, h5:3306 PROCESS "
+      "(diff-group: group=destIP)");
+  ASSERT_TRUE(plan.has_value()) << plan.error().to_string();
+  EXPECT_EQ(plan->pairs.size(), 2u);
+  ASSERT_EQ(plan->monitors.size(), 1u);
+  EXPECT_EQ(plan->monitors[0].pair_indices.size(), 2u);
+}
+
+TEST_F(CompilerTest, SubnetExpandsToBoundHosts) {
+  // Rack 0 = 10.0.0.0/24 holds 4 hosts; pairs expand per host at /32.
+  const auto plan = compile(
+      "PARSE http_get FROM 10.0.0.0/24 TO h5:80 PROCESS (top-k)");
+  ASSERT_TRUE(plan.has_value()) << plan.error().to_string();
+  EXPECT_EQ(plan->pairs.size(), 4u);
+  for (const auto& pair : plan->pairs) {
+    ASSERT_TRUE(pair.src_prefix.has_value());
+    EXPECT_EQ(pair.src_prefix->length, 32);  // host-granular match
+  }
+}
+
+TEST_F(CompilerTest, UnknownHostnameFails) {
+  const auto plan = compile("PARSE http_get TO nosuch:80 PROCESS (top-k)");
+  ASSERT_FALSE(plan.has_value());
+  EXPECT_NE(plan.error().message.find("nosuch"), std::string::npos);
+}
+
+TEST_F(CompilerTest, UnboundIpFails) {
+  const auto plan =
+      compile("PARSE http_get TO 203.0.113.7:80 PROCESS (top-k)");
+  ASSERT_FALSE(plan.has_value());
+}
+
+TEST_F(CompilerTest, EmptySubnetFails) {
+  const auto plan =
+      compile("PARSE http_get FROM 192.168.0.0/24 TO h5:80 PROCESS (top-k)");
+  ASSERT_FALSE(plan.has_value());
+  EXPECT_NE(plan.error().message.find("no bound hosts"), std::string::npos);
+}
+
+TEST_F(CompilerTest, PacketLimitCarriedThrough) {
+  const auto plan = compile(
+      "PARSE http_get FROM * TO h5:80 LIMIT 5000p SAMPLE 0.1 PROCESS (top-k)");
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->packet_limit, 5000u);
+  EXPECT_EQ(plan->duration, 0u);
+  EXPECT_DOUBLE_EQ(plan->initial_sample_rate, 0.1);
+  EXPECT_FALSE(plan->auto_sample);
+}
+
+TEST_F(CompilerTest, CrossProductFromTo) {
+  const auto plan = compile(
+      "PARSE tcp_conn_time FROM h0:*, h1:* TO h4:80, h5:80 PROCESS "
+      "(diff-group: group=destIP)");
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->pairs.size(), 4u);
+  // Every pair is assigned to exactly one monitor.
+  std::size_t assigned = 0;
+  for (const auto& m : plan->monitors) assigned += m.pair_indices.size();
+  EXPECT_EQ(assigned, 4u);
+}
+
+}  // namespace
+}  // namespace netalytics::core

@@ -1,0 +1,89 @@
+#include "dcn/routing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netalytics::dcn {
+namespace {
+
+class RoutingTest : public ::testing::Test {
+ protected:
+  RoutingTest() : topo_(build_fat_tree(4)) {}
+
+  NodeId host_in_rack(std::size_t tor_index, std::size_t slot = 0) const {
+    return topo_.hosts_under_tor(topo_.tor_switches().at(tor_index)).at(slot);
+  }
+
+  Topology topo_;
+};
+
+TEST_F(RoutingTest, SameTorPathIsTwoHops) {
+  const NodeId a = host_in_rack(0, 0);
+  const NodeId b = host_in_rack(0, 1);
+  EXPECT_EQ(hop_count(topo_, a, b), 2u);
+  const auto path = shortest_path(topo_, a, b);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(topo_.node(path[1]).kind, NodeKind::tor);
+}
+
+TEST_F(RoutingTest, SamePodPathIsFourHops) {
+  const NodeId a = host_in_rack(0);
+  const NodeId b = host_in_rack(1);  // second ToR of pod 0
+  ASSERT_EQ(topo_.node(topo_.tor_of_host(a)).pod, topo_.node(topo_.tor_of_host(b)).pod);
+  EXPECT_EQ(hop_count(topo_, a, b), 4u);
+}
+
+TEST_F(RoutingTest, CrossPodPathIsSixHops) {
+  const NodeId a = host_in_rack(0);
+  const NodeId b = host_in_rack(2);  // pod 1
+  ASSERT_NE(topo_.node(topo_.tor_of_host(a)).pod, topo_.node(topo_.tor_of_host(b)).pod);
+  EXPECT_EQ(hop_count(topo_, a, b), 6u);
+}
+
+TEST_F(RoutingTest, PathToSelf) {
+  const NodeId a = host_in_rack(0);
+  EXPECT_EQ(hop_count(topo_, a, a), 0u);
+  EXPECT_EQ(shortest_path(topo_, a, a).size(), 1u);
+}
+
+TEST_F(RoutingTest, WeightedCostsMatchLinkClasses) {
+  const NodeId a = host_in_rack(0, 0);
+  const NodeId same_rack = host_in_rack(0, 1);
+  const NodeId same_pod = host_in_rack(1);
+  const NodeId cross = host_in_rack(2);
+  EXPECT_DOUBLE_EQ(weighted_hop_cost(topo_, a, same_rack), 2.0);    // 1+1
+  EXPECT_DOUBLE_EQ(weighted_hop_cost(topo_, a, same_pod), 6.0);     // 1+2+2+1
+  EXPECT_DOUBLE_EQ(weighted_hop_cost(topo_, a, cross), 14.0);       // 1+2+4+4+2+1
+}
+
+TEST_F(RoutingTest, ClassifyPairMatchesBfs) {
+  const NodeId a = host_in_rack(0, 0);
+  for (const NodeId b : topo_.hosts()) {
+    const auto loc = classify_pair(topo_, a, b);
+    EXPECT_EQ(locality_hops(loc), hop_count(topo_, a, b));
+    EXPECT_DOUBLE_EQ(locality_weighted_cost(loc), weighted_hop_cost(topo_, a, b));
+  }
+}
+
+TEST_F(RoutingTest, LinkWeights) {
+  const NodeId host = host_in_rack(0);
+  const NodeId tor = topo_.tor_of_host(host);
+  const NodeId agg = topo_.aggs_of_tor(tor)[0];
+  NodeId core = 0;
+  for (const NodeId n : topo_.neighbors(agg)) {
+    if (topo_.node(n).kind == NodeKind::core) core = n;
+  }
+  EXPECT_DOUBLE_EQ(link_weight(topo_, host, tor), 1.0);
+  EXPECT_DOUBLE_EQ(link_weight(topo_, tor, agg), 2.0);
+  EXPECT_DOUBLE_EQ(link_weight(topo_, agg, core), 4.0);
+}
+
+TEST(Routing, UnreachableReturnsEmpty) {
+  Topology topo;
+  const NodeId a = topo.add_node(NodeKind::host);
+  const NodeId b = topo.add_node(NodeKind::host);
+  EXPECT_TRUE(shortest_path(topo, a, b).empty());
+  EXPECT_EQ(hop_count(topo, a, b), 0u);
+}
+
+}  // namespace
+}  // namespace netalytics::dcn

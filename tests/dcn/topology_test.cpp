@@ -1,0 +1,102 @@
+#include "dcn/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace netalytics::dcn {
+namespace {
+
+TEST(FatTree, RejectsOddOrTinyK) {
+  EXPECT_THROW(build_fat_tree(3), std::invalid_argument);
+  EXPECT_THROW(build_fat_tree(0), std::invalid_argument);
+}
+
+class FatTreeSizeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FatTreeSizeTest, NodeCountsMatchFormula) {
+  const int k = GetParam();
+  const auto topo = build_fat_tree(k);
+  EXPECT_EQ(topo.hosts().size(), static_cast<std::size_t>(k * k * k / 4));
+  EXPECT_EQ(topo.tor_switches().size(), static_cast<std::size_t>(k * k / 2));
+  EXPECT_EQ(topo.aggregate_switches().size(), static_cast<std::size_t>(k * k / 2));
+  EXPECT_EQ(topo.core_switches().size(), static_cast<std::size_t>(k * k / 4));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, FatTreeSizeTest, ::testing::Values(2, 4, 8));
+
+TEST(FatTree, PaperScaleK16) {
+  // §6.2: k=16 -> 1024 hosts, 128 edge, 128 aggregate, 64 core.
+  const auto topo = build_fat_tree(16);
+  EXPECT_EQ(topo.hosts().size(), 1024u);
+  EXPECT_EQ(topo.tor_switches().size(), 128u);
+  EXPECT_EQ(topo.aggregate_switches().size(), 128u);
+  EXPECT_EQ(topo.core_switches().size(), 64u);
+}
+
+TEST(FatTree, DegreesAreConsistent) {
+  const int k = 4;
+  const auto topo = build_fat_tree(k);
+  for (const auto h : topo.hosts()) {
+    EXPECT_EQ(topo.neighbors(h).size(), 1u);  // host -> its ToR
+  }
+  for (const auto t : topo.tor_switches()) {
+    EXPECT_EQ(topo.neighbors(t).size(), static_cast<std::size_t>(k));  // k/2 hosts + k/2 aggs
+  }
+  for (const auto a : topo.aggregate_switches()) {
+    EXPECT_EQ(topo.neighbors(a).size(), static_cast<std::size_t>(k));  // k/2 tors + k/2 cores
+  }
+  for (const auto c : topo.core_switches()) {
+    EXPECT_EQ(topo.neighbors(c).size(), static_cast<std::size_t>(k));  // one agg per pod
+  }
+}
+
+TEST(FatTree, CoreConnectsEveryPod) {
+  const auto topo = build_fat_tree(4);
+  for (const auto c : topo.core_switches()) {
+    std::set<int> pods;
+    for (const auto n : topo.neighbors(c)) pods.insert(topo.node(n).pod);
+    EXPECT_EQ(pods.size(), 4u);
+  }
+}
+
+TEST(FatTree, HelperAccessors) {
+  const auto topo = build_fat_tree(4);
+  const NodeId host = topo.hosts().front();
+  const NodeId tor = topo.tor_of_host(host);
+  EXPECT_EQ(topo.node(tor).kind, NodeKind::tor);
+  const auto rack = topo.hosts_under_tor(tor);
+  EXPECT_EQ(rack.size(), 2u);  // k/2
+  EXPECT_NE(std::find(rack.begin(), rack.end(), host), rack.end());
+  EXPECT_EQ(topo.aggs_of_tor(tor).size(), 2u);
+  const auto under_agg = topo.hosts_under_agg(topo.aggs_of_tor(tor)[0]);
+  EXPECT_EQ(under_agg.size(), 4u);  // all pod hosts
+}
+
+TEST(FatTree, ResourceRandomizationWithinBounds) {
+  auto topo = build_fat_tree(4);
+  common::Rng rng(3);
+  topo.randomize_host_resources(rng);
+  for (const auto h : topo.hosts()) {
+    const auto& n = topo.node(h);
+    EXPECT_GE(n.mem_capacity_gb, 32.0);
+    EXPECT_LE(n.mem_capacity_gb, 128.0);
+    EXPECT_GE(n.cpu_capacity, 12.0);
+    EXPECT_LE(n.cpu_capacity, 24.0);
+    const double util = n.cpu_used / n.cpu_capacity;
+    EXPECT_GE(util, 0.4 - 1e-9);
+    EXPECT_LE(util, 0.8 + 1e-9);
+    EXPECT_GT(n.cpu_free(), 0.0);
+  }
+}
+
+TEST(SmallTree, ShapeMatchesFigure2) {
+  const auto topo = build_small_tree(3);
+  EXPECT_EQ(topo.core_switches().size(), 2u);
+  EXPECT_EQ(topo.aggregate_switches().size(), 4u);
+  EXPECT_EQ(topo.tor_switches().size(), 8u);
+  EXPECT_EQ(topo.hosts().size(), 24u);
+}
+
+}  // namespace
+}  // namespace netalytics::dcn

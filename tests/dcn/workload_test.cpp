@@ -1,0 +1,116 @@
+#include "dcn/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dcn/routing.hpp"
+
+namespace netalytics::dcn {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  WorkloadTest() : topo_(build_fat_tree(8)) {}
+  Topology topo_;
+};
+
+TEST_F(WorkloadTest, GeneratesRequestedFlowCount) {
+  WorkloadConfig cfg;
+  cfg.flow_count = 10000;
+  const auto w = generate_workload(topo_, cfg);
+  EXPECT_EQ(w.flows.size(), 10000u);
+}
+
+TEST_F(WorkloadTest, TotalTrafficMatchesTarget) {
+  WorkloadConfig cfg;
+  cfg.flow_count = 20000;
+  cfg.total_traffic_bps = 5e9;
+  const auto w = generate_workload(topo_, cfg);
+  EXPECT_NEAR(w.total_rate_bps, 5e9, 1e3);
+  double sum = 0;
+  for (const auto& f : w.flows) sum += f.rate_bps;
+  EXPECT_NEAR(sum, 5e9, 1e3);
+}
+
+TEST_F(WorkloadTest, StaggeredLocalityDistribution) {
+  // §6.2: ToRP=0.5, PodP=0.3, CoreP=0.2.
+  WorkloadConfig cfg;
+  cfg.flow_count = 50000;
+  const auto w = generate_workload(topo_, cfg);
+  std::size_t tor = 0, pod = 0, core = 0;
+  for (const auto& f : w.flows) {
+    switch (classify_pair(topo_, f.src_host, f.dst_host)) {
+      case PairLocality::same_host:
+      case PairLocality::same_tor: ++tor; break;
+      case PairLocality::same_pod: ++pod; break;
+      case PairLocality::cross_core: ++core; break;
+    }
+  }
+  const double n = static_cast<double>(w.flows.size());
+  EXPECT_NEAR(tor / n, 0.5, 0.02);
+  EXPECT_NEAR(pod / n, 0.3, 0.02);
+  EXPECT_NEAR(core / n, 0.2, 0.02);
+}
+
+TEST_F(WorkloadTest, NoSelfFlows) {
+  WorkloadConfig cfg;
+  cfg.flow_count = 5000;
+  const auto w = generate_workload(topo_, cfg);
+  for (const auto& f : w.flows) EXPECT_NE(f.src_host, f.dst_host);
+}
+
+TEST_F(WorkloadTest, FlowSizesHeavyTailed) {
+  WorkloadConfig cfg;
+  cfg.flow_count = 50000;
+  cfg.mean_flow_size_bytes = 10000;
+  const auto w = generate_workload(topo_, cfg);
+  std::vector<double> sizes;
+  sizes.reserve(w.flows.size());
+  double sum = 0;
+  for (const auto& f : w.flows) {
+    sizes.push_back(f.size_bytes);
+    sum += f.size_bytes;
+  }
+  std::sort(sizes.begin(), sizes.end());
+  const double mean = sum / static_cast<double>(sizes.size());
+  const double median = sizes[sizes.size() / 2];
+  EXPECT_NEAR(mean, 10000, 1500);
+  EXPECT_LT(median, mean * 0.6);  // heavy tail: median far below mean
+}
+
+TEST_F(WorkloadTest, DeterministicForSeed) {
+  WorkloadConfig cfg;
+  cfg.flow_count = 1000;
+  cfg.seed = 77;
+  const auto a = generate_workload(topo_, cfg);
+  const auto b = generate_workload(topo_, cfg);
+  for (std::size_t i = 0; i < a.flows.size(); ++i) {
+    EXPECT_EQ(a.flows[i].src_host, b.flows[i].src_host);
+    EXPECT_EQ(a.flows[i].dst_host, b.flows[i].dst_host);
+    EXPECT_DOUBLE_EQ(a.flows[i].rate_bps, b.flows[i].rate_bps);
+  }
+}
+
+TEST_F(WorkloadTest, SampleFlowIndicesDistinct) {
+  WorkloadConfig cfg;
+  cfg.flow_count = 1000;
+  const auto w = generate_workload(topo_, cfg);
+  common::Rng rng(5);
+  const auto sample = w.sample_flow_indices(300, rng);
+  EXPECT_EQ(sample.size(), 300u);
+  const std::set<std::uint32_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 300u);
+  for (const auto i : sample) EXPECT_LT(i, 1000u);
+}
+
+TEST_F(WorkloadTest, SampleClampedToFlowCount) {
+  WorkloadConfig cfg;
+  cfg.flow_count = 100;
+  const auto w = generate_workload(topo_, cfg);
+  common::Rng rng(5);
+  EXPECT_EQ(w.sample_flow_indices(1000, rng).size(), 100u);
+}
+
+}  // namespace
+}  // namespace netalytics::dcn

@@ -1,0 +1,207 @@
+#include "mq/broker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netalytics::mq {
+namespace {
+
+Message make_msg(const std::string& topic, std::uint64_t key, std::size_t bytes) {
+  Message m;
+  m.topic = topic;
+  m.key = key;
+  m.payload.resize(bytes, std::byte{0x7f});
+  return m;
+}
+
+TEST(Broker, ProduceThenPollRoundTrip) {
+  Broker broker;
+  ASSERT_EQ(broker.produce(make_msg("t", 1, 10), 0), ProduceStatus::ok);
+  ASSERT_EQ(broker.produce(make_msg("t", 1, 20), 0), ProduceStatus::ok);
+  const auto msgs = broker.poll("g", "t", 10);
+  ASSERT_EQ(msgs.size(), 2u);
+  EXPECT_EQ(msgs[0].payload.size(), 10u);
+  EXPECT_EQ(msgs[1].payload.size(), 20u);
+  EXPECT_LT(msgs[0].offset, msgs[1].offset);
+}
+
+TEST(Broker, OffsetsAdvancePerGroup) {
+  Broker broker;
+  broker.produce(make_msg("t", 1, 1), 0);
+  EXPECT_EQ(broker.poll("g", "t", 10).size(), 1u);
+  EXPECT_EQ(broker.poll("g", "t", 10).size(), 0u);  // already consumed
+  broker.produce(make_msg("t", 1, 1), 0);
+  EXPECT_EQ(broker.poll("g", "t", 10).size(), 1u);
+}
+
+TEST(Broker, IndependentConsumerGroupsReplay) {
+  Broker broker;
+  broker.produce(make_msg("t", 1, 1), 0);
+  EXPECT_EQ(broker.poll("g1", "t", 10).size(), 1u);
+  EXPECT_EQ(broker.poll("g2", "t", 10).size(), 1u);  // fresh group sees it too
+}
+
+TEST(Broker, PollRespectsMax) {
+  Broker broker;
+  for (int i = 0; i < 10; ++i) broker.produce(make_msg("t", 1, 1), 0);
+  EXPECT_EQ(broker.poll("g", "t", 3).size(), 3u);
+  EXPECT_EQ(broker.poll("g", "t", 100).size(), 7u);
+}
+
+TEST(Broker, UnknownTopicPollsEmpty) {
+  Broker broker;
+  EXPECT_TRUE(broker.poll("g", "nope", 10).empty());
+  EXPECT_DOUBLE_EQ(broker.occupancy("nope"), 0.0);
+}
+
+TEST(Broker, TopicsAreIsolated) {
+  Broker broker;
+  broker.produce(make_msg("a", 1, 1), 0);
+  broker.produce(make_msg("b", 1, 1), 0);
+  EXPECT_EQ(broker.poll("g", "a", 10).size(), 1u);
+  EXPECT_EQ(broker.depth("b"), 1u);
+}
+
+TEST(Broker, RetentionEvictsOldest) {
+  BrokerConfig cfg;
+  cfg.partition_capacity = 4;
+  Broker broker(cfg);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    broker.produce(make_msg("t", 1, static_cast<std::size_t>(i + 1)), 0);
+  }
+  EXPECT_EQ(broker.depth("t"), 4u);
+  EXPECT_EQ(broker.stats().dropped_retention, 6u);
+  // A late consumer only sees the retained tail, starting at the oldest
+  // surviving offset.
+  const auto msgs = broker.poll("late", "t", 10);
+  ASSERT_EQ(msgs.size(), 4u);
+  EXPECT_EQ(msgs[0].payload.size(), 7u);  // message index 6
+}
+
+TEST(Broker, HighWatermarkSignalsLowBuffer) {
+  BrokerConfig cfg;
+  cfg.partition_capacity = 10;
+  cfg.high_watermark = 0.5;
+  Broker broker(cfg);
+  ProduceStatus status = ProduceStatus::ok;
+  for (int i = 0; i < 4; ++i) status = broker.produce(make_msg("t", 1, 1), 0);
+  EXPECT_EQ(status, ProduceStatus::ok);
+  status = broker.produce(make_msg("t", 1, 1), 0);  // 5/10 = watermark
+  EXPECT_EQ(status, ProduceStatus::low_buffer);
+}
+
+TEST(Broker, OccupancyIsConsumerLagNotLogSize) {
+  // Consuming does not delete messages (retention does), so buffer
+  // pressure must reflect what the slowest group has NOT yet read —
+  // otherwise feedback sampling would see a "full" buffer forever.
+  BrokerConfig cfg;
+  cfg.partition_capacity = 10;
+  Broker broker(cfg);
+  for (int i = 0; i < 8; ++i) broker.produce(make_msg("t", 1, 1), 0);
+  EXPECT_NEAR(broker.occupancy("t"), 0.8, 1e-9);  // nothing consumed yet
+  broker.poll("g", "t", 6);
+  EXPECT_NEAR(broker.occupancy("t"), 0.2, 1e-9);  // 2 unread
+  broker.poll("g", "t", 10);
+  EXPECT_NEAR(broker.occupancy("t"), 0.0, 1e-9);  // fully drained
+  // A second, slower group pins the pressure.
+  broker.produce(make_msg("t", 1, 1), 0);
+  broker.poll("slow", "t", 1);  // reads from the retained tail
+  EXPECT_GT(broker.occupancy("t"), 0.0);
+}
+
+TEST(Broker, LowBufferSignalClearsAfterConsumption) {
+  BrokerConfig cfg;
+  cfg.partition_capacity = 10;
+  cfg.high_watermark = 0.5;
+  Broker broker(cfg);
+  ProduceStatus status = ProduceStatus::ok;
+  for (int i = 0; i < 6; ++i) status = broker.produce(make_msg("t", 1, 1), 0);
+  EXPECT_EQ(status, ProduceStatus::low_buffer);
+  broker.poll("g", "t", 6);
+  EXPECT_EQ(broker.produce(make_msg("t", 1, 1), 0), ProduceStatus::ok);
+}
+
+TEST(Broker, OccupancyTracksFullestPartition) {
+  BrokerConfig cfg;
+  cfg.partition_capacity = 10;
+  Broker broker(cfg);
+  for (int i = 0; i < 5; ++i) broker.produce(make_msg("t", 1, 1), 0);
+  EXPECT_NEAR(broker.occupancy("t"), 0.5, 1e-9);
+}
+
+TEST(Broker, DiskModelBlocksWhenSaturated) {
+  // 1 MB/s disk, 50 ms max lag -> at most ~50 KB outstanding at one instant.
+  BrokerConfig cfg;
+  cfg.persist_bytes_per_sec = 1'000'000;
+  Broker broker(cfg);
+  ASSERT_EQ(broker.produce(make_msg("t", 1, 40'000), 0), ProduceStatus::ok);
+  // Another 40 KB at the same instant exceeds the allowed persist lag.
+  EXPECT_EQ(broker.produce(make_msg("t", 1, 40'000), 0), ProduceStatus::blocked);
+  EXPECT_EQ(broker.stats().blocked, 1u);
+  // After the disk catches up (100 ms later), produce succeeds again.
+  EXPECT_EQ(broker.produce(make_msg("t", 1, 40'000), 100 * common::kMillisecond),
+            ProduceStatus::ok);
+}
+
+TEST(Broker, RamDiskModeNeverBlocks) {
+  Broker broker;  // persist_bytes_per_sec = 0
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_NE(broker.produce(make_msg("t", 1, 100'000), 0), ProduceStatus::blocked);
+  }
+}
+
+TEST(Broker, DiskVsRamDiskThroughputGap) {
+  // The paper's observation: RAM-disk Kafka sustains an order of magnitude
+  // more than the 70 MB/s disk log. Count accepted messages over one
+  // simulated second.
+  BrokerConfig disk_cfg;
+  disk_cfg.persist_bytes_per_sec = 70'000'000;
+  disk_cfg.partition_capacity = 1 << 20;
+  Broker disk(disk_cfg);
+  BrokerConfig ram_cfg;
+  ram_cfg.partition_capacity = 1 << 20;
+  Broker ram(ram_cfg);
+
+  constexpr std::size_t kMsgBytes = 10'000;
+  std::uint64_t disk_ok = 0, ram_ok = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const common::Timestamp now =
+        static_cast<common::Timestamp>(i) * (common::kSecond / 20000);
+    if (disk.produce(make_msg("t", 1, kMsgBytes), now) != ProduceStatus::blocked) {
+      ++disk_ok;
+    }
+    if (ram.produce(make_msg("t", 1, kMsgBytes), now) != ProduceStatus::blocked) {
+      ++ram_ok;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(disk_ok) * kMsgBytes, 70e6, 20e6);
+  EXPECT_GT(ram_ok, disk_ok * 2);
+  EXPECT_EQ(ram_ok, 20000u);
+}
+
+TEST(Broker, StatsCountProducedAndConsumed) {
+  Broker broker;
+  broker.produce(make_msg("t", 1, 5), 0);
+  broker.produce(make_msg("t", 1, 5), 0);
+  broker.poll("g", "t", 1);
+  const auto s = broker.stats();
+  EXPECT_EQ(s.produced, 2u);
+  EXPECT_EQ(s.consumed, 1u);
+  EXPECT_EQ(s.bytes_in, 10u);
+}
+
+TEST(Broker, MultiplePartitionsSpreadKeys) {
+  BrokerConfig cfg;
+  cfg.partitions_per_topic = 4;
+  cfg.partition_capacity = 100;
+  Broker broker(cfg);
+  for (std::uint64_t k = 0; k < 64; ++k) {
+    broker.produce(make_msg("t", k, 1), 0);
+  }
+  // All messages retrievable despite partitioning.
+  EXPECT_EQ(broker.poll("g", "t", 1000).size(), 64u);
+  // Spread: the fullest partition holds well under everything.
+  EXPECT_LT(broker.occupancy("t"), 0.5);
+}
+
+}  // namespace
+}  // namespace netalytics::mq

@@ -1,0 +1,152 @@
+#include "net/decode.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace netalytics::net {
+namespace {
+
+// Hand-rolled frame builder (kept independent of pktgen so the net layer is
+// testable in isolation).
+std::vector<std::byte> make_frame(std::uint8_t ip_proto, std::uint8_t tcp_flags_val,
+                                  std::size_t payload_size) {
+  const std::size_t l4_size =
+      ip_proto == 6 ? TcpHeader::kMinSize : UdpHeader::kSize;
+  std::vector<std::byte> frame(EthernetHeader::kSize + Ipv4Header::kMinSize +
+                               l4_size + payload_size);
+  std::span<std::byte> buf(frame);
+
+  EthernetHeader eth;
+  eth.write(buf);
+
+  Ipv4Header ip;
+  ip.total_length =
+      static_cast<std::uint16_t>(Ipv4Header::kMinSize + l4_size + payload_size);
+  ip.protocol = ip_proto;
+  ip.src = make_ipv4(10, 0, 2, 8);
+  ip.dst = make_ipv4(10, 0, 2, 9);
+  ip.write(buf.subspan(EthernetHeader::kSize));
+
+  if (ip_proto == 6) {
+    TcpHeader tcp;
+    tcp.src_port = 5555;
+    tcp.dst_port = 80;
+    tcp.flags = tcp_flags_val;
+    tcp.write(buf.subspan(EthernetHeader::kSize + Ipv4Header::kMinSize));
+  } else {
+    UdpHeader udp;
+    udp.src_port = 5555;
+    udp.dst_port = 53;
+    udp.length = static_cast<std::uint16_t>(UdpHeader::kSize + payload_size);
+    udp.write(buf.subspan(EthernetHeader::kSize + Ipv4Header::kMinSize));
+  }
+  for (std::size_t i = 0; i < payload_size; ++i) {
+    frame[frame.size() - payload_size + i] = static_cast<std::byte>('A' + i % 26);
+  }
+  return frame;
+}
+
+TEST(Decode, TcpFrameFullyDecodes) {
+  const auto frame = make_frame(6, tcp_flags::kSyn, 16);
+  const auto d = decode_packet(frame);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(d->has_ipv4);
+  EXPECT_TRUE(d->has_tcp);
+  EXPECT_FALSE(d->has_udp);
+  EXPECT_EQ(d->five_tuple.src_ip, make_ipv4(10, 0, 2, 8));
+  EXPECT_EQ(d->five_tuple.dst_ip, make_ipv4(10, 0, 2, 9));
+  EXPECT_EQ(d->five_tuple.src_port, 5555);
+  EXPECT_EQ(d->five_tuple.dst_port, 80);
+  EXPECT_EQ(d->five_tuple.protocol, 6);
+  EXPECT_TRUE(d->tcp.has_flag(tcp_flags::kSyn));
+  EXPECT_EQ(d->payload().size(), 16u);
+  EXPECT_EQ(static_cast<char>(d->payload()[0]), 'A');
+}
+
+TEST(Decode, UdpFrameFullyDecodes) {
+  const auto frame = make_frame(17, 0, 8);
+  const auto d = decode_packet(frame);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(d->has_udp);
+  EXPECT_FALSE(d->has_tcp);
+  EXPECT_EQ(d->five_tuple.dst_port, 53);
+  EXPECT_EQ(d->payload().size(), 8u);
+}
+
+TEST(Decode, FlowHashesAreSetAndConsistent) {
+  const auto frame1 = make_frame(6, 0, 4);
+  const auto frame2 = make_frame(6, tcp_flags::kFin, 32);  // same five-tuple
+  const auto d1 = decode_packet(frame1);
+  const auto d2 = decode_packet(frame2);
+  ASSERT_TRUE(d1 && d2);
+  EXPECT_EQ(d1->flow_hash, d2->flow_hash);
+  EXPECT_NE(d1->flow_hash, 0u);
+}
+
+TEST(Decode, BidirectionalHashMatchesReverse) {
+  const auto frame = make_frame(6, 0, 0);
+  const auto d = decode_packet(frame);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->five_tuple.bidirectional_hash(),
+            d->five_tuple.reversed().bidirectional_hash());
+  EXPECT_NE(d->five_tuple.hash(), d->five_tuple.reversed().hash());
+}
+
+TEST(Decode, NonIpv4EtherTypeStopsAtL2) {
+  auto frame = make_frame(6, 0, 0);
+  frame[12] = std::byte{0x86};  // 0x86dd = IPv6
+  frame[13] = std::byte{0xdd};
+  const auto d = decode_packet(frame);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_FALSE(d->has_ipv4);
+  EXPECT_FALSE(d->has_tcp);
+}
+
+TEST(Decode, TooShortForEthernetFails) {
+  std::vector<std::byte> tiny(10);
+  EXPECT_FALSE(decode_packet(tiny).has_value());
+}
+
+TEST(Decode, TruncatedIpHeaderStopsAtL2) {
+  auto frame = make_frame(6, 0, 0);
+  frame.resize(EthernetHeader::kSize + 10);  // IP header cut short
+  const auto d = decode_packet(frame);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_FALSE(d->has_ipv4);
+}
+
+TEST(Decode, TruncatedTcpHeaderStopsAtL3) {
+  auto frame = make_frame(6, 0, 0);
+  frame.resize(EthernetHeader::kSize + Ipv4Header::kMinSize + 5);
+  const auto d = decode_packet(frame);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(d->has_ipv4);
+  EXPECT_FALSE(d->has_tcp);
+}
+
+TEST(Decode, PayloadBoundedByIpTotalLength) {
+  // Frame padded beyond IP total_length (e.g. Ethernet minimum padding)
+  // must not leak padding into the payload view.
+  auto frame = make_frame(6, 0, 10);
+  frame.resize(frame.size() + 20);  // trailing link-layer padding
+  const auto d = decode_packet(frame);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->payload().size(), 10u);
+}
+
+TEST(Decode, OtherIpProtocolHasNoL4) {
+  const auto base = make_frame(6, 0, 0);
+  auto frame = base;
+  frame[EthernetHeader::kSize + 9] = std::byte{1};  // ICMP
+  // Patch checksum irrelevant for decode.
+  const auto d = decode_packet(frame);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(d->has_ipv4);
+  EXPECT_FALSE(d->has_tcp);
+  EXPECT_FALSE(d->has_udp);
+  EXPECT_EQ(d->five_tuple.src_port, 0);
+}
+
+}  // namespace
+}  // namespace netalytics::net

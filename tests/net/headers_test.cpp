@@ -1,0 +1,138 @@
+#include "net/headers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace netalytics::net {
+namespace {
+
+TEST(EthernetHeader, WriteParseRoundTrip) {
+  EthernetHeader h;
+  h.dst = {1, 2, 3, 4, 5, 6};
+  h.src = {0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff};
+  h.ether_type = kEtherTypeIpv4;
+  std::array<std::byte, EthernetHeader::kSize> buf{};
+  h.write(buf);
+  const auto parsed = EthernetHeader::parse(buf);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->dst, h.dst);
+  EXPECT_EQ(parsed->src, h.src);
+  EXPECT_EQ(parsed->ether_type, h.ether_type);
+}
+
+TEST(EthernetHeader, RejectsShortBuffer) {
+  std::array<std::byte, EthernetHeader::kSize - 1> buf{};
+  EXPECT_FALSE(EthernetHeader::parse(buf).has_value());
+}
+
+TEST(Ipv4Header, WriteParseRoundTrip) {
+  Ipv4Header h;
+  h.total_length = 1500;
+  h.identification = 0x1234;
+  h.ttl = 17;
+  h.protocol = 6;
+  h.src = make_ipv4(10, 0, 0, 1);
+  h.dst = make_ipv4(10, 0, 0, 2);
+  std::array<std::byte, Ipv4Header::kMinSize> buf{};
+  h.write(buf);
+  const auto parsed = Ipv4Header::parse(buf);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->total_length, 1500);
+  EXPECT_EQ(parsed->identification, 0x1234);
+  EXPECT_EQ(parsed->ttl, 17);
+  EXPECT_EQ(parsed->protocol, 6);
+  EXPECT_EQ(parsed->src, h.src);
+  EXPECT_EQ(parsed->dst, h.dst);
+}
+
+TEST(Ipv4Header, ChecksumVerifies) {
+  Ipv4Header h;
+  h.total_length = 40;
+  h.protocol = 6;
+  h.src = make_ipv4(192, 168, 0, 1);
+  h.dst = make_ipv4(192, 168, 0, 2);
+  std::array<std::byte, Ipv4Header::kMinSize> buf{};
+  h.write(buf);
+  // RFC 1071: summing a header including its checksum must give 0xffff.
+  std::uint32_t sum = 0;
+  for (std::size_t i = 0; i < buf.size(); i += 2) {
+    sum += (static_cast<std::uint32_t>(buf[i]) << 8) |
+           static_cast<std::uint32_t>(buf[i + 1]);
+  }
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  EXPECT_EQ(sum, 0xffffu);
+}
+
+TEST(Ipv4Header, RejectsNonIpv4Version) {
+  std::array<std::byte, Ipv4Header::kMinSize> buf{};
+  buf[0] = std::byte{0x65};  // version 6
+  EXPECT_FALSE(Ipv4Header::parse(buf).has_value());
+}
+
+TEST(Ipv4Header, RejectsBadIhl) {
+  std::array<std::byte, Ipv4Header::kMinSize> buf{};
+  buf[0] = std::byte{0x43};  // version 4, ihl 3 (< 5)
+  EXPECT_FALSE(Ipv4Header::parse(buf).has_value());
+}
+
+TEST(TcpHeader, WriteParseRoundTrip) {
+  TcpHeader h;
+  h.src_port = 5555;
+  h.dst_port = 80;
+  h.seq = 0xdeadbeef;
+  h.ack = 0x12345678;
+  h.flags = tcp_flags::kSyn | tcp_flags::kAck;
+  h.window = 4096;
+  std::array<std::byte, TcpHeader::kMinSize> buf{};
+  h.write(buf);
+  const auto parsed = TcpHeader::parse(buf);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->src_port, 5555);
+  EXPECT_EQ(parsed->dst_port, 80);
+  EXPECT_EQ(parsed->seq, 0xdeadbeefu);
+  EXPECT_EQ(parsed->ack, 0x12345678u);
+  EXPECT_TRUE(parsed->has_flag(tcp_flags::kSyn));
+  EXPECT_TRUE(parsed->has_flag(tcp_flags::kAck));
+  EXPECT_FALSE(parsed->has_flag(tcp_flags::kFin));
+  EXPECT_EQ(parsed->window, 4096);
+}
+
+class TcpFlagTest : public ::testing::TestWithParam<std::uint8_t> {};
+
+TEST_P(TcpFlagTest, FlagRoundTrip) {
+  TcpHeader h;
+  h.flags = GetParam();
+  std::array<std::byte, TcpHeader::kMinSize> buf{};
+  h.write(buf);
+  EXPECT_EQ(TcpHeader::parse(buf)->flags, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Flags, TcpFlagTest,
+                         ::testing::Values(tcp_flags::kSyn, tcp_flags::kFin,
+                                           tcp_flags::kRst, tcp_flags::kAck,
+                                           tcp_flags::kSyn | tcp_flags::kAck,
+                                           tcp_flags::kFin | tcp_flags::kAck,
+                                           tcp_flags::kPsh | tcp_flags::kAck));
+
+TEST(UdpHeader, WriteParseRoundTrip) {
+  UdpHeader h;
+  h.src_port = 1234;
+  h.dst_port = 53;
+  h.length = 100;
+  std::array<std::byte, UdpHeader::kSize> buf{};
+  h.write(buf);
+  const auto parsed = UdpHeader::parse(buf);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->src_port, 1234);
+  EXPECT_EQ(parsed->dst_port, 53);
+  EXPECT_EQ(parsed->length, 100);
+}
+
+TEST(UdpHeader, RejectsShortBuffer) {
+  std::array<std::byte, UdpHeader::kSize - 1> buf{};
+  EXPECT_FALSE(UdpHeader::parse(buf).has_value());
+}
+
+}  // namespace
+}  // namespace netalytics::net

@@ -1,0 +1,74 @@
+#include "net/ip.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netalytics::net {
+namespace {
+
+TEST(Ipv4, MakeAndFormat) {
+  const Ipv4Addr a = make_ipv4(10, 0, 2, 8);
+  EXPECT_EQ(a, 0x0a000208u);
+  EXPECT_EQ(format_ipv4(a), "10.0.2.8");
+}
+
+class Ipv4RoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(Ipv4RoundTripTest, ParseFormatRoundTrip) {
+  const auto a = parse_ipv4(GetParam());
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(format_ipv4(*a), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Addresses, Ipv4RoundTripTest,
+                         ::testing::Values("0.0.0.0", "255.255.255.255",
+                                           "10.0.2.8", "192.168.1.1",
+                                           "1.2.3.4"));
+
+class Ipv4InvalidTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(Ipv4InvalidTest, RejectsMalformed) {
+  EXPECT_FALSE(parse_ipv4(GetParam()).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Malformed, Ipv4InvalidTest,
+                         ::testing::Values("", "1.2.3", "1.2.3.4.5", "256.1.1.1",
+                                           "a.b.c.d", "1..2.3", "1.2.3.-4"));
+
+TEST(Ipv4Prefix, FullLengthMatchesExactly) {
+  const auto p = parse_ipv4_prefix("10.0.2.8");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->length, 32);
+  EXPECT_TRUE(p->contains(make_ipv4(10, 0, 2, 8)));
+  EXPECT_FALSE(p->contains(make_ipv4(10, 0, 2, 9)));
+}
+
+TEST(Ipv4Prefix, SubnetContains) {
+  const auto p = parse_ipv4_prefix("10.0.2.0/24");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(p->contains(make_ipv4(10, 0, 2, 1)));
+  EXPECT_TRUE(p->contains(make_ipv4(10, 0, 2, 255)));
+  EXPECT_FALSE(p->contains(make_ipv4(10, 0, 3, 1)));
+}
+
+TEST(Ipv4Prefix, ZeroLengthMatchesEverything) {
+  const Ipv4Prefix p{0, 0};
+  EXPECT_TRUE(p.contains(0));
+  EXPECT_TRUE(p.contains(~Ipv4Addr{0}));
+}
+
+TEST(Ipv4Prefix, RejectsBadLength) {
+  EXPECT_FALSE(parse_ipv4_prefix("10.0.0.0/33").has_value());
+  EXPECT_FALSE(parse_ipv4_prefix("10.0.0.0/x").has_value());
+}
+
+TEST(Ipv4Prefix, FormatIncludesLengthOnlyWhenPartial) {
+  EXPECT_EQ(format_ipv4_prefix({make_ipv4(10, 0, 0, 0), 8}), "10.0.0.0/8");
+  EXPECT_EQ(format_ipv4_prefix({make_ipv4(10, 0, 2, 8), 32}), "10.0.2.8");
+}
+
+TEST(Endpoint, Format) {
+  EXPECT_EQ(format_endpoint({make_ipv4(10, 0, 2, 9), 80}), "10.0.2.9:80");
+}
+
+}  // namespace
+}  // namespace netalytics::net

@@ -1,0 +1,100 @@
+#include "nf/output.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netalytics::nf {
+namespace {
+
+struct CapturedBatch {
+  std::string topic;
+  std::vector<Record> records;
+};
+
+Record make_record(const std::string& topic, std::uint64_t id) {
+  Record r;
+  r.topic = topic;
+  r.id = id;
+  r.fields = {std::uint64_t{id * 2}};
+  return r;
+}
+
+TEST(OutputInterface, BatchesByCount) {
+  std::vector<CapturedBatch> batches;
+  OutputInterface out(
+      [&](const std::string& topic, std::vector<std::byte> payload, std::size_t) {
+        batches.push_back({topic, deserialize_batch(payload)});
+      },
+      3);
+
+  out.emit(make_record("a", 1));
+  out.emit(make_record("a", 2));
+  EXPECT_TRUE(batches.empty());  // below batch size
+  out.emit(make_record("a", 3));
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].topic, "a");
+  ASSERT_EQ(batches[0].records.size(), 3u);
+  EXPECT_EQ(batches[0].records[1].id, 2u);
+}
+
+TEST(OutputInterface, TopicsBatchIndependently) {
+  std::vector<CapturedBatch> batches;
+  OutputInterface out(
+      [&](const std::string& topic, std::vector<std::byte> payload, std::size_t) {
+        batches.push_back({topic, deserialize_batch(payload)});
+      },
+      2);
+  out.emit(make_record("a", 1));
+  out.emit(make_record("b", 2));
+  EXPECT_TRUE(batches.empty());
+  out.emit(make_record("a", 3));
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].topic, "a");
+}
+
+TEST(OutputInterface, FlushShipsPartialBatches) {
+  std::vector<CapturedBatch> batches;
+  OutputInterface out(
+      [&](const std::string& topic, std::vector<std::byte> payload, std::size_t) {
+        batches.push_back({topic, deserialize_batch(payload)});
+      },
+      100);
+  out.emit(make_record("a", 1));
+  out.emit(make_record("b", 2));
+  out.flush();
+  EXPECT_EQ(batches.size(), 2u);
+  out.flush();  // nothing pending: no empty batches
+  EXPECT_EQ(batches.size(), 2u);
+}
+
+TEST(OutputInterface, StatsAccumulate) {
+  OutputInterface out([](const std::string&, std::vector<std::byte>, std::size_t) {},
+                      2);
+  out.emit(make_record("a", 1));
+  out.emit(make_record("a", 2));
+  out.emit(make_record("a", 3));
+  out.flush();
+  const auto s = out.stats();
+  EXPECT_EQ(s.records, 3u);
+  EXPECT_EQ(s.batches, 2u);
+  EXPECT_GT(s.bytes, 0u);
+}
+
+TEST(OutputInterface, ZeroBatchSizeBehavesAsOne) {
+  int batches = 0;
+  OutputInterface out(
+      [&](const std::string&, std::vector<std::byte>, std::size_t) { ++batches; }, 0);
+  out.emit(make_record("a", 1));
+  EXPECT_EQ(batches, 1);
+}
+
+TEST(OutputInterface, RecordCountArgumentMatches) {
+  std::size_t last_count = 0;
+  OutputInterface out(
+      [&](const std::string&, std::vector<std::byte>, std::size_t n) { last_count = n; },
+      4);
+  for (int i = 0; i < 4; ++i) out.emit(make_record("a", i));
+  EXPECT_EQ(last_count, 4u);
+}
+
+}  // namespace
+}  // namespace netalytics::nf

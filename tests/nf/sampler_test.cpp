@@ -1,0 +1,77 @@
+#include "nf/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/hash.hpp"
+
+namespace netalytics::nf {
+namespace {
+
+TEST(FlowSampler, RateOneKeepsEverything) {
+  FlowSampler s(1.0);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(s.keep(common::mix64(i)));
+  }
+}
+
+TEST(FlowSampler, RateZeroDropsEverything) {
+  FlowSampler s(0.0);
+  int kept = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i) kept += s.keep(common::mix64(i));
+  EXPECT_EQ(kept, 0);
+}
+
+class SamplerRateTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SamplerRateTest, KeepFractionTracksRate) {
+  const double rate = GetParam();
+  FlowSampler s(rate);
+  int kept = 0;
+  constexpr int kFlows = 100000;
+  for (std::uint64_t i = 0; i < kFlows; ++i) kept += s.keep(common::mix64(i));
+  EXPECT_NEAR(static_cast<double>(kept) / kFlows, rate, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, SamplerRateTest,
+                         ::testing::Values(0.1, 0.25, 0.5, 0.75, 0.9));
+
+TEST(FlowSampler, DecisionIsPerFlowStable) {
+  FlowSampler s(0.5);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    const auto h = common::mix64(i);
+    EXPECT_EQ(s.keep(h), s.keep(h));  // same flow, same fate
+  }
+}
+
+TEST(FlowSampler, RateRoundTrips) {
+  FlowSampler s;
+  s.set_rate(0.3);
+  EXPECT_NEAR(s.rate(), 0.3, 1e-9);
+  s.set_rate(2.0);  // clamps
+  EXPECT_DOUBLE_EQ(s.rate(), 1.0);
+  s.set_rate(-1.0);
+  EXPECT_DOUBLE_EQ(s.rate(), 0.0);
+}
+
+TEST(FlowSampler, DecreaseHalvesIncreaseSteps) {
+  FlowSampler s(0.8);
+  s.decrease();
+  EXPECT_NEAR(s.rate(), 0.4, 1e-9);
+  s.increase(0.05);
+  EXPECT_NEAR(s.rate(), 0.45, 1e-9);
+  for (int i = 0; i < 100; ++i) s.increase(0.05);
+  EXPECT_DOUBLE_EQ(s.rate(), 1.0);  // capped
+}
+
+TEST(FlowSampler, DifferentSeedsSampleDifferentFlows) {
+  FlowSampler a(0.5, 1), b(0.5, 2);
+  int disagreements = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const auto h = common::mix64(i);
+    disagreements += (a.keep(h) != b.keep(h));
+  }
+  EXPECT_GT(disagreements, 300);  // roughly half should disagree
+}
+
+}  // namespace
+}  // namespace netalytics::nf

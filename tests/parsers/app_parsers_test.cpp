@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "common/byte_io.hpp"
+#include "nf/parser.hpp"
+#include "parsers/parsers.hpp"
+#include "pktgen/builder.hpp"
+#include "pktgen/payloads.hpp"
+
+namespace netalytics::parsers {
+namespace {
+
+using nf::as_str;
+using nf::as_u64;
+using nf::VectorSink;
+
+class AppParsersTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { register_builtin_parsers(); }
+
+  net::FiveTuple flow(net::Port dst_port) {
+    return {net::make_ipv4(10, 0, 0, 1), net::make_ipv4(10, 0, 0, 2), 41000,
+            dst_port, 6};
+  }
+
+  net::DecodedPacket decode_payload(const net::FiveTuple& f,
+                                    std::span<const std::byte> payload,
+                                    common::Timestamp ts) {
+    pktgen::TcpFrameSpec spec;
+    spec.flow = f;
+    spec.flags = net::tcp_flags::kPsh | net::tcp_flags::kAck;
+    spec.payload = payload;
+    frames_.push_back(pktgen::build_tcp_frame(spec));
+    auto d = net::decode_packet(frames_.back());
+    EXPECT_TRUE(d.has_value());
+    d->timestamp = ts;
+    return *d;
+  }
+
+ private:
+  // Keeps frames alive so DecodedPacket spans stay valid for the test body.
+  std::vector<std::vector<std::byte>> frames_;
+};
+
+TEST_F(AppParsersTest, HttpGetExtractsUrl) {
+  auto parser = nf::ParserRegistry::instance().make("http_get");
+  VectorSink sink;
+  const auto payload = pktgen::http_get_request("/videos/cat.mp4", "cdn");
+  parser->on_packet(decode_payload(flow(80), payload, 7), sink);
+  ASSERT_EQ(sink.records.size(), 1u);
+  EXPECT_EQ(as_str(sink.records[0].fields[0]), "request");
+  EXPECT_EQ(as_str(sink.records[0].fields[1]), "/videos/cat.mp4");
+  EXPECT_EQ(sink.records[0].timestamp, 7u);
+}
+
+TEST_F(AppParsersTest, HttpResponseExtractsStatus) {
+  auto parser = nf::ParserRegistry::instance().make("http_get");
+  VectorSink sink;
+  const auto payload = pktgen::http_response(404, 0);
+  parser->on_packet(decode_payload(flow(80).reversed(), payload, 9), sink);
+  ASSERT_EQ(sink.records.size(), 1u);
+  EXPECT_EQ(as_str(sink.records[0].fields[0]), "response");
+  EXPECT_EQ(as_u64(sink.records[0].fields[1]), 404u);
+}
+
+TEST_F(AppParsersTest, HttpIgnoresNonHttpPayload) {
+  auto parser = nf::ParserRegistry::instance().make("http_get");
+  VectorSink sink;
+  const std::string junk = "POST /x HTTP/1.1\r\n\r\n";  // only GET is parsed
+  parser->on_packet(decode_payload(flow(80), common::as_bytes(junk), 1), sink);
+  const std::string garbage = "GET garbled-no-version";
+  parser->on_packet(decode_payload(flow(80), common::as_bytes(garbage), 2), sink);
+  EXPECT_TRUE(sink.records.empty());
+}
+
+TEST_F(AppParsersTest, HttpRequestAndConnTimeShareJoinableId) {
+  register_builtin_parsers();
+  auto http = nf::ParserRegistry::instance().make("http_get");
+  auto conn = nf::ParserRegistry::instance().make("tcp_conn_time");
+  VectorSink hsink, csink;
+
+  // SYN then GET on the same connection.
+  pktgen::TcpFrameSpec syn;
+  syn.flow = flow(80);
+  syn.flags = net::tcp_flags::kSyn;
+  const auto syn_frame = pktgen::build_tcp_frame(syn);
+  auto d = net::decode_packet(syn_frame);
+  ASSERT_TRUE(d.has_value());
+  conn->on_packet(*d, csink);
+
+  const auto get = pktgen::http_get_request("/a", "h");
+  http->on_packet(decode_payload(flow(80), get, 5), hsink);
+
+  ASSERT_EQ(csink.records.size(), 1u);
+  ASSERT_EQ(hsink.records.size(), 1u);
+  EXPECT_EQ(csink.records[0].id, hsink.records[0].id);
+}
+
+TEST_F(AppParsersTest, MemcachedExtractsKey) {
+  auto parser = nf::ParserRegistry::instance().make("memcached_get");
+  VectorSink sink;
+  const auto payload = pktgen::memcached_get_request("session:abc123");
+  parser->on_packet(decode_payload(flow(11211), payload, 3), sink);
+  ASSERT_EQ(sink.records.size(), 1u);
+  EXPECT_EQ(as_str(sink.records[0].fields[0]), "session:abc123");
+}
+
+TEST_F(AppParsersTest, MemcachedIgnoresResponses) {
+  auto parser = nf::ParserRegistry::instance().make("memcached_get");
+  VectorSink sink;
+  const auto payload = pktgen::memcached_value_response("k", 10);
+  parser->on_packet(decode_payload(flow(11211).reversed(), payload, 3), sink);
+  EXPECT_TRUE(sink.records.empty());
+}
+
+TEST_F(AppParsersTest, MysqlEmitsStatementWithLatency) {
+  auto parser = nf::ParserRegistry::instance().make("mysql_query");
+  VectorSink sink;
+  const std::string sql = "SELECT * FROM film WHERE film_id = 7";
+  const auto query = pktgen::mysql_query_packet(sql);
+  parser->on_packet(decode_payload(flow(3306), query, 1000), sink);
+  EXPECT_TRUE(sink.records.empty());  // waits for the response
+
+  const auto resp = pktgen::mysql_ok_packet();
+  parser->on_packet(decode_payload(flow(3306).reversed(), resp, 4500), sink);
+  ASSERT_EQ(sink.records.size(), 1u);
+  EXPECT_EQ(as_str(sink.records[0].fields[0]), sql);
+  EXPECT_EQ(as_u64(sink.records[0].fields[1]), 3500u);  // latency_ns
+}
+
+TEST_F(AppParsersTest, MysqlHandlesSequentialQueriesOnOneConnection) {
+  // §7.2: "MySQL permits several queries to be sent over a single TCP
+  // connection" — each query/response pair must be timed separately.
+  auto parser = nf::ParserRegistry::instance().make("mysql_query");
+  VectorSink sink;
+  for (int q = 0; q < 3; ++q) {
+    const std::string sql = "SELECT " + std::to_string(q);
+    const auto query = pktgen::mysql_query_packet(sql);
+    parser->on_packet(decode_payload(flow(3306), query, 1000 * (q + 1)), sink);
+    const auto resp = pktgen::mysql_resultset_packet(50);
+    parser->on_packet(
+        decode_payload(flow(3306).reversed(), resp, 1000 * (q + 1) + 100 * (q + 1)),
+        sink);
+  }
+  ASSERT_EQ(sink.records.size(), 3u);
+  EXPECT_EQ(as_u64(sink.records[0].fields[1]), 100u);
+  EXPECT_EQ(as_u64(sink.records[1].fields[1]), 200u);
+  EXPECT_EQ(as_u64(sink.records[2].fields[1]), 300u);
+}
+
+TEST_F(AppParsersTest, MysqlIgnoresNonComQuery) {
+  auto parser = nf::ParserRegistry::instance().make("mysql_query");
+  VectorSink sink;
+  const auto ping = pktgen::mysql_ok_packet();  // body header != 0x03
+  parser->on_packet(decode_payload(flow(3306), ping, 1), sink);
+  const auto resp = pktgen::mysql_ok_packet();
+  parser->on_packet(decode_payload(flow(3306).reversed(), resp, 2), sink);
+  EXPECT_TRUE(sink.records.empty());
+}
+
+TEST_F(AppParsersTest, MysqlResponseWithoutQueryIgnored) {
+  auto parser = nf::ParserRegistry::instance().make("mysql_query");
+  VectorSink sink;
+  const auto resp = pktgen::mysql_ok_packet();
+  parser->on_packet(decode_payload(flow(3306).reversed(), resp, 2), sink);
+  EXPECT_TRUE(sink.records.empty());
+}
+
+TEST_F(AppParsersTest, RegistryKnowsAllBuiltins) {
+  auto& reg = nf::ParserRegistry::instance();
+  for (const auto name : kBuiltinParsers) {
+    EXPECT_TRUE(reg.contains(name)) << name;
+    EXPECT_NE(reg.make(name), nullptr);
+  }
+  EXPECT_THROW(reg.make("no_such_parser"), std::invalid_argument);
+}
+
+TEST_F(AppParsersTest, RegistrationIsIdempotent) {
+  const auto before = nf::ParserRegistry::instance().names().size();
+  register_builtin_parsers();
+  EXPECT_EQ(nf::ParserRegistry::instance().names().size(), before);
+}
+
+}  // namespace
+}  // namespace netalytics::parsers

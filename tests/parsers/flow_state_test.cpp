@@ -1,0 +1,86 @@
+#include "parsers/flow_state.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netalytics::parsers {
+namespace {
+
+TEST(FlowStateMap, PutFindErase) {
+  FlowStateMap<int> m(10);
+  m.put(1, 100);
+  m.put(2, 200);
+  ASSERT_NE(m.find(1), nullptr);
+  EXPECT_EQ(*m.find(1), 100);
+  EXPECT_EQ(m.find(3), nullptr);
+  m.erase(1);
+  EXPECT_EQ(m.find(1), nullptr);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlowStateMap, PutOverwritesExisting) {
+  FlowStateMap<int> m(10);
+  m.put(1, 100);
+  m.put(1, 999);
+  EXPECT_EQ(*m.find(1), 999);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlowStateMap, EvictsOldestWhenFull) {
+  FlowStateMap<int> m(3);
+  m.put(1, 1);
+  m.put(2, 2);
+  m.put(3, 3);
+  m.put(4, 4);  // evicts key 1
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_EQ(m.find(1), nullptr);
+  EXPECT_NE(m.find(4), nullptr);
+  EXPECT_EQ(m.evictions(), 1u);
+}
+
+TEST(FlowStateMap, EraseThenRefillDoesNotCorruptOrder) {
+  FlowStateMap<int> m(2);
+  m.put(1, 1);
+  m.put(2, 2);
+  m.erase(1);
+  m.put(3, 3);
+  m.put(4, 4);  // evicts 2 (oldest remaining)
+  EXPECT_EQ(m.find(2), nullptr);
+  EXPECT_NE(m.find(3), nullptr);
+  EXPECT_NE(m.find(4), nullptr);
+}
+
+TEST(FlowStateMap, ForEachVisitsAll) {
+  FlowStateMap<int> m(10);
+  m.put(1, 10);
+  m.put(2, 20);
+  int sum = 0;
+  m.for_each([&](std::uint64_t, const int& v) { sum += v; });
+  EXPECT_EQ(sum, 30);
+}
+
+TEST(FlowStateMap, ClearEmpties) {
+  FlowStateMap<int> m(10);
+  m.put(1, 1);
+  m.clear();
+  EXPECT_EQ(m.size(), 0u);
+  m.put(1, 2);  // usable after clear
+  EXPECT_EQ(*m.find(1), 2);
+}
+
+TEST(FlowStateMap, EraseMissingIsNoop) {
+  FlowStateMap<int> m(4);
+  m.erase(42);
+  EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(FlowStateMap, StressManyInsertionsBounded) {
+  FlowStateMap<int> m(100);
+  for (std::uint64_t i = 0; i < 10000; ++i) m.put(i, static_cast<int>(i));
+  EXPECT_EQ(m.size(), 100u);
+  EXPECT_EQ(m.evictions(), 9900u);
+  // The newest 100 keys survive.
+  for (std::uint64_t i = 9900; i < 10000; ++i) EXPECT_NE(m.find(i), nullptr);
+}
+
+}  // namespace
+}  // namespace netalytics::parsers

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "common/byte_io.hpp"
+#include "nf/parser.hpp"
+#include "parsers/parsers.hpp"
+#include "pktgen/builder.hpp"
+#include "pktgen/session.hpp"
+
+namespace netalytics::parsers {
+namespace {
+
+using nf::as_str;
+using nf::as_u64;
+using nf::VectorSink;
+
+class TcpParsersTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { register_builtin_parsers(); }
+
+  net::FiveTuple flow(std::uint8_t host = 1) {
+    return {net::make_ipv4(10, 0, 0, host), net::make_ipv4(10, 0, 0, 100),
+            static_cast<net::Port>(30000 + host), 80, 6};
+  }
+
+  net::DecodedPacket decode(const std::vector<std::byte>& frame,
+                            common::Timestamp ts) {
+    auto d = net::decode_packet(frame);
+    EXPECT_TRUE(d.has_value());
+    d->timestamp = ts;
+    return *d;
+  }
+
+  std::vector<std::byte> tcp_frame(const net::FiveTuple& f, std::uint8_t flags,
+                                   std::size_t payload = 0) {
+    pktgen::TcpFrameSpec spec;
+    spec.flow = f;
+    spec.flags = flags;
+    spec.pad_to_frame_size = payload == 0 ? 0 : pktgen::kTcpFrameOverhead + payload;
+    return pktgen::build_tcp_frame(spec);
+  }
+};
+
+TEST_F(TcpParsersTest, FlowKeyEmitsOncePerFlow) {
+  auto parser = nf::ParserRegistry::instance().make("tcp_flow_key");
+  VectorSink sink;
+  const auto frame = tcp_frame(flow(), net::tcp_flags::kAck, 10);
+  for (int i = 0; i < 5; ++i) parser->on_packet(decode(frame, i), sink);
+  ASSERT_EQ(sink.records.size(), 1u);
+  const auto& r = sink.records[0];
+  EXPECT_EQ(as_u64(r.fields[0]), flow().src_ip);
+  EXPECT_EQ(as_u64(r.fields[1]), flow().dst_ip);
+  EXPECT_EQ(as_u64(r.fields[2]), flow().src_port);
+  EXPECT_EQ(as_u64(r.fields[3]), 80u);
+}
+
+TEST_F(TcpParsersTest, FlowKeyDistinguishesDirections) {
+  auto parser = nf::ParserRegistry::instance().make("tcp_flow_key");
+  VectorSink sink;
+  parser->on_packet(decode(tcp_frame(flow(), net::tcp_flags::kAck, 1), 0), sink);
+  parser->on_packet(
+      decode(tcp_frame(flow().reversed(), net::tcp_flags::kAck, 1), 1), sink);
+  EXPECT_EQ(sink.records.size(), 2u);
+}
+
+TEST_F(TcpParsersTest, ConnTimeEmitsStartAndEnd) {
+  auto parser = nf::ParserRegistry::instance().make("tcp_conn_time");
+  VectorSink sink;
+  parser->on_packet(decode(tcp_frame(flow(), net::tcp_flags::kSyn), 1000), sink);
+  parser->on_packet(decode(tcp_frame(flow(), net::tcp_flags::kAck, 10), 2000), sink);
+  parser->on_packet(
+      decode(tcp_frame(flow(), net::tcp_flags::kFin | net::tcp_flags::kAck), 5000),
+      sink);
+
+  ASSERT_EQ(sink.records.size(), 2u);
+  EXPECT_EQ(as_str(sink.records[0].fields[0]), "start");
+  EXPECT_EQ(sink.records[0].timestamp, 1000u);
+  EXPECT_EQ(as_str(sink.records[1].fields[0]), "end");
+  EXPECT_EQ(sink.records[1].timestamp, 5000u);
+  EXPECT_EQ(sink.records[0].id, sink.records[1].id);  // joinable by id
+}
+
+TEST_F(TcpParsersTest, ConnTimeEndKeepsOriginatorOrientation) {
+  auto parser = nf::ParserRegistry::instance().make("tcp_conn_time");
+  VectorSink sink;
+  parser->on_packet(decode(tcp_frame(flow(), net::tcp_flags::kSyn), 1), sink);
+  // Server closes: FIN arrives on the reversed tuple.
+  parser->on_packet(
+      decode(tcp_frame(flow().reversed(), net::tcp_flags::kFin | net::tcp_flags::kAck), 9),
+      sink);
+  ASSERT_EQ(sink.records.size(), 2u);
+  // The end event still reports client->server src/dst.
+  EXPECT_EQ(as_u64(sink.records[1].fields[1]), flow().src_ip);
+  EXPECT_EQ(as_u64(sink.records[1].fields[2]), flow().dst_ip);
+}
+
+TEST_F(TcpParsersTest, ConnTimeIgnoresSynAck) {
+  auto parser = nf::ParserRegistry::instance().make("tcp_conn_time");
+  VectorSink sink;
+  parser->on_packet(
+      decode(tcp_frame(flow().reversed(), net::tcp_flags::kSyn | net::tcp_flags::kAck), 2),
+      sink);
+  EXPECT_TRUE(sink.records.empty());
+}
+
+TEST_F(TcpParsersTest, ConnTimeSecondFinIgnored) {
+  auto parser = nf::ParserRegistry::instance().make("tcp_conn_time");
+  VectorSink sink;
+  parser->on_packet(decode(tcp_frame(flow(), net::tcp_flags::kSyn), 1), sink);
+  parser->on_packet(decode(tcp_frame(flow(), net::tcp_flags::kFin), 5), sink);
+  parser->on_packet(
+      decode(tcp_frame(flow().reversed(), net::tcp_flags::kFin), 6), sink);
+  EXPECT_EQ(sink.records.size(), 2u);  // start + one end
+}
+
+TEST_F(TcpParsersTest, ConnTimeRstEndsConnection) {
+  auto parser = nf::ParserRegistry::instance().make("tcp_conn_time");
+  VectorSink sink;
+  parser->on_packet(decode(tcp_frame(flow(), net::tcp_flags::kSyn), 1), sink);
+  parser->on_packet(decode(tcp_frame(flow(), net::tcp_flags::kRst), 3), sink);
+  ASSERT_EQ(sink.records.size(), 2u);
+  EXPECT_EQ(as_str(sink.records[1].fields[0]), "end");
+}
+
+TEST_F(TcpParsersTest, ConnTimeFinWithoutSynIsSilent) {
+  auto parser = nf::ParserRegistry::instance().make("tcp_conn_time");
+  VectorSink sink;
+  parser->on_packet(decode(tcp_frame(flow(), net::tcp_flags::kFin), 5), sink);
+  EXPECT_TRUE(sink.records.empty());
+}
+
+TEST_F(TcpParsersTest, PktSizeAggregatesUntilTick) {
+  auto parser = nf::ParserRegistry::instance().make("tcp_pkt_size");
+  VectorSink sink;
+  const auto frame = tcp_frame(flow(), net::tcp_flags::kAck, 100);
+  for (int i = 0; i < 7; ++i) parser->on_packet(decode(frame, i), sink);
+  EXPECT_TRUE(sink.records.empty());  // aggregating
+  parser->on_tick(1000, sink);
+  ASSERT_EQ(sink.records.size(), 1u);
+  EXPECT_EQ(as_u64(sink.records[0].fields[3]), 700u);  // bytes
+  EXPECT_EQ(as_u64(sink.records[0].fields[4]), 7u);    // packets
+  // Counters reset after flush.
+  parser->on_tick(2000, sink);
+  EXPECT_EQ(sink.records.size(), 1u);
+}
+
+TEST_F(TcpParsersTest, PktSizeFlushesOnFin) {
+  auto parser = nf::ParserRegistry::instance().make("tcp_pkt_size");
+  VectorSink sink;
+  parser->on_packet(decode(tcp_frame(flow(), net::tcp_flags::kAck, 50), 1), sink);
+  parser->on_packet(
+      decode(tcp_frame(flow(), net::tcp_flags::kFin | net::tcp_flags::kAck), 2), sink);
+  ASSERT_EQ(sink.records.size(), 1u);
+  EXPECT_EQ(as_u64(sink.records[0].fields[3]), 50u);
+  EXPECT_EQ(as_u64(sink.records[0].fields[4]), 2u);
+}
+
+TEST_F(TcpParsersTest, PktSizeSeparatesFlows) {
+  auto parser = nf::ParserRegistry::instance().make("tcp_pkt_size");
+  VectorSink sink;
+  parser->on_packet(decode(tcp_frame(flow(1), net::tcp_flags::kAck, 10), 1), sink);
+  parser->on_packet(decode(tcp_frame(flow(2), net::tcp_flags::kAck, 20), 2), sink);
+  parser->on_tick(100, sink);
+  ASSERT_EQ(sink.records.size(), 2u);
+  EXPECT_NE(sink.records[0].id, sink.records[1].id);
+}
+
+TEST_F(TcpParsersTest, ParsersIgnoreNonTcp) {
+  for (const char* name : {"tcp_flow_key", "tcp_conn_time", "tcp_pkt_size"}) {
+    auto parser = nf::ParserRegistry::instance().make(name);
+    VectorSink sink;
+    pktgen::UdpFrameSpec spec;
+    spec.flow = flow();
+    const auto frame = pktgen::build_udp_frame(spec);
+    parser->on_packet(decode(frame, 1), sink);
+    parser->on_close(10, sink);
+    EXPECT_TRUE(sink.records.empty()) << name;
+  }
+}
+
+TEST_F(TcpParsersTest, ConnTimeOverFullEmulatedSession) {
+  auto parser = nf::ParserRegistry::instance().make("tcp_conn_time");
+  VectorSink sink;
+  pktgen::SessionSpec spec;
+  spec.flow = flow();
+  spec.start = common::kSecond;
+  spec.rtt = common::kMillisecond;
+  spec.server_latency = 20 * common::kMillisecond;
+  const std::string req = "GET / HTTP/1.1\r\n\r\n";
+  const std::string resp(2000, 'x');
+  spec.request = common::as_bytes(req);
+  spec.response = common::as_bytes(resp);
+
+  const auto timing = pktgen::emit_tcp_session(
+      spec, [&](std::span<const std::byte> f, common::Timestamp ts) {
+        auto d = net::decode_packet(f);
+        ASSERT_TRUE(d.has_value());
+        d->timestamp = ts;
+        parser->on_packet(*d, sink);
+      });
+
+  ASSERT_EQ(sink.records.size(), 2u);
+  const auto duration = sink.records[1].timestamp - sink.records[0].timestamp;
+  // Observed duration tracks the session's SYN->FIN interval.
+  EXPECT_GE(duration, timing.fin_time - timing.syn_time -
+                          2 * common::kMillisecond);
+  EXPECT_GE(duration, spec.server_latency);
+}
+
+}  // namespace
+}  // namespace netalytics::parsers

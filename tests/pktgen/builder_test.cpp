@@ -1,0 +1,96 @@
+#include "pktgen/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/byte_io.hpp"
+#include "net/decode.hpp"
+
+namespace netalytics::pktgen {
+namespace {
+
+net::FiveTuple test_flow() {
+  return {net::make_ipv4(10, 0, 2, 8), net::make_ipv4(10, 0, 2, 9), 5555, 80,
+          static_cast<std::uint8_t>(net::IpProto::tcp)};
+}
+
+TEST(BuildTcpFrame, DecodesBackToSpec) {
+  const std::string payload = "hello";
+  TcpFrameSpec spec;
+  spec.flow = test_flow();
+  spec.flags = net::tcp_flags::kPsh | net::tcp_flags::kAck;
+  spec.seq = 100;
+  spec.ack = 200;
+  spec.payload = common::as_bytes(payload);
+  const auto frame = build_tcp_frame(spec);
+
+  const auto d = net::decode_packet(frame);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(d->has_tcp);
+  EXPECT_EQ(d->five_tuple, spec.flow);
+  EXPECT_EQ(d->tcp.seq, 100u);
+  EXPECT_EQ(d->tcp.ack, 200u);
+  EXPECT_TRUE(d->tcp.has_flag(net::tcp_flags::kPsh));
+  EXPECT_EQ(common::as_string_view(d->payload()), "hello");
+}
+
+class PaddingTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PaddingTest, TcpFramePaddedToExactSize) {
+  TcpFrameSpec spec;
+  spec.flow = test_flow();
+  spec.pad_to_frame_size = GetParam();
+  const auto frame = build_tcp_frame(spec);
+  EXPECT_EQ(frame.size(), GetParam());
+  const auto d = net::decode_packet(frame);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(d->has_tcp);
+  // IP total_length covers the padding (it is real payload bytes).
+  EXPECT_EQ(d->payload().size(), GetParam() - kTcpFrameOverhead);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PaddingTest,
+                         ::testing::Values(64, 128, 256, 512, 1024, 1500));
+
+TEST(BuildTcpFrame, PayloadLargerThanPadWins) {
+  const std::string payload(300, 'x');
+  TcpFrameSpec spec;
+  spec.flow = test_flow();
+  spec.payload = common::as_bytes(payload);
+  spec.pad_to_frame_size = 64;
+  const auto frame = build_tcp_frame(spec);
+  EXPECT_EQ(frame.size(), kTcpFrameOverhead + 300);
+}
+
+TEST(BuildTcpFrame, ThrowsWhenPadSmallerThanHeaders) {
+  TcpFrameSpec spec;
+  spec.flow = test_flow();
+  spec.pad_to_frame_size = 20;
+  EXPECT_THROW(build_tcp_frame(spec), std::invalid_argument);
+}
+
+TEST(BuildUdpFrame, DecodesBackToSpec) {
+  const std::string payload = "dns?";
+  UdpFrameSpec spec;
+  spec.flow = test_flow();
+  spec.flow.protocol = static_cast<std::uint8_t>(net::IpProto::udp);
+  spec.payload = common::as_bytes(payload);
+  const auto frame = build_udp_frame(spec);
+  const auto d = net::decode_packet(frame);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(d->has_udp);
+  EXPECT_EQ(d->five_tuple.src_port, 5555);
+  EXPECT_EQ(common::as_string_view(d->payload()), "dns?");
+}
+
+TEST(BuildUdpFrame, ForcesUdpProtocol) {
+  UdpFrameSpec spec;
+  spec.flow = test_flow();  // protocol says TCP
+  const auto frame = build_udp_frame(spec);
+  const auto d = net::decode_packet(frame);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(d->has_udp);
+  EXPECT_EQ(d->five_tuple.protocol, 17);
+}
+
+}  // namespace
+}  // namespace netalytics::pktgen

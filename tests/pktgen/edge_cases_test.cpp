@@ -1,0 +1,107 @@
+// Edge cases across the traffic-generation substrate: empty exchanges,
+// minimum-size frames, generator template exhaustion and wrap-around.
+#include <gtest/gtest.h>
+
+#include "common/byte_io.hpp"
+#include "net/decode.hpp"
+#include "pktgen/builder.hpp"
+#include "pktgen/generator.hpp"
+#include "pktgen/payloads.hpp"
+#include "pktgen/session.hpp"
+
+namespace netalytics::pktgen {
+namespace {
+
+net::FiveTuple flow() {
+  return {net::make_ipv4(10, 1, 1, 1), net::make_ipv4(10, 1, 1, 2), 1111, 80, 6};
+}
+
+TEST(SessionEdge, EmptyRequestAndResponseStillHandshakes) {
+  SessionSpec s;
+  s.flow = flow();
+  s.start = 100;
+  int frames = 0;
+  const auto timing = emit_tcp_session(
+      s, [&frames](std::span<const std::byte>, common::Timestamp) { ++frames; });
+  // SYN, SYN-ACK, ACK + FIN, FIN-ACK, ACK — no data segments.
+  EXPECT_EQ(frames, 6);
+  EXPECT_EQ(timing.client_payload_bytes, 0u);
+  EXPECT_EQ(timing.server_payload_bytes, 0u);
+  EXPECT_GT(timing.fin_time, timing.syn_time);
+}
+
+TEST(SessionEdge, SingleByteMssSegmentsEveryByte) {
+  SessionSpec s;
+  s.flow = flow();
+  s.mss = 1;
+  const std::string req = "abc";
+  s.request = common::as_bytes(req);
+  int data_frames = 0;
+  emit_tcp_session(s, [&](std::span<const std::byte> f, common::Timestamp) {
+    const auto d = net::decode_packet(f);
+    if (d && d->l4_payload_size > 0) ++data_frames;
+  });
+  EXPECT_EQ(data_frames, 3);
+}
+
+TEST(SessionEdge, ZeroRttSessionStillOrdered) {
+  SessionSpec s;
+  s.flow = flow();
+  s.rtt = 0;
+  s.server_latency = 0;
+  const std::string req = "x";
+  s.request = common::as_bytes(req);
+  common::Timestamp last = 0;
+  emit_tcp_session(s, [&last](std::span<const std::byte>, common::Timestamp ts) {
+    EXPECT_GE(ts, last);
+    last = ts;
+  });
+}
+
+TEST(BuilderEdge, MinimalTcpFrameDecodes) {
+  TcpFrameSpec spec;
+  spec.flow = flow();
+  const auto frame = build_tcp_frame(spec);  // headers only
+  EXPECT_EQ(frame.size(), kTcpFrameOverhead);
+  const auto d = net::decode_packet(frame);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->payload().size(), 0u);
+}
+
+TEST(GeneratorEdge, SingleFlowSingleTemplate) {
+  GeneratorConfig c;
+  c.flow_count = 1;
+  TrafficGenerator gen(c);
+  EXPECT_EQ(gen.template_count(), 1u);
+  const auto a = gen.next_frame();
+  const auto b = gen.next_frame();  // wraps around
+  EXPECT_EQ(a.data(), b.data());
+}
+
+TEST(GeneratorEdge, ZeroFlowCountClampsToOne) {
+  GeneratorConfig c;
+  c.flow_count = 0;
+  TrafficGenerator gen(c);
+  EXPECT_GE(gen.template_count(), 1u);
+}
+
+TEST(PayloadEdge, MysqlEmptyStatement) {
+  const auto p = mysql_query_packet("");
+  ASSERT_EQ(p.size(), 5u);  // frame header + COM_QUERY byte
+  EXPECT_EQ(static_cast<std::uint8_t>(p[4]), 0x03);
+}
+
+TEST(PayloadEdge, HttpRootUrl) {
+  const auto p = http_get_request("/", "h");
+  EXPECT_TRUE(std::string(common::as_string_view(p)).starts_with("GET / HTTP/1.1"));
+}
+
+TEST(PayloadEdge, MemcachedZeroByteValue) {
+  const auto p = memcached_value_response("k", 0);
+  const auto s = std::string(common::as_string_view(p));
+  EXPECT_NE(s.find("VALUE k 0 0\r\n"), std::string::npos);
+  EXPECT_TRUE(s.ends_with("END\r\n"));
+}
+
+}  // namespace
+}  // namespace netalytics::pktgen

@@ -1,0 +1,148 @@
+#include "pktgen/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/byte_io.hpp"
+#include "net/decode.hpp"
+
+namespace netalytics::pktgen {
+namespace {
+
+TEST(TrafficGenerator, RawTcpFramesHaveRequestedSize) {
+  GeneratorConfig c;
+  c.kind = TrafficKind::raw_tcp;
+  c.frame_size = 128;
+  c.flow_count = 16;
+  TrafficGenerator gen(c);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(gen.next_frame().size(), 128u);
+  }
+  EXPECT_DOUBLE_EQ(gen.mean_frame_size(), 128.0);
+}
+
+TEST(TrafficGenerator, FramesDecodeWithDistinctFlows) {
+  GeneratorConfig c;
+  c.flow_count = 32;
+  TrafficGenerator gen(c);
+  std::set<std::uint64_t> hashes;
+  for (std::size_t i = 0; i < gen.template_count(); ++i) {
+    const auto d = net::decode_packet(gen.next_frame());
+    ASSERT_TRUE(d.has_value());
+    ASSERT_TRUE(d->has_tcp);
+    hashes.insert(d->flow_hash);
+  }
+  EXPECT_EQ(hashes.size(), 32u);
+}
+
+TEST(TrafficGenerator, LifecycleKeepsPerFlowOrder) {
+  GeneratorConfig c;
+  c.kind = TrafficKind::tcp_lifecycle;
+  c.flow_count = 4;
+  c.frame_size = 64;
+  TrafficGenerator gen(c);
+  ASSERT_EQ(gen.template_count(), 12u);
+  for (std::size_t f = 0; f < 4; ++f) {
+    const auto syn = net::decode_packet(gen.next_frame());
+    const auto data = net::decode_packet(gen.next_frame());
+    const auto fin = net::decode_packet(gen.next_frame());
+    ASSERT_TRUE(syn && data && fin);
+    EXPECT_TRUE(syn->tcp.has_flag(net::tcp_flags::kSyn));
+    EXPECT_TRUE(data->tcp.has_flag(net::tcp_flags::kPsh));
+    EXPECT_TRUE(fin->tcp.has_flag(net::tcp_flags::kFin));
+    EXPECT_EQ(syn->flow_hash, fin->flow_hash);
+  }
+}
+
+TEST(TrafficGenerator, HttpGetFramesCarryGetRequests) {
+  GeneratorConfig c;
+  c.kind = TrafficKind::http_get;
+  c.flow_count = 10;
+  c.frame_size = 512;
+  TrafficGenerator gen(c);
+  for (int i = 0; i < 10; ++i) {
+    const auto d = net::decode_packet(gen.next_frame());
+    ASSERT_TRUE(d.has_value());
+    const auto payload = common::as_string_view(d->payload());
+    EXPECT_TRUE(payload.starts_with("GET /"));
+  }
+}
+
+TEST(TrafficGenerator, MemcachedTargetsPort11211) {
+  GeneratorConfig c;
+  c.kind = TrafficKind::memcached_get;
+  c.flow_count = 5;
+  c.frame_size = 128;
+  TrafficGenerator gen(c);
+  const auto d = net::decode_packet(gen.next_frame());
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->five_tuple.dst_port, 11211);
+  EXPECT_TRUE(common::as_string_view(d->payload()).starts_with("get "));
+}
+
+TEST(TrafficGenerator, MysqlQueryFramesParse) {
+  GeneratorConfig c;
+  c.kind = TrafficKind::mysql_query;
+  c.flow_count = 5;
+  c.frame_size = 256;
+  TrafficGenerator gen(c);
+  const auto d = net::decode_packet(gen.next_frame());
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->five_tuple.dst_port, 3306);
+  const auto payload = d->payload();
+  ASSERT_GE(payload.size(), 5u);
+  EXPECT_EQ(static_cast<std::uint8_t>(payload[4]), 0x03);  // COM_QUERY
+}
+
+TEST(TrafficGenerator, DeterministicForSameSeed) {
+  GeneratorConfig c;
+  c.kind = TrafficKind::http_get;
+  c.seed = 7;
+  TrafficGenerator a(c), b(c);
+  for (int i = 0; i < 50; ++i) {
+    const auto fa = a.next_frame();
+    const auto fb = b.next_frame();
+    ASSERT_EQ(fa.size(), fb.size());
+    EXPECT_TRUE(std::equal(fa.begin(), fa.end(), fb.begin()));
+  }
+}
+
+TEST(UrlWorkload, SamplesFollowPopularity) {
+  UrlWorkload w(100, 1.2, 3);
+  common::Rng rng(5);
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 20000; ++i) ++counts[w.sample(rng)];
+  // Rank 0 must be sampled much more often than rank 50.
+  EXPECT_GT(counts[w.url(0)], counts[w.url(50)] * 3);
+}
+
+TEST(UrlWorkload, ChurnChangesRanking) {
+  UrlWorkload w(100, 1.0, 3);
+  const std::string before = w.url(0);
+  common::Rng rng(11);
+  w.churn(rng, 0.5);
+  // With half the table shuffled, rank 0 almost surely changed; tolerate
+  // the rare fixed point by checking a few top ranks.
+  bool changed = false;
+  UrlWorkload fresh(100, 1.0, 3);
+  for (std::size_t r = 0; r < 10; ++r) changed |= (w.url(r) != fresh.url(r));
+  EXPECT_TRUE(changed);
+}
+
+TEST(UrlWorkload, ChurnPreservesUrlSet) {
+  UrlWorkload w(50, 1.0, 9);
+  std::set<std::string> before;
+  for (std::size_t i = 0; i < w.size(); ++i) before.insert(w.url(i));
+  common::Rng rng(13);
+  w.churn(rng, 0.3);
+  std::set<std::string> after;
+  for (std::size_t i = 0; i < w.size(); ++i) after.insert(w.url(i));
+  EXPECT_EQ(before, after);
+}
+
+}  // namespace
+}  // namespace netalytics::pktgen

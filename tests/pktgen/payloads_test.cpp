@@ -1,0 +1,73 @@
+#include "pktgen/payloads.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/byte_io.hpp"
+
+namespace netalytics::pktgen {
+namespace {
+
+std::string as_str(const std::vector<std::byte>& v) {
+  return std::string(common::as_string_view(v));
+}
+
+TEST(HttpPayload, GetRequestWellFormed) {
+  const auto p = http_get_request("/index.html", "example.com");
+  const auto s = as_str(p);
+  EXPECT_TRUE(s.starts_with("GET /index.html HTTP/1.1\r\n"));
+  EXPECT_NE(s.find("Host: example.com\r\n"), std::string::npos);
+  EXPECT_TRUE(s.ends_with("\r\n\r\n"));
+}
+
+TEST(HttpPayload, ResponseCarriesStatusAndBody) {
+  const auto p = http_response(200, 10);
+  const auto s = as_str(p);
+  EXPECT_TRUE(s.starts_with("HTTP/1.1 200 OK\r\n"));
+  EXPECT_NE(s.find("Content-Length: 10\r\n"), std::string::npos);
+  EXPECT_TRUE(s.ends_with("xxxxxxxxxx"));
+}
+
+TEST(HttpPayload, ErrorStatusLine) {
+  const auto s = as_str(http_response(500, 0));
+  EXPECT_TRUE(s.starts_with("HTTP/1.1 500 Error\r\n"));
+}
+
+TEST(MemcachedPayload, GetRequest) {
+  EXPECT_EQ(as_str(memcached_get_request("user:42")), "get user:42\r\n");
+}
+
+TEST(MemcachedPayload, ValueResponse) {
+  const auto s = as_str(memcached_value_response("k", 4));
+  EXPECT_TRUE(s.starts_with("VALUE k 0 4\r\n"));
+  EXPECT_TRUE(s.ends_with("END\r\n"));
+  EXPECT_NE(s.find("vvvv"), std::string::npos);
+}
+
+TEST(MysqlPayload, QueryPacketFraming) {
+  const std::string sql = "SELECT 1";
+  const auto p = mysql_query_packet(sql, 0);
+  ASSERT_EQ(p.size(), 4 + 1 + sql.size());
+  // 3-byte little-endian length of body (COM_QUERY byte + statement).
+  const auto len = static_cast<std::size_t>(p[0]) |
+                   (static_cast<std::size_t>(p[1]) << 8) |
+                   (static_cast<std::size_t>(p[2]) << 16);
+  EXPECT_EQ(len, 1 + sql.size());
+  EXPECT_EQ(static_cast<std::uint8_t>(p[3]), 0);     // sequence id
+  EXPECT_EQ(static_cast<std::uint8_t>(p[4]), 0x03);  // COM_QUERY
+  EXPECT_EQ(as_str(p).substr(5), sql);
+}
+
+TEST(MysqlPayload, OkPacketHeader) {
+  const auto p = mysql_ok_packet(1);
+  ASSERT_GE(p.size(), 5u);
+  EXPECT_EQ(static_cast<std::uint8_t>(p[3]), 1);     // sequence id
+  EXPECT_EQ(static_cast<std::uint8_t>(p[4]), 0x00);  // OK header
+}
+
+TEST(MysqlPayload, ResultsetSize) {
+  const auto p = mysql_resultset_packet(100, 1);
+  EXPECT_EQ(p.size(), 104u);
+}
+
+}  // namespace
+}  // namespace netalytics::pktgen

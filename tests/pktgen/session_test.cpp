@@ -1,0 +1,141 @@
+#include "pktgen/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/byte_io.hpp"
+#include "net/decode.hpp"
+
+namespace netalytics::pktgen {
+namespace {
+
+struct CapturedFrame {
+  std::vector<std::byte> bytes;
+  common::Timestamp ts;
+};
+
+struct Capture {
+  std::vector<CapturedFrame> frames;
+  FrameSink sink() {
+    return [this](std::span<const std::byte> f, common::Timestamp ts) {
+      frames.push_back({{f.begin(), f.end()}, ts});
+    };
+  }
+};
+
+SessionSpec basic_spec(std::span<const std::byte> req,
+                       std::span<const std::byte> resp) {
+  SessionSpec s;
+  s.flow = {net::make_ipv4(10, 0, 1, 1), net::make_ipv4(10, 0, 1, 2), 40000, 80,
+            static_cast<std::uint8_t>(net::IpProto::tcp)};
+  s.start = 1000 * common::kMillisecond;
+  s.rtt = 2 * common::kMillisecond;
+  s.server_latency = 10 * common::kMillisecond;
+  s.request = req;
+  s.response = resp;
+  return s;
+}
+
+TEST(Session, HandshakeDataTeardownSequence) {
+  const std::string req = "GET / HTTP/1.1\r\n\r\n";
+  const std::string resp(500, 'r');
+  Capture cap;
+  const auto timing =
+      emit_tcp_session(basic_spec(common::as_bytes(req), common::as_bytes(resp)),
+                       cap.sink());
+
+  // SYN, SYN-ACK, ACK, 1 request seg, 1 response seg, FIN, FIN-ACK, ACK = 8.
+  EXPECT_EQ(timing.frames, 8u);
+  ASSERT_EQ(cap.frames.size(), 8u);
+
+  const auto first = net::decode_packet(cap.frames.front().bytes);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_TRUE(first->tcp.has_flag(net::tcp_flags::kSyn));
+  EXPECT_FALSE(first->tcp.has_flag(net::tcp_flags::kAck));
+
+  int syn = 0, fin = 0;
+  for (const auto& f : cap.frames) {
+    const auto d = net::decode_packet(f.bytes);
+    ASSERT_TRUE(d.has_value());
+    syn += d->tcp.has_flag(net::tcp_flags::kSyn);
+    fin += d->tcp.has_flag(net::tcp_flags::kFin);
+  }
+  EXPECT_EQ(syn, 2);  // SYN + SYN-ACK
+  EXPECT_EQ(fin, 2);  // both directions
+}
+
+TEST(Session, TimestampsNonDecreasing) {
+  const std::string req(5000, 'q');
+  const std::string resp(20000, 'r');
+  Capture cap;
+  emit_tcp_session(basic_spec(common::as_bytes(req), common::as_bytes(resp)),
+                   cap.sink());
+  for (std::size_t i = 1; i < cap.frames.size(); ++i) {
+    EXPECT_GE(cap.frames[i].ts, cap.frames[i - 1].ts);
+  }
+}
+
+TEST(Session, ConnectionDurationCoversServerLatency) {
+  const std::string req = "x";
+  const std::string resp = "y";
+  auto spec = basic_spec(common::as_bytes(req), common::as_bytes(resp));
+  Capture cap;
+  const auto timing = emit_tcp_session(spec, cap.sink());
+  const auto duration = timing.fin_time - timing.syn_time;
+  // Duration >= handshake RTT + server latency + teardown RTT.
+  EXPECT_GE(duration, 2 * spec.rtt + spec.server_latency);
+  EXPECT_LE(duration, 3 * spec.rtt + spec.server_latency +
+                          10 * common::kMicrosecond);
+}
+
+TEST(Session, PayloadBytesSegmentedAtMss) {
+  const std::string req(3000, 'q');    // 3 segments at mss=1448
+  const std::string resp(10000, 'r');  // 7 segments
+  Capture cap;
+  const auto timing =
+      emit_tcp_session(basic_spec(common::as_bytes(req), common::as_bytes(resp)),
+                       cap.sink());
+  EXPECT_EQ(timing.client_payload_bytes, 3000u);
+  EXPECT_EQ(timing.server_payload_bytes, 10000u);
+  // 3 handshake + 3 req + 7 resp + 3 teardown.
+  EXPECT_EQ(timing.frames, 16u);
+  for (const auto& f : cap.frames) {
+    const auto d = net::decode_packet(f.bytes);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_LE(d->payload().size(), 1448u);
+  }
+}
+
+TEST(Session, ClientHalfContainsOnlyClientFrames) {
+  const std::string req = "req";
+  const std::string resp(5000, 'r');
+  auto spec = basic_spec(common::as_bytes(req), common::as_bytes(resp));
+  Capture cap;
+  emit_tcp_session_client_half(spec, cap.sink());
+  ASSERT_GT(cap.frames.size(), 0u);
+  for (const auto& f : cap.frames) {
+    const auto d = net::decode_packet(f.bytes);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(d->five_tuple, spec.flow);
+  }
+}
+
+TEST(Session, ReverseFramesUseReversedTuple) {
+  const std::string req = "q";
+  const std::string resp = "r";
+  auto spec = basic_spec(common::as_bytes(req), common::as_bytes(resp));
+  Capture cap;
+  emit_tcp_session(spec, cap.sink());
+  bool saw_reverse = false;
+  for (const auto& f : cap.frames) {
+    const auto d = net::decode_packet(f.bytes);
+    ASSERT_TRUE(d.has_value());
+    if (d->five_tuple == spec.flow.reversed()) saw_reverse = true;
+    EXPECT_TRUE(d->five_tuple == spec.flow || d->five_tuple == spec.flow.reversed());
+  }
+  EXPECT_TRUE(saw_reverse);
+}
+
+}  // namespace
+}  // namespace netalytics::pktgen

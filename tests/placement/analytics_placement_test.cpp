@@ -1,0 +1,147 @@
+#include "placement/analytics_placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dcn/routing.hpp"
+
+namespace netalytics::placement {
+namespace {
+
+class AnalyticsPlacementTest : public ::testing::Test {
+ protected:
+  AnalyticsPlacementTest() : topo_(dcn::build_fat_tree(4)) {
+    common::Rng rng(1);
+    topo_.randomize_host_resources(rng);
+  }
+
+  /// Seed the placement with `n` monitors spread across hosts, each
+  /// shipping `out_bps` downstream.
+  std::pair<std::vector<int>, std::vector<double>> seed_monitors(
+      Placement& placement, std::size_t n, double out_bps) {
+    std::vector<int> indices;
+    std::vector<double> outputs;
+    for (std::size_t i = 0; i < n; ++i) {
+      PlacedProcess p;
+      p.kind = ProcessKind::monitor;
+      p.host = topo_.hosts()[i % topo_.hosts().size()];
+      p.load_bps = out_bps * 10;
+      placement.processes.push_back(p);
+      indices.push_back(static_cast<int>(i));
+      outputs.push_back(out_bps);
+    }
+    return {indices, outputs};
+  }
+
+  dcn::Topology topo_;
+  ProcessSpec spec_;
+};
+
+class AnalyticsStrategyTest
+    : public AnalyticsPlacementTest,
+      public ::testing::WithParamInterface<AnalyticsStrategy> {};
+
+TEST_P(AnalyticsStrategyTest, EverySourceAssignedWithinCapacity) {
+  Placement placement;
+  const auto [indices, outputs] = seed_monitors(placement, 12, 0.3e9);
+  common::Rng rng(7);
+  const auto assignment =
+      place_analytics(topo_, placement, indices, outputs, ProcessKind::aggregator,
+                      spec_.aggregator_capacity_bps, spec_, GetParam(), rng);
+  ASSERT_EQ(assignment.size(), 12u);
+  for (const int engine : assignment) {
+    ASSERT_GE(engine, 0);
+    EXPECT_EQ(placement.processes[engine].kind, ProcessKind::aggregator);
+    EXPECT_LE(placement.processes[engine].load_bps,
+              spec_.aggregator_capacity_bps * 1.0001);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, AnalyticsStrategyTest,
+                         ::testing::Values(AnalyticsStrategy::local_random,
+                                           AnalyticsStrategy::first_fit,
+                                           AnalyticsStrategy::greedy));
+
+TEST_F(AnalyticsPlacementTest, FirstFitMinimizesEngines) {
+  // 12 sources x 0.3 Gbps into 1 Gbps engines: first-fit needs exactly
+  // ceil(12 * 0.3 / 0.9) engines since 3 sources fill an engine.
+  Placement placement;
+  const auto [indices, outputs] = seed_monitors(placement, 12, 0.3e9);
+  common::Rng rng(7);
+  place_analytics(topo_, placement, indices, outputs, ProcessKind::aggregator,
+                  spec_.aggregator_capacity_bps, spec_, AnalyticsStrategy::first_fit,
+                  rng);
+  EXPECT_EQ(placement.count(ProcessKind::aggregator), 4u);
+}
+
+TEST_F(AnalyticsPlacementTest, GreedyKeepsTrafficLocal) {
+  // Greedy engines should mostly share a pod with their sources.
+  Placement placement;
+  const auto [indices, outputs] = seed_monitors(placement, 16, 0.2e9);
+  common::Rng rng(9);
+  const auto assignment =
+      place_analytics(topo_, placement, indices, outputs, ProcessKind::aggregator,
+                      spec_.aggregator_capacity_bps, spec_,
+                      AnalyticsStrategy::greedy, rng);
+  std::size_t local = 0;
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    const auto src = placement.processes[indices[i]].host;
+    const auto dst = placement.processes[assignment[i]].host;
+    const auto loc = dcn::classify_pair(topo_, src, dst);
+    local += (loc != dcn::PairLocality::cross_core);
+  }
+  EXPECT_GE(local, assignment.size() * 3 / 4);
+}
+
+TEST_F(AnalyticsPlacementTest, LocalRandomReusesSharedAggEngines) {
+  // All sources in one rack: after the first engine exists under the shared
+  // aggregate switch, subsequent sources must reuse it until it fills.
+  Placement placement;
+  const auto rack = topo_.hosts_under_tor(topo_.tor_switches()[0]);
+  std::vector<int> indices;
+  std::vector<double> outputs;
+  for (int i = 0; i < 2; ++i) {
+    PlacedProcess p;
+    p.kind = ProcessKind::monitor;
+    p.host = rack[i % rack.size()];
+    placement.processes.push_back(p);
+    indices.push_back(i);
+    outputs.push_back(0.1e9);
+  }
+  common::Rng rng(3);
+  const auto assignment = place_analytics(
+      topo_, placement, indices, outputs, ProcessKind::aggregator,
+      spec_.aggregator_capacity_bps, spec_, AnalyticsStrategy::local_random, rng);
+  // Second source reuses the first engine only if it landed under a shared
+  // aggregate switch; with random placement this is probabilistic, so only
+  // check the weaker invariant: at most 2 engines, both assigned.
+  const std::set<int> engines(assignment.begin(), assignment.end());
+  EXPECT_LE(engines.size(), 2u);
+}
+
+TEST_F(AnalyticsPlacementTest, EmptySourcesNoEngines) {
+  Placement placement;
+  common::Rng rng(1);
+  const auto assignment =
+      place_analytics(topo_, placement, {}, {}, ProcessKind::aggregator,
+                      spec_.aggregator_capacity_bps, spec_,
+                      AnalyticsStrategy::greedy, rng);
+  EXPECT_TRUE(assignment.empty());
+  EXPECT_TRUE(placement.processes.empty());
+}
+
+TEST_F(AnalyticsPlacementTest, OversizedSourceStillAssigned) {
+  Placement placement;
+  const auto [indices, outputs] = seed_monitors(placement, 1, 5e9);  // > 1 Gbps
+  common::Rng rng(1);
+  const auto assignment =
+      place_analytics(topo_, placement, indices, outputs, ProcessKind::aggregator,
+                      spec_.aggregator_capacity_bps, spec_,
+                      AnalyticsStrategy::greedy, rng);
+  ASSERT_EQ(assignment.size(), 1u);
+  EXPECT_GE(assignment[0], 0);
+}
+
+}  // namespace
+}  // namespace netalytics::placement

@@ -1,0 +1,117 @@
+#include "placement/monitor_placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dcn/routing.hpp"
+#include "dcn/workload.hpp"
+
+namespace netalytics::placement {
+namespace {
+
+class MonitorPlacementTest : public ::testing::Test {
+ protected:
+  MonitorPlacementTest() : topo_(dcn::build_fat_tree(8)) {
+    common::Rng rng(1);
+    topo_.randomize_host_resources(rng);
+    dcn::WorkloadConfig cfg;
+    cfg.flow_count = 5000;
+    cfg.total_traffic_bps = 50e9;
+    workload_ = dcn::generate_workload(topo_, cfg);
+  }
+
+  dcn::Topology topo_;
+  dcn::Workload workload_;
+  ProcessSpec spec_;
+};
+
+class MonitorStrategyTest
+    : public MonitorPlacementTest,
+      public ::testing::WithParamInterface<MonitorStrategy> {};
+
+TEST_P(MonitorStrategyTest, EveryFlowAssignedToACoveringMonitor) {
+  common::Rng rng(2);
+  Placement placement;
+  place_monitors(topo_, workload_.flows, spec_, GetParam(), rng, placement);
+
+  ASSERT_EQ(placement.flow_to_monitor.size(), workload_.flows.size());
+  for (std::size_t f = 0; f < workload_.flows.size(); ++f) {
+    const int m = placement.flow_to_monitor[f];
+    ASSERT_GE(m, 0) << "flow " << f << " unassigned";
+    const auto monitor_tor = topo_.tor_of_host(placement.processes[m].host);
+    const auto src_tor = topo_.tor_of_host(workload_.flows[f].src_host);
+    const auto dst_tor = topo_.tor_of_host(workload_.flows[f].dst_host);
+    // Invariant from §4.1: a flow can only be monitored under a covering ToR.
+    EXPECT_TRUE(monitor_tor == src_tor || monitor_tor == dst_tor);
+  }
+}
+
+TEST_P(MonitorStrategyTest, MonitorCapacityRespected) {
+  common::Rng rng(3);
+  Placement placement;
+  place_monitors(topo_, workload_.flows, spec_, GetParam(), rng, placement);
+  for (const auto& p : placement.processes) {
+    EXPECT_LE(p.load_bps, spec_.monitor_capacity_bps * 1.0001);
+    EXPECT_GT(p.load_bps, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, MonitorStrategyTest,
+                         ::testing::Values(MonitorStrategy::random,
+                                           MonitorStrategy::greedy));
+
+TEST_F(MonitorPlacementTest, GreedyUsesNoMoreMonitorsThanRandom) {
+  // The aim of the greedy strategy is to reduce the number of monitors
+  // (§4.1). Average over a few seeds to avoid flakiness.
+  std::size_t greedy_total = 0, random_total = 0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    auto topo_g = topo_;
+    auto topo_r = topo_;
+    common::Rng rng_g(seed), rng_r(seed);
+    Placement pg, pr;
+    place_monitors(topo_g, workload_.flows, spec_, MonitorStrategy::greedy, rng_g, pg);
+    place_monitors(topo_r, workload_.flows, spec_, MonitorStrategy::random, rng_r, pr);
+    greedy_total += pg.processes.size();
+    random_total += pr.processes.size();
+  }
+  EXPECT_LE(greedy_total, random_total);
+}
+
+TEST_F(MonitorPlacementTest, EmptyFlowSetPlacesNothing) {
+  common::Rng rng(1);
+  Placement placement;
+  place_monitors(topo_, {}, spec_, MonitorStrategy::greedy, rng, placement);
+  EXPECT_TRUE(placement.processes.empty());
+  EXPECT_TRUE(placement.flow_to_monitor.empty());
+}
+
+TEST_F(MonitorPlacementTest, ElephantFlowStillPlaced) {
+  std::vector<dcn::Flow> flows = {
+      {topo_.hosts()[0], topo_.hosts()[1], 50e9, 1e9}};  // 5x monitor capacity
+  common::Rng rng(1);
+  Placement placement;
+  place_monitors(topo_, flows, spec_, MonitorStrategy::greedy, rng, placement);
+  ASSERT_EQ(placement.processes.size(), 1u);
+  EXPECT_EQ(placement.flow_to_monitor[0], 0);
+}
+
+TEST_F(MonitorPlacementTest, HostResourcesConsumed) {
+  common::Rng rng(4);
+  const double cpu_before = [&] {
+    double total = 0;
+    for (const auto h : topo_.hosts()) total += topo_.node(h).cpu_used;
+    return total;
+  }();
+  Placement placement;
+  place_monitors(topo_, workload_.flows, spec_, MonitorStrategy::greedy, rng,
+                 placement);
+  double cpu_after = 0;
+  for (const auto h : topo_.hosts()) cpu_after += topo_.node(h).cpu_used;
+  EXPECT_NEAR(cpu_after - cpu_before,
+              static_cast<double>(placement.processes.size()) * spec_.cpu_per_process,
+              1e-6);
+}
+
+}  // namespace
+}  // namespace netalytics::placement

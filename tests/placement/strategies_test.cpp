@@ -1,0 +1,118 @@
+#include "placement/strategies.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netalytics::placement {
+namespace {
+
+class StrategiesTest : public ::testing::Test {
+ protected:
+  StrategiesTest() : topo_(dcn::build_fat_tree(8)) {
+    common::Rng rng(1);
+    topo_.randomize_host_resources(rng);
+    dcn::WorkloadConfig cfg;
+    cfg.flow_count = 50000;
+    cfg.total_traffic_bps = 60e9;
+    workload_ = dcn::generate_workload(topo_, cfg);
+    // Monitor a 20% subset, as a query would.
+    common::Rng sample_rng(2);
+    for (const auto i : workload_.sample_flow_indices(10000, sample_rng)) {
+      monitored_.push_back(workload_.flows[i]);
+    }
+  }
+
+  CostReport run(Strategy s, std::uint64_t seed = 3) {
+    auto topo = topo_;  // placements consume resources on a copy
+    common::Rng rng(seed);
+    const auto placement = run_placement(topo, monitored_, spec_, s, rng);
+    return compute_cost(topo, placement, spec_,
+                        workload_path_cost(topo_, workload_));
+  }
+
+  dcn::Topology topo_;
+  dcn::Workload workload_;
+  std::vector<dcn::Flow> monitored_;
+  ProcessSpec spec_;
+};
+
+TEST_F(StrategiesTest, AllStrategiesProduceCompletePipelines) {
+  for (const auto s : {Strategy::local_random, Strategy::netalytics_node,
+                       Strategy::netalytics_network}) {
+    const auto cost = run(s);
+    EXPECT_GT(cost.monitors, 0u) << strategy_name(s);
+    EXPECT_GT(cost.aggregators, 0u) << strategy_name(s);
+    EXPECT_GT(cost.processors, 0u) << strategy_name(s);
+    EXPECT_EQ(cost.total_processes,
+              cost.monitors + cost.aggregators + cost.processors);
+    EXPECT_GT(cost.extra_bandwidth_pct, 0.0) << strategy_name(s);
+  }
+}
+
+TEST_F(StrategiesTest, NetworkStrategyHasLowestBandwidthCost) {
+  // Fig. 7: Netalytics-Network consumes the least network bandwidth and
+  // Netalytics-Node (first fit across the whole topology) the most.
+  const auto network = run(Strategy::netalytics_network);
+  const auto node = run(Strategy::netalytics_node);
+  const auto local = run(Strategy::local_random);
+  EXPECT_LT(network.extra_bandwidth_pct, node.extra_bandwidth_pct);
+  EXPECT_LT(network.extra_bandwidth_pct, local.extra_bandwidth_pct);
+  EXPECT_LT(local.extra_weighted_bandwidth_pct, node.extra_weighted_bandwidth_pct);
+}
+
+TEST_F(StrategiesTest, NetworkStrategyWeightedTracksUnweighted) {
+  // Fig. 7: "the two lines of Netalytics-Network almost overlap" — its
+  // traffic stays inside the rack, so core-link weights barely matter.
+  // Netalytics-Node's first-fit crosses the core, so its weighted cost
+  // rises relative to the plain metric.
+  const auto network = run(Strategy::netalytics_network);
+  EXPECT_LT(network.extra_weighted_bandwidth_pct,
+            network.extra_bandwidth_pct * 1.2);
+  const auto node = run(Strategy::netalytics_node);
+  const double node_ratio =
+      node.extra_weighted_bandwidth_pct / node.extra_bandwidth_pct;
+  const double network_ratio =
+      network.extra_weighted_bandwidth_pct / network.extra_bandwidth_pct;
+  EXPECT_GT(node_ratio, network_ratio * 1.2);
+}
+
+TEST_F(StrategiesTest, NodeStrategyUsesFewestProcesses) {
+  // Fig. 8: Netalytics-Node consumes the least resources.
+  const auto network = run(Strategy::netalytics_network);
+  const auto node = run(Strategy::netalytics_node);
+  const auto local = run(Strategy::local_random);
+  EXPECT_LE(node.total_processes, network.total_processes);
+  EXPECT_LE(node.total_processes, local.total_processes);
+}
+
+TEST_F(StrategiesTest, MonitoredTrafficAccountedOnce) {
+  const auto cost = run(Strategy::netalytics_network);
+  double expected = 0;
+  for (const auto& f : monitored_) expected += f.rate_bps;
+  EXPECT_NEAR(cost.monitored_traffic_bps, expected, expected * 1e-6);
+}
+
+TEST_F(StrategiesTest, MoreFlowsMoreBandwidth) {
+  // Fig. 7: extra bandwidth grows with the number of monitored flows.
+  std::vector<dcn::Flow> small(monitored_.begin(), monitored_.begin() + 2000);
+  auto topo_small = topo_;
+  auto topo_big = topo_;
+  common::Rng rng_a(3), rng_b(3);
+  const auto p_small =
+      run_placement(topo_small, small, spec_, Strategy::netalytics_network, rng_a);
+  const auto p_big = run_placement(topo_big, monitored_, spec_,
+                                   Strategy::netalytics_network, rng_b);
+  const auto wcost = workload_path_cost(topo_, workload_);
+  const auto c_small = compute_cost(topo_small, p_small, spec_, wcost);
+  const auto c_big = compute_cost(topo_big, p_big, spec_, wcost);
+  EXPECT_LT(c_small.extra_bandwidth_pct, c_big.extra_bandwidth_pct);
+  EXPECT_LE(c_small.total_processes, c_big.total_processes);
+}
+
+TEST_F(StrategiesTest, StrategyNamesMatchPaper) {
+  EXPECT_EQ(strategy_name(Strategy::local_random), "Local-Random");
+  EXPECT_EQ(strategy_name(Strategy::netalytics_node), "Netalytics-Node");
+  EXPECT_EQ(strategy_name(Strategy::netalytics_network), "Netalytics-Network");
+}
+
+}  // namespace
+}  // namespace netalytics::placement

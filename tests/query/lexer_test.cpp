@@ -1,0 +1,74 @@
+#include "query/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netalytics::query {
+namespace {
+
+std::vector<TokenKind> kinds(const std::vector<Token>& tokens) {
+  std::vector<TokenKind> out;
+  for (const auto& t : tokens) out.push_back(t.kind);
+  return out;
+}
+
+TEST(Lexer, KeywordsCaseInsensitive) {
+  const auto tokens = tokenize("PARSE parse Parse FROM to LiMiT sample PROCESS");
+  ASSERT_TRUE(tokens.has_value());
+  EXPECT_EQ(kinds(*tokens),
+            (std::vector<TokenKind>{
+                TokenKind::kw_parse, TokenKind::kw_parse, TokenKind::kw_parse,
+                TokenKind::kw_from, TokenKind::kw_to, TokenKind::kw_limit,
+                TokenKind::kw_sample, TokenKind::kw_process, TokenKind::end}));
+}
+
+TEST(Lexer, PunctuationAndWords) {
+  const auto tokens = tokenize("(top-k: k=10, w=10s) *");
+  ASSERT_TRUE(tokens.has_value());
+  EXPECT_EQ(kinds(*tokens),
+            (std::vector<TokenKind>{
+                TokenKind::lparen, TokenKind::word, TokenKind::colon,
+                TokenKind::word, TokenKind::equals, TokenKind::word,
+                TokenKind::comma, TokenKind::word, TokenKind::equals,
+                TokenKind::word, TokenKind::rparen, TokenKind::star,
+                TokenKind::end}));
+  EXPECT_EQ((*tokens)[1].text, "top-k");
+  EXPECT_EQ((*tokens)[9].text, "10s");
+}
+
+TEST(Lexer, AddressesLexAsWords) {
+  const auto tokens = tokenize("10.0.2.8:5555 10.0.0.0/24 h1");
+  ASSERT_TRUE(tokens.has_value());
+  EXPECT_EQ((*tokens)[0].text, "10.0.2.8");
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::colon);
+  EXPECT_EQ((*tokens)[2].text, "5555");
+  EXPECT_EQ((*tokens)[3].text, "10.0.0.0/24");
+  EXPECT_EQ((*tokens)[4].text, "h1");
+}
+
+TEST(Lexer, OffsetsPointIntoInput) {
+  const auto tokens = tokenize("PARSE  http_get");
+  ASSERT_TRUE(tokens.has_value());
+  EXPECT_EQ((*tokens)[0].offset, 0u);
+  EXPECT_EQ((*tokens)[1].offset, 7u);
+}
+
+TEST(Lexer, EmptyInputYieldsEnd) {
+  const auto tokens = tokenize("   ");
+  ASSERT_TRUE(tokens.has_value());
+  ASSERT_EQ(tokens->size(), 1u);
+  EXPECT_EQ(tokens->front().kind, TokenKind::end);
+}
+
+TEST(Lexer, RejectsUnknownCharacters) {
+  EXPECT_FALSE(tokenize("PARSE http_get;").has_value());
+  EXPECT_FALSE(tokenize("SELECT $x").has_value());
+}
+
+TEST(Lexer, RateAndDecimalWords) {
+  const auto tokens = tokenize("SAMPLE 0.1");
+  ASSERT_TRUE(tokens.has_value());
+  EXPECT_EQ((*tokens)[1].text, "0.1");
+}
+
+}  // namespace
+}  // namespace netalytics::query

@@ -1,0 +1,138 @@
+#include "query/parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netalytics::query {
+namespace {
+
+TEST(QueryParser, PaperExampleOne) {
+  // §3.3, first example query.
+  const auto q = parse_query(
+      "PARSE tcp_conn_time, http_get "
+      "FROM 10.0.2.8:5555 TO 10.0.2.9:80 "
+      "LIMIT 90s SAMPLE auto "
+      "PROCESS (top-k: k=10, w=10s)");
+  ASSERT_TRUE(q.has_value()) << q.error().to_string();
+
+  EXPECT_EQ(q->parsers, (std::vector<std::string>{"tcp_conn_time", "http_get"}));
+  ASSERT_EQ(q->from.size(), 1u);
+  EXPECT_EQ(q->from[0].kind, Address::Kind::ip);
+  EXPECT_EQ(q->from[0].prefix->addr, net::make_ipv4(10, 0, 2, 8));
+  EXPECT_EQ(q->from[0].port, 5555);
+  ASSERT_EQ(q->to.size(), 1u);
+  EXPECT_EQ(q->to[0].port, 80);
+  EXPECT_EQ(q->limit.kind, LimitSpec::Kind::duration);
+  EXPECT_EQ(q->limit.duration, 90 * common::kSecond);
+  EXPECT_EQ(q->sample.mode, SampleSpec::Mode::automatic);
+  ASSERT_EQ(q->processors.size(), 1u);
+  EXPECT_EQ(q->processors[0].name, "top-k");
+  EXPECT_EQ(q->processors[0].args.at("k"), "10");
+  EXPECT_EQ(q->processors[0].args.at("w"), "10s");
+}
+
+TEST(QueryParser, PaperExampleTwo) {
+  // §3.3, second example query.
+  const auto q = parse_query(
+      "PARSE http_get FROM * TO h1:80, h2:3306 "
+      "LIMIT 5000p SAMPLE 0.1 "
+      "PROCESS (diff-group: group=get)");
+  ASSERT_TRUE(q.has_value()) << q.error().to_string();
+  ASSERT_EQ(q->from.size(), 1u);
+  EXPECT_EQ(q->from[0].kind, Address::Kind::any);
+  ASSERT_EQ(q->to.size(), 2u);
+  EXPECT_EQ(q->to[0].kind, Address::Kind::hostname);
+  EXPECT_EQ(q->to[0].text, "h1");
+  EXPECT_EQ(q->to[0].port, 80);
+  EXPECT_EQ(q->to[1].text, "h2");
+  EXPECT_EQ(q->to[1].port, 3306);
+  EXPECT_EQ(q->limit.kind, LimitSpec::Kind::packets);
+  EXPECT_EQ(q->limit.packets, 5000u);
+  EXPECT_EQ(q->sample.mode, SampleSpec::Mode::fixed);
+  EXPECT_DOUBLE_EQ(q->sample.rate, 0.1);
+  EXPECT_EQ(q->processors[0].args.at("group"), "get");
+}
+
+TEST(QueryParser, ParenthesizedParserList) {
+  // §7.2 writes PARSE (tcp_conn_time, http_get).
+  const auto q = parse_query(
+      "PARSE (tcp_conn_time, http_get) FROM * TO h1:80 "
+      "LIMIT 500s SAMPLE * PROCESS (diff-group: group=get)");
+  ASSERT_TRUE(q.has_value()) << q.error().to_string();
+  EXPECT_EQ(q->parsers.size(), 2u);
+  EXPECT_EQ(q->sample.mode, SampleSpec::Mode::disabled);
+}
+
+TEST(QueryParser, SubnetAddress) {
+  const auto q = parse_query(
+      "PARSE tcp_flow_key FROM 10.0.0.0/24 TO * PROCESS (identity)");
+  ASSERT_TRUE(q.has_value()) << q.error().to_string();
+  EXPECT_EQ(q->from[0].kind, Address::Kind::subnet);
+  EXPECT_EQ(q->from[0].prefix->length, 24);
+  EXPECT_FALSE(q->from[0].port.has_value());
+}
+
+TEST(QueryParser, HostWithWildcardPort) {
+  const auto q =
+      parse_query("PARSE http_get FROM h1:* TO h2:80 PROCESS (identity)");
+  ASSERT_TRUE(q.has_value());
+  EXPECT_FALSE(q->from[0].port.has_value());
+}
+
+TEST(QueryParser, OptionalClausesOmitted) {
+  const auto q = parse_query("PARSE http_get TO h1:80 PROCESS (top-k)");
+  ASSERT_TRUE(q.has_value()) << q.error().to_string();
+  EXPECT_TRUE(q->from.empty());
+  EXPECT_EQ(q->limit.kind, LimitSpec::Kind::none);
+  EXPECT_EQ(q->sample.mode, SampleSpec::Mode::disabled);
+  EXPECT_TRUE(q->processors[0].args.empty());
+}
+
+TEST(QueryParser, MultipleProcessors) {
+  const auto q = parse_query(
+      "PARSE http_get TO h1:80 PROCESS (top-k: k=5), (identity)");
+  ASSERT_TRUE(q.has_value());
+  ASSERT_EQ(q->processors.size(), 2u);
+  EXPECT_EQ(q->processors[1].name, "identity");
+}
+
+TEST(QueryParser, MinutesLimit) {
+  const auto q = parse_query("PARSE http_get TO h1:80 LIMIT 2m PROCESS (top-k)");
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->limit.duration, 120 * common::kSecond);
+}
+
+class BadQueryTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BadQueryTest, Rejected) {
+  const auto q = parse_query(GetParam());
+  EXPECT_FALSE(q.has_value()) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, BadQueryTest,
+    ::testing::Values(
+        "",                                                   // empty
+        "FROM h1 TO h2 PROCESS (x)",                          // no PARSE
+        "PARSE TO h1:80 PROCESS (x)",                         // no parser name
+        "PARSE http_get PROCESS (top-k)",                     // no FROM/TO
+        "PARSE http_get TO h1:80",                            // no PROCESS
+        "PARSE http_get TO h1:80 PROCESS top-k",              // missing parens
+        "PARSE http_get TO h1:99999 PROCESS (x)",             // bad port
+        "PARSE http_get TO h1:80 LIMIT 90 PROCESS (x)",       // missing unit
+        "PARSE http_get TO h1:80 LIMIT abc PROCESS (x)",      // bad limit
+        "PARSE http_get TO h1:80 SAMPLE 1.5 PROCESS (x)",     // rate > 1
+        "PARSE http_get TO h1:80 SAMPLE fast PROCESS (x)",    // bad sample
+        "PARSE http_get TO h1:80 PROCESS (top-k: k=)",        // missing value
+        "PARSE http_get TO h1:80 PROCESS (top-k: =10)",       // missing key
+        "PARSE http_get TO h1:80 PROCESS (top-k) trailing",   // trailing
+        "PARSE (http_get TO h1:80 PROCESS (x)"));             // unclosed paren
+
+TEST(QueryParser, ErrorsCarryOffsets) {
+  const auto q = parse_query("PARSE http_get TO h1:80");
+  ASSERT_FALSE(q.has_value());
+  EXPECT_NE(q.error().message.find("offset"), std::string::npos);
+  EXPECT_EQ(q.error().code, "parse");
+}
+
+}  // namespace
+}  // namespace netalytics::query

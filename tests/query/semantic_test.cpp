@@ -1,0 +1,87 @@
+#include "query/semantic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "parsers/parsers.hpp"
+
+namespace netalytics::query {
+namespace {
+
+class SemanticTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { parsers::register_builtin_parsers(); }
+};
+
+TEST_F(SemanticTest, ValidQueryPasses) {
+  const auto v = parse_and_validate(
+      "PARSE tcp_conn_time, http_get FROM 10.0.2.8:5555 TO 10.0.2.9:80 "
+      "LIMIT 90s SAMPLE auto PROCESS (top-k: k=10, w=10s)");
+  ASSERT_TRUE(v.has_value()) << v.error().to_string();
+  EXPECT_EQ(v->topics, (std::vector<std::string>{"tcp_conn_time", "http_get"}));
+}
+
+TEST_F(SemanticTest, UnknownParserRejected) {
+  const auto v = parse_and_validate(
+      "PARSE dns_query TO h1:80 PROCESS (identity)");
+  ASSERT_FALSE(v.has_value());
+  EXPECT_NE(v.error().message.find("dns_query"), std::string::npos);
+}
+
+TEST_F(SemanticTest, UnknownProcessorRejected) {
+  const auto v =
+      parse_and_validate("PARSE http_get TO h1:80 PROCESS (word-count)");
+  ASSERT_FALSE(v.has_value());
+  EXPECT_NE(v.error().message.find("word-count"), std::string::npos);
+}
+
+TEST_F(SemanticTest, DuplicateParsersDeduplicated) {
+  const auto v = parse_and_validate(
+      "PARSE http_get, http_get TO h1:80 PROCESS (top-k)");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->topics.size(), 1u);
+}
+
+TEST_F(SemanticTest, AllWildcardAddressesRejected) {
+  // §3.4: generic network-wide monitoring needs manual placement.
+  const auto v =
+      parse_and_validate("PARSE http_get FROM * TO * PROCESS (top-k)");
+  ASSERT_FALSE(v.has_value());
+  EXPECT_EQ(v.error().code, "semantic");
+}
+
+TEST_F(SemanticTest, DiffGroupRequiresConnTime) {
+  const auto v = parse_and_validate(
+      "PARSE http_get TO h1:80 PROCESS (diff-group: group=destIP)");
+  ASSERT_FALSE(v.has_value());
+  EXPECT_NE(v.error().message.find("tcp_conn_time"), std::string::npos);
+}
+
+TEST_F(SemanticTest, DiffGroupByGetRequiresHttpParser) {
+  const auto v = parse_and_validate(
+      "PARSE tcp_conn_time TO h1:80 PROCESS (diff-group: group=get)");
+  ASSERT_FALSE(v.has_value());
+  EXPECT_NE(v.error().message.find("http_get"), std::string::npos);
+}
+
+TEST_F(SemanticTest, PaperUseCaseQueriesAllValidate) {
+  // The queries used throughout §7.
+  const char* queries[] = {
+      "PARSE tcp_conn_time FROM * TO h1:80, h2:3306 LIMIT 500s SAMPLE * "
+      "PROCESS (diff-group: group=destIP)",
+      "PARSE (tcp_conn_time, http_get) FROM * TO h1:80 LIMIT 500s SAMPLE * "
+      "PROCESS (diff-group: group=get)",
+      "PARSE tcp_pkt_size FROM * TO h1:3306, h2:11211 LIMIT 90s "
+      "PROCESS (group-sum)",
+      "PARSE mysql_query FROM * TO h2:3306 PROCESS (group-avg), (identity)",
+      "PARSE http_get FROM * TO h1:80 LIMIT 90s SAMPLE auto "
+      "PROCESS (top-k: k=10, w=10s)",
+  };
+  for (const auto* text : queries) {
+    const auto v = parse_and_validate(text);
+    EXPECT_TRUE(v.has_value()) << text << " -> "
+                               << (v ? "" : v.error().to_string());
+  }
+}
+
+}  // namespace
+}  // namespace netalytics::query

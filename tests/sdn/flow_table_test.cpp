@@ -1,0 +1,120 @@
+#include "sdn/flow_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pktgen/builder.hpp"
+
+namespace netalytics::sdn {
+namespace {
+
+struct PacketFixture {
+  std::vector<std::byte> storage;
+  net::DecodedPacket pkt;
+
+  explicit PacketFixture(net::Port dst_port = 80) {
+    pktgen::TcpFrameSpec spec;
+    spec.flow = {net::make_ipv4(10, 0, 0, 1), net::make_ipv4(10, 0, 0, 2), 1234,
+                 dst_port, 6};
+    spec.pad_to_frame_size = 100;
+    storage = pktgen::build_tcp_frame(spec);
+    pkt = *net::decode_packet(storage);
+  }
+};
+
+FlowRule rule_with_port(net::Port dst_port, int priority) {
+  FlowRule r;
+  r.priority = priority;
+  r.match.dst_port = dst_port;
+  r.actions = {OutputAction{0}};
+  return r;
+}
+
+TEST(FlowTable, InstallAndLookup) {
+  FlowTable table;
+  const auto cookie = table.install(rule_with_port(80, 10), 0);
+  ASSERT_TRUE(cookie.has_value());
+  PacketFixture f;
+  FlowRule* hit = table.lookup(f.pkt, 0);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->cookie, *cookie);
+}
+
+TEST(FlowTable, HighestPriorityWins) {
+  FlowTable table;
+  FlowRule low;
+  low.priority = 1;
+  low.actions = {DropAction{}};
+  FlowRule high = rule_with_port(80, 100);
+  table.install(low, 0);
+  const auto high_cookie = table.install(high, 0);
+  PacketFixture f;
+  EXPECT_EQ(table.lookup(f.pkt, 0)->cookie, *high_cookie);
+  // Non-matching traffic falls to the wildcard rule.
+  PacketFixture other(443);
+  EXPECT_EQ(table.lookup(other.pkt, 0)->priority, 1);
+}
+
+TEST(FlowTable, MissReturnsNull) {
+  FlowTable table;
+  table.install(rule_with_port(443, 5), 0);
+  PacketFixture f(80);
+  EXPECT_EQ(table.lookup(f.pkt, 0), nullptr);
+}
+
+TEST(FlowTable, SameMatchSamePriorityReplaces) {
+  FlowTable table;
+  auto r = rule_with_port(80, 10);
+  table.install(r, 0);
+  r.actions = {DropAction{}};
+  table.install(r, 0);
+  EXPECT_EQ(table.size(), 1u);
+  PacketFixture f;
+  EXPECT_TRUE(std::holds_alternative<DropAction>(table.lookup(f.pkt, 0)->actions[0]));
+}
+
+TEST(FlowTable, CapacityLimitRejects) {
+  FlowTable table(2);
+  EXPECT_TRUE(table.install(rule_with_port(1, 1), 0).has_value());
+  EXPECT_TRUE(table.install(rule_with_port(2, 1), 0).has_value());
+  EXPECT_FALSE(table.install(rule_with_port(3, 1), 0).has_value());
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(FlowTable, RemoveByCookie) {
+  FlowTable table;
+  const auto cookie = table.install(rule_with_port(80, 1), 0);
+  EXPECT_TRUE(table.remove(*cookie));
+  EXPECT_FALSE(table.remove(*cookie));
+  PacketFixture f;
+  EXPECT_EQ(table.lookup(f.pkt, 0), nullptr);
+}
+
+TEST(FlowTable, HardTimeoutExpires) {
+  FlowTable table;
+  auto r = rule_with_port(80, 1);
+  r.hard_timeout = 90 * common::kSecond;  // a LIMIT 90s query window
+  table.install(r, 1000);
+  EXPECT_EQ(table.expire(1000 + 89 * common::kSecond), 0u);
+  EXPECT_EQ(table.expire(1000 + 90 * common::kSecond), 1u);
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(FlowTable, PermanentRulesNeverExpire) {
+  FlowTable table;
+  table.install(rule_with_port(80, 1), 0);
+  EXPECT_EQ(table.expire(~common::Timestamp{0} / 2), 0u);
+}
+
+TEST(FlowTable, LookupStatsUpdatedByCaller) {
+  FlowTable table;
+  table.install(rule_with_port(80, 1), 0);
+  PacketFixture f;
+  FlowRule* hit = table.lookup(f.pkt, 0);
+  hit->packet_count += 1;
+  hit->byte_count += 100;
+  EXPECT_EQ(table.rules()[0].packet_count, 1u);
+  EXPECT_EQ(table.rules()[0].byte_count, 100u);
+}
+
+}  // namespace
+}  // namespace netalytics::sdn

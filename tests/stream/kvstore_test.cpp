@@ -1,0 +1,71 @@
+#include "stream/kvstore.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace netalytics::stream {
+namespace {
+
+TEST(KvStore, StringSetGetErase) {
+  KvStore kv;
+  EXPECT_FALSE(kv.get("k").has_value());
+  kv.set("k", "v");
+  EXPECT_EQ(kv.get("k").value(), "v");
+  kv.set("k", "v2");  // overwrite
+  EXPECT_EQ(kv.get("k").value(), "v2");
+  EXPECT_TRUE(kv.erase("k"));
+  EXPECT_FALSE(kv.erase("k"));
+  EXPECT_FALSE(kv.get("k").has_value());
+}
+
+TEST(KvStore, HashOperations) {
+  KvStore kv;
+  kv.hset("h", "f1", "a");
+  kv.hset("h", "f2", "b");
+  EXPECT_EQ(kv.hget("h", "f1").value(), "a");
+  EXPECT_FALSE(kv.hget("h", "nope").has_value());
+  EXPECT_FALSE(kv.hget("nope", "f1").has_value());
+  const auto all = kv.hgetall("h");
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all.at("f2"), "b");
+  EXPECT_TRUE(kv.hgetall("nope").empty());
+}
+
+TEST(KvStore, ListOperations) {
+  KvStore kv;
+  kv.rpush("pool", "server1");
+  kv.rpush("pool", "server2");
+  const auto list = kv.lrange("pool");
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list[0], "server1");
+  kv.del_list("pool");
+  EXPECT_TRUE(kv.lrange("pool").empty());
+}
+
+TEST(KvStore, SizeCountsAllNamespaces) {
+  KvStore kv;
+  kv.set("s", "1");
+  kv.hset("h", "f", "1");
+  kv.rpush("l", "1");
+  EXPECT_EQ(kv.size(), 3u);
+}
+
+TEST(KvStore, ConcurrentWritersDoNotCorrupt) {
+  KvStore kv;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&kv, t] {
+      for (int i = 0; i < 1000; ++i) {
+        kv.set("key" + std::to_string(t) + ":" + std::to_string(i), "v");
+        kv.hset("shared", std::to_string(t), std::to_string(i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(kv.hgetall("shared").size(), 4u);
+  EXPECT_EQ(kv.get("key3:999").value(), "v");
+}
+
+}  // namespace
+}  // namespace netalytics::stream

@@ -1,0 +1,32 @@
+// Shared helpers for stream-engine tests.
+#pragma once
+
+#include <vector>
+
+#include "stream/topology.hpp"
+
+namespace netalytics::stream::testing {
+
+/// Collects emissions for direct bolt unit tests.
+class CaptureCollector final : public Collector {
+ public:
+  void emit(Tuple tuple) override { tuples.push_back(std::move(tuple)); }
+  std::vector<Tuple> tuples;
+};
+
+/// Spout that replays a fixed tuple list once.
+class ListSpout final : public Spout {
+ public:
+  explicit ListSpout(std::vector<Tuple> tuples) : tuples_(std::move(tuples)) {}
+  bool next_tuple(Collector& out) override {
+    if (cursor_ >= tuples_.size()) return false;
+    out.emit(tuples_[cursor_++]);
+    return true;
+  }
+
+ private:
+  std::vector<Tuple> tuples_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace netalytics::stream::testing

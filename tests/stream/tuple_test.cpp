@@ -1,0 +1,51 @@
+#include "stream/tuple.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netalytics::stream {
+namespace {
+
+TEST(TupleHash, StableAcrossCalls) {
+  const Value v = std::string("hello");
+  EXPECT_EQ(hash_value(v), hash_value(v));
+}
+
+TEST(TupleHash, TypeDistinguishes) {
+  // An i64 and a u64 with the same bits must not collide systematically.
+  EXPECT_NE(hash_value(Value{std::int64_t{5}}), hash_value(Value{std::uint64_t{5}}));
+}
+
+TEST(TupleHash, FieldsSubsetSelectsValues) {
+  Tuple a{{std::uint64_t{1}, std::string("x"), 2.0}};
+  Tuple b{{std::uint64_t{9}, std::string("x"), 7.5}};
+  // Grouping on index 1 only: both hash the same.
+  EXPECT_EQ(hash_fields(a, {1}), hash_fields(b, {1}));
+  EXPECT_NE(hash_fields(a, {0}), hash_fields(b, {0}));
+}
+
+TEST(TupleFormat, RendersAllTypes) {
+  Tuple t{{std::int64_t{-3}, std::uint64_t{7}, 1.5, std::string("s")}};
+  EXPECT_EQ(format_tuple(t), "(-3, 7, 1.5000, \"s\")");
+}
+
+TEST(TupleFormat, EmptyTuple) { EXPECT_EQ(format_tuple(Tuple{}), "()"); }
+
+TEST(TupleAccess, TypedAccessors) {
+  Tuple t{{std::int64_t{-3}, std::uint64_t{7}, 1.5, std::string("s")}};
+  EXPECT_EQ(as_i64(t.at(0)), -3);
+  EXPECT_EQ(as_u64(t.at(1)), 7u);
+  EXPECT_DOUBLE_EQ(as_f64(t.at(2)), 1.5);
+  EXPECT_EQ(as_str(t.at(3)), "s");
+  EXPECT_THROW(as_u64(t.at(0)), std::bad_variant_access);
+  EXPECT_THROW((void)t.at(9), std::out_of_range);
+}
+
+TEST(TupleAccess, AsNumberCoercesNumerics) {
+  EXPECT_DOUBLE_EQ(as_number(Value{std::int64_t{-2}}), -2.0);
+  EXPECT_DOUBLE_EQ(as_number(Value{std::uint64_t{3}}), 3.0);
+  EXPECT_DOUBLE_EQ(as_number(Value{2.5}), 2.5);
+  EXPECT_THROW(as_number(Value{std::string("x")}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace netalytics::stream
