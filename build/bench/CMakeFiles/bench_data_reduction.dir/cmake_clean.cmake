@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_data_reduction.dir/bench_data_reduction.cpp.o"
+  "CMakeFiles/bench_data_reduction.dir/bench_data_reduction.cpp.o.d"
+  "bench_data_reduction"
+  "bench_data_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_data_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

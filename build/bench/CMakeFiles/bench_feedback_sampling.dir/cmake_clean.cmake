@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_feedback_sampling.dir/bench_feedback_sampling.cpp.o"
+  "CMakeFiles/bench_feedback_sampling.dir/bench_feedback_sampling.cpp.o.d"
+  "bench_feedback_sampling"
+  "bench_feedback_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_feedback_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

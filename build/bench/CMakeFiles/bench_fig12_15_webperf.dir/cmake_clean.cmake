@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_15_webperf.dir/bench_fig12_15_webperf.cpp.o"
+  "CMakeFiles/bench_fig12_15_webperf.dir/bench_fig12_15_webperf.cpp.o.d"
+  "bench_fig12_15_webperf"
+  "bench_fig12_15_webperf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_15_webperf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_11_multitier.dir/bench_fig9_11_multitier.cpp.o"
+  "CMakeFiles/bench_fig9_11_multitier.dir/bench_fig9_11_multitier.cpp.o.d"
+  "bench_fig9_11_multitier"
+  "bench_fig9_11_multitier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_11_multitier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

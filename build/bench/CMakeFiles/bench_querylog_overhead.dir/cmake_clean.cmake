@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_querylog_overhead.dir/bench_querylog_overhead.cpp.o"
+  "CMakeFiles/bench_querylog_overhead.dir/bench_querylog_overhead.cpp.o.d"
+  "bench_querylog_overhead"
+  "bench_querylog_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_querylog_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multitier_debugging.dir/multitier_debugging.cpp.o"
+  "CMakeFiles/multitier_debugging.dir/multitier_debugging.cpp.o.d"
+  "multitier_debugging"
+  "multitier_debugging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multitier_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

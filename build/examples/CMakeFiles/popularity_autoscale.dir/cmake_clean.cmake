@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/popularity_autoscale.dir/popularity_autoscale.cpp.o"
+  "CMakeFiles/popularity_autoscale.dir/popularity_autoscale.cpp.o.d"
+  "popularity_autoscale"
+  "popularity_autoscale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/popularity_autoscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/netalytics_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/netalytics_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/netalytics_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/netalytics_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/mq/CMakeFiles/netalytics_mq.dir/DependInfo.cmake"
+  "/root/repo/build/src/parsers/CMakeFiles/netalytics_parsers.dir/DependInfo.cmake"
+  "/root/repo/build/src/nf/CMakeFiles/netalytics_nf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdn/CMakeFiles/netalytics_sdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/netalytics_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/dcn/CMakeFiles/netalytics_dcn.dir/DependInfo.cmake"
+  "/root/repo/build/src/pktgen/CMakeFiles/netalytics_pktgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/netalytics_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/netalytics_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_perf_analysis.dir/web_perf_analysis.cpp.o"
+  "CMakeFiles/web_perf_analysis.dir/web_perf_analysis.cpp.o.d"
+  "web_perf_analysis"
+  "web_perf_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_perf_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("net")
+subdirs("pktgen")
+subdirs("nf")
+subdirs("parsers")
+subdirs("mq")
+subdirs("stream")
+subdirs("sdn")
+subdirs("dcn")
+subdirs("placement")
+subdirs("query")
+subdirs("core")
+subdirs("apps")

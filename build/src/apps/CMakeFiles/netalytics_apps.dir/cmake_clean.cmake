@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netalytics_apps.dir/dbserver.cpp.o"
+  "CMakeFiles/netalytics_apps.dir/dbserver.cpp.o.d"
+  "CMakeFiles/netalytics_apps.dir/multitier.cpp.o"
+  "CMakeFiles/netalytics_apps.dir/multitier.cpp.o.d"
+  "CMakeFiles/netalytics_apps.dir/videoservice.cpp.o"
+  "CMakeFiles/netalytics_apps.dir/videoservice.cpp.o.d"
+  "CMakeFiles/netalytics_apps.dir/webapp.cpp.o"
+  "CMakeFiles/netalytics_apps.dir/webapp.cpp.o.d"
+  "libnetalytics_apps.a"
+  "libnetalytics_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netalytics_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

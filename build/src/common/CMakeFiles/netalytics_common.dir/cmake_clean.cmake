@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netalytics_common.dir/logging.cpp.o"
+  "CMakeFiles/netalytics_common.dir/logging.cpp.o.d"
+  "CMakeFiles/netalytics_common.dir/rng.cpp.o"
+  "CMakeFiles/netalytics_common.dir/rng.cpp.o.d"
+  "CMakeFiles/netalytics_common.dir/stats.cpp.o"
+  "CMakeFiles/netalytics_common.dir/stats.cpp.o.d"
+  "CMakeFiles/netalytics_common.dir/string_util.cpp.o"
+  "CMakeFiles/netalytics_common.dir/string_util.cpp.o.d"
+  "libnetalytics_common.a"
+  "libnetalytics_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netalytics_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netalytics_core.dir/compiler.cpp.o"
+  "CMakeFiles/netalytics_core.dir/compiler.cpp.o.d"
+  "CMakeFiles/netalytics_core.dir/emulation.cpp.o"
+  "CMakeFiles/netalytics_core.dir/emulation.cpp.o.d"
+  "CMakeFiles/netalytics_core.dir/netalytics.cpp.o"
+  "CMakeFiles/netalytics_core.dir/netalytics.cpp.o.d"
+  "libnetalytics_core.a"
+  "libnetalytics_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netalytics_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

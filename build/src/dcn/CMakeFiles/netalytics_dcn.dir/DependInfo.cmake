@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dcn/routing.cpp" "src/dcn/CMakeFiles/netalytics_dcn.dir/routing.cpp.o" "gcc" "src/dcn/CMakeFiles/netalytics_dcn.dir/routing.cpp.o.d"
+  "/root/repo/src/dcn/topology.cpp" "src/dcn/CMakeFiles/netalytics_dcn.dir/topology.cpp.o" "gcc" "src/dcn/CMakeFiles/netalytics_dcn.dir/topology.cpp.o.d"
+  "/root/repo/src/dcn/workload.cpp" "src/dcn/CMakeFiles/netalytics_dcn.dir/workload.cpp.o" "gcc" "src/dcn/CMakeFiles/netalytics_dcn.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/netalytics_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

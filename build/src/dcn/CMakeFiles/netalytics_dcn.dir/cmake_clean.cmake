@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netalytics_dcn.dir/routing.cpp.o"
+  "CMakeFiles/netalytics_dcn.dir/routing.cpp.o.d"
+  "CMakeFiles/netalytics_dcn.dir/topology.cpp.o"
+  "CMakeFiles/netalytics_dcn.dir/topology.cpp.o.d"
+  "CMakeFiles/netalytics_dcn.dir/workload.cpp.o"
+  "CMakeFiles/netalytics_dcn.dir/workload.cpp.o.d"
+  "libnetalytics_dcn.a"
+  "libnetalytics_dcn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netalytics_dcn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mq/broker.cpp" "src/mq/CMakeFiles/netalytics_mq.dir/broker.cpp.o" "gcc" "src/mq/CMakeFiles/netalytics_mq.dir/broker.cpp.o.d"
+  "/root/repo/src/mq/cluster.cpp" "src/mq/CMakeFiles/netalytics_mq.dir/cluster.cpp.o" "gcc" "src/mq/CMakeFiles/netalytics_mq.dir/cluster.cpp.o.d"
+  "/root/repo/src/mq/consumer.cpp" "src/mq/CMakeFiles/netalytics_mq.dir/consumer.cpp.o" "gcc" "src/mq/CMakeFiles/netalytics_mq.dir/consumer.cpp.o.d"
+  "/root/repo/src/mq/producer.cpp" "src/mq/CMakeFiles/netalytics_mq.dir/producer.cpp.o" "gcc" "src/mq/CMakeFiles/netalytics_mq.dir/producer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/netalytics_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netalytics_mq.dir/broker.cpp.o"
+  "CMakeFiles/netalytics_mq.dir/broker.cpp.o.d"
+  "CMakeFiles/netalytics_mq.dir/cluster.cpp.o"
+  "CMakeFiles/netalytics_mq.dir/cluster.cpp.o.d"
+  "CMakeFiles/netalytics_mq.dir/consumer.cpp.o"
+  "CMakeFiles/netalytics_mq.dir/consumer.cpp.o.d"
+  "CMakeFiles/netalytics_mq.dir/producer.cpp.o"
+  "CMakeFiles/netalytics_mq.dir/producer.cpp.o.d"
+  "libnetalytics_mq.a"
+  "libnetalytics_mq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netalytics_mq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for netalytics_mq.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netalytics_net.dir/decode.cpp.o"
+  "CMakeFiles/netalytics_net.dir/decode.cpp.o.d"
+  "CMakeFiles/netalytics_net.dir/headers.cpp.o"
+  "CMakeFiles/netalytics_net.dir/headers.cpp.o.d"
+  "CMakeFiles/netalytics_net.dir/ip.cpp.o"
+  "CMakeFiles/netalytics_net.dir/ip.cpp.o.d"
+  "CMakeFiles/netalytics_net.dir/packet.cpp.o"
+  "CMakeFiles/netalytics_net.dir/packet.cpp.o.d"
+  "libnetalytics_net.a"
+  "libnetalytics_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netalytics_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

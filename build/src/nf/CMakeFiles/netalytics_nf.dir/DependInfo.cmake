@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nf/monitor.cpp" "src/nf/CMakeFiles/netalytics_nf.dir/monitor.cpp.o" "gcc" "src/nf/CMakeFiles/netalytics_nf.dir/monitor.cpp.o.d"
+  "/root/repo/src/nf/orchestrator.cpp" "src/nf/CMakeFiles/netalytics_nf.dir/orchestrator.cpp.o" "gcc" "src/nf/CMakeFiles/netalytics_nf.dir/orchestrator.cpp.o.d"
+  "/root/repo/src/nf/output.cpp" "src/nf/CMakeFiles/netalytics_nf.dir/output.cpp.o" "gcc" "src/nf/CMakeFiles/netalytics_nf.dir/output.cpp.o.d"
+  "/root/repo/src/nf/parser.cpp" "src/nf/CMakeFiles/netalytics_nf.dir/parser.cpp.o" "gcc" "src/nf/CMakeFiles/netalytics_nf.dir/parser.cpp.o.d"
+  "/root/repo/src/nf/record.cpp" "src/nf/CMakeFiles/netalytics_nf.dir/record.cpp.o" "gcc" "src/nf/CMakeFiles/netalytics_nf.dir/record.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/netalytics_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/netalytics_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netalytics_nf.dir/monitor.cpp.o"
+  "CMakeFiles/netalytics_nf.dir/monitor.cpp.o.d"
+  "CMakeFiles/netalytics_nf.dir/orchestrator.cpp.o"
+  "CMakeFiles/netalytics_nf.dir/orchestrator.cpp.o.d"
+  "CMakeFiles/netalytics_nf.dir/output.cpp.o"
+  "CMakeFiles/netalytics_nf.dir/output.cpp.o.d"
+  "CMakeFiles/netalytics_nf.dir/parser.cpp.o"
+  "CMakeFiles/netalytics_nf.dir/parser.cpp.o.d"
+  "CMakeFiles/netalytics_nf.dir/record.cpp.o"
+  "CMakeFiles/netalytics_nf.dir/record.cpp.o.d"
+  "libnetalytics_nf.a"
+  "libnetalytics_nf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netalytics_nf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parsers/app_parsers.cpp" "src/parsers/CMakeFiles/netalytics_parsers.dir/app_parsers.cpp.o" "gcc" "src/parsers/CMakeFiles/netalytics_parsers.dir/app_parsers.cpp.o.d"
+  "/root/repo/src/parsers/register.cpp" "src/parsers/CMakeFiles/netalytics_parsers.dir/register.cpp.o" "gcc" "src/parsers/CMakeFiles/netalytics_parsers.dir/register.cpp.o.d"
+  "/root/repo/src/parsers/tcp_parsers.cpp" "src/parsers/CMakeFiles/netalytics_parsers.dir/tcp_parsers.cpp.o" "gcc" "src/parsers/CMakeFiles/netalytics_parsers.dir/tcp_parsers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nf/CMakeFiles/netalytics_nf.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/netalytics_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/netalytics_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netalytics_parsers.dir/app_parsers.cpp.o"
+  "CMakeFiles/netalytics_parsers.dir/app_parsers.cpp.o.d"
+  "CMakeFiles/netalytics_parsers.dir/register.cpp.o"
+  "CMakeFiles/netalytics_parsers.dir/register.cpp.o.d"
+  "CMakeFiles/netalytics_parsers.dir/tcp_parsers.cpp.o"
+  "CMakeFiles/netalytics_parsers.dir/tcp_parsers.cpp.o.d"
+  "libnetalytics_parsers.a"
+  "libnetalytics_parsers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netalytics_parsers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pktgen/builder.cpp" "src/pktgen/CMakeFiles/netalytics_pktgen.dir/builder.cpp.o" "gcc" "src/pktgen/CMakeFiles/netalytics_pktgen.dir/builder.cpp.o.d"
+  "/root/repo/src/pktgen/generator.cpp" "src/pktgen/CMakeFiles/netalytics_pktgen.dir/generator.cpp.o" "gcc" "src/pktgen/CMakeFiles/netalytics_pktgen.dir/generator.cpp.o.d"
+  "/root/repo/src/pktgen/payloads.cpp" "src/pktgen/CMakeFiles/netalytics_pktgen.dir/payloads.cpp.o" "gcc" "src/pktgen/CMakeFiles/netalytics_pktgen.dir/payloads.cpp.o.d"
+  "/root/repo/src/pktgen/session.cpp" "src/pktgen/CMakeFiles/netalytics_pktgen.dir/session.cpp.o" "gcc" "src/pktgen/CMakeFiles/netalytics_pktgen.dir/session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/netalytics_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/netalytics_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netalytics_pktgen.dir/builder.cpp.o"
+  "CMakeFiles/netalytics_pktgen.dir/builder.cpp.o.d"
+  "CMakeFiles/netalytics_pktgen.dir/generator.cpp.o"
+  "CMakeFiles/netalytics_pktgen.dir/generator.cpp.o.d"
+  "CMakeFiles/netalytics_pktgen.dir/payloads.cpp.o"
+  "CMakeFiles/netalytics_pktgen.dir/payloads.cpp.o.d"
+  "CMakeFiles/netalytics_pktgen.dir/session.cpp.o"
+  "CMakeFiles/netalytics_pktgen.dir/session.cpp.o.d"
+  "libnetalytics_pktgen.a"
+  "libnetalytics_pktgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netalytics_pktgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

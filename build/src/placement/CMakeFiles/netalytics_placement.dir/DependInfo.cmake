@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/placement/analytics_placement.cpp" "src/placement/CMakeFiles/netalytics_placement.dir/analytics_placement.cpp.o" "gcc" "src/placement/CMakeFiles/netalytics_placement.dir/analytics_placement.cpp.o.d"
+  "/root/repo/src/placement/cost.cpp" "src/placement/CMakeFiles/netalytics_placement.dir/cost.cpp.o" "gcc" "src/placement/CMakeFiles/netalytics_placement.dir/cost.cpp.o.d"
+  "/root/repo/src/placement/monitor_placement.cpp" "src/placement/CMakeFiles/netalytics_placement.dir/monitor_placement.cpp.o" "gcc" "src/placement/CMakeFiles/netalytics_placement.dir/monitor_placement.cpp.o.d"
+  "/root/repo/src/placement/strategies.cpp" "src/placement/CMakeFiles/netalytics_placement.dir/strategies.cpp.o" "gcc" "src/placement/CMakeFiles/netalytics_placement.dir/strategies.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dcn/CMakeFiles/netalytics_dcn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/netalytics_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

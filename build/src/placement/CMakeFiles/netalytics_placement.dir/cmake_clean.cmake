@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netalytics_placement.dir/analytics_placement.cpp.o"
+  "CMakeFiles/netalytics_placement.dir/analytics_placement.cpp.o.d"
+  "CMakeFiles/netalytics_placement.dir/cost.cpp.o"
+  "CMakeFiles/netalytics_placement.dir/cost.cpp.o.d"
+  "CMakeFiles/netalytics_placement.dir/monitor_placement.cpp.o"
+  "CMakeFiles/netalytics_placement.dir/monitor_placement.cpp.o.d"
+  "CMakeFiles/netalytics_placement.dir/strategies.cpp.o"
+  "CMakeFiles/netalytics_placement.dir/strategies.cpp.o.d"
+  "libnetalytics_placement.a"
+  "libnetalytics_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netalytics_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

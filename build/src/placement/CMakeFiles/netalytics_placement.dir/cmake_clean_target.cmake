@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnetalytics_placement.a"
+)

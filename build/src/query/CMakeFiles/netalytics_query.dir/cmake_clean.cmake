@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netalytics_query.dir/lexer.cpp.o"
+  "CMakeFiles/netalytics_query.dir/lexer.cpp.o.d"
+  "CMakeFiles/netalytics_query.dir/parser.cpp.o"
+  "CMakeFiles/netalytics_query.dir/parser.cpp.o.d"
+  "CMakeFiles/netalytics_query.dir/semantic.cpp.o"
+  "CMakeFiles/netalytics_query.dir/semantic.cpp.o.d"
+  "libnetalytics_query.a"
+  "libnetalytics_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netalytics_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sdn/controller.cpp" "src/sdn/CMakeFiles/netalytics_sdn.dir/controller.cpp.o" "gcc" "src/sdn/CMakeFiles/netalytics_sdn.dir/controller.cpp.o.d"
+  "/root/repo/src/sdn/flow_table.cpp" "src/sdn/CMakeFiles/netalytics_sdn.dir/flow_table.cpp.o" "gcc" "src/sdn/CMakeFiles/netalytics_sdn.dir/flow_table.cpp.o.d"
+  "/root/repo/src/sdn/match.cpp" "src/sdn/CMakeFiles/netalytics_sdn.dir/match.cpp.o" "gcc" "src/sdn/CMakeFiles/netalytics_sdn.dir/match.cpp.o.d"
+  "/root/repo/src/sdn/switch.cpp" "src/sdn/CMakeFiles/netalytics_sdn.dir/switch.cpp.o" "gcc" "src/sdn/CMakeFiles/netalytics_sdn.dir/switch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/netalytics_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/netalytics_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netalytics_sdn.dir/controller.cpp.o"
+  "CMakeFiles/netalytics_sdn.dir/controller.cpp.o.d"
+  "CMakeFiles/netalytics_sdn.dir/flow_table.cpp.o"
+  "CMakeFiles/netalytics_sdn.dir/flow_table.cpp.o.d"
+  "CMakeFiles/netalytics_sdn.dir/match.cpp.o"
+  "CMakeFiles/netalytics_sdn.dir/match.cpp.o.d"
+  "CMakeFiles/netalytics_sdn.dir/switch.cpp.o"
+  "CMakeFiles/netalytics_sdn.dir/switch.cpp.o.d"
+  "libnetalytics_sdn.a"
+  "libnetalytics_sdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netalytics_sdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/bolts.cpp" "src/stream/CMakeFiles/netalytics_stream.dir/bolts.cpp.o" "gcc" "src/stream/CMakeFiles/netalytics_stream.dir/bolts.cpp.o.d"
+  "/root/repo/src/stream/kafka_spout.cpp" "src/stream/CMakeFiles/netalytics_stream.dir/kafka_spout.cpp.o" "gcc" "src/stream/CMakeFiles/netalytics_stream.dir/kafka_spout.cpp.o.d"
+  "/root/repo/src/stream/kvstore.cpp" "src/stream/CMakeFiles/netalytics_stream.dir/kvstore.cpp.o" "gcc" "src/stream/CMakeFiles/netalytics_stream.dir/kvstore.cpp.o.d"
+  "/root/repo/src/stream/local_cluster.cpp" "src/stream/CMakeFiles/netalytics_stream.dir/local_cluster.cpp.o" "gcc" "src/stream/CMakeFiles/netalytics_stream.dir/local_cluster.cpp.o.d"
+  "/root/repo/src/stream/processors.cpp" "src/stream/CMakeFiles/netalytics_stream.dir/processors.cpp.o" "gcc" "src/stream/CMakeFiles/netalytics_stream.dir/processors.cpp.o.d"
+  "/root/repo/src/stream/stepped.cpp" "src/stream/CMakeFiles/netalytics_stream.dir/stepped.cpp.o" "gcc" "src/stream/CMakeFiles/netalytics_stream.dir/stepped.cpp.o.d"
+  "/root/repo/src/stream/topk.cpp" "src/stream/CMakeFiles/netalytics_stream.dir/topk.cpp.o" "gcc" "src/stream/CMakeFiles/netalytics_stream.dir/topk.cpp.o.d"
+  "/root/repo/src/stream/topology.cpp" "src/stream/CMakeFiles/netalytics_stream.dir/topology.cpp.o" "gcc" "src/stream/CMakeFiles/netalytics_stream.dir/topology.cpp.o.d"
+  "/root/repo/src/stream/tuple.cpp" "src/stream/CMakeFiles/netalytics_stream.dir/tuple.cpp.o" "gcc" "src/stream/CMakeFiles/netalytics_stream.dir/tuple.cpp.o.d"
+  "/root/repo/src/stream/window.cpp" "src/stream/CMakeFiles/netalytics_stream.dir/window.cpp.o" "gcc" "src/stream/CMakeFiles/netalytics_stream.dir/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mq/CMakeFiles/netalytics_mq.dir/DependInfo.cmake"
+  "/root/repo/build/src/nf/CMakeFiles/netalytics_nf.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/netalytics_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/netalytics_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netalytics_stream.dir/bolts.cpp.o"
+  "CMakeFiles/netalytics_stream.dir/bolts.cpp.o.d"
+  "CMakeFiles/netalytics_stream.dir/kafka_spout.cpp.o"
+  "CMakeFiles/netalytics_stream.dir/kafka_spout.cpp.o.d"
+  "CMakeFiles/netalytics_stream.dir/kvstore.cpp.o"
+  "CMakeFiles/netalytics_stream.dir/kvstore.cpp.o.d"
+  "CMakeFiles/netalytics_stream.dir/local_cluster.cpp.o"
+  "CMakeFiles/netalytics_stream.dir/local_cluster.cpp.o.d"
+  "CMakeFiles/netalytics_stream.dir/processors.cpp.o"
+  "CMakeFiles/netalytics_stream.dir/processors.cpp.o.d"
+  "CMakeFiles/netalytics_stream.dir/stepped.cpp.o"
+  "CMakeFiles/netalytics_stream.dir/stepped.cpp.o.d"
+  "CMakeFiles/netalytics_stream.dir/topk.cpp.o"
+  "CMakeFiles/netalytics_stream.dir/topk.cpp.o.d"
+  "CMakeFiles/netalytics_stream.dir/topology.cpp.o"
+  "CMakeFiles/netalytics_stream.dir/topology.cpp.o.d"
+  "CMakeFiles/netalytics_stream.dir/tuple.cpp.o"
+  "CMakeFiles/netalytics_stream.dir/tuple.cpp.o.d"
+  "CMakeFiles/netalytics_stream.dir/window.cpp.o"
+  "CMakeFiles/netalytics_stream.dir/window.cpp.o.d"
+  "libnetalytics_stream.a"
+  "libnetalytics_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netalytics_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

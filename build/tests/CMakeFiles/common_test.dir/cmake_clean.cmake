@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_test.dir/common/byte_io_test.cpp.o"
+  "CMakeFiles/common_test.dir/common/byte_io_test.cpp.o.d"
+  "CMakeFiles/common_test.dir/common/expected_test.cpp.o"
+  "CMakeFiles/common_test.dir/common/expected_test.cpp.o.d"
+  "CMakeFiles/common_test.dir/common/hash_test.cpp.o"
+  "CMakeFiles/common_test.dir/common/hash_test.cpp.o.d"
+  "CMakeFiles/common_test.dir/common/ring_test.cpp.o"
+  "CMakeFiles/common_test.dir/common/ring_test.cpp.o.d"
+  "CMakeFiles/common_test.dir/common/rng_test.cpp.o"
+  "CMakeFiles/common_test.dir/common/rng_test.cpp.o.d"
+  "CMakeFiles/common_test.dir/common/stats_test.cpp.o"
+  "CMakeFiles/common_test.dir/common/stats_test.cpp.o.d"
+  "CMakeFiles/common_test.dir/common/string_util_test.cpp.o"
+  "CMakeFiles/common_test.dir/common/string_util_test.cpp.o.d"
+  "common_test"
+  "common_test.pdb"
+  "common_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

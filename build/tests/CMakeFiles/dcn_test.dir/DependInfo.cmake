@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dcn/routing_test.cpp" "tests/CMakeFiles/dcn_test.dir/dcn/routing_test.cpp.o" "gcc" "tests/CMakeFiles/dcn_test.dir/dcn/routing_test.cpp.o.d"
+  "/root/repo/tests/dcn/topology_test.cpp" "tests/CMakeFiles/dcn_test.dir/dcn/topology_test.cpp.o" "gcc" "tests/CMakeFiles/dcn_test.dir/dcn/topology_test.cpp.o.d"
+  "/root/repo/tests/dcn/workload_test.cpp" "tests/CMakeFiles/dcn_test.dir/dcn/workload_test.cpp.o" "gcc" "tests/CMakeFiles/dcn_test.dir/dcn/workload_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dcn/CMakeFiles/netalytics_dcn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/netalytics_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcn_test.dir/dcn/routing_test.cpp.o"
+  "CMakeFiles/dcn_test.dir/dcn/routing_test.cpp.o.d"
+  "CMakeFiles/dcn_test.dir/dcn/topology_test.cpp.o"
+  "CMakeFiles/dcn_test.dir/dcn/topology_test.cpp.o.d"
+  "CMakeFiles/dcn_test.dir/dcn/workload_test.cpp.o"
+  "CMakeFiles/dcn_test.dir/dcn/workload_test.cpp.o.d"
+  "dcn_test"
+  "dcn_test.pdb"
+  "dcn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

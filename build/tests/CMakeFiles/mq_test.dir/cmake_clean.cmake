@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mq_test.dir/mq/broker_test.cpp.o"
+  "CMakeFiles/mq_test.dir/mq/broker_test.cpp.o.d"
+  "CMakeFiles/mq_test.dir/mq/cluster_test.cpp.o"
+  "CMakeFiles/mq_test.dir/mq/cluster_test.cpp.o.d"
+  "CMakeFiles/mq_test.dir/mq/producer_consumer_test.cpp.o"
+  "CMakeFiles/mq_test.dir/mq/producer_consumer_test.cpp.o.d"
+  "mq_test"
+  "mq_test.pdb"
+  "mq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nf/monitor_test.cpp" "tests/CMakeFiles/nf_test.dir/nf/monitor_test.cpp.o" "gcc" "tests/CMakeFiles/nf_test.dir/nf/monitor_test.cpp.o.d"
+  "/root/repo/tests/nf/orchestrator_test.cpp" "tests/CMakeFiles/nf_test.dir/nf/orchestrator_test.cpp.o" "gcc" "tests/CMakeFiles/nf_test.dir/nf/orchestrator_test.cpp.o.d"
+  "/root/repo/tests/nf/output_test.cpp" "tests/CMakeFiles/nf_test.dir/nf/output_test.cpp.o" "gcc" "tests/CMakeFiles/nf_test.dir/nf/output_test.cpp.o.d"
+  "/root/repo/tests/nf/record_test.cpp" "tests/CMakeFiles/nf_test.dir/nf/record_test.cpp.o" "gcc" "tests/CMakeFiles/nf_test.dir/nf/record_test.cpp.o.d"
+  "/root/repo/tests/nf/sampler_test.cpp" "tests/CMakeFiles/nf_test.dir/nf/sampler_test.cpp.o" "gcc" "tests/CMakeFiles/nf_test.dir/nf/sampler_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nf/CMakeFiles/netalytics_nf.dir/DependInfo.cmake"
+  "/root/repo/build/src/parsers/CMakeFiles/netalytics_parsers.dir/DependInfo.cmake"
+  "/root/repo/build/src/pktgen/CMakeFiles/netalytics_pktgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/netalytics_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/netalytics_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nf_test.dir/nf/monitor_test.cpp.o"
+  "CMakeFiles/nf_test.dir/nf/monitor_test.cpp.o.d"
+  "CMakeFiles/nf_test.dir/nf/orchestrator_test.cpp.o"
+  "CMakeFiles/nf_test.dir/nf/orchestrator_test.cpp.o.d"
+  "CMakeFiles/nf_test.dir/nf/output_test.cpp.o"
+  "CMakeFiles/nf_test.dir/nf/output_test.cpp.o.d"
+  "CMakeFiles/nf_test.dir/nf/record_test.cpp.o"
+  "CMakeFiles/nf_test.dir/nf/record_test.cpp.o.d"
+  "CMakeFiles/nf_test.dir/nf/sampler_test.cpp.o"
+  "CMakeFiles/nf_test.dir/nf/sampler_test.cpp.o.d"
+  "nf_test"
+  "nf_test.pdb"
+  "nf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/parsers/app_parsers_test.cpp" "tests/CMakeFiles/parsers_test.dir/parsers/app_parsers_test.cpp.o" "gcc" "tests/CMakeFiles/parsers_test.dir/parsers/app_parsers_test.cpp.o.d"
+  "/root/repo/tests/parsers/flow_state_test.cpp" "tests/CMakeFiles/parsers_test.dir/parsers/flow_state_test.cpp.o" "gcc" "tests/CMakeFiles/parsers_test.dir/parsers/flow_state_test.cpp.o.d"
+  "/root/repo/tests/parsers/tcp_parsers_test.cpp" "tests/CMakeFiles/parsers_test.dir/parsers/tcp_parsers_test.cpp.o" "gcc" "tests/CMakeFiles/parsers_test.dir/parsers/tcp_parsers_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/parsers/CMakeFiles/netalytics_parsers.dir/DependInfo.cmake"
+  "/root/repo/build/src/pktgen/CMakeFiles/netalytics_pktgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/nf/CMakeFiles/netalytics_nf.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/netalytics_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/netalytics_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsers_test.dir/parsers/app_parsers_test.cpp.o"
+  "CMakeFiles/parsers_test.dir/parsers/app_parsers_test.cpp.o.d"
+  "CMakeFiles/parsers_test.dir/parsers/flow_state_test.cpp.o"
+  "CMakeFiles/parsers_test.dir/parsers/flow_state_test.cpp.o.d"
+  "CMakeFiles/parsers_test.dir/parsers/tcp_parsers_test.cpp.o"
+  "CMakeFiles/parsers_test.dir/parsers/tcp_parsers_test.cpp.o.d"
+  "parsers_test"
+  "parsers_test.pdb"
+  "parsers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

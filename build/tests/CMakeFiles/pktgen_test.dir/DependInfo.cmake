@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pktgen/builder_test.cpp" "tests/CMakeFiles/pktgen_test.dir/pktgen/builder_test.cpp.o" "gcc" "tests/CMakeFiles/pktgen_test.dir/pktgen/builder_test.cpp.o.d"
+  "/root/repo/tests/pktgen/edge_cases_test.cpp" "tests/CMakeFiles/pktgen_test.dir/pktgen/edge_cases_test.cpp.o" "gcc" "tests/CMakeFiles/pktgen_test.dir/pktgen/edge_cases_test.cpp.o.d"
+  "/root/repo/tests/pktgen/generator_test.cpp" "tests/CMakeFiles/pktgen_test.dir/pktgen/generator_test.cpp.o" "gcc" "tests/CMakeFiles/pktgen_test.dir/pktgen/generator_test.cpp.o.d"
+  "/root/repo/tests/pktgen/payloads_test.cpp" "tests/CMakeFiles/pktgen_test.dir/pktgen/payloads_test.cpp.o" "gcc" "tests/CMakeFiles/pktgen_test.dir/pktgen/payloads_test.cpp.o.d"
+  "/root/repo/tests/pktgen/session_test.cpp" "tests/CMakeFiles/pktgen_test.dir/pktgen/session_test.cpp.o" "gcc" "tests/CMakeFiles/pktgen_test.dir/pktgen/session_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pktgen/CMakeFiles/netalytics_pktgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/netalytics_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/netalytics_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

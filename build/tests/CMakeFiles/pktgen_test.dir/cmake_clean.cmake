@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pktgen_test.dir/pktgen/builder_test.cpp.o"
+  "CMakeFiles/pktgen_test.dir/pktgen/builder_test.cpp.o.d"
+  "CMakeFiles/pktgen_test.dir/pktgen/edge_cases_test.cpp.o"
+  "CMakeFiles/pktgen_test.dir/pktgen/edge_cases_test.cpp.o.d"
+  "CMakeFiles/pktgen_test.dir/pktgen/generator_test.cpp.o"
+  "CMakeFiles/pktgen_test.dir/pktgen/generator_test.cpp.o.d"
+  "CMakeFiles/pktgen_test.dir/pktgen/payloads_test.cpp.o"
+  "CMakeFiles/pktgen_test.dir/pktgen/payloads_test.cpp.o.d"
+  "CMakeFiles/pktgen_test.dir/pktgen/session_test.cpp.o"
+  "CMakeFiles/pktgen_test.dir/pktgen/session_test.cpp.o.d"
+  "pktgen_test"
+  "pktgen_test.pdb"
+  "pktgen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pktgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

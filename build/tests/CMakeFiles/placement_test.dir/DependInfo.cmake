@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/placement/analytics_placement_test.cpp" "tests/CMakeFiles/placement_test.dir/placement/analytics_placement_test.cpp.o" "gcc" "tests/CMakeFiles/placement_test.dir/placement/analytics_placement_test.cpp.o.d"
+  "/root/repo/tests/placement/monitor_placement_test.cpp" "tests/CMakeFiles/placement_test.dir/placement/monitor_placement_test.cpp.o" "gcc" "tests/CMakeFiles/placement_test.dir/placement/monitor_placement_test.cpp.o.d"
+  "/root/repo/tests/placement/strategies_test.cpp" "tests/CMakeFiles/placement_test.dir/placement/strategies_test.cpp.o" "gcc" "tests/CMakeFiles/placement_test.dir/placement/strategies_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/placement/CMakeFiles/netalytics_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/dcn/CMakeFiles/netalytics_dcn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/netalytics_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/placement_test.dir/placement/analytics_placement_test.cpp.o"
+  "CMakeFiles/placement_test.dir/placement/analytics_placement_test.cpp.o.d"
+  "CMakeFiles/placement_test.dir/placement/monitor_placement_test.cpp.o"
+  "CMakeFiles/placement_test.dir/placement/monitor_placement_test.cpp.o.d"
+  "CMakeFiles/placement_test.dir/placement/strategies_test.cpp.o"
+  "CMakeFiles/placement_test.dir/placement/strategies_test.cpp.o.d"
+  "placement_test"
+  "placement_test.pdb"
+  "placement_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/placement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/query/lexer_test.cpp" "tests/CMakeFiles/query_test.dir/query/lexer_test.cpp.o" "gcc" "tests/CMakeFiles/query_test.dir/query/lexer_test.cpp.o.d"
+  "/root/repo/tests/query/parser_test.cpp" "tests/CMakeFiles/query_test.dir/query/parser_test.cpp.o" "gcc" "tests/CMakeFiles/query_test.dir/query/parser_test.cpp.o.d"
+  "/root/repo/tests/query/semantic_test.cpp" "tests/CMakeFiles/query_test.dir/query/semantic_test.cpp.o" "gcc" "tests/CMakeFiles/query_test.dir/query/semantic_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/query/CMakeFiles/netalytics_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/parsers/CMakeFiles/netalytics_parsers.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/netalytics_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/mq/CMakeFiles/netalytics_mq.dir/DependInfo.cmake"
+  "/root/repo/build/src/nf/CMakeFiles/netalytics_nf.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/netalytics_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/netalytics_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

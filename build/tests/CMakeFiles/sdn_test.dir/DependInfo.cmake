@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sdn/controller_test.cpp" "tests/CMakeFiles/sdn_test.dir/sdn/controller_test.cpp.o" "gcc" "tests/CMakeFiles/sdn_test.dir/sdn/controller_test.cpp.o.d"
+  "/root/repo/tests/sdn/flow_table_test.cpp" "tests/CMakeFiles/sdn_test.dir/sdn/flow_table_test.cpp.o" "gcc" "tests/CMakeFiles/sdn_test.dir/sdn/flow_table_test.cpp.o.d"
+  "/root/repo/tests/sdn/match_test.cpp" "tests/CMakeFiles/sdn_test.dir/sdn/match_test.cpp.o" "gcc" "tests/CMakeFiles/sdn_test.dir/sdn/match_test.cpp.o.d"
+  "/root/repo/tests/sdn/switch_test.cpp" "tests/CMakeFiles/sdn_test.dir/sdn/switch_test.cpp.o" "gcc" "tests/CMakeFiles/sdn_test.dir/sdn/switch_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sdn/CMakeFiles/netalytics_sdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/pktgen/CMakeFiles/netalytics_pktgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/netalytics_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/netalytics_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

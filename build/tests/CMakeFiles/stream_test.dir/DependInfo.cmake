@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stream/bolts_test.cpp" "tests/CMakeFiles/stream_test.dir/stream/bolts_test.cpp.o" "gcc" "tests/CMakeFiles/stream_test.dir/stream/bolts_test.cpp.o.d"
+  "/root/repo/tests/stream/kvstore_test.cpp" "tests/CMakeFiles/stream_test.dir/stream/kvstore_test.cpp.o" "gcc" "tests/CMakeFiles/stream_test.dir/stream/kvstore_test.cpp.o.d"
+  "/root/repo/tests/stream/local_cluster_test.cpp" "tests/CMakeFiles/stream_test.dir/stream/local_cluster_test.cpp.o" "gcc" "tests/CMakeFiles/stream_test.dir/stream/local_cluster_test.cpp.o.d"
+  "/root/repo/tests/stream/processors_test.cpp" "tests/CMakeFiles/stream_test.dir/stream/processors_test.cpp.o" "gcc" "tests/CMakeFiles/stream_test.dir/stream/processors_test.cpp.o.d"
+  "/root/repo/tests/stream/stepped_test.cpp" "tests/CMakeFiles/stream_test.dir/stream/stepped_test.cpp.o" "gcc" "tests/CMakeFiles/stream_test.dir/stream/stepped_test.cpp.o.d"
+  "/root/repo/tests/stream/topk_pipeline_test.cpp" "tests/CMakeFiles/stream_test.dir/stream/topk_pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/stream_test.dir/stream/topk_pipeline_test.cpp.o.d"
+  "/root/repo/tests/stream/topk_test.cpp" "tests/CMakeFiles/stream_test.dir/stream/topk_test.cpp.o" "gcc" "tests/CMakeFiles/stream_test.dir/stream/topk_test.cpp.o.d"
+  "/root/repo/tests/stream/topology_test.cpp" "tests/CMakeFiles/stream_test.dir/stream/topology_test.cpp.o" "gcc" "tests/CMakeFiles/stream_test.dir/stream/topology_test.cpp.o.d"
+  "/root/repo/tests/stream/tuple_test.cpp" "tests/CMakeFiles/stream_test.dir/stream/tuple_test.cpp.o" "gcc" "tests/CMakeFiles/stream_test.dir/stream/tuple_test.cpp.o.d"
+  "/root/repo/tests/stream/window_test.cpp" "tests/CMakeFiles/stream_test.dir/stream/window_test.cpp.o" "gcc" "tests/CMakeFiles/stream_test.dir/stream/window_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stream/CMakeFiles/netalytics_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/mq/CMakeFiles/netalytics_mq.dir/DependInfo.cmake"
+  "/root/repo/build/src/nf/CMakeFiles/netalytics_nf.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/netalytics_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/netalytics_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

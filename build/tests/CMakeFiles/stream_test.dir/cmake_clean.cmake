@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_test.dir/stream/bolts_test.cpp.o"
+  "CMakeFiles/stream_test.dir/stream/bolts_test.cpp.o.d"
+  "CMakeFiles/stream_test.dir/stream/kvstore_test.cpp.o"
+  "CMakeFiles/stream_test.dir/stream/kvstore_test.cpp.o.d"
+  "CMakeFiles/stream_test.dir/stream/local_cluster_test.cpp.o"
+  "CMakeFiles/stream_test.dir/stream/local_cluster_test.cpp.o.d"
+  "CMakeFiles/stream_test.dir/stream/processors_test.cpp.o"
+  "CMakeFiles/stream_test.dir/stream/processors_test.cpp.o.d"
+  "CMakeFiles/stream_test.dir/stream/stepped_test.cpp.o"
+  "CMakeFiles/stream_test.dir/stream/stepped_test.cpp.o.d"
+  "CMakeFiles/stream_test.dir/stream/topk_pipeline_test.cpp.o"
+  "CMakeFiles/stream_test.dir/stream/topk_pipeline_test.cpp.o.d"
+  "CMakeFiles/stream_test.dir/stream/topk_test.cpp.o"
+  "CMakeFiles/stream_test.dir/stream/topk_test.cpp.o.d"
+  "CMakeFiles/stream_test.dir/stream/topology_test.cpp.o"
+  "CMakeFiles/stream_test.dir/stream/topology_test.cpp.o.d"
+  "CMakeFiles/stream_test.dir/stream/tuple_test.cpp.o"
+  "CMakeFiles/stream_test.dir/stream/tuple_test.cpp.o.d"
+  "CMakeFiles/stream_test.dir/stream/window_test.cpp.o"
+  "CMakeFiles/stream_test.dir/stream/window_test.cpp.o.d"
+  "stream_test"
+  "stream_test.pdb"
+  "stream_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

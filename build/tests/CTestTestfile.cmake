@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/pktgen_test[1]_include.cmake")
+include("/root/repo/build/tests/nf_test[1]_include.cmake")
+include("/root/repo/build/tests/parsers_test[1]_include.cmake")
+include("/root/repo/build/tests/mq_test[1]_include.cmake")
+include("/root/repo/build/tests/sdn_test[1]_include.cmake")
+include("/root/repo/build/tests/dcn_test[1]_include.cmake")
+include("/root/repo/build/tests/placement_test[1]_include.cmake")
+include("/root/repo/build/tests/query_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/stream_test[1]_include.cmake")
