@@ -1,0 +1,57 @@
+#include "common/fault.hpp"
+
+#include "common/hash.hpp"
+
+namespace netalytics::common {
+
+void FaultPlan::arm(const std::string& site, FaultSpec spec) {
+  std::lock_guard lock(mutex_);
+  Site s;
+  s.spec = spec;
+  // Independent stream per site: checks against one site never perturb the
+  // random sequence of another, so multi-site runs stay reproducible even
+  // when call interleavings differ.
+  s.rng = Rng(mix64(seed_ ^ fnv1a64(site)));
+  sites_.insert_or_assign(site, s);
+}
+
+void FaultPlan::disarm(const std::string& site) {
+  std::lock_guard lock(mutex_);
+  sites_.erase(site);
+}
+
+bool FaultPlan::armed(std::string_view site) const {
+  std::lock_guard lock(mutex_);
+  return sites_.find(site) != sites_.end();
+}
+
+bool FaultPlan::should_fail(std::string_view site, Timestamp now) {
+  std::lock_guard lock(mutex_);
+  const auto it = sites_.find(site);
+  if (it == sites_.end()) return false;
+  Site& s = it->second;
+  ++s.stats.checks;
+  if (s.spec.max_fires != 0 && s.stats.fires >= s.spec.max_fires) return false;
+
+  bool fired = false;
+  if (s.spec.window_end > s.spec.window_start && now >= s.spec.window_start &&
+      now < s.spec.window_end) {
+    fired = true;
+  }
+  if (!fired && s.spec.every_nth != 0 && s.stats.checks % s.spec.every_nth == 0) {
+    fired = true;
+  }
+  if (!fired && s.spec.probability > 0.0 && s.rng.bernoulli(s.spec.probability)) {
+    fired = true;
+  }
+  if (fired) ++s.stats.fires;
+  return fired;
+}
+
+FaultSiteStats FaultPlan::site_stats(std::string_view site) const {
+  std::lock_guard lock(mutex_);
+  const auto it = sites_.find(site);
+  return it == sites_.end() ? FaultSiteStats{} : it->second.stats;
+}
+
+}  // namespace netalytics::common

@@ -1,0 +1,78 @@
+// Seeded, deterministic fault injection. A FaultPlan is a registry of named
+// injection *sites* ("mq.broker.0.down", "nf.parser.throw", ...); production
+// code holds a `FaultPlan*` that is null in normal operation, so every fault
+// path costs one pointer compare when chaos is off. Tests arm sites with
+// probability, every-Nth, or time-window triggers; all randomness comes from
+// per-site `common::Rng` streams derived from the plan seed, so a given seed
+// reproduces the exact same trigger sequence at every site regardless of how
+// checks interleave across sites or threads.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+
+namespace netalytics::common {
+
+/// How an armed site decides whether a given check fires. Triggers are
+/// evaluated in order: window, every-Nth, probability; the first match wins
+/// (and only a reached probability trigger consumes Rng state, which keeps
+/// sequences reproducible).
+struct FaultSpec {
+  /// Per-check Bernoulli trigger; 0 disables.
+  double probability = 0.0;
+  /// Fire on checks N, 2N, 3N, ... (1-based count per site); 0 disables.
+  std::uint64_t every_nth = 0;
+  /// Fire while window_start <= now < window_end. An empty window
+  /// (window_end <= window_start) disables the trigger. Sites whose checks
+  /// cannot supply a timestamp document what they pass as `now`.
+  Timestamp window_start = 0;
+  Timestamp window_end = 0;
+  /// Stop firing after this many fires; 0 = unlimited.
+  std::uint64_t max_fires = 0;
+};
+
+struct FaultSiteStats {
+  std::uint64_t checks = 0;
+  std::uint64_t fires = 0;
+};
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(std::uint64_t seed = 0) noexcept : seed_(seed) {}
+
+  FaultPlan(const FaultPlan&) = delete;
+  FaultPlan& operator=(const FaultPlan&) = delete;
+
+  /// Arm (or re-arm, resetting counters) a site. Safe at any time.
+  void arm(const std::string& site, FaultSpec spec);
+  void disarm(const std::string& site);
+  bool armed(std::string_view site) const;
+
+  /// One check at injection site `site`. Unarmed sites never fire and keep
+  /// no state. `now` drives window triggers only; sites with no notion of
+  /// time pass 0. Thread-safe.
+  bool should_fail(std::string_view site, Timestamp now = 0);
+
+  FaultSiteStats site_stats(std::string_view site) const;
+  std::uint64_t fires(std::string_view site) const { return site_stats(site).fires; }
+  std::uint64_t seed() const noexcept { return seed_; }
+
+ private:
+  struct Site {
+    FaultSpec spec;
+    Rng rng;  // seeded from plan seed + site name: sequences are per-site
+    FaultSiteStats stats;
+  };
+
+  std::uint64_t seed_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Site, std::less<>> sites_;
+};
+
+}  // namespace netalytics::common

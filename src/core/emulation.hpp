@@ -15,6 +15,10 @@
 #include "net/decode.hpp"
 #include "sdn/controller.hpp"
 
+namespace netalytics::common {
+class FaultPlan;
+}
+
 namespace netalytics::core {
 
 class Emulation {
@@ -57,6 +61,13 @@ class Emulation {
   /// Ingress port frames arrive on from hosts / the fabric.
   static constexpr std::uint32_t kIngressPort = 1;
 
+  /// Chaos hook: a FaultPlan installed here (before a NetAlytics engine is
+  /// constructed on this emulation) is threaded into every layer the engine
+  /// builds — brokers, monitors, spouts — so an end-to-end test can kill a
+  /// broker mid-run with one arm() call. The plan is borrowed, not owned.
+  void install_faults(common::FaultPlan* plan) noexcept { fault_plan_ = plan; }
+  common::FaultPlan* fault_plan() const noexcept { return fault_plan_; }
+
   /// Attach a monitor sink to a ToR switch; returns the port to mirror to.
   std::uint32_t attach_monitor(dcn::NodeId tor, sdn::PortSink sink);
 
@@ -83,6 +94,7 @@ class Emulation {
   std::uint64_t delivered_ = 0;
   std::uint64_t delivered_bytes_ = 0;
   std::uint64_t transmitted_ = 0;
+  common::FaultPlan* fault_plan_ = nullptr;
 };
 
 }  // namespace netalytics::core

@@ -65,6 +65,9 @@ std::string QueryHandle::render(std::size_t key_fields, std::size_t max_rows) co
 NetAlytics::NetAlytics(Emulation& emu, EngineConfig config)
     : emu_(emu), config_(config), cluster_(config.mq_brokers, config.broker) {
   parsers::register_builtin_parsers();
+  // Chaos wiring: a plan installed on the emulation reaches every layer
+  // this engine builds (see Emulation::install_faults).
+  if (emu_.fault_plan() != nullptr) cluster_.install_faults(emu_.fault_plan());
 }
 
 common::Expected<QueryHandle*> NetAlytics::submit(std::string_view text,
@@ -97,7 +100,8 @@ void NetAlytics::deploy_monitors(QueryHandle& q, common::Timestamp now) {
   for (const auto& mp : q.plan_.monitors) {
     // One producer per monitor; its key spreads this monitor's batches
     // across brokers while keeping them ordered.
-    auto producer = std::make_unique<mq::Producer>(cluster_, next_producer_id_++);
+    auto producer = std::make_unique<mq::Producer>(
+        cluster_, next_producer_id_++, nullptr, config_.producer_retry);
     mq::Producer* producer_ptr = producer.get();
 
     nf::MonitorConfig mcfg;
@@ -114,6 +118,7 @@ void NetAlytics::deploy_monitors(QueryHandle& q, common::Timestamp now) {
     const std::string host_name = "host-" + std::to_string(mp.host);
     const std::string id = orchestrator_.deploy(host_name, mcfg, std::move(sink));
     nf::Monitor* monitor = orchestrator_.find(id);
+    monitor->install_faults(emu_.fault_plan());
 
     // Wire the monitor to its ToR switch (inline processing keeps the
     // emulation deterministic) and mirror the matched pairs to it.
@@ -165,6 +170,7 @@ void NetAlytics::build_processors(QueryHandle& q) {
         "q" + std::to_string(q.id_) + "-" + call.name + std::to_string(i);
     ctx.topics = q.plan_.topics;
     ctx.parallelism = config_.processor_parallelism;
+    ctx.fault_plan = emu_.fault_plan();
     ctx.result_sink = [qp](const stream::Tuple& t) { qp->results_.push_back(t); };
     if (automation_store_ != nullptr && call.name == "top-k") {
       ctx.kvstore = automation_store_;
@@ -205,6 +211,10 @@ void NetAlytics::pump(common::Timestamp now) {
       }
     }
 
+    // Give buffered producer sends their retry window before draining:
+    // after a broker recovers, backlogged batches land here.
+    for (auto& p : q.producers) p->flush(now);
+
     for (auto& topo : q.topologies) topo->run_until_idle(now);
 
     if (now - q.last_tick >= config_.tick_interval) {
@@ -234,6 +244,7 @@ void NetAlytics::stop_query(QueryHandle& q, common::Timestamp now) {
   // Flush parser state and pending batches, then drain the analytics side
   // completely: data -> final window tick -> cleanup flush.
   for (auto* m : q.monitors) m->close(now);
+  for (auto& p : q.producers) p->flush(now);
   for (auto& topo : q.topologies) {
     topo->run_until_idle(now);
     topo->tick(now);

@@ -30,6 +30,9 @@ struct EngineConfig {
   /// Monitor tuning knobs applied to every deployed monitor.
   std::size_t monitor_output_batch = 32;
   int mirror_rule_priority = 10;
+  /// Retry/backoff policy for every monitor's producer (at-least-once
+  /// delivery into the aggregation layer).
+  mq::RetryPolicy producer_retry{};
 };
 
 class NetAlytics;

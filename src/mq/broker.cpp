@@ -35,8 +35,33 @@ std::size_t Broker::unread_locked(const std::string& name, const Partition& part
   return static_cast<std::size_t>(part.next_offset - floor);
 }
 
-ProduceStatus Broker::produce(Message msg, common::Timestamp now) {
+void Broker::install_faults(common::FaultPlan* plan, std::string site_prefix) {
   std::lock_guard lock(mutex_);
+  faults_ = plan;
+  fault_prefix_ = std::move(site_prefix);
+}
+
+bool Broker::fault_locked(std::string_view suffix, common::Timestamp now) {
+  if (faults_ == nullptr) return false;
+  std::string site = fault_prefix_;
+  site += '.';
+  site += suffix;
+  return faults_->should_fail(site, now);
+}
+
+ProduceStatus Broker::produce(Message&& msg, common::Timestamp now) {
+  std::lock_guard lock(mutex_);
+  last_now_ = std::max(last_now_, now);
+
+  if (fault_locked(kFaultDown, now)) {
+    ++stats_.faulted_down;
+    ++stats_.blocked;
+    return ProduceStatus::blocked;
+  }
+  if (fault_locked(kFaultReject, now)) {
+    ++stats_.faulted_reject;
+    return ProduceStatus::dropped;
+  }
 
   // Disk persistence model: every byte takes 1/rate seconds to persist; the
   // log's write point may lag `now` by at most max_persist_lag.
@@ -82,6 +107,12 @@ std::vector<Message> Broker::poll(const std::string& group,
                                   const std::string& topic_name, std::size_t max) {
   std::lock_guard lock(mutex_);
   std::vector<Message> out;
+  // A down broker serves no fetches either; group offsets are untouched, so
+  // consumers simply re-poll from where they left off after recovery.
+  if (fault_locked(kFaultDown, last_now_)) {
+    ++stats_.faulted_down;
+    return out;
+  }
   const auto it = topics_.find(topic_name);
   if (it == topics_.end()) return out;
 
@@ -92,7 +123,19 @@ std::vector<Message> Broker::poll(const std::string& group,
     // If retention ran past the group's offset, skip to the oldest retained.
     if (next < part.base_offset) next = part.base_offset;
     while (next < part.next_offset && out.size() < max) {
+      if (fault_locked(kFaultDelay, last_now_)) {
+        // Hold the rest of this partition back; it arrives next poll, in
+        // order, because `next` was not advanced.
+        ++stats_.faulted_delay;
+        break;
+      }
       out.push_back(part.log[next - part.base_offset]);
+      if (out.size() < max && fault_locked(kFaultDuplicate, last_now_)) {
+        // Re-deliver adjacent to the original: same offset, so per-key
+        // order (non-decreasing offsets) still holds.
+        ++stats_.faulted_duplicate;
+        out.push_back(part.log[next - part.base_offset]);
+      }
       ++next;
     }
   }

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/clock.hpp"
+#include "common/fault.hpp"
 #include "mq/message.hpp"
 
 namespace netalytics::mq {
@@ -29,9 +30,24 @@ namespace netalytics::mq {
 enum class ProduceStatus {
   ok,          // appended
   low_buffer,  // appended, but occupancy crossed the high watermark
-  blocked,     // persistence (disk model) saturated; retry later
-  dropped,     // partition full even after retention eviction
+  blocked,     // persistence saturated or broker down; retry later
+  dropped,     // rejected outright (fault injection); retry elsewhere/later
 };
+
+/// Fault-site suffixes a broker checks when a FaultPlan is installed; the
+/// full site name is "<prefix>.<suffix>" (default prefix "mq.broker").
+/// - down:      broker-down window — produce returns blocked, poll returns
+///              nothing (armed with a window trigger; `now` for poll checks
+///              is the latest produce timestamp the broker has seen).
+/// - reject:    produce returns dropped without appending.
+/// - delay:     poll stops reading a partition early; held-back messages
+///              arrive in a later poll, order intact.
+/// - duplicate: poll re-delivers a message adjacent to itself with the same
+///              offset (consumers dedupe by (key, offset)).
+inline constexpr std::string_view kFaultDown = "down";
+inline constexpr std::string_view kFaultReject = "reject";
+inline constexpr std::string_view kFaultDelay = "delay";
+inline constexpr std::string_view kFaultDuplicate = "duplicate";
 
 struct BrokerConfig {
   std::size_t partitions_per_topic = 1;
@@ -48,6 +64,11 @@ struct BrokerStats {
   std::uint64_t dropped_retention = 0;  // evicted unread by retention
   std::uint64_t consumed = 0;
   std::uint64_t bytes_in = 0;
+  // Fault accounting (all zero unless a FaultPlan is installed).
+  std::uint64_t faulted_down = 0;      // produce/poll hit a down window
+  std::uint64_t faulted_reject = 0;    // produce rejected by injection
+  std::uint64_t faulted_delay = 0;     // poll batches cut short
+  std::uint64_t faulted_duplicate = 0; // messages re-delivered
 };
 
 class Broker {
@@ -55,7 +76,9 @@ class Broker {
   explicit Broker(BrokerConfig config = {});
 
   /// Append a message; assigns its offset. `now` drives the disk model.
-  ProduceStatus produce(Message msg, common::Timestamp now);
+  /// On any non-appending status (blocked/dropped) `msg` is left intact so
+  /// the caller can buffer it and retry.
+  ProduceStatus produce(Message&& msg, common::Timestamp now);
 
   /// Poll up to `max` messages for a consumer group across all partitions
   /// of `topic`, advancing the group's offsets.
@@ -75,7 +98,15 @@ class Broker {
   BrokerStats stats() const;
   const BrokerConfig& config() const noexcept { return config_; }
 
+  /// Install (or clear, with nullptr) a chaos plan. Sites are named
+  /// "<site_prefix>.<suffix>" (see kFault* above), so a cluster can target
+  /// one broker by index. Not thread-safe against in-flight produce/poll;
+  /// install before traffic starts.
+  void install_faults(common::FaultPlan* plan,
+                      std::string site_prefix = "mq.broker");
+
  private:
+  bool fault_locked(std::string_view suffix, common::Timestamp now);
   struct Partition {
     std::deque<Message> log;
     std::uint64_t base_offset = 0;  // offset of log.front()
@@ -98,6 +129,11 @@ class Broker {
   std::map<std::tuple<std::string, std::string, std::size_t>, std::uint64_t> offsets_;
   common::Timestamp disk_busy_until_ = 0;
   BrokerStats stats_;
+  common::FaultPlan* faults_ = nullptr;
+  std::string fault_prefix_;
+  /// Latest produce timestamp; stands in for `now` on the poll path, which
+  /// has no clock parameter (down windows close once producers move on).
+  common::Timestamp last_now_ = 0;
 };
 
 }  // namespace netalytics::mq

@@ -14,10 +14,18 @@ Cluster::Cluster(std::size_t brokers, BrokerConfig config) {
   }
 }
 
-ProduceStatus Cluster::produce(Message msg, common::Timestamp now) {
-  const std::size_t idx =
-      common::hash_to_bucket(common::mix64(msg.key ^ 0x5ca1ab1e), brokers_.size());
-  return brokers_[idx]->produce(std::move(msg), now);
+ProduceStatus Cluster::produce(Message&& msg, common::Timestamp now) {
+  return brokers_[broker_of_key(msg.key)]->produce(std::move(msg), now);
+}
+
+std::size_t Cluster::broker_of_key(std::uint64_t key) const noexcept {
+  return common::hash_to_bucket(common::mix64(key ^ 0x5ca1ab1e), brokers_.size());
+}
+
+void Cluster::install_faults(common::FaultPlan* plan) {
+  for (std::size_t i = 0; i < brokers_.size(); ++i) {
+    brokers_[i]->install_faults(plan, "mq.broker." + std::to_string(i));
+  }
 }
 
 std::vector<Message> Cluster::poll(const std::string& group,
@@ -55,6 +63,10 @@ BrokerStats Cluster::aggregate_stats() const {
     total.dropped_retention += s.dropped_retention;
     total.consumed += s.consumed;
     total.bytes_in += s.bytes_in;
+    total.faulted_down += s.faulted_down;
+    total.faulted_reject += s.faulted_reject;
+    total.faulted_delay += s.faulted_delay;
+    total.faulted_duplicate += s.faulted_duplicate;
   }
   return total;
 }

@@ -18,7 +18,8 @@ class Cluster {
   /// `brokers` nodes, each configured identically.
   Cluster(std::size_t brokers, BrokerConfig config = {});
 
-  ProduceStatus produce(Message msg, common::Timestamp now);
+  /// On blocked/dropped, `msg` is left intact for the caller to retry.
+  ProduceStatus produce(Message&& msg, common::Timestamp now);
 
   /// Poll up to `max` messages across all brokers for a group.
   std::vector<Message> poll(const std::string& group, const std::string& topic,
@@ -32,6 +33,13 @@ class Cluster {
   std::size_t broker_count() const noexcept { return brokers_.size(); }
   Broker& broker(std::size_t i) { return *brokers_.at(i); }
   BrokerStats aggregate_stats() const;
+
+  /// Install a chaos plan on every broker. Broker `i` checks sites named
+  /// "mq.broker.<i>.<suffix>", so a test can kill exactly one node.
+  void install_faults(common::FaultPlan* plan);
+  /// Broker index `key`-hashed messages land on (lets chaos tests aim at
+  /// the node that actually carries a producer's stream).
+  std::size_t broker_of_key(std::uint64_t key) const noexcept;
 
  private:
   std::vector<std::unique_ptr<Broker>> brokers_;

@@ -1,12 +1,78 @@
 #include "mq/producer.hpp"
 
+#include <algorithm>
+
 namespace netalytics::mq {
 
 Producer::Producer(Cluster& cluster, std::uint64_t producer_id,
-                   BackpressureCallback on_backpressure)
+                   BackpressureCallback on_backpressure, RetryPolicy retry)
     : cluster_(cluster),
       producer_id_(producer_id),
-      on_backpressure_(std::move(on_backpressure)) {}
+      on_backpressure_(std::move(on_backpressure)),
+      retry_(retry) {
+  if (retry_.multiplier < 1.0) retry_.multiplier = 1.0;
+  if (retry_.initial_backoff == 0) retry_.initial_backoff = 1;
+}
+
+common::Duration Producer::backoff_after(std::size_t attempts) const noexcept {
+  double d = static_cast<double>(retry_.initial_backoff);
+  for (std::size_t i = 1; i < attempts; ++i) {
+    d *= retry_.multiplier;
+    if (d >= static_cast<double>(retry_.max_backoff)) return retry_.max_backoff;
+  }
+  return std::min(retry_.max_backoff, static_cast<common::Duration>(d));
+}
+
+void Producer::record_delivery_locked(ProduceStatus status, std::size_t bytes,
+                                      std::vector<ProduceStatus>& events) {
+  ++stats_.sent;
+  stats_.bytes += bytes;
+  if (status == ProduceStatus::low_buffer) {
+    ++stats_.backpressure_events;
+    events.push_back(status);
+  }
+}
+
+void Producer::flush_locked(common::Timestamp now,
+                            std::vector<ProduceStatus>& events) {
+  while (!pending_.empty()) {
+    PendingSend& p = pending_.front();
+    if (p.next_attempt > now) break;
+    const std::size_t bytes = p.msg.payload.size();
+    const ProduceStatus status = cluster_.produce(std::move(p.msg), now);
+    ++stats_.retries;
+    if (status == ProduceStatus::ok || status == ProduceStatus::low_buffer) {
+      record_delivery_locked(status, bytes, events);
+      pending_.pop_front();
+      continue;
+    }
+    ++p.attempts;
+    ++stats_.backpressure_events;
+    events.push_back(status);
+    if (retry_.max_attempts != 0 && p.attempts >= retry_.max_attempts) {
+      ++stats_.lost;
+      pending_.pop_front();
+      continue;  // the next buffered message gets its own tries
+    }
+    p.next_attempt = now + backoff_after(p.attempts);
+    // Younger messages must not overtake this one (per-key order), so stop
+    // the flush at the first message still backing off.
+    break;
+  }
+}
+
+bool Producer::enqueue_locked(Message&& msg, common::Timestamp now) {
+  if (pending_.size() >= retry_.max_buffered) {
+    ++stats_.lost;
+    return false;
+  }
+  PendingSend p;
+  p.msg = std::move(msg);
+  p.attempts = 1;
+  p.next_attempt = now + backoff_after(1);
+  pending_.push_back(std::move(p));
+  return true;
+}
 
 bool Producer::send(const std::string& topic, std::vector<std::byte> payload,
                     common::Timestamp now) {
@@ -17,28 +83,48 @@ bool Producer::send(const std::string& topic, std::vector<std::byte> payload,
   const std::size_t bytes = payload.size();
   msg.payload = std::move(payload);
 
-  const ProduceStatus status = cluster_.produce(std::move(msg), now);
+  bool accepted = true;
+  std::vector<ProduceStatus> events;
   {
     std::lock_guard lock(mutex_);
-    switch (status) {
-      case ProduceStatus::ok:
-        ++stats_.sent;
-        stats_.bytes += bytes;
-        break;
-      case ProduceStatus::low_buffer:
-        ++stats_.sent;
-        stats_.bytes += bytes;
+    flush_locked(now, events);
+    if (!pending_.empty()) {
+      // Order: while older messages wait on backoff, new ones queue behind.
+      accepted = enqueue_locked(std::move(msg), now);
+    } else {
+      const ProduceStatus status = cluster_.produce(std::move(msg), now);
+      if (status == ProduceStatus::ok || status == ProduceStatus::low_buffer) {
+        record_delivery_locked(status, bytes, events);
+      } else {
         ++stats_.backpressure_events;
-        break;
-      case ProduceStatus::blocked:
-      case ProduceStatus::dropped:
-        ++stats_.lost;
-        ++stats_.backpressure_events;
-        break;
+        events.push_back(status);
+        accepted = enqueue_locked(std::move(msg), now);
+      }
     }
   }
-  if (status != ProduceStatus::ok && on_backpressure_) on_backpressure_(status);
-  return status == ProduceStatus::ok || status == ProduceStatus::low_buffer;
+  for (const ProduceStatus s : events) {
+    if (on_backpressure_) on_backpressure_(s);
+  }
+  return accepted;
+}
+
+std::size_t Producer::flush(common::Timestamp now) {
+  std::vector<ProduceStatus> events;
+  std::size_t remaining = 0;
+  {
+    std::lock_guard lock(mutex_);
+    flush_locked(now, events);
+    remaining = pending_.size();
+  }
+  for (const ProduceStatus s : events) {
+    if (on_backpressure_) on_backpressure_(s);
+  }
+  return remaining;
+}
+
+std::size_t Producer::pending() const {
+  std::lock_guard lock(mutex_);
+  return pending_.size();
 }
 
 ProducerStats Producer::stats() const {

@@ -3,8 +3,16 @@
 // the hook the feedback-driven sampling mechanism uses: "the aggregator
 // sends a status message back to the monitor indicating it has low buffer
 // space" (§4.2).
+//
+// Delivery is at-least-once: a send the broker refuses (blocked/dropped) is
+// parked in a bounded send-buffer and retried with capped exponential
+// backoff as virtual time advances; messages are only abandoned after
+// max_attempts tries or when the buffer itself overflows. While anything is
+// buffered, new sends queue behind it, so the per-key order the cluster's
+// hashing guarantees is preserved end to end.
 #pragma once
 
+#include <deque>
 #include <functional>
 
 #include "mq/cluster.hpp"
@@ -15,30 +23,66 @@ namespace netalytics::mq {
 /// persistence. The receiver (monitor side) lowers its sampling rate.
 using BackpressureCallback = std::function<void(ProduceStatus status)>;
 
+struct RetryPolicy {
+  /// Total tries per message (first attempt included); 0 = retry forever.
+  std::size_t max_attempts = 8;
+  common::Duration initial_backoff = common::kMillisecond;
+  double multiplier = 2.0;
+  common::Duration max_backoff = 64 * common::kMillisecond;
+  /// Send-buffer cap; a refused send is abandoned once the buffer is full.
+  std::size_t max_buffered = 16384;
+};
+
 struct ProducerStats {
   std::uint64_t sent = 0;
   std::uint64_t backpressure_events = 0;
-  std::uint64_t lost = 0;  // blocked sends abandoned after retries
+  std::uint64_t lost = 0;     // abandoned after retries / buffer overflow
   std::uint64_t bytes = 0;
+  std::uint64_t retries = 0;  // re-send attempts of buffered messages
 };
 
 class Producer {
  public:
   Producer(Cluster& cluster, std::uint64_t producer_id,
-           BackpressureCallback on_backpressure = nullptr);
+           BackpressureCallback on_backpressure = nullptr,
+           RetryPolicy retry = {});
 
-  /// Send one payload (a serialized record batch). Returns false if the
-  /// message was abandoned because the broker stayed blocked.
+  /// Send one payload (a serialized record batch). A refused send is
+  /// buffered for retry; returns false only if the message was abandoned
+  /// (send-buffer full). Flushes due retries first.
   bool send(const std::string& topic, std::vector<std::byte> payload,
             common::Timestamp now);
 
+  /// Retry buffered messages whose backoff has expired. Call as time
+  /// advances (the engine does this every pump). Returns messages still
+  /// buffered afterwards.
+  std::size_t flush(common::Timestamp now);
+
+  std::size_t pending() const;
+  const RetryPolicy& retry_policy() const noexcept { return retry_; }
   ProducerStats stats() const;
 
  private:
+  struct PendingSend {
+    Message msg;
+    std::size_t attempts = 0;  // tries already made
+    common::Timestamp next_attempt = 0;
+  };
+
+  /// Backoff after `attempts` failed tries: initial * multiplier^(n-1),
+  /// capped at max_backoff.
+  common::Duration backoff_after(std::size_t attempts) const noexcept;
+  void flush_locked(common::Timestamp now, std::vector<ProduceStatus>& events);
+  bool enqueue_locked(Message&& msg, common::Timestamp now);
+  void record_delivery_locked(ProduceStatus status, std::size_t bytes,
+                              std::vector<ProduceStatus>& events);
+
   Cluster& cluster_;
   std::uint64_t producer_id_;
   BackpressureCallback on_backpressure_;
+  RetryPolicy retry_;
   mutable std::mutex mutex_;
+  std::deque<PendingSend> pending_;
   ProducerStats stats_;
 };
 

@@ -1,6 +1,7 @@
 #include "nf/monitor.hpp"
 
 #include <chrono>
+#include <stdexcept>
 
 #include "common/hash.hpp"
 #include "common/logging.hpp"
@@ -60,6 +61,11 @@ void Monitor::stop() {
 
 bool Monitor::inject(net::PacketPtr pkt) noexcept {
   rx_packets_.fetch_add(1, std::memory_order_relaxed);
+  if (faults_ != nullptr &&
+      faults_->should_fail(kFaultRxOverflow, pkt ? pkt->timestamp() : 0)) {
+    rx_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
   if (!rx_ring_.try_push(std::move(pkt))) {
     rx_dropped_.fetch_add(1, std::memory_order_relaxed);
     return false;
@@ -77,12 +83,34 @@ void Monitor::dispatch(const net::PacketPtr& pkt, const net::DecodedPacket& deco
             : common::hash_to_bucket(decoded.bidirectional_flow_hash,
                                      group.workers.size());
     Worker& w = *group.workers[idx];
+    if (faults_ != nullptr &&
+        faults_->should_fail(kFaultWorkerOverflow, decoded.timestamp)) {
+      worker_dropped_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
     WorkItem item{pkt, decoded};
     if (w.ring->try_push(std::move(item))) {
       dispatched_.fetch_add(1, std::memory_order_relaxed);
     } else {
       worker_dropped_.fetch_add(1, std::memory_order_relaxed);
     }
+  }
+}
+
+void Monitor::parse_guarded(Worker& w, const net::DecodedPacket& decoded,
+                            std::size_t raw_size) {
+  try {
+    if (faults_ != nullptr &&
+        faults_->should_fail(kFaultParserThrow, decoded.timestamp)) {
+      throw std::runtime_error("injected parser fault");
+    }
+    w.parser->on_packet(decoded, *w.output);
+    w.parsed.fetch_add(1, std::memory_order_relaxed);
+    w.raw_bytes.fetch_add(raw_size, std::memory_order_relaxed);
+  } catch (const std::exception&) {
+    // Parsers meet garbage at cloud scale; a throw costs one packet, never
+    // the worker. The count surfaces in MonitorStats::parser_errors.
+    parser_errors_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -136,9 +164,7 @@ void Monitor::worker_loop(Worker& w) {
     }
     for (std::size_t i = 0; i < n; ++i) {
       WorkItem& item = burst[i];
-      w.parser->on_packet(item.decoded, *w.output);
-      w.parsed.fetch_add(1, std::memory_order_relaxed);
-      w.raw_bytes.fetch_add(item.pkt->size(), std::memory_order_relaxed);
+      parse_guarded(w, item.decoded, item.pkt->size());
       item.pkt.reset();
     }
   }
@@ -148,6 +174,10 @@ void Monitor::worker_loop(Worker& w) {
 
 void Monitor::process(std::span<const std::byte> frame, common::Timestamp ts) {
   rx_packets_.fetch_add(1, std::memory_order_relaxed);
+  if (faults_ != nullptr && faults_->should_fail(kFaultRxOverflow, ts)) {
+    rx_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   auto decoded = net::decode_packet(frame);
   if (!decoded) return;
   decoded->timestamp = ts;
@@ -162,9 +192,7 @@ void Monitor::process(std::span<const std::byte> frame, common::Timestamp ts) {
             : common::hash_to_bucket(decoded->bidirectional_flow_hash,
                                      group.workers.size());
     Worker& w = *group.workers[idx];
-    w.parser->on_packet(*decoded, *w.output);
-    w.parsed.fetch_add(1, std::memory_order_relaxed);
-    w.raw_bytes.fetch_add(frame.size(), std::memory_order_relaxed);
+    parse_guarded(w, *decoded, frame.size());
     dispatched_.fetch_add(1, std::memory_order_relaxed);
   }
 }
@@ -196,6 +224,7 @@ MonitorStats Monitor::stats() const {
   s.sampled_out = sampled_out_.load(std::memory_order_relaxed);
   s.dispatched = dispatched_.load(std::memory_order_relaxed);
   s.worker_dropped = worker_dropped_.load(std::memory_order_relaxed);
+  s.parser_errors = parser_errors_.load(std::memory_order_relaxed);
   for (const auto& group : groups_) {
     for (const auto& worker : group.workers) {
       s.parsed += worker->parsed.load(std::memory_order_relaxed);

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/clock.hpp"
+#include "common/fault.hpp"
 #include "common/spsc_ring.hpp"
 #include "net/packet.hpp"
 #include "nf/output.hpp"
@@ -24,6 +25,17 @@
 #include "nf/sampler.hpp"
 
 namespace netalytics::nf {
+
+/// Fault sites the monitor checks when a FaultPlan is installed:
+/// - nf.ring.overflow:   the RX ring pretends to be full (packet dropped,
+///   counted in rx_dropped) — in inject() and inline process().
+/// - nf.worker.overflow: a worker ring pretends to be full (counted in
+///   worker_dropped) — in dispatch().
+/// - nf.parser.throw:    the parser throws mid-packet; the monitor catches,
+///   counts parser_errors, and keeps going.
+inline constexpr std::string_view kFaultRxOverflow = "nf.ring.overflow";
+inline constexpr std::string_view kFaultWorkerOverflow = "nf.worker.overflow";
+inline constexpr std::string_view kFaultParserThrow = "nf.parser.throw";
 
 struct ParserSpec {
   std::string name;
@@ -51,6 +63,7 @@ struct MonitorStats {
   std::uint64_t records = 0;          // records emitted (all workers)
   std::uint64_t record_bytes = 0;     // serialized record bytes shipped
   std::uint64_t raw_bytes = 0;        // raw bytes of parsed packets
+  std::uint64_t parser_errors = 0;    // packets whose parser threw (survived)
 };
 
 /// A software NF monitor. Two execution modes:
@@ -88,6 +101,9 @@ class Monitor {
   void set_sample_rate(double rate) noexcept { sampler_.set_rate(rate); }
   void on_backpressure() noexcept { sampler_.decrease(); }
 
+  /// Install (or clear) a chaos plan. Call before start()/first process().
+  void install_faults(common::FaultPlan* plan) noexcept { faults_ = plan; }
+
   const MonitorConfig& config() const noexcept { return config_; }
 
  private:
@@ -114,9 +130,14 @@ class Monitor {
   void worker_loop(Worker& w);
   /// Fan one decoded packet out to every parser group (flow-id dispatch).
   void dispatch(const net::PacketPtr& pkt, const net::DecodedPacket& decoded);
+  /// Run one packet through a parser, absorbing (and counting) anything it
+  /// throws — injected or real — so one bad packet never kills a worker.
+  void parse_guarded(Worker& w, const net::DecodedPacket& decoded,
+                     std::size_t raw_size);
 
   MonitorConfig config_;
   BatchSink sink_;
+  common::FaultPlan* faults_ = nullptr;
   FlowSampler sampler_;
   common::SpscRing<net::PacketPtr> rx_ring_;
   std::vector<ParserGroup> groups_;
@@ -130,6 +151,7 @@ class Monitor {
   std::atomic<std::uint64_t> sampled_out_{0};
   std::atomic<std::uint64_t> dispatched_{0};
   std::atomic<std::uint64_t> worker_dropped_{0};
+  std::atomic<std::uint64_t> parser_errors_{0};
 };
 
 }  // namespace netalytics::nf

@@ -5,13 +5,20 @@
 namespace netalytics::stream {
 
 KafkaSpout::KafkaSpout(mq::Cluster& cluster, std::string group, std::string topic,
-                       std::size_t poll_batch)
+                       std::size_t poll_batch, common::FaultPlan* faults)
     : consumer_(cluster, std::move(group)),
       topic_(std::move(topic)),
-      poll_batch_(poll_batch == 0 ? 1 : poll_batch) {}
+      poll_batch_(poll_batch == 0 ? 1 : poll_batch),
+      faults_(faults) {}
 
 bool KafkaSpout::next_tuple(Collector& out) {
   if (buffer_.empty()) {
+    if (faults_ != nullptr && faults_->should_fail(kFaultSpoutPoll)) {
+      // Transient fetch failure: nothing is consumed, offsets are
+      // untouched, the broker keeps the data for the next poll.
+      ++poll_failures_;
+      return false;
+    }
     auto batch = consumer_.poll(topic_, poll_batch_);
     for (auto& m : batch) buffer_.push_back(std::move(m));
   }

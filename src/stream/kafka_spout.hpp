@@ -8,26 +8,35 @@
 #include <deque>
 #include <string>
 
+#include "common/fault.hpp"
 #include "mq/consumer.hpp"
 #include "stream/topology.hpp"
 
 namespace netalytics::stream {
 
+/// Fault site: an armed "stream.spout.poll" makes a poll fail transiently —
+/// the spout reports no tuple and the data waits in the brokers, exactly
+/// like a dropped fetch against a real Kafka; the next poll picks it up.
+inline constexpr std::string_view kFaultSpoutPoll = "stream.spout.poll";
+
 class KafkaSpout final : public Spout {
  public:
   KafkaSpout(mq::Cluster& cluster, std::string group, std::string topic,
-             std::size_t poll_batch = 64);
+             std::size_t poll_batch = 64, common::FaultPlan* faults = nullptr);
 
   bool next_tuple(Collector& out) override;
 
   std::uint64_t messages_emitted() const noexcept { return emitted_; }
+  std::uint64_t poll_failures() const noexcept { return poll_failures_; }
 
  private:
   mq::Consumer consumer_;
   std::string topic_;
   std::size_t poll_batch_;
+  common::FaultPlan* faults_;
   std::deque<mq::Message> buffer_;
   std::uint64_t emitted_ = 0;
+  std::uint64_t poll_failures_ = 0;
 };
 
 }  // namespace netalytics::stream

@@ -45,11 +45,13 @@ std::string add_source(TopologyBuilder& b, const ProcessorContext& ctx,
   const std::string spout_name = "spout" + std::to_string(index);
   const std::string parse_name = "parse" + std::to_string(index);
   mq::Cluster* cluster = ctx.cluster;
+  common::FaultPlan* faults = ctx.fault_plan;
   const std::string group = ctx.consumer_group + "-" + spout_name;
   b.set_spout(
       spout_name,
-      [cluster, group, topic] {
-        return std::make_unique<KafkaSpout>(*cluster, group, topic);
+      [cluster, group, topic, faults] {
+        return std::make_unique<KafkaSpout>(*cluster, group, topic,
+                                            /*poll_batch=*/64, faults);
       },
       {"payload"});
   b.set_bolt(

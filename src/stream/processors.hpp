@@ -41,6 +41,8 @@ struct ProcessorContext {
   UpdaterBolt::ScaleCallback on_scale_down;
   /// Parallelism for the scalable stages (parse/count/rank).
   std::size_t parallelism = 1;
+  /// Chaos plan handed to every KafkaSpout (null = no injection).
+  common::FaultPlan* fault_plan = nullptr;
 };
 
 /// Tuple schema the parsing bolt produces for a parser topic

@@ -1,0 +1,126 @@
+#include "common/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace netalytics::common {
+namespace {
+
+std::vector<bool> trigger_sequence(std::uint64_t seed, double probability,
+                                   int checks) {
+  FaultPlan plan(seed);
+  FaultSpec spec;
+  spec.probability = probability;
+  plan.arm("site", spec);
+  std::vector<bool> out;
+  out.reserve(static_cast<std::size_t>(checks));
+  for (int i = 0; i < checks; ++i) out.push_back(plan.should_fail("site"));
+  return out;
+}
+
+TEST(FaultPlan, DisabledByDefault) {
+  FaultPlan plan(1);
+  // Unarmed sites never fire and keep no state.
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(plan.should_fail("mq.broker.0.down"));
+  EXPECT_FALSE(plan.armed("mq.broker.0.down"));
+  EXPECT_EQ(plan.site_stats("mq.broker.0.down").checks, 0u);
+}
+
+TEST(FaultPlan, ZeroSpecNeverFires) {
+  FaultPlan plan(1);
+  plan.arm("s", FaultSpec{});  // all triggers off
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(plan.should_fail("s", i));
+  EXPECT_EQ(plan.site_stats("s").checks, 1000u);
+  EXPECT_EQ(plan.fires("s"), 0u);
+}
+
+TEST(FaultPlan, SameSeedSameTriggerSequence) {
+  const auto a = trigger_sequence(42, 0.3, 2000);
+  const auto b = trigger_sequence(42, 0.3, 2000);
+  EXPECT_EQ(a, b);
+  // And the rate is in the right ballpark.
+  const auto fires = static_cast<double>(std::count(a.begin(), a.end(), true));
+  EXPECT_NEAR(fires / 2000.0, 0.3, 0.05);
+}
+
+TEST(FaultPlan, DifferentSeedsDiverge) {
+  EXPECT_NE(trigger_sequence(1, 0.3, 2000), trigger_sequence(2, 0.3, 2000));
+}
+
+TEST(FaultPlan, SitesHaveIndependentStreams) {
+  // Checks against site B must not perturb site A's sequence.
+  FaultPlan alone(7);
+  FaultSpec spec;
+  spec.probability = 0.5;
+  alone.arm("a", spec);
+  std::vector<bool> expected;
+  for (int i = 0; i < 500; ++i) expected.push_back(alone.should_fail("a"));
+
+  FaultPlan mixed(7);
+  mixed.arm("a", spec);
+  mixed.arm("b", spec);
+  std::vector<bool> got;
+  for (int i = 0; i < 500; ++i) {
+    mixed.should_fail("b");
+    got.push_back(mixed.should_fail("a"));
+    mixed.should_fail("b");
+  }
+  EXPECT_EQ(got, expected);
+}
+
+TEST(FaultPlan, EveryNthFiresExactlyOnMultiples) {
+  FaultPlan plan(1);
+  FaultSpec spec;
+  spec.every_nth = 5;
+  plan.arm("s", spec);
+  for (int i = 1; i <= 50; ++i) {
+    EXPECT_EQ(plan.should_fail("s"), i % 5 == 0) << "check " << i;
+  }
+  EXPECT_EQ(plan.fires("s"), 10u);
+}
+
+TEST(FaultPlan, WindowFiresOnlyInsideHalfOpenRange) {
+  FaultPlan plan(1);
+  FaultSpec spec;
+  spec.window_start = 100;
+  spec.window_end = 200;
+  plan.arm("s", spec);
+  EXPECT_FALSE(plan.should_fail("s", 99));
+  EXPECT_TRUE(plan.should_fail("s", 100));
+  EXPECT_TRUE(plan.should_fail("s", 199));
+  EXPECT_FALSE(plan.should_fail("s", 200));
+  EXPECT_FALSE(plan.should_fail("s", 0));
+}
+
+TEST(FaultPlan, MaxFiresCapsInjection) {
+  FaultPlan plan(1);
+  FaultSpec spec;
+  spec.every_nth = 1;  // would fire every check
+  spec.max_fires = 3;
+  plan.arm("s", spec);
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) fired += plan.should_fail("s");
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(plan.fires("s"), 3u);
+  EXPECT_EQ(plan.site_stats("s").checks, 10u);
+}
+
+TEST(FaultPlan, DisarmStopsInjectionAndRearmResetsCounters) {
+  FaultPlan plan(1);
+  FaultSpec spec;
+  spec.every_nth = 2;
+  plan.arm("s", spec);
+  plan.should_fail("s");
+  EXPECT_TRUE(plan.should_fail("s"));
+  plan.disarm("s");
+  EXPECT_FALSE(plan.should_fail("s"));
+  EXPECT_FALSE(plan.armed("s"));
+  plan.arm("s", spec);
+  EXPECT_FALSE(plan.should_fail("s"));  // check counter restarted at 1
+  EXPECT_TRUE(plan.should_fail("s"));
+}
+
+}  // namespace
+}  // namespace netalytics::common

@@ -54,16 +54,61 @@ TEST(Producer, BackpressureCallbackFiresOnLowBuffer) {
   EXPECT_EQ(producer.stats().backpressure_events, static_cast<std::uint64_t>(events));
 }
 
-TEST(Producer, BlockedSendIsLost) {
+TEST(Producer, BlockedSendIsBufferedAndRetriedToDelivery) {
+  // 1 MB/s disk, 50 ms lag cap: the second 40 KB burst at t=0 blocks, goes
+  // to the send-buffer, and lands once the simulated disk catches up.
   BrokerConfig cfg;
-  cfg.persist_bytes_per_sec = 1000;  // 1 KB/s: second send blocks
+  cfg.persist_bytes_per_sec = 1'000'000;
   Cluster cluster(1, cfg);
   int events = 0;
   Producer producer(cluster, 1, [&](ProduceStatus) { ++events; });
-  EXPECT_TRUE(producer.send("t", payload(40), 0));
-  EXPECT_FALSE(producer.send("t", payload(5000), 0));
-  EXPECT_EQ(producer.stats().lost, 1u);
+  EXPECT_TRUE(producer.send("t", payload(40'000), 0));
+  EXPECT_TRUE(producer.send("t", payload(40'000), 0));  // buffered, not lost
+  EXPECT_EQ(producer.pending(), 1u);
   EXPECT_EQ(events, 1);
+  EXPECT_EQ(producer.flush(100 * common::kMillisecond), 0u);
+  const auto s = producer.stats();
+  EXPECT_EQ(s.sent, 2u);
+  EXPECT_EQ(s.lost, 0u);
+  EXPECT_GE(s.retries, 1u);
+  EXPECT_EQ(cluster.aggregate_stats().produced, 2u);
+}
+
+TEST(Producer, PermanentlyBlockedSendIsAbandonedAfterMaxAttempts) {
+  // A 5 KB message can never persist within the 50 ms lag cap at 1 KB/s,
+  // so every retry fails and the message is dropped after max_attempts.
+  BrokerConfig cfg;
+  cfg.persist_bytes_per_sec = 1000;
+  Cluster cluster(1, cfg);
+  RetryPolicy retry;
+  retry.max_attempts = 4;
+  Producer producer(cluster, 1, nullptr, retry);
+  EXPECT_TRUE(producer.send("t", payload(5000), 0));  // accepted: buffered
+  common::Timestamp t = 0;
+  while (producer.pending() > 0) {
+    t += 100 * common::kMillisecond;
+    producer.flush(t);
+  }
+  const auto s = producer.stats();
+  EXPECT_EQ(s.lost, 1u);
+  EXPECT_EQ(s.sent, 0u);
+  EXPECT_EQ(s.retries, 3u);  // attempts 2..4 were retries
+  EXPECT_EQ(s.backpressure_events, 4u);
+}
+
+TEST(Producer, SendBufferOverflowDropsNewMessages) {
+  BrokerConfig cfg;
+  cfg.persist_bytes_per_sec = 1;  // everything blocks
+  Cluster cluster(1, cfg);
+  RetryPolicy retry;
+  retry.max_buffered = 2;
+  retry.max_attempts = 0;  // never abandon by attempts
+  Producer producer(cluster, 1, nullptr, retry);
+  EXPECT_TRUE(producer.send("t", payload(100), 0));
+  EXPECT_TRUE(producer.send("t", payload(100), 0));
+  EXPECT_FALSE(producer.send("t", payload(100), 0));  // buffer full
+  EXPECT_EQ(producer.stats().lost, 1u);
+  EXPECT_EQ(producer.pending(), 2u);
 }
 
 TEST(Consumer, SeparateGroupsIndependentOffsets) {

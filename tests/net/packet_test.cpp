@@ -97,6 +97,37 @@ TEST(PacketPtr, CopyAssignmentReleasesOld) {
   EXPECT_EQ(pool.available(), 1u);
 }
 
+TEST(PacketPool, FullExhaustionCountsEveryFailureAndRecovers) {
+  // Drain the pool completely, hammer it while dry (both allocate and
+  // make_packet must fail and count), then free everything and verify the
+  // pool serves its full capacity again.
+  constexpr std::size_t kPoolSize = 8;
+  PacketPool pool(kPoolSize);
+  std::vector<PacketPtr> held;
+  for (std::size_t i = 0; i < kPoolSize; ++i) {
+    PacketPtr p = pool.allocate();
+    ASSERT_TRUE(p);
+    held.push_back(std::move(p));
+  }
+  EXPECT_EQ(pool.available(), 0u);
+
+  const auto bytes = some_bytes(64);
+  for (int i = 0; i < 5; ++i) EXPECT_FALSE(pool.allocate());
+  for (int i = 0; i < 5; ++i) EXPECT_FALSE(pool.make_packet(bytes, i));
+  EXPECT_EQ(pool.allocation_failures(), 10u);
+
+  held.clear();
+  EXPECT_EQ(pool.available(), kPoolSize);
+  held.reserve(kPoolSize);
+  for (std::size_t i = 0; i < kPoolSize; ++i) {
+    PacketPtr p = pool.make_packet(bytes, i);
+    ASSERT_TRUE(p);  // full capacity restored, no buffer lost to the drought
+    EXPECT_EQ(p->size(), 64u);
+    held.push_back(std::move(p));
+  }
+  EXPECT_EQ(pool.allocation_failures(), 10u);  // recovery added no failures
+}
+
 TEST(PacketPool, ConcurrentAllocReleaseConserved) {
   // Property: after all threads finish, every buffer is back in the pool.
   constexpr std::size_t kPoolSize = 64;

@@ -1,0 +1,79 @@
+#include "stream/kafka_spout.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/fault.hpp"
+#include "mq/producer.hpp"
+#include "test_util.hpp"
+
+namespace netalytics::stream {
+namespace {
+
+std::vector<std::byte> payload(char c) {
+  return {static_cast<std::byte>(c)};
+}
+
+TEST(KafkaSpout, EmitsEachMessagePayloadOnce) {
+  mq::Cluster cluster(1);
+  mq::Producer producer(cluster, 1);
+  for (char c : {'a', 'b', 'c'}) producer.send("t", payload(c), 0);
+
+  KafkaSpout spout(cluster, "g", "t");
+  testing::CaptureCollector cap;
+  while (spout.next_tuple(cap)) {}
+  ASSERT_EQ(cap.tuples.size(), 3u);
+  EXPECT_EQ(std::get<std::string>(cap.tuples[0].at(0)), "a");
+  EXPECT_EQ(std::get<std::string>(cap.tuples[2].at(0)), "c");
+  EXPECT_EQ(spout.messages_emitted(), 3u);
+  EXPECT_EQ(spout.poll_failures(), 0u);
+}
+
+TEST(KafkaSpout, InjectedPollFailureLosesNothing) {
+  // A faulted poll returns no tuple, but offsets don't move: the data sits
+  // in the brokers and the next healthy poll delivers all of it.
+  mq::Cluster cluster(1);
+  common::FaultPlan plan(4);
+  common::FaultSpec spec;
+  spec.every_nth = 1;
+  spec.max_fires = 3;
+  plan.arm(std::string(kFaultSpoutPoll), spec);
+
+  mq::Producer producer(cluster, 1);
+  for (char c : {'x', 'y'}) producer.send("t", payload(c), 0);
+
+  KafkaSpout spout(cluster, "g", "t", 64, &plan);
+  testing::CaptureCollector cap;
+  for (int i = 0; i < 3; ++i) EXPECT_FALSE(spout.next_tuple(cap));
+  EXPECT_EQ(spout.poll_failures(), 3u);
+  EXPECT_TRUE(cap.tuples.empty());
+
+  while (spout.next_tuple(cap)) {}
+  ASSERT_EQ(cap.tuples.size(), 2u);
+  EXPECT_EQ(std::get<std::string>(cap.tuples[0].at(0)), "x");
+  EXPECT_EQ(std::get<std::string>(cap.tuples[1].at(0)), "y");
+  EXPECT_EQ(spout.messages_emitted(), 2u);
+}
+
+TEST(KafkaSpout, FaultedPollDoesNotTouchBufferedTuples) {
+  // Once a batch is buffered, the fault site only gates refills: buffered
+  // messages keep flowing even while polls are failing.
+  mq::Cluster cluster(1);
+  common::FaultPlan plan(4);
+
+  mq::Producer producer(cluster, 1);
+  for (char c : {'a', 'b', 'c', 'd'}) producer.send("t", payload(c), 0);
+
+  KafkaSpout spout(cluster, "g", "t", /*poll_batch=*/64, &plan);
+  testing::CaptureCollector cap;
+  ASSERT_TRUE(spout.next_tuple(cap));  // healthy poll buffers all four
+
+  common::FaultSpec always;
+  always.every_nth = 1;
+  plan.arm(std::string(kFaultSpoutPoll), always);
+  while (spout.next_tuple(cap)) {}
+  EXPECT_EQ(cap.tuples.size(), 4u);  // b, c, d drained from the buffer
+  EXPECT_EQ(spout.poll_failures(), 1u);  // only the refill attempt failed
+}
+
+}  // namespace
+}  // namespace netalytics::stream
