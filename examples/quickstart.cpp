@@ -69,9 +69,9 @@ int main() {
   }
 
   // 6. Read the result stream: [rank, url, count] rows, newest ranking
-  //    last; latest_by_key(1) collapses to the current ranking.
+  //    last; view().latest(1) collapses to the current ranking.
   std::printf("\nTop URLs to h5:80\n");
-  for (const auto& row : query->latest_by_key(1)) {
+  for (const auto& row : query->view().latest(1)) {
     std::printf("  #%llu  %-12s %llu requests\n",
                 static_cast<unsigned long long>(stream::as_u64(row.at(0))),
                 stream::as_str(row.at(1)).c_str(),
@@ -91,5 +91,20 @@ int main() {
                         static_cast<double>(stats.record_bytes)
                   : 0.0);
   engine.stop_all(now);
+
+  // 8. Self-observability: everything this query did — monitor counters,
+  //    producer/broker traffic, per-stage latency histograms — is in the
+  //    engine's metrics registry, rendered Prometheus-style.
+  std::printf("\nper-query metrics (excerpt):\n");
+  const std::string metrics = query->render_metrics();
+  std::size_t lines = 0, pos = 0;
+  while (lines < 8 && pos < metrics.size()) {
+    const auto eol = metrics.find('\n', pos);
+    std::printf("  %s\n", metrics.substr(pos, eol - pos).c_str());
+    pos = eol + 1;
+    ++lines;
+  }
+  std::printf("  ... (%zu chars total; engine.render_metrics() adds brokers)\n",
+              metrics.size());
   return 0;
 }

@@ -4,6 +4,7 @@
 // still throw.
 #pragma once
 
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -51,6 +52,28 @@ class Expected {
 
  private:
   std::variant<T, Error> storage_;
+};
+
+/// Result of an operation with nothing to return on success (validation,
+/// side-effecting setup). Default construction is success.
+template <>
+class Expected<void> {
+ public:
+  Expected() = default;
+  Expected(Error error) : error_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  bool has_value() const noexcept { return !error_.has_value(); }
+  explicit operator bool() const noexcept { return has_value(); }
+
+  /// Throws if this holds an error; no-op on success.
+  void value() const {
+    if (!has_value()) throw std::runtime_error("Expected: " + error().to_string());
+  }
+
+  const Error& error() const { return *error_; }
+
+ private:
+  std::optional<Error> error_;
 };
 
 /// Helper for functions with nothing to return on success.

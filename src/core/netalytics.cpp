@@ -1,7 +1,7 @@
 #include "core/netalytics.hpp"
 
 #include <algorithm>
-#include <map>
+#include <stdexcept>
 
 #include "common/logging.hpp"
 #include "common/string_util.hpp"
@@ -9,36 +9,53 @@
 
 namespace netalytics::core {
 
-std::vector<stream::Tuple> QueryHandle::latest_by_key(std::size_t key_fields) const {
-  std::map<std::string, stream::Tuple> latest;
-  for (const auto& t : results_) {
-    std::string key;
-    for (std::size_t i = 0; i < key_fields && i < t.size(); ++i) {
-      key += stream::format_value(t.at(i));
-      key += '\x1f';
-    }
-    latest.insert_or_assign(key, t);
+namespace {
+
+/// Suffix after the last '.' — "q1.mon0.rx_packets" -> "rx_packets".
+std::string_view leaf_name(std::string_view name) {
+  const auto dot = name.rfind('.');
+  return dot == std::string_view::npos ? name : name.substr(dot + 1);
+}
+
+}  // namespace
+
+common::Expected<void> EngineConfig::validate() const {
+  using common::Error;
+  if (mq_brokers == 0) {
+    return Error{"config", "mq_brokers must be > 0"};
   }
-  std::vector<stream::Tuple> out;
-  out.reserve(latest.size());
-  for (auto& [k, t] : latest) out.push_back(std::move(t));
-  return out;
+  if (tick_interval == 0) {
+    return Error{"config", "tick_interval must be > 0"};
+  }
+  if (feedback_low_occupancy > feedback_high_occupancy) {
+    return Error{"config",
+                 "feedback_low_occupancy must not exceed "
+                 "feedback_high_occupancy"};
+  }
+  if (processor_parallelism == 0) {
+    return Error{"config", "processor_parallelism must be > 0"};
+  }
+  return {};
 }
 
 nf::MonitorStats QueryHandle::monitor_stats() const {
-  if (finished_) return final_stats_;
   nf::MonitorStats total;
-  for (const auto* m : monitors) {
-    const auto s = m->stats();
-    total.rx_packets += s.rx_packets;
-    total.rx_dropped += s.rx_dropped;
-    total.sampled_out += s.sampled_out;
-    total.dispatched += s.dispatched;
-    total.worker_dropped += s.worker_dropped;
-    total.parsed += s.parsed;
-    total.records += s.records;
-    total.record_bytes += s.record_bytes;
-    total.raw_bytes += s.raw_bytes;
+  if (registry_ == nullptr) return total;
+  // The counters outlive the monitors (they live in the engine's registry),
+  // so this works identically for live and finished queries.
+  const auto snap = registry_->snapshot(metrics_prefix_ + ".mon");
+  for (const auto& c : snap.counters) {
+    const auto leaf = leaf_name(c.name);
+    if (leaf == "rx_packets") total.rx_packets += c.value;
+    else if (leaf == "rx_dropped") total.rx_dropped += c.value;
+    else if (leaf == "sampled_out") total.sampled_out += c.value;
+    else if (leaf == "dispatched") total.dispatched += c.value;
+    else if (leaf == "worker_dropped") total.worker_dropped += c.value;
+    else if (leaf == "parsed") total.parsed += c.value;
+    else if (leaf == "records") total.records += c.value;
+    else if (leaf == "record_bytes") total.record_bytes += c.value;
+    else if (leaf == "raw_bytes") total.raw_bytes += c.value;
+    else if (leaf == "parser_errors") total.parser_errors += c.value;
   }
   return total;
 }
@@ -48,23 +65,22 @@ double QueryHandle::sample_rate() const {
   return monitors.front()->sample_rate();
 }
 
-std::string QueryHandle::render(std::size_t key_fields, std::size_t max_rows) const {
-  std::string out;
-  std::size_t n = 0;
-  for (const auto& t : latest_by_key(key_fields)) {
-    if (n++ >= max_rows) {
-      out += "...\n";
-      break;
-    }
-    out += stream::format_tuple(t);
-    out += '\n';
-  }
-  return out;
+std::string QueryHandle::render_metrics() const {
+  if (registry_ == nullptr) return {};
+  // Trailing dot so "q1." never matches "q10.*".
+  return registry_->render_text(metrics_prefix_ + ".");
 }
 
 NetAlytics::NetAlytics(Emulation& emu, EngineConfig config)
     : emu_(emu), config_(config), cluster_(config.mq_brokers, config.broker) {
+  if (auto ok = config_.validate(); !ok) {
+    throw std::invalid_argument(ok.error().to_string());
+  }
   parsers::register_builtin_parsers();
+  cluster_.bind_metrics(metrics_);  // "mq.broker<i>.*"
+  queries_submitted_ = &metrics_.counter("engine.queries_submitted");
+  queries_finished_ = &metrics_.counter("engine.queries_finished");
+  pumps_ = &metrics_.counter("engine.pumps");
   // Chaos wiring: a plan installed on the emulation reaches every layer
   // this engine builds (see Emulation::install_faults).
   if (emu_.fault_plan() != nullptr) cluster_.install_faults(emu_.fault_plan());
@@ -73,6 +89,7 @@ NetAlytics::NetAlytics(Emulation& emu, EngineConfig config)
 common::Expected<QueryHandle*> NetAlytics::submit(std::string_view text,
                                                   common::Timestamp now) {
   now_ = now;
+  if (auto ok = config_.validate(); !ok) return ok.error();
   auto validated = query::parse_and_validate(text);
   if (!validated) return validated.error();
   auto plan = compile_query(*validated, emu_, config_.monitor_strategy);
@@ -85,8 +102,16 @@ common::Expected<QueryHandle*> NetAlytics::submit(std::string_view text,
   handle->last_tick = now;
   if (handle->plan_.duration > 0) handle->end_time = now + handle->plan_.duration;
 
+  // Everything this query publishes lives under "q<id>." in the engine's
+  // registry; the tracer owns the per-stage latency histograms.
+  handle->registry_ = &metrics_;
+  handle->metrics_prefix_ = "q" + std::to_string(handle->id_);
+  handle->tracer_ = std::make_unique<common::StageTracer>(
+      metrics_, handle->metrics_prefix_);
+
   deploy_monitors(*handle, now);
   build_processors(*handle);
+  queries_submitted_->inc();
 
   common::log_info("engine", "query ", handle->id_, " deployed: ",
                    handle->monitors.size(), " monitors, ",
@@ -98,16 +123,23 @@ common::Expected<QueryHandle*> NetAlytics::submit(std::string_view text,
 
 void NetAlytics::deploy_monitors(QueryHandle& q, common::Timestamp now) {
   for (const auto& mp : q.plan_.monitors) {
+    const auto j = q.monitors.size();
     // One producer per monitor; its key spreads this monitor's batches
     // across brokers while keeping them ordered.
     auto producer = std::make_unique<mq::Producer>(
         cluster_, next_producer_id_++, nullptr, config_.producer_retry);
+    producer->bind_metrics(metrics_,
+                           q.metrics_prefix_ + ".producer" + std::to_string(j),
+                           q.tracer_.get());
     mq::Producer* producer_ptr = producer.get();
 
     nf::MonitorConfig mcfg;
     for (const auto& topic : q.plan_.topics) mcfg.parsers.push_back({topic, 1});
     mcfg.sample_rate = q.plan_.initial_sample_rate;
     mcfg.output_batch_records = config_.monitor_output_batch;
+    mcfg.metrics = &metrics_;
+    mcfg.metrics_prefix = q.metrics_prefix_ + ".mon" + std::to_string(j);
+    mcfg.tracer = q.tracer_.get();
 
     nf::BatchSink sink = [this, producer_ptr](const std::string& topic,
                                               std::vector<std::byte> payload,
@@ -171,7 +203,22 @@ void NetAlytics::build_processors(QueryHandle& q) {
     ctx.topics = q.plan_.topics;
     ctx.parallelism = config_.processor_parallelism;
     ctx.fault_plan = emu_.fault_plan();
-    ctx.result_sink = [qp](const stream::Tuple& t) { qp->results_.push_back(t); };
+    ctx.metrics = &metrics_;
+    ctx.metrics_prefix = q.metrics_prefix_ + ".proc" + std::to_string(i);
+    ctx.tracer = q.tracer_.get();
+    // End-to-end latency needs the result tuple to still carry the packet's
+    // ingress timestamp; only identity preserves the record schema
+    // ([id, ts:u64, ...]), so the e2e stage is stamped on its sink alone.
+    const bool stamp_e2e = call.name == "identity";
+    common::StageTracer* tracer = q.tracer_.get();
+    ctx.result_sink = [this, qp, tracer, stamp_e2e](const stream::Tuple& t) {
+      qp->results_.push_back(t);
+      if (stamp_e2e && t.size() > 1 &&
+          std::holds_alternative<std::uint64_t>(t.at(1))) {
+        tracer->stamp(common::StageTracer::Stage::e2e, now_,
+                      stream::as_u64(t.at(1)));
+      }
+    };
     if (automation_store_ != nullptr && call.name == "top-k") {
       ctx.kvstore = automation_store_;
       ctx.updater_config = automation_config_;
@@ -185,6 +232,7 @@ void NetAlytics::build_processors(QueryHandle& q) {
     // programming error in the processor library.
     q.topologies.push_back(
         std::make_unique<stream::SteppedTopology>(std::move(spec.value())));
+    q.topologies.back()->bind_metrics(metrics_, ctx.metrics_prefix);
   }
 }
 
@@ -198,6 +246,7 @@ void NetAlytics::apply_feedback(QueryHandle& q, double occupancy) {
 
 void NetAlytics::pump(common::Timestamp now) {
   now_ = now;
+  pumps_->inc();
   for (auto& qp : queries_) {
     QueryHandle& q = *qp;
     if (q.finished_) continue;
@@ -251,12 +300,14 @@ void NetAlytics::stop_query(QueryHandle& q, common::Timestamp now) {
     topo->run_until_idle(now);
     topo->close(now);
   }
-  q.final_stats_ = q.monitor_stats();
+  // The counters stay readable after undeploy (they live in metrics_);
+  // only the live sample rate must be captured before the monitors go.
   q.final_sample_rate_ = q.sample_rate();
   for (const auto& id : q.monitor_ids) orchestrator_.undeploy(id);
   q.monitors.clear();
   q.monitor_ids.clear();
   q.finished_ = true;
+  queries_finished_->inc();
   common::log_info("engine", "query ", q.id_, " finished with ",
                    q.results_.size(), " result tuples");
 }

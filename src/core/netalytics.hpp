@@ -8,7 +8,10 @@
 #include <deque>
 #include <memory>
 
+#include "common/expected.hpp"
+#include "common/metrics.hpp"
 #include "core/compiler.hpp"
+#include "core/result_view.hpp"
 #include "mq/cluster.hpp"
 #include "mq/producer.hpp"
 #include "nf/orchestrator.hpp"
@@ -33,6 +36,12 @@ struct EngineConfig {
   /// Retry/backoff policy for every monitor's producer (at-least-once
   /// delivery into the aggregation layer).
   mq::RetryPolicy producer_retry{};
+
+  /// Reject configurations that cannot run: zero brokers, a zero tick
+  /// interval, inverted feedback watermarks, zero processor parallelism.
+  /// The NetAlytics constructor throws on a bad config; submit() returns
+  /// the same error recoverably.
+  common::Expected<void> validate() const;
 };
 
 class NetAlytics;
@@ -44,20 +53,32 @@ class QueryHandle {
   bool finished() const noexcept { return finished_; }
   const DeploymentPlan& plan() const noexcept { return plan_; }
 
-  /// Every tuple the processors' sinks emitted, in arrival order. Windowed
-  /// processors re-emit snapshots each tick; see latest_by_key.
+  /// The query's result interface: all access patterns live on the view.
+  ResultView view() const noexcept { return ResultView(results_); }
+
+  // Pre-ResultView accessors, kept as thin forwarders.
   const std::vector<stream::Tuple>& results() const noexcept { return results_; }
+  std::vector<stream::Tuple> latest_by_key(std::size_t key_fields) const {
+    return view().latest(key_fields);
+  }
+  std::string render(std::size_t key_fields, std::size_t max_rows = 50) const {
+    return view().render(key_fields, max_rows);
+  }
 
-  /// Collapse periodic re-emissions: the last tuple seen for each distinct
-  /// value of the first `key_fields` fields, in key order.
-  std::vector<stream::Tuple> latest_by_key(std::size_t key_fields) const;
-
-  /// Combined statistics across this query's monitors.
+  /// Combined statistics across this query's monitors — a compatibility
+  /// shim summing this query's "q<id>.mon*" counters out of the engine's
+  /// metrics registry (which outlives undeployed monitors).
   nf::MonitorStats monitor_stats() const;
   double sample_rate() const;
 
-  /// Plain-text rendering of latest_by_key results.
-  std::string render(std::size_t key_fields, std::size_t max_rows = 50) const;
+  /// Per-stage pipeline latency tracer for this query (emit / produce /
+  /// consume / e2e histograms, fed in virtual time).
+  const common::StageTracer& tracer() const noexcept { return *tracer_; }
+
+  /// Prometheus-style rendering of everything this query put in the
+  /// engine's registry ("q<id>.*": monitor counters, producer counters,
+  /// processor counters, stage histograms).
+  std::string render_metrics() const;
 
  private:
   friend class NetAlytics;
@@ -75,8 +96,11 @@ class QueryHandle {
   std::vector<std::pair<sdn::SwitchId, std::uint64_t>> rule_cookies;
   std::vector<std::unique_ptr<stream::SteppedTopology>> topologies;
   std::vector<stream::Tuple> results_;
-  nf::MonitorStats final_stats_;  // captured at stop_query
   double final_sample_rate_ = 1.0;
+
+  common::MetricsRegistry* registry_ = nullptr;  // the engine's registry
+  std::string metrics_prefix_;                   // "q<id>"
+  std::unique_ptr<common::StageTracer> tracer_;
 };
 
 class NetAlytics {
@@ -101,6 +125,15 @@ class NetAlytics {
   nf::NfvOrchestrator& orchestrator() noexcept { return orchestrator_; }
   Emulation& emulation() noexcept { return emu_; }
 
+  /// The engine-wide metrics registry every layer publishes into.
+  common::MetricsRegistry& metrics() noexcept { return metrics_; }
+  const common::MetricsRegistry& metrics() const noexcept { return metrics_; }
+  /// Prometheus-style plain-text dump of the whole registry (optionally
+  /// filtered to names starting with `prefix`).
+  std::string render_metrics(std::string_view prefix = {}) const {
+    return metrics_.render_text(prefix);
+  }
+
   /// Automation hooks (§7.3): subsequently submitted top-k queries write
   /// rankings to `store` and drive the updater callbacks.
   void set_automation(stream::KvStore* store, stream::UpdaterConfig config,
@@ -119,12 +152,20 @@ class NetAlytics {
 
   Emulation& emu_;
   EngineConfig config_;
+  // Declared before the cluster/orchestrator/queries so it outlives every
+  // component holding pointers into it.
+  common::MetricsRegistry metrics_;
   mq::Cluster cluster_;
   nf::NfvOrchestrator orchestrator_;
   std::deque<std::unique_ptr<QueryHandle>> queries_;
   std::uint64_t next_query_id_ = 1;
   std::uint64_t next_producer_id_ = 1;
   common::Timestamp now_ = 0;
+
+  // Engine-level counters ("engine.*"), resolved once in the constructor.
+  common::Counter* queries_submitted_ = nullptr;
+  common::Counter* queries_finished_ = nullptr;
+  common::Counter* pumps_ = nullptr;
 
   stream::KvStore* automation_store_ = nullptr;
   stream::UpdaterConfig automation_config_{};

@@ -1,0 +1,37 @@
+#include "core/result_view.hpp"
+
+#include <map>
+
+namespace netalytics::core {
+
+std::vector<stream::Tuple> ResultView::latest(std::size_t key_fields) const {
+  std::map<std::string, stream::Tuple> latest;
+  for (const auto& t : *tuples_) {
+    std::string key;
+    for (std::size_t i = 0; i < key_fields && i < t.size(); ++i) {
+      key += stream::format_value(t.at(i));
+      key += '\x1f';
+    }
+    latest.insert_or_assign(key, t);
+  }
+  std::vector<stream::Tuple> out;
+  out.reserve(latest.size());
+  for (auto& [k, t] : latest) out.push_back(std::move(t));
+  return out;
+}
+
+std::string ResultView::render(std::size_t key_fields, std::size_t max_rows) const {
+  std::string out;
+  std::size_t n = 0;
+  for (const auto& t : latest(key_fields)) {
+    if (n++ >= max_rows) {
+      out += "...\n";
+      break;
+    }
+    out += stream::format_tuple(t);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace netalytics::core

@@ -9,6 +9,28 @@ namespace netalytics::mq {
 Broker::Broker(BrokerConfig config) : config_(config) {
   if (config_.partitions_per_topic == 0) config_.partitions_per_topic = 1;
   if (config_.partition_capacity == 0) config_.partition_capacity = 1;
+  owned_metrics_ = std::make_unique<common::MetricsRegistry>();
+  resolve_metrics_locked(*owned_metrics_, "mq.broker");
+}
+
+void Broker::resolve_metrics_locked(common::MetricsRegistry& registry,
+                                    const std::string& prefix) {
+  produced_ = &registry.counter(prefix + ".produced");
+  blocked_ = &registry.counter(prefix + ".blocked");
+  dropped_retention_ = &registry.counter(prefix + ".dropped_retention");
+  consumed_ = &registry.counter(prefix + ".consumed");
+  bytes_in_ = &registry.counter(prefix + ".bytes_in");
+  faulted_down_ = &registry.counter(prefix + ".faulted_down");
+  faulted_reject_ = &registry.counter(prefix + ".faulted_reject");
+  faulted_delay_ = &registry.counter(prefix + ".faulted_delay");
+  faulted_duplicate_ = &registry.counter(prefix + ".faulted_duplicate");
+}
+
+void Broker::bind_metrics(common::MetricsRegistry& registry,
+                          const std::string& prefix) {
+  std::lock_guard lock(mutex_);
+  resolve_metrics_locked(registry, prefix);
+  owned_metrics_.reset();  // all pointers now target the bound registry
 }
 
 Broker::Topic& Broker::topic_locked(const std::string& name) {
@@ -54,12 +76,12 @@ ProduceStatus Broker::produce(Message&& msg, common::Timestamp now) {
   last_now_ = std::max(last_now_, now);
 
   if (fault_locked(kFaultDown, now)) {
-    ++stats_.faulted_down;
-    ++stats_.blocked;
+    faulted_down_->inc();
+    blocked_->inc();
     return ProduceStatus::blocked;
   }
   if (fault_locked(kFaultReject, now)) {
-    ++stats_.faulted_reject;
+    faulted_reject_->inc();
     return ProduceStatus::dropped;
   }
 
@@ -72,7 +94,7 @@ ProduceStatus Broker::produce(Message&& msg, common::Timestamp now) {
         static_cast<double>(common::kSecond));
     const common::Timestamp start = std::max(disk_busy_until_, now);
     if (start + cost > now + config_.max_persist_lag) {
-      ++stats_.blocked;
+      blocked_->inc();
       return ProduceStatus::blocked;
     }
     disk_busy_until_ = start + cost;
@@ -89,12 +111,13 @@ ProduceStatus Broker::produce(Message&& msg, common::Timestamp now) {
   if (part.log.size() >= config_.partition_capacity) {
     part.log.pop_front();
     ++part.base_offset;
-    ++stats_.dropped_retention;
+    dropped_retention_->inc();
   }
 
   msg.offset = part.next_offset++;
-  stats_.bytes_in += msg.payload.size();
-  ++stats_.produced;
+  msg.append_ts = now;
+  bytes_in_->inc(msg.payload.size());
+  produced_->inc();
   part.log.push_back(std::move(msg));
 
   const double occ = static_cast<double>(unread_locked(topic_name, part, index)) /
@@ -110,7 +133,7 @@ std::vector<Message> Broker::poll(const std::string& group,
   // A down broker serves no fetches either; group offsets are untouched, so
   // consumers simply re-poll from where they left off after recovery.
   if (fault_locked(kFaultDown, last_now_)) {
-    ++stats_.faulted_down;
+    faulted_down_->inc();
     return out;
   }
   const auto it = topics_.find(topic_name);
@@ -126,20 +149,20 @@ std::vector<Message> Broker::poll(const std::string& group,
       if (fault_locked(kFaultDelay, last_now_)) {
         // Hold the rest of this partition back; it arrives next poll, in
         // order, because `next` was not advanced.
-        ++stats_.faulted_delay;
+        faulted_delay_->inc();
         break;
       }
       out.push_back(part.log[next - part.base_offset]);
       if (out.size() < max && fault_locked(kFaultDuplicate, last_now_)) {
         // Re-deliver adjacent to the original: same offset, so per-key
         // order (non-decreasing offsets) still holds.
-        ++stats_.faulted_duplicate;
+        faulted_duplicate_->inc();
         out.push_back(part.log[next - part.base_offset]);
       }
       ++next;
     }
   }
-  stats_.consumed += out.size();
+  consumed_->inc(out.size());
   return out;
 }
 
@@ -165,7 +188,17 @@ std::size_t Broker::depth(const std::string& topic_name) const {
 
 BrokerStats Broker::stats() const {
   std::lock_guard lock(mutex_);
-  return stats_;
+  BrokerStats s;
+  s.produced = produced_->value();
+  s.blocked = blocked_->value();
+  s.dropped_retention = dropped_retention_->value();
+  s.consumed = consumed_->value();
+  s.bytes_in = bytes_in_->value();
+  s.faulted_down = faulted_down_->value();
+  s.faulted_reject = faulted_reject_->value();
+  s.faulted_delay = faulted_delay_->value();
+  s.faulted_duplicate = faulted_duplicate_->value();
+  return s;
 }
 
 }  // namespace netalytics::mq

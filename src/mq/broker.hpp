@@ -23,6 +23,7 @@
 
 #include "common/clock.hpp"
 #include "common/fault.hpp"
+#include "common/metrics.hpp"
 #include "mq/message.hpp"
 
 namespace netalytics::mq {
@@ -58,6 +59,8 @@ struct BrokerConfig {
   common::Duration max_persist_lag = 50 * common::kMillisecond;
 };
 
+/// Thin typed view over the broker's registry counters (the numbers live in
+/// the MetricsRegistry; stats() copies them out).
 struct BrokerStats {
   std::uint64_t produced = 0;
   std::uint64_t blocked = 0;
@@ -105,7 +108,14 @@ class Broker {
   void install_faults(common::FaultPlan* plan,
                       std::string site_prefix = "mq.broker");
 
+  /// Re-home the broker's counters into `registry` under `prefix` (e.g.
+  /// "mq.broker0"). Like install_faults: bind before traffic starts;
+  /// counts accumulated in the previous registry are not migrated.
+  void bind_metrics(common::MetricsRegistry& registry, const std::string& prefix);
+
  private:
+  void resolve_metrics_locked(common::MetricsRegistry& registry,
+                              const std::string& prefix);
   bool fault_locked(std::string_view suffix, common::Timestamp now);
   struct Partition {
     std::deque<Message> log;
@@ -128,7 +138,17 @@ class Broker {
   // (group, topic, partition index) -> next offset to read.
   std::map<std::tuple<std::string, std::string, std::size_t>, std::uint64_t> offsets_;
   common::Timestamp disk_busy_until_ = 0;
-  BrokerStats stats_;
+  // Counters live in the bound (or owned fallback) registry.
+  std::unique_ptr<common::MetricsRegistry> owned_metrics_;
+  common::Counter* produced_ = nullptr;
+  common::Counter* blocked_ = nullptr;
+  common::Counter* dropped_retention_ = nullptr;
+  common::Counter* consumed_ = nullptr;
+  common::Counter* bytes_in_ = nullptr;
+  common::Counter* faulted_down_ = nullptr;
+  common::Counter* faulted_reject_ = nullptr;
+  common::Counter* faulted_delay_ = nullptr;
+  common::Counter* faulted_duplicate_ = nullptr;
   common::FaultPlan* faults_ = nullptr;
   std::string fault_prefix_;
   /// Latest produce timestamp; stands in for `now` on the poll path, which

@@ -28,6 +28,13 @@ void Cluster::install_faults(common::FaultPlan* plan) {
   }
 }
 
+void Cluster::bind_metrics(common::MetricsRegistry& registry,
+                           const std::string& prefix) {
+  for (std::size_t i = 0; i < brokers_.size(); ++i) {
+    brokers_[i]->bind_metrics(registry, prefix + std::to_string(i));
+  }
+}
+
 std::vector<Message> Cluster::poll(const std::string& group,
                                    const std::string& topic, std::size_t max) {
   std::vector<Message> out;

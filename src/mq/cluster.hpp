@@ -37,6 +37,12 @@ class Cluster {
   /// Install a chaos plan on every broker. Broker `i` checks sites named
   /// "mq.broker.<i>.<suffix>", so a test can kill exactly one node.
   void install_faults(common::FaultPlan* plan);
+
+  /// Re-home every broker's counters into `registry`: broker `i` gets the
+  /// prefix "<prefix><i>" (default registry names "mq.broker<i>.*"). Bind
+  /// before traffic starts.
+  void bind_metrics(common::MetricsRegistry& registry,
+                    const std::string& prefix = "mq.broker");
   /// Broker index `key`-hashed messages land on (lets chaos tests aim at
   /// the node that actually carries a producer's stream).
   std::size_t broker_of_key(std::uint64_t key) const noexcept;

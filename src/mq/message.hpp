@@ -15,8 +15,12 @@ struct Message {
   std::string topic;
   std::uint64_t key = 0;  // partition selector (e.g. monitor id hash)
   std::vector<std::byte> payload;
-  common::Timestamp timestamp = 0;
-  std::uint64_t offset = 0;  // assigned by the broker on append
+  common::Timestamp timestamp = 0;  // set by the producer at send()
+  std::uint64_t offset = 0;   // assigned by the broker on append
+  /// Broker append time, stamped in produce(). timestamp..append_ts is the
+  /// produce-stage latency (retries, backoff, persistence); append_ts..poll
+  /// is the consume-stage latency measured by the spout.
+  common::Timestamp append_ts = 0;
 };
 
 }  // namespace netalytics::mq

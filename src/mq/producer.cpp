@@ -12,6 +12,27 @@ Producer::Producer(Cluster& cluster, std::uint64_t producer_id,
       retry_(retry) {
   if (retry_.multiplier < 1.0) retry_.multiplier = 1.0;
   if (retry_.initial_backoff == 0) retry_.initial_backoff = 1;
+  owned_metrics_ = std::make_unique<common::MetricsRegistry>();
+  resolve_metrics_locked(*owned_metrics_, "mq.producer");
+}
+
+void Producer::resolve_metrics_locked(common::MetricsRegistry& registry,
+                                      const std::string& prefix) {
+  sent_ = &registry.counter(prefix + ".sent");
+  backpressure_events_ = &registry.counter(prefix + ".backpressure_events");
+  lost_ = &registry.counter(prefix + ".lost");
+  bytes_ = &registry.counter(prefix + ".bytes");
+  retries_ = &registry.counter(prefix + ".retries");
+  pending_depth_ = &registry.gauge(prefix + ".pending");
+}
+
+void Producer::bind_metrics(common::MetricsRegistry& registry,
+                            const std::string& prefix,
+                            common::StageTracer* tracer) {
+  std::lock_guard lock(mutex_);
+  resolve_metrics_locked(registry, prefix);
+  owned_metrics_.reset();  // all pointers now target the bound registry
+  tracer_ = tracer;
 }
 
 common::Duration Producer::backoff_after(std::size_t attempts) const noexcept {
@@ -24,11 +45,16 @@ common::Duration Producer::backoff_after(std::size_t attempts) const noexcept {
 }
 
 void Producer::record_delivery_locked(ProduceStatus status, std::size_t bytes,
+                                      common::Timestamp origin,
+                                      common::Timestamp now,
                                       std::vector<ProduceStatus>& events) {
-  ++stats_.sent;
-  stats_.bytes += bytes;
+  sent_->inc();
+  bytes_->inc(bytes);
+  if (tracer_ != nullptr) {
+    tracer_->stamp(common::StageTracer::Stage::produce, now, origin);
+  }
   if (status == ProduceStatus::low_buffer) {
-    ++stats_.backpressure_events;
+    backpressure_events_->inc();
     events.push_back(status);
   }
 }
@@ -39,18 +65,19 @@ void Producer::flush_locked(common::Timestamp now,
     PendingSend& p = pending_.front();
     if (p.next_attempt > now) break;
     const std::size_t bytes = p.msg.payload.size();
+    const common::Timestamp origin = p.msg.timestamp;
     const ProduceStatus status = cluster_.produce(std::move(p.msg), now);
-    ++stats_.retries;
+    retries_->inc();
     if (status == ProduceStatus::ok || status == ProduceStatus::low_buffer) {
-      record_delivery_locked(status, bytes, events);
+      record_delivery_locked(status, bytes, origin, now, events);
       pending_.pop_front();
       continue;
     }
     ++p.attempts;
-    ++stats_.backpressure_events;
+    backpressure_events_->inc();
     events.push_back(status);
     if (retry_.max_attempts != 0 && p.attempts >= retry_.max_attempts) {
-      ++stats_.lost;
+      lost_->inc();
       pending_.pop_front();
       continue;  // the next buffered message gets its own tries
     }
@@ -59,11 +86,12 @@ void Producer::flush_locked(common::Timestamp now,
     // the flush at the first message still backing off.
     break;
   }
+  pending_depth_->set(static_cast<std::int64_t>(pending_.size()));
 }
 
 bool Producer::enqueue_locked(Message&& msg, common::Timestamp now) {
   if (pending_.size() >= retry_.max_buffered) {
-    ++stats_.lost;
+    lost_->inc();
     return false;
   }
   PendingSend p;
@@ -71,6 +99,7 @@ bool Producer::enqueue_locked(Message&& msg, common::Timestamp now) {
   p.attempts = 1;
   p.next_attempt = now + backoff_after(1);
   pending_.push_back(std::move(p));
+  pending_depth_->set(static_cast<std::int64_t>(pending_.size()));
   return true;
 }
 
@@ -94,9 +123,9 @@ bool Producer::send(const std::string& topic, std::vector<std::byte> payload,
     } else {
       const ProduceStatus status = cluster_.produce(std::move(msg), now);
       if (status == ProduceStatus::ok || status == ProduceStatus::low_buffer) {
-        record_delivery_locked(status, bytes, events);
+        record_delivery_locked(status, bytes, now, now, events);
       } else {
-        ++stats_.backpressure_events;
+        backpressure_events_->inc();
         events.push_back(status);
         accepted = enqueue_locked(std::move(msg), now);
       }
@@ -129,7 +158,13 @@ std::size_t Producer::pending() const {
 
 ProducerStats Producer::stats() const {
   std::lock_guard lock(mutex_);
-  return stats_;
+  ProducerStats s;
+  s.sent = sent_->value();
+  s.backpressure_events = backpressure_events_->value();
+  s.lost = lost_->value();
+  s.bytes = bytes_->value();
+  s.retries = retries_->value();
+  return s;
 }
 
 }  // namespace netalytics::mq

@@ -33,6 +33,8 @@ struct RetryPolicy {
   std::size_t max_buffered = 16384;
 };
 
+/// Thin typed view over the producer's registry counters (the numbers live
+/// in the MetricsRegistry; stats() copies them out).
 struct ProducerStats {
   std::uint64_t sent = 0;
   std::uint64_t backpressure_events = 0;
@@ -62,6 +64,13 @@ class Producer {
   const RetryPolicy& retry_policy() const noexcept { return retry_; }
   ProducerStats stats() const;
 
+  /// Re-home counters into `registry` under `prefix` (e.g. "q0.producer1")
+  /// and, when `tracer` is given, stamp the produce stage (send -> broker
+  /// append, i.e. retry/backoff + persistence delay) on every delivery.
+  /// Bind before traffic starts.
+  void bind_metrics(common::MetricsRegistry& registry, const std::string& prefix,
+                    common::StageTracer* tracer = nullptr);
+
  private:
   struct PendingSend {
     Message msg;
@@ -75,7 +84,10 @@ class Producer {
   void flush_locked(common::Timestamp now, std::vector<ProduceStatus>& events);
   bool enqueue_locked(Message&& msg, common::Timestamp now);
   void record_delivery_locked(ProduceStatus status, std::size_t bytes,
+                              common::Timestamp origin, common::Timestamp now,
                               std::vector<ProduceStatus>& events);
+  void resolve_metrics_locked(common::MetricsRegistry& registry,
+                              const std::string& prefix);
 
   Cluster& cluster_;
   std::uint64_t producer_id_;
@@ -83,7 +95,15 @@ class Producer {
   RetryPolicy retry_;
   mutable std::mutex mutex_;
   std::deque<PendingSend> pending_;
-  ProducerStats stats_;
+  // Counters live in the bound (or owned fallback) registry.
+  std::unique_ptr<common::MetricsRegistry> owned_metrics_;
+  common::Counter* sent_ = nullptr;
+  common::Counter* backpressure_events_ = nullptr;
+  common::Counter* lost_ = nullptr;
+  common::Counter* bytes_ = nullptr;
+  common::Counter* retries_ = nullptr;
+  common::Gauge* pending_depth_ = nullptr;  // retry-buffer depth
+  common::StageTracer* tracer_ = nullptr;
 };
 
 }  // namespace netalytics::mq

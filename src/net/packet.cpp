@@ -29,10 +29,12 @@ PacketPtr PacketPool::allocate() noexcept {
     std::lock_guard lock(free_mutex_);
     if (free_list_.empty()) {
       alloc_failures_.fetch_add(1, std::memory_order_relaxed);
+      if (fail_counter_ != nullptr) fail_counter_->inc();
       return PacketPtr{};
     }
     p = &packets_[free_list_.back()];
     free_list_.pop_back();
+    if (in_use_gauge_ != nullptr) in_use_gauge_->add(1);
   }
   p->len_ = 0;
   p->timestamp_ = 0;
@@ -59,6 +61,17 @@ std::size_t PacketPool::available() const noexcept {
 void PacketPool::deallocate(Packet* p) noexcept {
   std::lock_guard lock(free_mutex_);
   free_list_.push_back(p->index_);
+  if (in_use_gauge_ != nullptr) in_use_gauge_->add(-1);
+}
+
+void PacketPool::bind_metrics(common::MetricsRegistry& registry,
+                              const std::string& prefix) {
+  std::lock_guard lock(free_mutex_);
+  registry.gauge(prefix + ".capacity")
+      .set(static_cast<std::int64_t>(packets_.size()));
+  in_use_gauge_ = &registry.gauge(prefix + ".in_use");
+  in_use_gauge_->set(static_cast<std::int64_t>(packets_.size() - free_list_.size()));
+  fail_counter_ = &registry.counter(prefix + ".alloc_failures");
 }
 
 }  // namespace netalytics::net

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/clock.hpp"
+#include "common/metrics.hpp"
 #include "common/spsc_ring.hpp"
 
 namespace netalytics::net {
@@ -123,6 +124,11 @@ class PacketPool {
     return alloc_failures_.load(std::memory_order_relaxed);
   }
 
+  /// Publish pool occupancy into a metrics registry: "<prefix>.capacity"
+  /// and "<prefix>.in_use" gauges plus an "<prefix>.alloc_failures"
+  /// counter, updated on every allocate/release.
+  void bind_metrics(common::MetricsRegistry& registry, const std::string& prefix);
+
  private:
   friend class PacketPtr;
   void deallocate(Packet* p) noexcept;
@@ -134,6 +140,8 @@ class PacketPool {
   mutable std::mutex free_mutex_;
   std::vector<std::uint32_t> free_list_;
   std::atomic<std::uint64_t> alloc_failures_{0};
+  common::Gauge* in_use_gauge_ = nullptr;        // null until bind_metrics
+  common::Counter* fail_counter_ = nullptr;
 };
 
 }  // namespace netalytics::net

@@ -14,6 +14,26 @@ Monitor::Monitor(MonitorConfig config, BatchSink sink)
       sink_(std::move(sink)),
       sampler_(config_.sample_rate),
       rx_ring_(config_.rx_ring_capacity) {
+  if (config_.metrics != nullptr) {
+    metrics_ = config_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<common::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  const std::string& p = config_.metrics_prefix;
+  rx_packets_ = &metrics_->counter(p + ".rx_packets");
+  rx_dropped_ = &metrics_->counter(p + ".rx_dropped");
+  sampled_out_ = &metrics_->counter(p + ".sampled_out");
+  dispatched_ = &metrics_->counter(p + ".dispatched");
+  worker_dropped_ = &metrics_->counter(p + ".worker_dropped");
+  parser_errors_ = &metrics_->counter(p + ".parser_errors");
+  parsed_ = &metrics_->counter(p + ".parsed");
+  raw_bytes_ = &metrics_->counter(p + ".raw_bytes");
+  rx_depth_ = &metrics_->gauge(p + ".rx_ring_depth");
+  parse_time_ = &metrics_->histogram(p + ".parse_time");
+  records_ = &metrics_->counter(p + ".records");
+  record_bytes_ = &metrics_->counter(p + ".record_bytes");
+  batches_ = &metrics_->counter(p + ".batches");
   groups_.reserve(config_.parsers.size());
   for (const auto& spec : config_.parsers) {
     ParserGroup group;
@@ -26,6 +46,8 @@ Monitor::Monitor(MonitorConfig config, BatchSink sink)
           std::make_unique<common::SpscRing<WorkItem>>(config_.worker_ring_capacity);
       worker->output =
           std::make_unique<OutputInterface>(sink_, config_.output_batch_records);
+      worker->output->set_tracer(config_.tracer);
+      worker->output->bind_counters(records_, record_bytes_, batches_);
       group.workers.push_back(std::move(worker));
     }
     groups_.push_back(std::move(group));
@@ -60,16 +82,17 @@ void Monitor::stop() {
 }
 
 bool Monitor::inject(net::PacketPtr pkt) noexcept {
-  rx_packets_.fetch_add(1, std::memory_order_relaxed);
+  rx_packets_->inc();
   if (faults_ != nullptr &&
       faults_->should_fail(kFaultRxOverflow, pkt ? pkt->timestamp() : 0)) {
-    rx_dropped_.fetch_add(1, std::memory_order_relaxed);
+    rx_dropped_->inc();
     return false;
   }
   if (!rx_ring_.try_push(std::move(pkt))) {
-    rx_dropped_.fetch_add(1, std::memory_order_relaxed);
+    rx_dropped_->inc();
     return false;
   }
+  rx_depth_->add(1);
   return true;
 }
 
@@ -85,14 +108,14 @@ void Monitor::dispatch(const net::PacketPtr& pkt, const net::DecodedPacket& deco
     Worker& w = *group.workers[idx];
     if (faults_ != nullptr &&
         faults_->should_fail(kFaultWorkerOverflow, decoded.timestamp)) {
-      worker_dropped_.fetch_add(1, std::memory_order_relaxed);
+      worker_dropped_->inc();
       continue;
     }
     WorkItem item{pkt, decoded};
     if (w.ring->try_push(std::move(item))) {
-      dispatched_.fetch_add(1, std::memory_order_relaxed);
+      dispatched_->inc();
     } else {
-      worker_dropped_.fetch_add(1, std::memory_order_relaxed);
+      worker_dropped_->inc();
     }
   }
 }
@@ -105,12 +128,12 @@ void Monitor::parse_guarded(Worker& w, const net::DecodedPacket& decoded,
       throw std::runtime_error("injected parser fault");
     }
     w.parser->on_packet(decoded, *w.output);
-    w.parsed.fetch_add(1, std::memory_order_relaxed);
-    w.raw_bytes.fetch_add(raw_size, std::memory_order_relaxed);
+    parsed_->inc();
+    raw_bytes_->inc(raw_size);
   } catch (const std::exception&) {
     // Parsers meet garbage at cloud scale; a throw costs one packet, never
     // the worker. The count surfaces in MonitorStats::parser_errors.
-    parser_errors_.fetch_add(1, std::memory_order_relaxed);
+    parser_errors_->inc();
   }
 }
 
@@ -126,6 +149,7 @@ void Monitor::collector_loop() {
       std::this_thread::yield();
       continue;
     }
+    rx_depth_->add(-static_cast<std::int64_t>(n));
     for (std::size_t i = 0; i < n; ++i) {
       net::PacketPtr& pkt = burst[i];
       auto decoded = net::decode_packet(pkt->bytes());
@@ -135,7 +159,7 @@ void Monitor::collector_loop() {
       }
       decoded->timestamp = pkt->timestamp();
       if (!sampler_.keep(decoded->bidirectional_flow_hash)) {
-        sampled_out_.fetch_add(1, std::memory_order_relaxed);
+        sampled_out_->inc();
         pkt.reset();
         continue;
       }
@@ -162,27 +186,32 @@ void Monitor::worker_loop(Worker& w) {
       std::this_thread::yield();
       continue;
     }
+    // Wall-clock parse-time histogram: threaded mode only, so the virtual-
+    // time (inline) paths stay clock-free and deterministic.
+    const common::Timestamp t0 = clock.now();
     for (std::size_t i = 0; i < n; ++i) {
       WorkItem& item = burst[i];
       parse_guarded(w, item.decoded, item.pkt->size());
       item.pkt.reset();
     }
+    const common::Timestamp t1 = clock.now();
+    if (t1 > t0) parse_time_->observe((t1 - t0) / n);
   }
   w.parser->on_close(clock.now(), *w.output);
   w.output->flush();
 }
 
 void Monitor::process(std::span<const std::byte> frame, common::Timestamp ts) {
-  rx_packets_.fetch_add(1, std::memory_order_relaxed);
+  rx_packets_->inc();
   if (faults_ != nullptr && faults_->should_fail(kFaultRxOverflow, ts)) {
-    rx_dropped_.fetch_add(1, std::memory_order_relaxed);
+    rx_dropped_->inc();
     return;
   }
   auto decoded = net::decode_packet(frame);
   if (!decoded) return;
   decoded->timestamp = ts;
   if (!sampler_.keep(decoded->bidirectional_flow_hash)) {
-    sampled_out_.fetch_add(1, std::memory_order_relaxed);
+    sampled_out_->inc();
     return;
   }
   for (auto& group : groups_) {
@@ -193,7 +222,7 @@ void Monitor::process(std::span<const std::byte> frame, common::Timestamp ts) {
                                      group.workers.size());
     Worker& w = *group.workers[idx];
     parse_guarded(w, *decoded, frame.size());
-    dispatched_.fetch_add(1, std::memory_order_relaxed);
+    dispatched_->inc();
   }
 }
 
@@ -203,7 +232,7 @@ void Monitor::tick(common::Timestamp now) {
       worker->parser->on_tick(now, *worker->output);
       // Ship partially-filled batches so downstream latency is bounded by
       // the tick interval even at low record rates.
-      worker->output->flush();
+      worker->output->flush(now);
     }
   }
 }
@@ -212,27 +241,23 @@ void Monitor::close(common::Timestamp now) {
   for (auto& group : groups_) {
     for (auto& worker : group.workers) {
       worker->parser->on_close(now, *worker->output);
-      worker->output->flush();
+      worker->output->flush(now);
     }
   }
 }
 
 MonitorStats Monitor::stats() const {
   MonitorStats s;
-  s.rx_packets = rx_packets_.load(std::memory_order_relaxed);
-  s.rx_dropped = rx_dropped_.load(std::memory_order_relaxed);
-  s.sampled_out = sampled_out_.load(std::memory_order_relaxed);
-  s.dispatched = dispatched_.load(std::memory_order_relaxed);
-  s.worker_dropped = worker_dropped_.load(std::memory_order_relaxed);
-  s.parser_errors = parser_errors_.load(std::memory_order_relaxed);
-  for (const auto& group : groups_) {
-    for (const auto& worker : group.workers) {
-      s.parsed += worker->parsed.load(std::memory_order_relaxed);
-      s.raw_bytes += worker->raw_bytes.load(std::memory_order_relaxed);
-      s.records += worker->output->stats().records;
-      s.record_bytes += worker->output->stats().bytes;
-    }
-  }
+  s.rx_packets = rx_packets_->value();
+  s.rx_dropped = rx_dropped_->value();
+  s.sampled_out = sampled_out_->value();
+  s.dispatched = dispatched_->value();
+  s.worker_dropped = worker_dropped_->value();
+  s.parser_errors = parser_errors_->value();
+  s.parsed = parsed_->value();
+  s.raw_bytes = raw_bytes_->value();
+  s.records = records_->value();
+  s.record_bytes = record_bytes_->value();
   return s;
 }
 

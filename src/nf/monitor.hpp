@@ -18,6 +18,7 @@
 
 #include "common/clock.hpp"
 #include "common/fault.hpp"
+#include "common/metrics.hpp"
 #include "common/spsc_ring.hpp"
 #include "net/packet.hpp"
 #include "nf/output.hpp"
@@ -51,8 +52,20 @@ struct MonitorConfig {
   double sample_rate = 1.0;
   /// Interval between parser on_tick calls (aggregating parsers flush here).
   common::Duration tick_interval = 100 * common::kMillisecond;
+
+  /// Registry the monitor's counters live in. Null = the monitor owns a
+  /// private registry (standalone use); the engine always binds its own and
+  /// prefixes per query/monitor ("q<id>.mon<j>").
+  common::MetricsRegistry* metrics = nullptr;
+  std::string metrics_prefix = "nf.monitor";
+  /// Optional per-query pipeline tracer; forwarded to every worker's output
+  /// interface for emit-stage (batching delay) stamps.
+  common::StageTracer* tracer = nullptr;
 };
 
+/// Thin typed view over the monitor's registry counters. The numbers live
+/// in the MetricsRegistry; this struct is a convenience copy for tests and
+/// reports, not a parallel store.
 struct MonitorStats {
   std::uint64_t rx_packets = 0;       // packets offered to the monitor
   std::uint64_t rx_dropped = 0;       // RX ring full
@@ -117,8 +130,6 @@ class Monitor {
     std::unique_ptr<common::SpscRing<WorkItem>> ring;
     std::unique_ptr<OutputInterface> output;
     std::thread thread;
-    std::atomic<std::uint64_t> parsed{0};
-    std::atomic<std::uint64_t> raw_bytes{0};
   };
 
   struct ParserGroup {
@@ -146,12 +157,23 @@ class Monitor {
   std::atomic<bool> collector_done_{false};
   std::thread collector_thread_;
 
-  std::atomic<std::uint64_t> rx_packets_{0};
-  std::atomic<std::uint64_t> rx_dropped_{0};
-  std::atomic<std::uint64_t> sampled_out_{0};
-  std::atomic<std::uint64_t> dispatched_{0};
-  std::atomic<std::uint64_t> worker_dropped_{0};
-  std::atomic<std::uint64_t> parser_errors_{0};
+  // Counters live in the bound (or owned fallback) registry; the monitor
+  // keeps resolved pointers so the hot path stays one relaxed add.
+  std::unique_ptr<common::MetricsRegistry> owned_metrics_;
+  common::MetricsRegistry* metrics_ = nullptr;
+  common::Counter* rx_packets_ = nullptr;
+  common::Counter* rx_dropped_ = nullptr;
+  common::Counter* sampled_out_ = nullptr;
+  common::Counter* dispatched_ = nullptr;
+  common::Counter* worker_dropped_ = nullptr;
+  common::Counter* parser_errors_ = nullptr;
+  common::Counter* parsed_ = nullptr;
+  common::Counter* raw_bytes_ = nullptr;
+  common::Counter* records_ = nullptr;
+  common::Counter* record_bytes_ = nullptr;
+  common::Counter* batches_ = nullptr;
+  common::Gauge* rx_depth_ = nullptr;            // threaded mode ring depth
+  common::HistogramMetric* parse_time_ = nullptr;  // wall-clock, threaded mode
 };
 
 }  // namespace netalytics::nf

@@ -10,20 +10,33 @@ void OutputInterface::emit(Record record) {
   auto [it, inserted] = pending_.try_emplace(record.topic);
   (void)inserted;
   it->second.push_back(std::move(record));
-  if (it->second.size() >= batch_records_) ship(it->first, it->second);
-}
-
-void OutputInterface::flush() {
-  for (auto& [topic, batch] : pending_) {
-    if (!batch.empty()) ship(topic, batch);
+  if (it->second.size() >= batch_records_) {
+    // A full batch ships immediately, so the record that tipped it over is
+    // the freshest timestamp we have — that is the ship time in virtual runs.
+    ship(it->first, it->second, it->second.back().timestamp);
   }
 }
 
-void OutputInterface::ship(const std::string& topic, std::vector<Record>& batch) {
+void OutputInterface::flush(common::Timestamp now) {
+  for (auto& [topic, batch] : pending_) {
+    if (!batch.empty()) ship(topic, batch, now);
+  }
+}
+
+void OutputInterface::ship(const std::string& topic, std::vector<Record>& batch,
+                           common::Timestamp ship_time) {
   auto payload = serialize_batch(batch);
   records_.fetch_add(batch.size(), std::memory_order_relaxed);
   bytes_.fetch_add(payload.size(), std::memory_order_relaxed);
   batches_.fetch_add(1, std::memory_order_relaxed);
+  if (records_ctr_ != nullptr) records_ctr_->inc(batch.size());
+  if (bytes_ctr_ != nullptr) bytes_ctr_->inc(payload.size());
+  if (batches_ctr_ != nullptr) batches_ctr_->inc();
+  if (tracer_ != nullptr && ship_time != 0) {
+    for (const Record& r : batch) {
+      tracer_->stamp(common::StageTracer::Stage::emit, ship_time, r.timestamp);
+    }
+  }
   sink_(topic, std::move(payload), batch.size());
   batch.clear();
 }

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "nf/parser.hpp"
 #include "nf/record.hpp"
 
@@ -39,8 +40,24 @@ class OutputInterface final : public RecordSink {
 
   void emit(Record record) override;
 
-  /// Ship all partially-filled batches.
-  void flush();
+  /// Ship all partially-filled batches. `now` (virtual time) stamps the
+  /// emit-stage latency of the shipped records; 0 means "time unknown"
+  /// (threaded paths), which skips the stamp.
+  void flush(common::Timestamp now = 0);
+
+  /// Route batching-delay stamps into `tracer` (emit stage). The tracer
+  /// must outlive this interface.
+  void set_tracer(common::StageTracer* tracer) noexcept { tracer_ = tracer; }
+
+  /// Mirror ship() accounting into registry counters that outlive this
+  /// interface (all workers of a monitor share the same three). Null
+  /// pointers are allowed and skipped.
+  void bind_counters(common::Counter* records, common::Counter* bytes,
+                     common::Counter* batches) noexcept {
+    records_ctr_ = records;
+    bytes_ctr_ = bytes;
+    batches_ctr_ = batches;
+  }
 
   OutputStats stats() const noexcept {
     return {records_.load(std::memory_order_relaxed),
@@ -49,9 +66,14 @@ class OutputInterface final : public RecordSink {
   }
 
  private:
-  void ship(const std::string& topic, std::vector<Record>& batch);
+  void ship(const std::string& topic, std::vector<Record>& batch,
+            common::Timestamp ship_time);
 
   BatchSink sink_;
+  common::StageTracer* tracer_ = nullptr;
+  common::Counter* records_ctr_ = nullptr;
+  common::Counter* bytes_ctr_ = nullptr;
+  common::Counter* batches_ctr_ = nullptr;
   std::size_t batch_records_;
   std::map<std::string, std::vector<Record>> pending_;
   std::atomic<std::uint64_t> records_{0};

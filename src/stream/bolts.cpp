@@ -121,6 +121,13 @@ void GroupAggBolt::execute(const Tuple& input, Collector&) {
   }
   agg.sum += v;
   ++agg.count;
+  report_window();
+}
+
+void GroupAggBolt::report_window() {
+  const auto current = static_cast<std::int64_t>(groups_.size());
+  if (window_gauge_ != nullptr) window_gauge_->add(current - last_window_);
+  last_window_ = current;
 }
 
 void GroupAggBolt::emit_groups(Collector& out) {
@@ -140,7 +147,10 @@ void GroupAggBolt::emit_groups(Collector& out) {
     t.values.emplace_back(std::uint64_t{agg.count});
     out.emit(std::move(t));
   }
-  if (config_.reset_after_emit) groups_.clear();
+  if (config_.reset_after_emit) {
+    groups_.clear();
+    report_window();
+  }
 }
 
 void GroupAggBolt::tick(common::Timestamp, Collector& out) {

@@ -11,6 +11,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/metrics.hpp"
 #include "stream/topology.hpp"
 
 namespace netalytics::stream {
@@ -149,6 +150,10 @@ class GroupAggBolt final : public Bolt {
   void tick(common::Timestamp now, Collector& out) override;
   void cleanup(common::Timestamp now, Collector& out) override;
 
+  /// Window-size gauge shared across parallel tasks: each task reports its
+  /// group-count delta, so the gauge holds the total tracked groups.
+  void set_window_gauge(common::Gauge* gauge) noexcept { window_gauge_ = gauge; }
+
  private:
   struct Agg {
     std::vector<Value> group_values;
@@ -158,9 +163,12 @@ class GroupAggBolt final : public Bolt {
     std::uint64_t count = 0;
   };
   void emit_groups(Collector& out);
+  void report_window();
 
   GroupAggConfig config_;
   std::map<std::string, Agg> groups_;
+  common::Gauge* window_gauge_ = nullptr;
+  std::int64_t last_window_ = 0;
 };
 
 }  // namespace netalytics::stream

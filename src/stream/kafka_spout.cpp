@@ -6,28 +6,48 @@ namespace netalytics::stream {
 
 KafkaSpout::KafkaSpout(mq::Cluster& cluster, std::string group, std::string topic,
                        std::size_t poll_batch, common::FaultPlan* faults)
-    : consumer_(cluster, std::move(group)),
+    : cluster_(cluster),
+      consumer_(cluster, std::move(group)),
       topic_(std::move(topic)),
       poll_batch_(poll_batch == 0 ? 1 : poll_batch),
-      faults_(faults) {}
+      faults_(faults) {
+  owned_metrics_ = std::make_unique<common::MetricsRegistry>();
+  bind_metrics(*owned_metrics_, "stream.spout");
+}
 
-bool KafkaSpout::next_tuple(Collector& out) {
+void KafkaSpout::bind_metrics(common::MetricsRegistry& registry,
+                              const std::string& prefix,
+                              common::StageTracer* tracer) {
+  emitted_ = &registry.counter(prefix + ".emitted");
+  poll_failures_ = &registry.counter(prefix + ".poll_failures");
+  lag_ = &registry.gauge(prefix + ".lag");
+  tracer_ = tracer;
+  if (&registry != owned_metrics_.get()) owned_metrics_.reset();
+}
+
+bool KafkaSpout::next_tuple(Collector& out, common::Timestamp now) {
   if (buffer_.empty()) {
     if (faults_ != nullptr && faults_->should_fail(kFaultSpoutPoll)) {
       // Transient fetch failure: nothing is consumed, offsets are
       // untouched, the broker keeps the data for the next poll.
-      ++poll_failures_;
+      poll_failures_->inc();
       return false;
     }
     auto batch = consumer_.poll(topic_, poll_batch_);
     for (auto& m : batch) buffer_.push_back(std::move(m));
+    // Consumer lag after the fetch: what the brokers still hold for this
+    // topic beyond what we just pulled (retention-based depth).
+    lag_->set(static_cast<std::int64_t>(cluster_.depth(topic_)));
   }
   if (buffer_.empty()) return false;
 
   const mq::Message& msg = buffer_.front();
+  if (tracer_ != nullptr) {
+    tracer_->stamp(common::StageTracer::Stage::consume, now, msg.append_ts);
+  }
   out.emit(Tuple{{std::string(common::as_string_view(msg.payload))}});
   buffer_.pop_front();
-  ++emitted_;
+  emitted_->inc();
   return true;
 }
 

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "common/fault.hpp"
+#include "common/metrics.hpp"
 #include "mq/consumer.hpp"
 #include "stream/topology.hpp"
 
@@ -24,19 +25,32 @@ class KafkaSpout final : public Spout {
   KafkaSpout(mq::Cluster& cluster, std::string group, std::string topic,
              std::size_t poll_batch = 64, common::FaultPlan* faults = nullptr);
 
-  bool next_tuple(Collector& out) override;
+  bool next_tuple(Collector& out, common::Timestamp now) override;
 
-  std::uint64_t messages_emitted() const noexcept { return emitted_; }
-  std::uint64_t poll_failures() const noexcept { return poll_failures_; }
+  std::uint64_t messages_emitted() const noexcept { return emitted_->value(); }
+  std::uint64_t poll_failures() const noexcept { return poll_failures_->value(); }
+
+  /// Re-home counters into `registry` under `prefix` ("<prefix>.emitted",
+  /// ".poll_failures", and a ".lag" gauge: messages buffered in the brokers
+  /// for this topic, refreshed at every poll). When `tracer` is given,
+  /// each emitted message stamps the consume stage (broker append -> spout
+  /// poll). Bind before the first next_tuple.
+  void bind_metrics(common::MetricsRegistry& registry, const std::string& prefix,
+                    common::StageTracer* tracer = nullptr);
 
  private:
+  mq::Cluster& cluster_;
   mq::Consumer consumer_;
   std::string topic_;
   std::size_t poll_batch_;
   common::FaultPlan* faults_;
   std::deque<mq::Message> buffer_;
-  std::uint64_t emitted_ = 0;
-  std::uint64_t poll_failures_ = 0;
+  // Counters live in the bound (or owned fallback) registry.
+  std::unique_ptr<common::MetricsRegistry> owned_metrics_;
+  common::Counter* emitted_ = nullptr;
+  common::Counter* poll_failures_ = nullptr;
+  common::Gauge* lag_ = nullptr;
+  common::StageTracer* tracer_ = nullptr;
 };
 
 }  // namespace netalytics::stream

@@ -103,9 +103,10 @@ void LocalCluster::route(std::size_t src_component, Tuple tuple) {
 
 void LocalCluster::spout_loop(Node& node, Task& task, std::size_t component_index) {
   EmitCollector collector(*this, component_index);
+  common::WallClock clock;
   task.spout->open();
   while (!node.stop.load(std::memory_order_acquire)) {
-    if (!task.spout->next_tuple(collector)) {
+    if (!task.spout->next_tuple(collector, clock.now())) {
       std::this_thread::sleep_for(std::chrono::microseconds(100));
     }
   }

@@ -46,12 +46,17 @@ std::string add_source(TopologyBuilder& b, const ProcessorContext& ctx,
   const std::string parse_name = "parse" + std::to_string(index);
   mq::Cluster* cluster = ctx.cluster;
   common::FaultPlan* faults = ctx.fault_plan;
+  common::MetricsRegistry* metrics = ctx.metrics;
+  common::StageTracer* tracer = ctx.tracer;
+  const std::string spout_prefix = ctx.metrics_prefix + "." + spout_name;
   const std::string group = ctx.consumer_group + "-" + spout_name;
   b.set_spout(
       spout_name,
-      [cluster, group, topic, faults] {
-        return std::make_unique<KafkaSpout>(*cluster, group, topic,
-                                            /*poll_batch=*/64, faults);
+      [cluster, group, topic, faults, metrics, tracer, spout_prefix] {
+        auto spout = std::make_unique<KafkaSpout>(*cluster, group, topic,
+                                                  /*poll_batch=*/64, faults);
+        if (metrics != nullptr) spout->bind_metrics(*metrics, spout_prefix, tracer);
+        return spout;
       },
       {"payload"});
   b.set_bolt(
@@ -103,9 +108,17 @@ common::Expected<TopologySpec> build_topk(const ProcessorParams& params,
     upstream = "filter";
   }
 
+  common::Gauge* count_window =
+      ctx.metrics == nullptr
+          ? nullptr
+          : &ctx.metrics->gauge(ctx.metrics_prefix + ".count.window_keys");
   b.set_bolt(
        "count",
-       [key_index, slots] { return std::make_unique<CountingBolt>(key_index, slots); },
+       [key_index, slots, count_window] {
+         auto bolt = std::make_unique<CountingBolt>(key_index, slots);
+         bolt->set_window_gauge(count_window);
+         return bolt;
+       },
        {"key", "count"}, ctx.parallelism)
       .fields_grouping(upstream, {schema[key_index]});
   b.set_bolt(
@@ -231,8 +244,18 @@ common::Expected<TopologySpec> build_diff_group(const ProcessorParams& params,
   out_fields.push_back("agg");
   out_fields.push_back("samples");
 
+  common::Gauge* group_window =
+      ctx.metrics == nullptr
+          ? nullptr
+          : &ctx.metrics->gauge(ctx.metrics_prefix + ".group.window_keys");
   b.set_bolt(
-       "group", [gcfg] { return std::make_unique<GroupAggBolt>(gcfg); }, out_fields)
+       "group",
+       [gcfg, group_window] {
+         auto bolt = std::make_unique<GroupAggBolt>(gcfg);
+         bolt->set_window_gauge(group_window);
+         return bolt;
+       },
+       out_fields)
       .global_grouping(value_source);
   b.set_bolt("sink", [sink] { return std::make_unique<SinkBolt>(sink); }, {})
       .global_grouping("group");
@@ -285,8 +308,18 @@ common::Expected<TopologySpec> build_group_agg(const std::string& name,
 
   TopologyBuilder b(name);
   const std::string parse = add_source(b, ctx, topic, 0);
+  common::Gauge* group_window =
+      ctx.metrics == nullptr
+          ? nullptr
+          : &ctx.metrics->gauge(ctx.metrics_prefix + ".group.window_keys");
   b.set_bolt(
-       "group", [gcfg] { return std::make_unique<GroupAggBolt>(gcfg); }, out_fields)
+       "group",
+       [gcfg, group_window] {
+         auto bolt = std::make_unique<GroupAggBolt>(gcfg);
+         bolt->set_window_gauge(group_window);
+         return bolt;
+       },
+       out_fields)
       .global_grouping(parse);
   auto sink = ctx.result_sink;
   b.set_bolt("sink", [sink] { return std::make_unique<SinkBolt>(sink); }, {})

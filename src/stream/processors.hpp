@@ -43,6 +43,12 @@ struct ProcessorContext {
   std::size_t parallelism = 1;
   /// Chaos plan handed to every KafkaSpout (null = no injection).
   common::FaultPlan* fault_plan = nullptr;
+  /// Observability: when `metrics` is set, spouts and windowed bolts publish
+  /// into it under "<metrics_prefix>.<component>...", and spouts stamp the
+  /// consume stage on `tracer` (both optional).
+  common::MetricsRegistry* metrics = nullptr;
+  std::string metrics_prefix = "stream";
+  common::StageTracer* tracer = nullptr;
 };
 
 /// Tuple schema the parsing bolt produces for a parser topic

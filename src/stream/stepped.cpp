@@ -108,11 +108,19 @@ std::size_t SteppedTopology::drain(common::Timestamp) {
         task.inbox.pop_front();
         task.bolt->execute(tuple, collector);
         ++processed;
+        if (node.executed != nullptr) node.executed->inc();
       }
     }
   }
   executed_ += processed;
   return processed;
+}
+
+void SteppedTopology::bind_metrics(common::MetricsRegistry& registry,
+                                   const std::string& prefix) {
+  for (auto& node : nodes_) {
+    node.executed = &registry.counter(prefix + "." + node.spec.name + ".executed");
+  }
 }
 
 std::size_t SteppedTopology::step(common::Timestamp now,
@@ -123,7 +131,7 @@ std::size_t SteppedTopology::step(common::Timestamp now,
     for (auto& task : node.tasks) {
       RoutingCollector collector(*this, n);
       for (std::size_t i = 0; i < spout_budget_per_task; ++i) {
-        if (!task.spout->next_tuple(collector)) break;
+        if (!task.spout->next_tuple(collector, now)) break;
       }
     }
   }

@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "stream/topology.hpp"
 
 namespace netalytics::stream {
@@ -38,6 +39,10 @@ class SteppedTopology {
   std::uint64_t tuples_executed() const noexcept { return executed_; }
   const TopologySpec& spec() const noexcept { return spec_; }
 
+  /// Publish per-component executed-tuple counters into `registry` as
+  /// "<prefix>.<component>.executed". Bind before stepping.
+  void bind_metrics(common::MetricsRegistry& registry, const std::string& prefix);
+
  private:
   struct Task {
     std::unique_ptr<Spout> spout;  // exactly one of spout/bolt set
@@ -56,6 +61,7 @@ class SteppedTopology {
     ComponentSpec spec;
     std::vector<Task> tasks;
     std::vector<Edge> out_edges;
+    common::Counter* executed = nullptr;  // null until bind_metrics
   };
 
   class RoutingCollector final : public Collector {

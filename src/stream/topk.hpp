@@ -6,6 +6,7 @@
 
 #include <functional>
 
+#include "common/metrics.hpp"
 #include "stream/kvstore.hpp"
 #include "stream/topology.hpp"
 #include "stream/window.hpp"
@@ -23,17 +24,31 @@ class CountingBolt final : public Bolt {
 
   void execute(const Tuple& input, Collector&) override {
     counter_.incr(format_value(input.at(key_index_)));
+    report_window();
   }
   void tick(common::Timestamp, Collector& out) override {
     for (const auto& [key, count] : counter_.totals()) {
       out.emit(Tuple{{key, std::uint64_t{count}}});
     }
     counter_.advance();
+    report_window();
   }
 
+  /// Window-size gauge shared across parallel tasks: each task reports its
+  /// key-count delta, so the gauge holds the total tracked keys.
+  void set_window_gauge(common::Gauge* gauge) noexcept { window_gauge_ = gauge; }
+
  private:
+  void report_window() {
+    const auto current = static_cast<std::int64_t>(counter_.key_count());
+    if (window_gauge_ != nullptr) window_gauge_->add(current - last_window_);
+    last_window_ = current;
+  }
+
   std::size_t key_index_;
   RollingCounter counter_;
+  common::Gauge* window_gauge_ = nullptr;
+  std::int64_t last_window_ = 0;
 };
 
 /// Local top-k over [key, count] updates; emits its rankings on tick as

@@ -24,12 +24,14 @@ class Collector {
 };
 
 /// A data source. next_tuple() returns false when nothing is available
-/// right now (the executor will retry later).
+/// right now (the executor will retry later). `now` is the executor's
+/// current time (virtual in SteppedTopology, wall in LocalCluster) so
+/// sources can measure residency of the data they pull.
 class Spout {
  public:
   virtual ~Spout() = default;
   virtual void open() {}
-  virtual bool next_tuple(Collector& out) = 0;
+  virtual bool next_tuple(Collector& out, common::Timestamp now) = 0;
   virtual void close(Collector& /*out*/) {}
 };
 

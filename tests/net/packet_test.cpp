@@ -128,6 +128,32 @@ TEST(PacketPool, FullExhaustionCountsEveryFailureAndRecovers) {
   EXPECT_EQ(pool.allocation_failures(), 10u);  // recovery added no failures
 }
 
+#ifndef NETALYTICS_NO_METRICS
+TEST(PacketPool, BoundMetricsTrackOccupancyAndFailures) {
+  common::MetricsRegistry registry;
+  PacketPool pool(2);
+  pool.bind_metrics(registry, "net.pool");
+
+  auto snap = registry.snapshot("net.pool.");
+  ASSERT_EQ(snap.gauges.size(), 2u);  // capacity + in_use
+  EXPECT_EQ(snap.gauges[0].name, "net.pool.capacity");
+  EXPECT_EQ(snap.gauges[0].value, 2);
+
+  PacketPtr a = pool.allocate();
+  PacketPtr b = pool.allocate();
+  EXPECT_FALSE(pool.allocate());  // dry
+  snap = registry.snapshot("net.pool.");
+  EXPECT_EQ(snap.gauges[1].name, "net.pool.in_use");
+  EXPECT_EQ(snap.gauges[1].value, 2);
+  EXPECT_EQ(snap.counter_value("net.pool.alloc_failures"), 1u);
+
+  a.reset();
+  b.reset();
+  snap = registry.snapshot("net.pool.");
+  EXPECT_EQ(snap.gauges[1].value, 0);  // releases decrement in_use
+}
+#endif  // NETALYTICS_NO_METRICS
+
 TEST(PacketPool, ConcurrentAllocReleaseConserved) {
   // Property: after all threads finish, every buffer is back in the pool.
   constexpr std::size_t kPoolSize = 64;

@@ -20,7 +20,7 @@ TEST(KafkaSpout, EmitsEachMessagePayloadOnce) {
 
   KafkaSpout spout(cluster, "g", "t");
   testing::CaptureCollector cap;
-  while (spout.next_tuple(cap)) {}
+  while (spout.next_tuple(cap, 0)) {}
   ASSERT_EQ(cap.tuples.size(), 3u);
   EXPECT_EQ(std::get<std::string>(cap.tuples[0].at(0)), "a");
   EXPECT_EQ(std::get<std::string>(cap.tuples[2].at(0)), "c");
@@ -43,11 +43,11 @@ TEST(KafkaSpout, InjectedPollFailureLosesNothing) {
 
   KafkaSpout spout(cluster, "g", "t", 64, &plan);
   testing::CaptureCollector cap;
-  for (int i = 0; i < 3; ++i) EXPECT_FALSE(spout.next_tuple(cap));
+  for (int i = 0; i < 3; ++i) EXPECT_FALSE(spout.next_tuple(cap, 0));
   EXPECT_EQ(spout.poll_failures(), 3u);
   EXPECT_TRUE(cap.tuples.empty());
 
-  while (spout.next_tuple(cap)) {}
+  while (spout.next_tuple(cap, 0)) {}
   ASSERT_EQ(cap.tuples.size(), 2u);
   EXPECT_EQ(std::get<std::string>(cap.tuples[0].at(0)), "x");
   EXPECT_EQ(std::get<std::string>(cap.tuples[1].at(0)), "y");
@@ -65,12 +65,12 @@ TEST(KafkaSpout, FaultedPollDoesNotTouchBufferedTuples) {
 
   KafkaSpout spout(cluster, "g", "t", /*poll_batch=*/64, &plan);
   testing::CaptureCollector cap;
-  ASSERT_TRUE(spout.next_tuple(cap));  // healthy poll buffers all four
+  ASSERT_TRUE(spout.next_tuple(cap, 0));  // healthy poll buffers all four
 
   common::FaultSpec always;
   always.every_nth = 1;
   plan.arm(std::string(kFaultSpoutPoll), always);
-  while (spout.next_tuple(cap)) {}
+  while (spout.next_tuple(cap, 0)) {}
   EXPECT_EQ(cap.tuples.size(), 4u);  // b, c, d drained from the buffer
   EXPECT_EQ(spout.poll_failures(), 1u);  // only the refill attempt failed
 }

@@ -18,7 +18,7 @@ class CaptureCollector final : public Collector {
 class ListSpout final : public Spout {
  public:
   explicit ListSpout(std::vector<Tuple> tuples) : tuples_(std::move(tuples)) {}
-  bool next_tuple(Collector& out) override {
+  bool next_tuple(Collector& out, common::Timestamp /*now*/ = 0) override {
     if (cursor_ >= tuples_.size()) return false;
     out.emit(tuples_[cursor_++]);
     return true;
