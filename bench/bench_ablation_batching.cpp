@@ -25,7 +25,7 @@ void BM_OutputBatchSize(benchmark::State& state) {
   mq::Cluster cluster(1);
   mq::Producer producer(cluster, 1);
   nf::OutputInterface out(
-      [&producer](const std::string& topic, std::vector<std::byte> payload,
+      [&producer](std::string_view topic, std::vector<std::byte> payload,
                   std::size_t) { producer.send(topic, std::move(payload), 0); },
       batch);
   std::uint64_t id = 0;

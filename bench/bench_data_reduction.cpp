@@ -37,7 +37,7 @@ Row run_row(const std::string& parser, pktgen::TrafficKind kind,
   nf::MonitorConfig mcfg;
   mcfg.parsers = {{parser, 1}};
   mcfg.output_batch_records = 64;
-  nf::Monitor monitor(mcfg, [](const std::string&, std::vector<std::byte>,
+  nf::Monitor monitor(mcfg, [](std::string_view, std::vector<std::byte>,
                                std::size_t) {});
   for (int i = 0; i < packets; ++i) monitor.process(gen.next_frame(), i);
   monitor.close(packets);

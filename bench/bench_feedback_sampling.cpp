@@ -36,7 +36,7 @@ Outcome run(bool adaptive) {
   mcfg.output_batch_records = 16;
 
   mq::Producer producer(cluster, 1);
-  nf::Monitor monitor(mcfg, [&producer](const std::string& topic,
+  nf::Monitor monitor(mcfg, [&producer](std::string_view topic,
                                         std::vector<std::byte> payload,
                                         std::size_t) {
     producer.send(topic, std::move(payload), 0);

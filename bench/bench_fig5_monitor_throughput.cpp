@@ -38,7 +38,7 @@ Cell run_cell_once(const std::string& parser, pktgen::TrafficKind kind,
   nf::MonitorConfig mcfg;
   mcfg.parsers = {{parser, 1}};
   mcfg.output_batch_records = 64;
-  nf::Monitor monitor(mcfg, [](const std::string&, std::vector<std::byte>,
+  nf::Monitor monitor(mcfg, [](std::string_view, std::vector<std::byte>,
                                std::size_t) {});
 
   // Warm up, then measure a fixed wall-clock window.

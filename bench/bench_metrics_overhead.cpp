@@ -44,7 +44,7 @@ double monitor_mpps() {
   nf::MonitorConfig mcfg;
   mcfg.parsers = {{"http_get", 1}};
   mcfg.output_batch_records = 64;
-  nf::Monitor monitor(mcfg, [](const std::string&, std::vector<std::byte>,
+  nf::Monitor monitor(mcfg, [](std::string_view, std::vector<std::byte>,
                                std::size_t) {});
 
   for (int i = 0; i < 20000; ++i) monitor.process(gen.next_frame(), i);

@@ -35,6 +35,13 @@ common::Expected<void> EngineConfig::validate() const {
   if (processor_parallelism == 0) {
     return Error{"config", "processor_parallelism must be > 0"};
   }
+  if (producer_batch.max_records == 0) {
+    return Error{"config", "producer_batch.max_records must be > 0"};
+  }
+  if (producer_batch.linger > tick_interval) {
+    return Error{"config",
+                 "producer_batch.linger must not exceed tick_interval"};
+  }
   return {};
 }
 
@@ -127,7 +134,8 @@ void NetAlytics::deploy_monitors(QueryHandle& q, common::Timestamp now) {
     // One producer per monitor; its key spreads this monitor's batches
     // across brokers while keeping them ordered.
     auto producer = std::make_unique<mq::Producer>(
-        cluster_, next_producer_id_++, nullptr, config_.producer_retry);
+        cluster_, next_producer_id_++, nullptr, config_.producer_retry,
+        config_.producer_batch);
     producer->bind_metrics(metrics_,
                            q.metrics_prefix_ + ".producer" + std::to_string(j),
                            q.tracer_.get());
@@ -141,7 +149,7 @@ void NetAlytics::deploy_monitors(QueryHandle& q, common::Timestamp now) {
     mcfg.metrics_prefix = q.metrics_prefix_ + ".mon" + std::to_string(j);
     mcfg.tracer = q.tracer_.get();
 
-    nf::BatchSink sink = [this, producer_ptr](const std::string& topic,
+    nf::BatchSink sink = [this, producer_ptr](std::string_view topic,
                                               std::vector<std::byte> payload,
                                               std::size_t) {
       producer_ptr->send(topic, std::move(payload), now_);
@@ -251,6 +259,11 @@ void NetAlytics::pump(common::Timestamp now) {
     QueryHandle& q = *qp;
     if (q.finished_) continue;
 
+    // Ship lingering producer batches and give buffered sends their retry
+    // window first — occupancy must see every record that reached the
+    // aggregation layer, not hide what sat in an open batch.
+    for (auto& p : q.producers) p->flush(now);
+
     // Sample buffer pressure before the processors drain: the aggregation
     // layer's backlog at this instant is the overload signal (§4.2).
     double occupancy = 0;
@@ -260,16 +273,15 @@ void NetAlytics::pump(common::Timestamp now) {
       }
     }
 
-    // Give buffered producer sends their retry window before draining:
-    // after a broker recovers, backlogged batches land here.
-    for (auto& p : q.producers) p->flush(now);
-
     for (auto& topo : q.topologies) topo->run_until_idle(now);
 
     if (now - q.last_tick >= config_.tick_interval) {
       // Monitor ticks flush aggregating parsers (tcp_pkt_size windows),
-      // then the topologies' windows advance on the fresh data.
+      // then the topologies' windows advance on the fresh data. The ticked
+      // records join open producer batches, so drain those immediately —
+      // the same pump's window tick must see them.
       for (auto* m : q.monitors) m->tick(now);
+      for (auto& p : q.producers) p->drain(now);
       for (auto& topo : q.topologies) {
         topo->run_until_idle(now);
         topo->tick(now);
@@ -293,7 +305,7 @@ void NetAlytics::stop_query(QueryHandle& q, common::Timestamp now) {
   // Flush parser state and pending batches, then drain the analytics side
   // completely: data -> final window tick -> cleanup flush.
   for (auto* m : q.monitors) m->close(now);
-  for (auto& p : q.producers) p->flush(now);
+  for (auto& p : q.producers) p->drain(now);
   for (auto& topo : q.topologies) {
     topo->run_until_idle(now);
     topo->tick(now);

@@ -36,6 +36,14 @@ struct EngineConfig {
   /// Retry/backoff policy for every monitor's producer (at-least-once
   /// delivery into the aggregation layer).
   mq::RetryPolicy producer_retry{};
+  /// Kafka-style producer accumulation: record batches ship to the brokers
+  /// in groups (one partition-lock acquisition per group) instead of one
+  /// broker round-trip per send. linger = 0 means open batches ship at the
+  /// next engine pump; it must not exceed tick_interval or batched records
+  /// would miss their window tick.
+  mq::BatchPolicy producer_batch{.max_records = 32,
+                                 .max_bytes = 256 * 1024,
+                                 .linger = 0};
 
   /// Reject configurations that cannot run: zero brokers, a zero tick
   /// interval, inverted feedback watermarks, zero processor parallelism.

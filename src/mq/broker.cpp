@@ -1,6 +1,7 @@
 #include "mq/broker.hpp"
 
 #include <algorithm>
+#include <cassert>
 
 #include "common/hash.hpp"
 
@@ -10,11 +11,12 @@ Broker::Broker(BrokerConfig config) : config_(config) {
   if (config_.partitions_per_topic == 0) config_.partitions_per_topic = 1;
   if (config_.partition_capacity == 0) config_.partition_capacity = 1;
   owned_metrics_ = std::make_unique<common::MetricsRegistry>();
-  resolve_metrics_locked(*owned_metrics_, "mq.broker");
+  resolve_metrics(*owned_metrics_, "mq.broker");
+  install_faults(nullptr);
 }
 
-void Broker::resolve_metrics_locked(common::MetricsRegistry& registry,
-                                    const std::string& prefix) {
+void Broker::resolve_metrics(common::MetricsRegistry& registry,
+                             const std::string& prefix) {
   produced_ = &registry.counter(prefix + ".produced");
   blocked_ = &registry.counter(prefix + ".blocked");
   dropped_retention_ = &registry.counter(prefix + ".dropped_retention");
@@ -28,132 +30,233 @@ void Broker::resolve_metrics_locked(common::MetricsRegistry& registry,
 
 void Broker::bind_metrics(common::MetricsRegistry& registry,
                           const std::string& prefix) {
-  std::lock_guard lock(mutex_);
-  resolve_metrics_locked(registry, prefix);
+  std::unique_lock lock(registry_mutex_);
+  resolve_metrics(registry, prefix);
   owned_metrics_.reset();  // all pointers now target the bound registry
 }
 
-Broker::Topic& Broker::topic_locked(const std::string& name) {
-  auto it = topics_.find(name);
-  if (it == topics_.end()) {
-    Topic t;
-    t.partitions.resize(config_.partitions_per_topic);
-    it = topics_.emplace(name, std::move(t)).first;
-  }
-  return it->second;
+void Broker::install_faults(common::FaultPlan* plan, std::string site_prefix) {
+  std::unique_lock lock(registry_mutex_);
+  faults_ = plan;
+  const auto site = [&site_prefix](std::string_view suffix) {
+    std::string s = site_prefix;
+    s += '.';
+    s += suffix;
+    return s;
+  };
+  site_down_ = site(kFaultDown);
+  site_reject_ = site(kFaultReject);
+  site_delay_ = site(kFaultDelay);
+  site_duplicate_ = site(kFaultDuplicate);
 }
 
-std::size_t Broker::unread_locked(const std::string& name, const Partition& part,
-                                  std::size_t index) const {
-  bool any_group = false;
+bool Broker::fault(const std::string& site, common::Timestamp now) {
+  if (faults_ == nullptr) return false;
+  return faults_->should_fail(site, now);
+}
+
+Broker::Topic* Broker::find_topic(std::string_view name) const {
+  std::shared_lock lock(registry_mutex_);
+  const auto it = topics_.find(name);
+  return it == topics_.end() ? nullptr : it->second.get();
+}
+
+Broker::Topic& Broker::topic(std::string_view name) {
+  if (Topic* t = find_topic(name)) return *t;
+  std::unique_lock lock(registry_mutex_);
+  auto it = topics_.find(name);
+  if (it == topics_.end()) {
+    auto t = std::make_unique<Topic>();
+    t->partitions.reserve(config_.partitions_per_topic);
+    for (std::size_t i = 0; i < config_.partitions_per_topic; ++i) {
+      t->partitions.push_back(std::make_unique<Partition>());
+    }
+    it = topics_.emplace(std::string(name), std::move(t)).first;
+  }
+  return *it->second;
+}
+
+std::size_t Broker::unread(const Partition& part) {
+  if (part.group_offsets.empty()) return part.log.size();
   std::uint64_t slowest = part.next_offset;
-  for (const auto& [key, offset] : offsets_) {
-    if (std::get<1>(key) != name || std::get<2>(key) != index) continue;
-    any_group = true;
+  for (const auto& [group, offset] : part.group_offsets) {
     slowest = std::min(slowest, offset);
   }
-  if (!any_group) return part.log.size();
   const std::uint64_t floor = std::max(slowest, part.base_offset);
   return static_cast<std::size_t>(part.next_offset - floor);
 }
 
-void Broker::install_faults(common::FaultPlan* plan, std::string site_prefix) {
-  std::lock_guard lock(mutex_);
-  faults_ = plan;
-  fault_prefix_ = std::move(site_prefix);
-}
-
-bool Broker::fault_locked(std::string_view suffix, common::Timestamp now) {
-  if (faults_ == nullptr) return false;
-  std::string site = fault_prefix_;
-  site += '.';
-  site += suffix;
-  return faults_->should_fail(site, now);
+bool Broker::disk_admit(std::size_t bytes, common::Timestamp now) {
+  // Disk persistence model: every byte takes 1/rate seconds to persist; the
+  // log's write point may lag `now` by at most max_persist_lag.
+  if (config_.persist_bytes_per_sec == 0) return true;
+  const common::Duration cost = static_cast<common::Duration>(
+      static_cast<double>(bytes) /
+      static_cast<double>(config_.persist_bytes_per_sec) *
+      static_cast<double>(common::kSecond));
+  std::lock_guard lock(disk_mutex_);
+  const common::Timestamp start = std::max(disk_busy_until_, now);
+  if (start + cost > now + config_.max_persist_lag) return false;
+  disk_busy_until_ = start + cost;
+  return true;
 }
 
 ProduceStatus Broker::produce(Message&& msg, common::Timestamp now) {
-  std::lock_guard lock(mutex_);
-  last_now_ = std::max(last_now_, now);
-
-  if (fault_locked(kFaultDown, now)) {
-    faulted_down_->inc();
-    blocked_->inc();
-    return ProduceStatus::blocked;
-  }
-  if (fault_locked(kFaultReject, now)) {
-    faulted_reject_->inc();
-    return ProduceStatus::dropped;
-  }
-
-  // Disk persistence model: every byte takes 1/rate seconds to persist; the
-  // log's write point may lag `now` by at most max_persist_lag.
-  if (config_.persist_bytes_per_sec > 0) {
-    const common::Duration cost = static_cast<common::Duration>(
-        static_cast<double>(msg.payload.size()) /
-        static_cast<double>(config_.persist_bytes_per_sec) *
-        static_cast<double>(common::kSecond));
-    const common::Timestamp start = std::max(disk_busy_until_, now);
-    if (start + cost > now + config_.max_persist_lag) {
-      blocked_->inc();
-      return ProduceStatus::blocked;
-    }
-    disk_busy_until_ = start + cost;
-  }
-
-  const std::string topic_name = msg.topic;
-  Topic& topic = topic_locked(topic_name);
-  const std::size_t index =
-      common::hash_to_bucket(common::mix64(msg.key), topic.partitions.size());
-  Partition& part = topic.partitions[index];
-
-  // Retention: evict the oldest message when the partition is full. Kafka
-  // drops by age; with a fixed cap this is the same policy at bench scale.
-  if (part.log.size() >= config_.partition_capacity) {
-    part.log.pop_front();
-    ++part.base_offset;
-    dropped_retention_->inc();
-  }
-
-  msg.offset = part.next_offset++;
-  msg.append_ts = now;
-  bytes_in_->inc(msg.payload.size());
-  produced_->inc();
-  part.log.push_back(std::move(msg));
-
-  const double occ = static_cast<double>(unread_locked(topic_name, part, index)) /
-                     static_cast<double>(config_.partition_capacity);
-  return occ >= config_.high_watermark ? ProduceStatus::low_buffer
-                                       : ProduceStatus::ok;
+  ProduceStatus status = ProduceStatus::ok;
+  produce_batch({&msg, 1}, now, {&status, 1});
+  return status;
 }
 
-std::vector<Message> Broker::poll(const std::string& group,
-                                  const std::string& topic_name, std::size_t max) {
-  std::lock_guard lock(mutex_);
+void Broker::produce_batch(std::span<Message> msgs, common::Timestamp now,
+                           std::span<ProduceStatus> statuses) {
+  assert(msgs.size() == statuses.size());
+  if (msgs.empty()) return;
+
+  common::Timestamp seen = last_now_.load(std::memory_order_relaxed);
+  while (seen < now &&
+         !last_now_.compare_exchange_weak(seen, now, std::memory_order_relaxed)) {
+  }
+
+  // Pass 1 (no messages moved yet, so views into them are safe): resolve
+  // every message to its partition, caching the last topic resolution —
+  // producer batches are single-topic, so the registry lock is typically
+  // taken once per batch.
+  Partition* small_parts[16];
+  std::vector<Partition*> big_parts;
+  std::span<Partition*> parts;
+  if (msgs.size() <= std::size(small_parts)) {
+    parts = {small_parts, msgs.size()};
+  } else {
+    big_parts.resize(msgs.size());
+    parts = big_parts;
+  }
+  {
+    std::string_view cached_name;
+    Topic* cached_topic = nullptr;
+    for (std::size_t j = 0; j < msgs.size(); ++j) {
+      if (cached_topic == nullptr || msgs[j].topic != cached_name) {
+        cached_topic = &topic(msgs[j].topic);
+        cached_name = msgs[j].topic;
+      }
+      const std::size_t index = common::hash_to_bucket(
+          common::mix64(msgs[j].key), cached_topic->partitions.size());
+      parts[j] = cached_topic->partitions[index].get();
+    }
+  }
+
+  // Per-key order under retry: once a message of a partition fails, the
+  // rest of this batch's messages for that partition are held back (the
+  // producer will retry them in order). Batches touch very few partitions,
+  // so a flat list beats a hash set.
+  std::vector<Partition*> stalled;
+
+  // Pass 2: append runs of same-partition messages under one lock
+  // acquisition each. Counter increments are batched per run — the shared
+  // atomics are the one cache line every producer thread would otherwise
+  // fight over once the locks shard.
+  std::size_t i = 0;
+  while (i < msgs.size()) {
+    Partition& part = *parts[i];
+    std::size_t end = i + 1;
+    while (end < msgs.size() && parts[end] == &part) ++end;
+
+    std::uint64_t n_produced = 0, n_bytes = 0, n_blocked = 0, n_evicted = 0;
+    std::uint64_t n_down = 0, n_reject = 0;
+    {
+      std::unique_lock part_lock(part.mutex);
+      for (std::size_t j = i; j < end; ++j) {
+        Message& msg = msgs[j];
+        if (std::find(stalled.begin(), stalled.end(), &part) != stalled.end()) {
+          statuses[j] = ProduceStatus::blocked;
+          ++n_blocked;
+          continue;
+        }
+        if (fault(site_down_, now)) {
+          ++n_down;
+          ++n_blocked;
+          statuses[j] = ProduceStatus::blocked;
+          stalled.push_back(&part);
+          continue;
+        }
+        if (fault(site_reject_, now)) {
+          ++n_reject;
+          statuses[j] = ProduceStatus::dropped;
+          stalled.push_back(&part);
+          continue;
+        }
+        if (!disk_admit(msg.payload.size(), now)) {
+          ++n_blocked;
+          statuses[j] = ProduceStatus::blocked;
+          stalled.push_back(&part);
+          continue;
+        }
+
+        // Retention: evict the oldest message when the partition is full.
+        // Kafka drops by age; with a fixed cap this is the same policy at
+        // bench scale.
+        if (part.log.size() >= config_.partition_capacity) {
+          part.log.pop_front();
+          ++part.base_offset;
+          ++n_evicted;
+        }
+
+        msg.offset = part.next_offset++;
+        msg.append_ts = now;
+        n_bytes += msg.payload.size();
+        ++n_produced;
+        part.log.push_back(std::move(msg));
+
+        const double occ = static_cast<double>(unread(part)) /
+                           static_cast<double>(config_.partition_capacity);
+        statuses[j] = occ >= config_.high_watermark ? ProduceStatus::low_buffer
+                                                    : ProduceStatus::ok;
+      }
+    }
+    if (n_produced != 0) produced_->inc(n_produced);
+    if (n_bytes != 0) bytes_in_->inc(n_bytes);
+    if (n_blocked != 0) blocked_->inc(n_blocked);
+    if (n_evicted != 0) dropped_retention_->inc(n_evicted);
+    if (n_down != 0) faulted_down_->inc(n_down);
+    if (n_reject != 0) faulted_reject_->inc(n_reject);
+    i = end;
+  }
+}
+
+std::vector<Message> Broker::poll(std::string_view group,
+                                  std::string_view topic_name, std::size_t max) {
   std::vector<Message> out;
+  const common::Timestamp now = last_now_.load(std::memory_order_relaxed);
   // A down broker serves no fetches either; group offsets are untouched, so
   // consumers simply re-poll from where they left off after recovery.
-  if (fault_locked(kFaultDown, last_now_)) {
+  if (fault(site_down_, now)) {
     faulted_down_->inc();
     return out;
   }
-  const auto it = topics_.find(topic_name);
-  if (it == topics_.end()) return out;
+  Topic* top = find_topic(topic_name);
+  if (top == nullptr) return out;
 
-  Topic& topic = it->second;
-  for (std::size_t p = 0; p < topic.partitions.size() && out.size() < max; ++p) {
-    Partition& part = topic.partitions[p];
-    auto& next = offsets_[{group, topic_name, p}];
+  for (auto& part_ptr : top->partitions) {
+    if (out.size() >= max) break;
+    Partition& part = *part_ptr;
+    std::lock_guard part_lock(part.mutex);
+    auto it = part.group_offsets.find(group);
+    if (it == part.group_offsets.end()) {
+      it = part.group_offsets.emplace(std::string(group), 0).first;
+    }
+    std::uint64_t& next = it->second;
     // If retention ran past the group's offset, skip to the oldest retained.
     if (next < part.base_offset) next = part.base_offset;
     while (next < part.next_offset && out.size() < max) {
-      if (fault_locked(kFaultDelay, last_now_)) {
+      if (fault(site_delay_, now)) {
         // Hold the rest of this partition back; it arrives next poll, in
         // order, because `next` was not advanced.
         faulted_delay_->inc();
         break;
       }
+      // Message copies share the payload bytes (refcounted) — the log keeps
+      // one reference, the consumer gets another; nothing is deep-copied.
       out.push_back(part.log[next - part.base_offset]);
-      if (out.size() < max && fault_locked(kFaultDuplicate, last_now_)) {
+      if (out.size() < max && fault(site_duplicate_, now)) {
         // Re-deliver adjacent to the original: same offset, so per-key
         // order (non-decreasing offsets) still holds.
         faulted_duplicate_->inc();
@@ -166,28 +269,30 @@ std::vector<Message> Broker::poll(const std::string& group,
   return out;
 }
 
-double Broker::occupancy(const std::string& topic_name) const {
-  std::lock_guard lock(mutex_);
-  const auto it = topics_.find(topic_name);
-  if (it == topics_.end()) return 0.0;
+double Broker::occupancy(std::string_view topic_name) const {
+  Topic* top = find_topic(topic_name);
+  if (top == nullptr) return 0.0;
   std::size_t worst = 0;
-  for (std::size_t p = 0; p < it->second.partitions.size(); ++p) {
-    worst = std::max(worst, unread_locked(topic_name, it->second.partitions[p], p));
+  for (const auto& part_ptr : top->partitions) {
+    std::lock_guard part_lock(part_ptr->mutex);
+    worst = std::max(worst, unread(*part_ptr));
   }
   return static_cast<double>(worst) / static_cast<double>(config_.partition_capacity);
 }
 
-std::size_t Broker::depth(const std::string& topic_name) const {
-  std::lock_guard lock(mutex_);
-  const auto it = topics_.find(topic_name);
-  if (it == topics_.end()) return 0;
+std::size_t Broker::depth(std::string_view topic_name) const {
+  Topic* top = find_topic(topic_name);
+  if (top == nullptr) return 0;
   std::size_t total = 0;
-  for (const auto& part : it->second.partitions) total += part.log.size();
+  for (const auto& part_ptr : top->partitions) {
+    std::lock_guard part_lock(part_ptr->mutex);
+    total += part_ptr->log.size();
+  }
   return total;
 }
 
 BrokerStats Broker::stats() const {
-  std::lock_guard lock(mutex_);
+  // Counters are relaxed atomics; a stats snapshot needs no lock.
   BrokerStats s;
   s.produced = produced_->value();
   s.blocked = blocked_->value();

@@ -5,6 +5,15 @@
 // watermark-based backpressure signals that drive the feedback sampling
 // loop (§4.2).
 //
+// Concurrency (see DESIGN.md "Aggregation layer concurrency"): the topic
+// registry is guarded by a lightly-held shared_mutex taken only to resolve
+// a topic name to its (address-stable) Topic; all log, offset and retention
+// state lives behind per-partition mutexes, so producers and consumers on
+// different partitions never contend. All name lookups are heterogeneous
+// (std::string_view against std::less<> maps) — the hot path allocates no
+// key strings. produce_batch() appends a whole batch taking each partition
+// lock once per run of same-partition messages.
+//
 // The persistence model reproduces the paper's throughput observation:
 // "Kafka provides reliable message delivery by persisting copies of all
 // messages to disk, limiting throughput to the disk write rate (70 MB/s).
@@ -13,12 +22,16 @@
 // models the disk-backed log; 0 models the RAM disk.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <mutex>
-#include <optional>
+#include <shared_mutex>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/clock.hpp"
@@ -31,7 +44,8 @@ namespace netalytics::mq {
 enum class ProduceStatus {
   ok,          // appended
   low_buffer,  // appended, but occupancy crossed the high watermark
-  blocked,     // persistence saturated or broker down; retry later
+  blocked,     // persistence saturated, broker down, or held back behind an
+               // earlier failed message of the same partition; retry later
   dropped,     // rejected outright (fault injection); retry elsewhere/later
 };
 
@@ -83,9 +97,21 @@ class Broker {
   /// the caller can buffer it and retry.
   ProduceStatus produce(Message&& msg, common::Timestamp now);
 
+  /// Append a batch; statuses[i] reports the fate of msgs[i] (the spans
+  /// must be the same length). Semantically equivalent to calling produce()
+  /// per message in order, except that each partition lock is taken once
+  /// per run of same-partition messages and — to preserve per-key order
+  /// under retry — once a message of a partition fails, every later message
+  /// of the *same partition* in this batch is held back unappended with
+  /// status blocked. Appended messages are moved from; refused ones are
+  /// left intact for the caller's retry buffer.
+  void produce_batch(std::span<Message> msgs, common::Timestamp now,
+                     std::span<ProduceStatus> statuses);
+
   /// Poll up to `max` messages for a consumer group across all partitions
-  /// of `topic`, advancing the group's offsets.
-  std::vector<Message> poll(const std::string& group, const std::string& topic,
+  /// of `topic`, advancing the group's offsets. Payload bytes are shared
+  /// with the log (refcounted), never copied.
+  std::vector<Message> poll(std::string_view group, std::string_view topic,
                             std::size_t max);
 
   /// Buffer pressure in [0,1] of the most-backlogged partition of `topic`:
@@ -93,10 +119,10 @@ class Broker {
   /// consumer group has not yet read (everything counts while no group has
   /// consumed the topic). Consuming does not delete messages — retention
   /// does — so pressure must be measured as consumer lag, not log size.
-  double occupancy(const std::string& topic) const;
+  double occupancy(std::string_view topic) const;
 
   /// Total buffered messages in `topic` not yet evicted.
-  std::size_t depth(const std::string& topic) const;
+  std::size_t depth(std::string_view topic) const;
 
   BrokerStats stats() const;
   const BrokerConfig& config() const noexcept { return config_; }
@@ -114,30 +140,43 @@ class Broker {
   void bind_metrics(common::MetricsRegistry& registry, const std::string& prefix);
 
  private:
-  void resolve_metrics_locked(common::MetricsRegistry& registry,
-                              const std::string& prefix);
-  bool fault_locked(std::string_view suffix, common::Timestamp now);
+  /// One shard of a topic. Everything inside is guarded by `mutex` — log,
+  /// offsets, retention and the per-group read cursors all mutate under the
+  /// same per-partition lock, so cross-partition traffic never serializes.
   struct Partition {
+    mutable std::mutex mutex;
     std::deque<Message> log;
     std::uint64_t base_offset = 0;  // offset of log.front()
     std::uint64_t next_offset = 0;
+    /// group name -> next offset to read (heterogeneous lookup).
+    std::map<std::string, std::uint64_t, std::less<>> group_offsets;
   };
   struct Topic {
-    std::vector<Partition> partitions;
+    // unique_ptr for address stability: partition pointers stay valid once
+    // the registry lock is released.
+    std::vector<std::unique_ptr<Partition>> partitions;
   };
 
-  Topic& topic_locked(const std::string& name);
-  /// Messages in partition `index` of `name` not yet read by the slowest
-  /// group (== retained size while the topic has no consumers).
-  std::size_t unread_locked(const std::string& name, const Partition& part,
-                            std::size_t index) const;
+  void resolve_metrics(common::MetricsRegistry& registry,
+                       const std::string& prefix);
+  bool fault(const std::string& site, common::Timestamp now);
+  /// Find an existing topic (shared registry lock); nullptr if absent.
+  Topic* find_topic(std::string_view name) const;
+  /// Get-or-create (shared lock fast path, exclusive lock on first use).
+  Topic& topic(std::string_view name);
+  /// Messages the slowest group has not read. Caller holds part.mutex.
+  static std::size_t unread(const Partition& part);
+  /// Disk persistence admission for one message. Caller holds no partition
+  /// lock (disk state is broker-global, guarded by disk_mutex_).
+  bool disk_admit(std::size_t bytes, common::Timestamp now);
 
   BrokerConfig config_;
-  mutable std::mutex mutex_;
-  std::map<std::string, Topic> topics_;
-  // (group, topic, partition index) -> next offset to read.
-  std::map<std::tuple<std::string, std::string, std::size_t>, std::uint64_t> offsets_;
-  common::Timestamp disk_busy_until_ = 0;
+  /// Lightly-held: taken shared to resolve names, exclusive only to create
+  /// a topic (or rebind metrics/faults before traffic).
+  mutable std::shared_mutex registry_mutex_;
+  std::map<std::string, std::unique_ptr<Topic>, std::less<>> topics_;
+  std::mutex disk_mutex_;
+  common::Timestamp disk_busy_until_ = 0;  // guarded by disk_mutex_
   // Counters live in the bound (or owned fallback) registry.
   std::unique_ptr<common::MetricsRegistry> owned_metrics_;
   common::Counter* produced_ = nullptr;
@@ -150,10 +189,15 @@ class Broker {
   common::Counter* faulted_delay_ = nullptr;
   common::Counter* faulted_duplicate_ = nullptr;
   common::FaultPlan* faults_ = nullptr;
-  std::string fault_prefix_;
+  // Full site names, precomputed at install_faults so fault checks on the
+  // hot path never concatenate strings.
+  std::string site_down_;
+  std::string site_reject_;
+  std::string site_delay_;
+  std::string site_duplicate_;
   /// Latest produce timestamp; stands in for `now` on the poll path, which
   /// has no clock parameter (down windows close once producers move on).
-  common::Timestamp last_now_ = 0;
+  std::atomic<common::Timestamp> last_now_{0};
 };
 
 }  // namespace netalytics::mq

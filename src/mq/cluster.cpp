@@ -1,6 +1,7 @@
 #include "mq/cluster.hpp"
 
 #include <algorithm>
+#include <cassert>
 
 #include "common/hash.hpp"
 
@@ -16,6 +17,20 @@ Cluster::Cluster(std::size_t brokers, BrokerConfig config) {
 
 ProduceStatus Cluster::produce(Message&& msg, common::Timestamp now) {
   return brokers_[broker_of_key(msg.key)]->produce(std::move(msg), now);
+}
+
+void Cluster::produce_batch(std::span<Message> msgs, common::Timestamp now,
+                            std::span<ProduceStatus> statuses) {
+  assert(msgs.size() == statuses.size());
+  std::size_t i = 0;
+  while (i < msgs.size()) {
+    const std::size_t b = broker_of_key(msgs[i].key);
+    std::size_t end = i + 1;
+    while (end < msgs.size() && broker_of_key(msgs[end].key) == b) ++end;
+    brokers_[b]->produce_batch(msgs.subspan(i, end - i), now,
+                               statuses.subspan(i, end - i));
+    i = end;
+  }
 }
 
 std::size_t Cluster::broker_of_key(std::uint64_t key) const noexcept {
@@ -35,8 +50,8 @@ void Cluster::bind_metrics(common::MetricsRegistry& registry,
   }
 }
 
-std::vector<Message> Cluster::poll(const std::string& group,
-                                   const std::string& topic, std::size_t max) {
+std::vector<Message> Cluster::poll(std::string_view group,
+                                   std::string_view topic, std::size_t max) {
   std::vector<Message> out;
   for (auto& broker : brokers_) {
     if (out.size() >= max) break;
@@ -47,7 +62,7 @@ std::vector<Message> Cluster::poll(const std::string& group,
   return out;
 }
 
-double Cluster::occupancy(const std::string& topic) const {
+double Cluster::occupancy(std::string_view topic) const {
   double worst = 0.0;
   for (const auto& broker : brokers_) {
     worst = std::max(worst, broker->occupancy(topic));
@@ -55,7 +70,7 @@ double Cluster::occupancy(const std::string& topic) const {
   return worst;
 }
 
-std::size_t Cluster::depth(const std::string& topic) const {
+std::size_t Cluster::depth(std::string_view topic) const {
   std::size_t total = 0;
   for (const auto& broker : brokers_) total += broker->depth(topic);
   return total;

@@ -7,6 +7,8 @@
 #pragma once
 
 #include <memory>
+#include <span>
+#include <string_view>
 #include <vector>
 
 #include "mq/broker.hpp"
@@ -21,14 +23,20 @@ class Cluster {
   /// On blocked/dropped, `msg` is left intact for the caller to retry.
   ProduceStatus produce(Message&& msg, common::Timestamp now);
 
+  /// Batch produce: routes runs of same-broker messages (a single-key batch
+  /// is one run) to Broker::produce_batch; statuses[i] reports msgs[i].
+  /// Spans must be the same length. Same move/retry contract as the broker.
+  void produce_batch(std::span<Message> msgs, common::Timestamp now,
+                     std::span<ProduceStatus> statuses);
+
   /// Poll up to `max` messages across all brokers for a group.
-  std::vector<Message> poll(const std::string& group, const std::string& topic,
+  std::vector<Message> poll(std::string_view group, std::string_view topic,
                             std::size_t max);
 
   /// Worst-case partition occupancy of `topic` across brokers — the signal
   /// the feedback-sampling controller watches (§4.2).
-  double occupancy(const std::string& topic) const;
-  std::size_t depth(const std::string& topic) const;
+  double occupancy(std::string_view topic) const;
+  std::size_t depth(std::string_view topic) const;
 
   std::size_t broker_count() const noexcept { return brokers_.size(); }
   Broker& broker(std::size_t i) { return *brokers_.at(i); }

@@ -5,7 +5,7 @@ namespace netalytics::mq {
 Consumer::Consumer(Cluster& cluster, std::string group)
     : cluster_(cluster), group_(std::move(group)) {}
 
-std::vector<Message> Consumer::poll(const std::string& topic, std::size_t max) {
+std::vector<Message> Consumer::poll(std::string_view topic, std::size_t max) {
   auto out = cluster_.poll(group_, topic, max);
   consumed_ += out.size();
   return out;

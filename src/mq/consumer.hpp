@@ -5,6 +5,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "mq/cluster.hpp"
@@ -15,8 +16,9 @@ class Consumer {
  public:
   Consumer(Cluster& cluster, std::string group);
 
-  /// Fetch up to `max` new messages on `topic`.
-  std::vector<Message> poll(const std::string& topic, std::size_t max);
+  /// Fetch up to `max` new messages on `topic`. Returned messages share
+  /// their payload bytes with the broker log (refcounted, zero-copy).
+  std::vector<Message> poll(std::string_view topic, std::size_t max);
 
   std::uint64_t total_consumed() const noexcept { return consumed_; }
   const std::string& group() const noexcept { return group_; }

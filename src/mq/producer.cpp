@@ -5,13 +5,16 @@
 namespace netalytics::mq {
 
 Producer::Producer(Cluster& cluster, std::uint64_t producer_id,
-                   BackpressureCallback on_backpressure, RetryPolicy retry)
+                   BackpressureCallback on_backpressure, RetryPolicy retry,
+                   BatchPolicy batch)
     : cluster_(cluster),
       producer_id_(producer_id),
       on_backpressure_(std::move(on_backpressure)),
-      retry_(retry) {
+      retry_(retry),
+      batch_(batch) {
   if (retry_.multiplier < 1.0) retry_.multiplier = 1.0;
   if (retry_.initial_backoff == 0) retry_.initial_backoff = 1;
+  if (batch_.max_records == 0) batch_.max_records = 1;
   owned_metrics_ = std::make_unique<common::MetricsRegistry>();
   resolve_metrics_locked(*owned_metrics_, "mq.producer");
 }
@@ -23,6 +26,7 @@ void Producer::resolve_metrics_locked(common::MetricsRegistry& registry,
   lost_ = &registry.counter(prefix + ".lost");
   bytes_ = &registry.counter(prefix + ".bytes");
   retries_ = &registry.counter(prefix + ".retries");
+  batches_ = &registry.counter(prefix + ".batches");
   pending_depth_ = &registry.gauge(prefix + ".pending");
 }
 
@@ -103,32 +107,93 @@ bool Producer::enqueue_locked(Message&& msg, common::Timestamp now) {
   return true;
 }
 
-bool Producer::send(const std::string& topic, std::vector<std::byte> payload,
-                    common::Timestamp now) {
-  Message msg;
-  msg.topic = topic;
-  msg.key = producer_id_;
-  msg.timestamp = now;
-  const std::size_t bytes = payload.size();
-  msg.payload = std::move(payload);
+bool Producer::ship_locked(OpenBatch& batch, common::Timestamp now,
+                           std::vector<ProduceStatus>& events) {
+  bool accepted = true;
+  if (!pending_.empty()) {
+    // Older messages are waiting on backoff; the whole batch queues behind
+    // them so per-key order survives the retry.
+    for (Message& msg : batch.msgs) {
+      accepted = enqueue_locked(std::move(msg), now) && accepted;
+    }
+    return accepted;
+  }
 
+  ProduceStatus small_statuses[16];
+  std::vector<ProduceStatus> big_statuses;
+  std::span<ProduceStatus> statuses;
+  if (batch.msgs.size() <= std::size(small_statuses)) {
+    statuses = {small_statuses, batch.msgs.size()};
+  } else {
+    big_statuses.resize(batch.msgs.size());
+    statuses = big_statuses;
+  }
+  cluster_.produce_batch(batch.msgs, now, statuses);
+  batches_->inc();
+  for (std::size_t i = 0; i < batch.msgs.size(); ++i) {
+    const ProduceStatus status = statuses[i];
+    if (status == ProduceStatus::ok || status == ProduceStatus::low_buffer) {
+      // Appended (payload moved into the log); msgs[i] is a husk.
+      record_delivery_locked(status, batch.msgs[i].payload.size(),
+                             batch.msgs[i].timestamp, now, events);
+      continue;
+    }
+    backpressure_events_->inc();
+    events.push_back(status);
+    accepted = enqueue_locked(std::move(batch.msgs[i]), now) && accepted;
+  }
+  return accepted;
+}
+
+void Producer::ship_due_locked(common::Timestamp now, DueMode mode,
+                               std::vector<ProduceStatus>& events) {
+  for (auto it = open_.begin(); it != open_.end();) {
+    OpenBatch& batch = it->second;
+    const bool due = mode == DueMode::all ||
+                     (mode == DueMode::due ? batch.deadline <= now
+                                           : batch.deadline < now);
+    if (batch.msgs.empty() || !due) {
+      ++it;
+      continue;
+    }
+    ship_locked(batch, now, events);
+    it = open_.erase(it);
+  }
+}
+
+bool Producer::send(std::string_view topic, Payload payload,
+                    common::Timestamp now) {
   bool accepted = true;
   std::vector<ProduceStatus> events;
   {
     std::lock_guard lock(mutex_);
     flush_locked(now, events);
-    if (!pending_.empty()) {
-      // Order: while older messages wait on backoff, new ones queue behind.
-      accepted = enqueue_locked(std::move(msg), now);
-    } else {
-      const ProduceStatus status = cluster_.produce(std::move(msg), now);
-      if (status == ProduceStatus::ok || status == ProduceStatus::low_buffer) {
-        record_delivery_locked(status, bytes, now, now, events);
-      } else {
-        backpressure_events_->inc();
-        events.push_back(status);
-        accepted = enqueue_locked(std::move(msg), now);
-      }
+    // Ship any batch whose linger deadline time has moved past — but not
+    // batches due exactly "now": same-timestamp sends keep accumulating.
+    ship_due_locked(now, DueMode::elapsed, events);
+
+    auto it = open_.find(topic);
+    if (it == open_.end()) {
+      it = open_.emplace(std::string(topic), OpenBatch{}).first;
+    }
+    OpenBatch& batch = it->second;
+    if (batch.msgs.empty()) {
+      batch.bytes = 0;
+      batch.deadline = now + batch_.linger;
+      batch.msgs.reserve(batch_.max_records);
+    }
+    Message msg;
+    msg.topic = it->first;
+    msg.key = producer_id_;
+    msg.timestamp = now;
+    batch.bytes += payload.size();
+    msg.payload = std::move(payload);
+    batch.msgs.push_back(std::move(msg));
+
+    if (batch.msgs.size() >= batch_.max_records ||
+        (batch_.max_bytes != 0 && batch.bytes >= batch_.max_bytes)) {
+      accepted = ship_locked(batch, now, events);
+      open_.erase(it);
     }
   }
   for (const ProduceStatus s : events) {
@@ -143,6 +208,22 @@ std::size_t Producer::flush(common::Timestamp now) {
   {
     std::lock_guard lock(mutex_);
     flush_locked(now, events);
+    ship_due_locked(now, DueMode::due, events);
+    remaining = pending_.size() + open_records_locked();
+  }
+  for (const ProduceStatus s : events) {
+    if (on_backpressure_) on_backpressure_(s);
+  }
+  return remaining;
+}
+
+std::size_t Producer::drain(common::Timestamp now) {
+  std::vector<ProduceStatus> events;
+  std::size_t remaining = 0;
+  {
+    std::lock_guard lock(mutex_);
+    flush_locked(now, events);
+    ship_due_locked(now, DueMode::all, events);
     remaining = pending_.size();
   }
   for (const ProduceStatus s : events) {
@@ -151,9 +232,20 @@ std::size_t Producer::flush(common::Timestamp now) {
   return remaining;
 }
 
+std::size_t Producer::open_records_locked() const {
+  std::size_t n = 0;
+  for (const auto& [topic, batch] : open_) n += batch.msgs.size();
+  return n;
+}
+
 std::size_t Producer::pending() const {
   std::lock_guard lock(mutex_);
   return pending_.size();
+}
+
+std::size_t Producer::open_records() const {
+  std::lock_guard lock(mutex_);
+  return open_records_locked();
 }
 
 ProducerStats Producer::stats() const {
@@ -164,6 +256,7 @@ ProducerStats Producer::stats() const {
   s.lost = lost_->value();
   s.bytes = bytes_->value();
   s.retries = retries_->value();
+  s.batches = batches_->value();
   return s;
 }
 

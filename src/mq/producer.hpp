@@ -1,19 +1,28 @@
-// Producer facade used by monitors' output interfaces. Adds retry-aware
-// delivery on top of the cluster and surfaces backpressure to a callback —
-// the hook the feedback-driven sampling mechanism uses: "the aggregator
-// sends a status message back to the monitor indicating it has low buffer
-// space" (§4.2).
+// Producer facade used by monitors' output interfaces. Adds Kafka-style
+// batch accumulation and retry-aware delivery on top of the cluster, and
+// surfaces backpressure to a callback — the hook the feedback-driven
+// sampling mechanism uses: "the aggregator sends a status message back to
+// the monitor indicating it has low buffer space" (§4.2).
 //
-// Delivery is at-least-once: a send the broker refuses (blocked/dropped) is
-// parked in a bounded send-buffer and retried with capped exponential
+// Batching: send() appends to a per-topic open batch that ships through
+// Cluster::produce_batch when it reaches max_records/max_bytes, or when its
+// linger deadline (virtual time) passes at the next send()/flush(). The
+// default policy (max_records = 1) ships every message immediately —
+// byte-for-byte the pre-batching behavior.
+//
+// Delivery is at-least-once: a message the broker refuses (blocked/dropped)
+// is parked in a bounded send-buffer and retried with capped exponential
 // backoff as virtual time advances; messages are only abandoned after
 // max_attempts tries or when the buffer itself overflows. While anything is
-// buffered, new sends queue behind it, so the per-key order the cluster's
-// hashing guarantees is preserved end to end.
+// buffered, newly shipped batches queue behind it — and the broker holds
+// back the remainder of a batch after a mid-batch failure — so the per-key
+// order the cluster's hashing guarantees is preserved end to end.
 #pragma once
 
 #include <deque>
 #include <functional>
+#include <map>
+#include <string_view>
 
 #include "mq/cluster.hpp"
 
@@ -33,6 +42,19 @@ struct RetryPolicy {
   std::size_t max_buffered = 16384;
 };
 
+/// Kafka-style accumulation knobs. A batch ships as soon as any trigger
+/// fires; an open batch whose linger deadline has passed ships at the next
+/// send() or flush() (virtual time only advances through those calls).
+struct BatchPolicy {
+  /// Records per topic batch; 1 = ship every send immediately (legacy).
+  std::size_t max_records = 1;
+  /// Payload bytes per topic batch; 0 = no byte trigger.
+  std::size_t max_bytes = 0;
+  /// How long the first record of a batch may wait for companions. 0 means
+  /// "ship at the next flush()" — in the engine, at the next pump.
+  common::Duration linger = 0;
+};
+
 /// Thin typed view over the producer's registry counters (the numbers live
 /// in the MetricsRegistry; stats() copies them out).
 struct ProducerStats {
@@ -41,33 +63,44 @@ struct ProducerStats {
   std::uint64_t lost = 0;     // abandoned after retries / buffer overflow
   std::uint64_t bytes = 0;
   std::uint64_t retries = 0;  // re-send attempts of buffered messages
+  std::uint64_t batches = 0;  // produce_batch calls that shipped records
 };
 
 class Producer {
  public:
   Producer(Cluster& cluster, std::uint64_t producer_id,
            BackpressureCallback on_backpressure = nullptr,
-           RetryPolicy retry = {});
+           RetryPolicy retry = {}, BatchPolicy batch = {});
 
-  /// Send one payload (a serialized record batch). A refused send is
-  /// buffered for retry; returns false only if the message was abandoned
-  /// (send-buffer full). Flushes due retries first.
-  bool send(const std::string& topic, std::vector<std::byte> payload,
-            common::Timestamp now);
+  /// Send one payload (a serialized record batch). The payload joins the
+  /// topic's open batch (and may ship immediately, per BatchPolicy); a
+  /// refused ship is buffered for retry. Returns false only if the message
+  /// was abandoned right away (send-buffer full at ship time). Thread-safe.
+  bool send(std::string_view topic, Payload payload, common::Timestamp now);
 
-  /// Retry buffered messages whose backoff has expired. Call as time
-  /// advances (the engine does this every pump). Returns messages still
-  /// buffered afterwards.
+  /// Ship open batches whose size or linger deadline is due, then retry
+  /// buffered messages whose backoff has expired. Call as time advances
+  /// (the engine does this every pump). Returns messages still held
+  /// (retry buffer + open batches) afterwards.
   std::size_t flush(common::Timestamp now);
 
+  /// Force-ship every open batch regardless of linger, then flush retries.
+  /// The engine calls this at query teardown. Returns messages still in
+  /// the retry buffer.
+  std::size_t drain(common::Timestamp now);
+
+  /// Retry-buffer depth (messages refused by the broker awaiting backoff).
   std::size_t pending() const;
+  /// Records accumulated in open (not yet shipped) batches.
+  std::size_t open_records() const;
   const RetryPolicy& retry_policy() const noexcept { return retry_; }
+  const BatchPolicy& batch_policy() const noexcept { return batch_; }
   ProducerStats stats() const;
 
   /// Re-home counters into `registry` under `prefix` (e.g. "q0.producer1")
   /// and, when `tracer` is given, stamp the produce stage (send -> broker
-  /// append, i.e. retry/backoff + persistence delay) on every delivery.
-  /// Bind before traffic starts.
+  /// append, i.e. linger + retry/backoff + persistence delay) on every
+  /// delivery. Bind before traffic starts.
   void bind_metrics(common::MetricsRegistry& registry, const std::string& prefix,
                     common::StageTracer* tracer = nullptr);
 
@@ -77,24 +110,42 @@ class Producer {
     std::size_t attempts = 0;  // tries already made
     common::Timestamp next_attempt = 0;
   };
+  struct OpenBatch {
+    std::vector<Message> msgs;
+    std::size_t bytes = 0;
+    common::Timestamp deadline = 0;  // first record's arrival + linger
+  };
 
   /// Backoff after `attempts` failed tries: initial * multiplier^(n-1),
   /// capped at max_backoff.
   common::Duration backoff_after(std::size_t attempts) const noexcept;
   void flush_locked(common::Timestamp now, std::vector<ProduceStatus>& events);
+  /// Ship one open batch through the cluster (or queue it behind the retry
+  /// buffer). Returns false if any message was abandoned.
+  bool ship_locked(OpenBatch& batch, common::Timestamp now,
+                   std::vector<ProduceStatus>& events);
+  /// Which open batches to ship: `elapsed` = linger deadline strictly past
+  /// (send path — batches keep accumulating across same-timestamp sends),
+  /// `due` = deadline reached (flush path), `all` = force (drain path).
+  enum class DueMode { elapsed, due, all };
+  void ship_due_locked(common::Timestamp now, DueMode mode,
+                       std::vector<ProduceStatus>& events);
   bool enqueue_locked(Message&& msg, common::Timestamp now);
   void record_delivery_locked(ProduceStatus status, std::size_t bytes,
                               common::Timestamp origin, common::Timestamp now,
                               std::vector<ProduceStatus>& events);
   void resolve_metrics_locked(common::MetricsRegistry& registry,
                               const std::string& prefix);
+  std::size_t open_records_locked() const;
 
   Cluster& cluster_;
   std::uint64_t producer_id_;
   BackpressureCallback on_backpressure_;
   RetryPolicy retry_;
+  BatchPolicy batch_;
   mutable std::mutex mutex_;
   std::deque<PendingSend> pending_;
+  std::map<std::string, OpenBatch, std::less<>> open_;
   // Counters live in the bound (or owned fallback) registry.
   std::unique_ptr<common::MetricsRegistry> owned_metrics_;
   common::Counter* sent_ = nullptr;
@@ -102,6 +153,7 @@ class Producer {
   common::Counter* lost_ = nullptr;
   common::Counter* bytes_ = nullptr;
   common::Counter* retries_ = nullptr;
+  common::Counter* batches_ = nullptr;
   common::Gauge* pending_depth_ = nullptr;  // retry-buffer depth
   common::StageTracer* tracer_ = nullptr;
 };

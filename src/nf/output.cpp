@@ -23,7 +23,7 @@ void OutputInterface::flush(common::Timestamp now) {
   }
 }
 
-void OutputInterface::ship(const std::string& topic, std::vector<Record>& batch,
+void OutputInterface::ship(std::string_view topic, std::vector<Record>& batch,
                            common::Timestamp ship_time) {
   auto payload = serialize_batch(batch);
   records_.fetch_add(batch.size(), std::memory_order_relaxed);

@@ -12,6 +12,7 @@
 #include <map>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/metrics.hpp"
@@ -21,8 +22,9 @@
 namespace netalytics::nf {
 
 /// Downstream of the monitor: the core layer wires this to an mq producer.
-/// Must be callable from multiple worker threads.
-using BatchSink = std::function<void(const std::string& topic,
+/// Must be callable from multiple worker threads. The topic view is only
+/// valid for the duration of the call.
+using BatchSink = std::function<void(std::string_view topic,
                                      std::vector<std::byte> payload,
                                      std::size_t record_count)>;
 
@@ -66,7 +68,7 @@ class OutputInterface final : public RecordSink {
   }
 
  private:
-  void ship(const std::string& topic, std::vector<Record>& batch,
+  void ship(std::string_view topic, std::vector<Record>& batch,
             common::Timestamp ship_time);
 
   BatchSink sink_;
@@ -75,7 +77,7 @@ class OutputInterface final : public RecordSink {
   common::Counter* bytes_ctr_ = nullptr;
   common::Counter* batches_ctr_ = nullptr;
   std::size_t batch_records_;
-  std::map<std::string, std::vector<Record>> pending_;
+  std::map<std::string, std::vector<Record>, std::less<>> pending_;
   std::atomic<std::uint64_t> records_{0};
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> bytes_{0};

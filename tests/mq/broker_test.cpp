@@ -9,7 +9,7 @@ Message make_msg(const std::string& topic, std::uint64_t key, std::size_t bytes)
   Message m;
   m.topic = topic;
   m.key = key;
-  m.payload.resize(bytes, std::byte{0x7f});
+  m.payload = std::vector<std::byte>(bytes, std::byte{0x7f});
   return m;
 }
 

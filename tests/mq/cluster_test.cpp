@@ -9,7 +9,7 @@ Message make_msg(const std::string& topic, std::uint64_t key) {
   Message m;
   m.topic = topic;
   m.key = key;
-  m.payload.resize(8, std::byte{1});
+  m.payload = std::vector<std::byte>(8, std::byte{1});
   return m;
 }
 

@@ -21,8 +21,8 @@ Record make_record(const std::string& topic, std::uint64_t id) {
 TEST(OutputInterface, BatchesByCount) {
   std::vector<CapturedBatch> batches;
   OutputInterface out(
-      [&](const std::string& topic, std::vector<std::byte> payload, std::size_t) {
-        batches.push_back({topic, deserialize_batch(payload)});
+      [&](std::string_view topic, std::vector<std::byte> payload, std::size_t) {
+        batches.push_back({std::string(topic), deserialize_batch(payload)});
       },
       3);
 
@@ -39,8 +39,8 @@ TEST(OutputInterface, BatchesByCount) {
 TEST(OutputInterface, TopicsBatchIndependently) {
   std::vector<CapturedBatch> batches;
   OutputInterface out(
-      [&](const std::string& topic, std::vector<std::byte> payload, std::size_t) {
-        batches.push_back({topic, deserialize_batch(payload)});
+      [&](std::string_view topic, std::vector<std::byte> payload, std::size_t) {
+        batches.push_back({std::string(topic), deserialize_batch(payload)});
       },
       2);
   out.emit(make_record("a", 1));
@@ -54,8 +54,8 @@ TEST(OutputInterface, TopicsBatchIndependently) {
 TEST(OutputInterface, FlushShipsPartialBatches) {
   std::vector<CapturedBatch> batches;
   OutputInterface out(
-      [&](const std::string& topic, std::vector<std::byte> payload, std::size_t) {
-        batches.push_back({topic, deserialize_batch(payload)});
+      [&](std::string_view topic, std::vector<std::byte> payload, std::size_t) {
+        batches.push_back({std::string(topic), deserialize_batch(payload)});
       },
       100);
   out.emit(make_record("a", 1));
@@ -67,7 +67,7 @@ TEST(OutputInterface, FlushShipsPartialBatches) {
 }
 
 TEST(OutputInterface, StatsAccumulate) {
-  OutputInterface out([](const std::string&, std::vector<std::byte>, std::size_t) {},
+  OutputInterface out([](std::string_view, std::vector<std::byte>, std::size_t) {},
                       2);
   out.emit(make_record("a", 1));
   out.emit(make_record("a", 2));
@@ -82,7 +82,7 @@ TEST(OutputInterface, StatsAccumulate) {
 TEST(OutputInterface, ZeroBatchSizeBehavesAsOne) {
   int batches = 0;
   OutputInterface out(
-      [&](const std::string&, std::vector<std::byte>, std::size_t) { ++batches; }, 0);
+      [&](std::string_view, std::vector<std::byte>, std::size_t) { ++batches; }, 0);
   out.emit(make_record("a", 1));
   EXPECT_EQ(batches, 1);
 }
@@ -90,7 +90,7 @@ TEST(OutputInterface, ZeroBatchSizeBehavesAsOne) {
 TEST(OutputInterface, RecordCountArgumentMatches) {
   std::size_t last_count = 0;
   OutputInterface out(
-      [&](const std::string&, std::vector<std::byte>, std::size_t n) { last_count = n; },
+      [&](std::string_view, std::vector<std::byte>, std::size_t n) { last_count = n; },
       4);
   for (int i = 0; i < 4; ++i) out.emit(make_record("a", i));
   EXPECT_EQ(last_count, 4u);
