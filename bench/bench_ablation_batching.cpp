@@ -26,7 +26,7 @@ void BM_OutputBatchSize(benchmark::State& state) {
   mq::Producer producer(cluster, 1);
   nf::OutputInterface out(
       [&producer](std::string_view topic, std::vector<std::byte> payload,
-                  std::size_t) { producer.send(topic, std::move(payload), 0); },
+                  const nf::BatchInfo&) { producer.send(topic, std::move(payload), 0); },
       batch);
   std::uint64_t id = 0;
   for (auto _ : state) {

@@ -38,7 +38,7 @@ Row run_row(const std::string& parser, pktgen::TrafficKind kind,
   mcfg.parsers = {{parser, 1}};
   mcfg.output_batch_records = 64;
   nf::Monitor monitor(mcfg, [](std::string_view, std::vector<std::byte>,
-                               std::size_t) {});
+                               const nf::BatchInfo&) {});
   for (int i = 0; i < packets; ++i) monitor.process(gen.next_frame(), i);
   monitor.close(packets);
   const auto stats = monitor.stats();

@@ -38,7 +38,7 @@ Outcome run(bool adaptive) {
   mq::Producer producer(cluster, 1);
   nf::Monitor monitor(mcfg, [&producer](std::string_view topic,
                                         std::vector<std::byte> payload,
-                                        std::size_t) {
+                                        const nf::BatchInfo&) {
     producer.send(topic, std::move(payload), 0);
   });
 

@@ -39,7 +39,7 @@ Cell run_cell_once(const std::string& parser, pktgen::TrafficKind kind,
   mcfg.parsers = {{parser, 1}};
   mcfg.output_batch_records = 64;
   nf::Monitor monitor(mcfg, [](std::string_view, std::vector<std::byte>,
-                               std::size_t) {});
+                               const nf::BatchInfo&) {});
 
   // Warm up, then measure a fixed wall-clock window.
   for (int i = 0; i < 20000; ++i) monitor.process(gen.next_frame(), i);

@@ -42,7 +42,7 @@ double measure_monitor_rate() {
   nf::MonitorConfig mcfg;
   mcfg.parsers = {{"http_get", 1}};
   nf::Monitor monitor(mcfg,
-                      [](std::string_view, std::vector<std::byte>, std::size_t) {});
+                      [](std::string_view, std::vector<std::byte>, const nf::BatchInfo&) {});
   std::uint64_t bytes = 0;
   const auto start = std::chrono::steady_clock::now();
   while (std::chrono::steady_clock::now() - start < std::chrono::milliseconds(300)) {

@@ -45,7 +45,7 @@ double monitor_mpps() {
   mcfg.parsers = {{"http_get", 1}};
   mcfg.output_batch_records = 64;
   nf::Monitor monitor(mcfg, [](std::string_view, std::vector<std::byte>,
-                               std::size_t) {});
+                               const nf::BatchInfo&) {});
 
   for (int i = 0; i < 20000; ++i) monitor.process(gen.next_frame(), i);
 

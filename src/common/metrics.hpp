@@ -137,8 +137,10 @@ struct MetricsSnapshot {
   std::uint64_t counter_value(std::string_view name) const;
   const HistogramSample* find_histogram(std::string_view name) const;
 
-  /// Plain-text, Prometheus-style rendering: "name value" lines, histogram
-  /// buckets cumulative as name{le="<ns>"}, plus _sum and _count.
+  /// Plain-text, Prometheus-style rendering with all series merged in
+  /// sorted name order (diff-stable): "name value" lines, histogram buckets
+  /// cumulative as name{le="<ns>"} ending in a +Inf bucket, plus _sum and
+  /// _count.
   std::string render() const;
 
   bool operator==(const MetricsSnapshot&) const = default;

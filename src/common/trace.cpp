@@ -1,0 +1,350 @@
+#include "common/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace netalytics::common {
+
+std::string_view trace_stage_name(TraceStage s) noexcept {
+  switch (s) {
+    case TraceStage::ingest: return "ingest";
+    case TraceStage::emit: return "emit";
+    case TraceStage::produce: return "produce";
+    case TraceStage::consume: return "consume";
+    case TraceStage::deliver: return "deliver";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------- recorder
+
+struct TraceRecorder::Slab {
+  explicit Slab(std::size_t capacity) : spans(capacity) {}
+  std::vector<TraceSpan> spans;
+  // Single writer (the owning thread); head published with release so
+  // collect() on another thread sees complete spans below it.
+  std::atomic<std::size_t> head{0};
+  std::atomic<std::uint64_t> dropped{0};
+};
+
+namespace {
+
+std::uint64_t next_recorder_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+struct TlSlabRef {
+  std::uint64_t recorder_id = 0;
+  void* slab = nullptr;
+};
+
+// Per-thread cache of (recorder id -> slab). Recorder ids are process-
+// unique and never reused, so a stale entry for a destroyed recorder can
+// never be matched by a different recorder at the same address.
+thread_local std::vector<TlSlabRef> tl_slabs;
+
+}  // namespace
+
+TraceRecorder::TraceRecorder() : TraceRecorder(Config{}) {}
+
+TraceRecorder::TraceRecorder(Config config)
+    : config_(config), recorder_id_(next_recorder_id()) {
+  if (config_.capacity_per_thread == 0) config_.capacity_per_thread = 1;
+}
+
+TraceRecorder::~TraceRecorder() = default;
+
+TraceRecorder::Slab* TraceRecorder::local_slab() const {
+  for (const auto& ref : tl_slabs) {
+    if (ref.recorder_id == recorder_id_) return static_cast<Slab*>(ref.slab);
+  }
+  std::lock_guard lock(slabs_mutex_);
+  slabs_.push_back(std::make_unique<Slab>(config_.capacity_per_thread));
+  Slab* slab = slabs_.back().get();
+  // Bound the cache: a thread touching many short-lived recorders keeps the
+  // most recent handful (stale refs are only ever scanned, never followed).
+  if (tl_slabs.size() >= 64) tl_slabs.erase(tl_slabs.begin());
+  tl_slabs.push_back({recorder_id_, slab});
+  return slab;
+}
+
+TraceContext TraceRecorder::begin(std::uint64_t flow_hash,
+                                  Timestamp ts) noexcept {
+  TraceContext ctx;
+  if (!sample(flow_hash ^ mix64(ts))) return ctx;
+  ctx.id = trace_id(flow_hash, ts);
+  ctx.mark(TraceStage::ingest);
+  stamp(ctx.id, TraceStage::ingest, ts, ts);
+  return ctx;
+}
+
+void TraceRecorder::stamp(std::uint64_t trace, TraceStage stage,
+                          Timestamp start, Timestamp end) noexcept {
+  if (!enabled() || trace == 0) return;
+  Slab* slab = local_slab();
+  const std::size_t h = slab->head.load(std::memory_order_relaxed);
+  if (h >= slab->spans.size()) {
+    slab->dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  slab->spans[h] = TraceSpan{trace, stage, start, end};
+  slab->head.store(h + 1, std::memory_order_release);
+}
+
+std::vector<TraceSpan> TraceRecorder::collect() const {
+  std::vector<TraceSpan> out;
+  {
+    std::lock_guard lock(slabs_mutex_);
+    for (const auto& slab : slabs_) {
+      const std::size_t n = slab->head.load(std::memory_order_acquire);
+      out.insert(out.end(), slab->spans.begin(), slab->spans.begin() + n);
+    }
+  }
+  // Content order, not arrival order: deterministic regardless of which
+  // thread recorded what when.
+  std::sort(out.begin(), out.end(), [](const TraceSpan& a, const TraceSpan& b) {
+    if (a.trace != b.trace) return a.trace < b.trace;
+    if (a.stage != b.stage) return a.stage < b.stage;
+    if (a.start != b.start) return a.start < b.start;
+    return a.end < b.end;
+  });
+  return out;
+}
+
+std::size_t TraceRecorder::span_count() const {
+  std::lock_guard lock(slabs_mutex_);
+  std::size_t n = 0;
+  for (const auto& slab : slabs_) {
+    n += slab->head.load(std::memory_order_acquire);
+  }
+  return n;
+}
+
+std::uint64_t TraceRecorder::dropped_spans() const {
+  std::lock_guard lock(slabs_mutex_);
+  std::uint64_t n = 0;
+  for (const auto& slab : slabs_) {
+    n += slab->dropped.load(std::memory_order_relaxed);
+  }
+  return n;
+}
+
+std::string TraceRecorder::render(std::size_t max_traces) const {
+  const auto spans = collect();
+  std::string out;
+  std::size_t traces = 0;
+  std::uint64_t current = 0;
+  std::uint8_t stages = 0;
+  std::string block;
+  const auto flush_block = [&] {
+    if (block.empty()) return;
+    out += "trace ";
+    char hex[17];
+    std::snprintf(hex, sizeof hex, "%016llx",
+                  static_cast<unsigned long long>(current));
+    out += hex;
+    out += " stages=";
+    for (std::size_t i = 0; i < kTraceStageCount; ++i) {
+      out += ((stages >> i) & 1u) ? '1' : '.';
+    }
+    out += '\n';
+    out += block;
+    block.clear();
+  };
+  for (const auto& s : spans) {
+    if (s.trace != current || block.empty()) {
+      if (s.trace != current && !block.empty()) {
+        flush_block();
+        if (++traces >= max_traces) {
+          out += "...\n";
+          return out;
+        }
+      }
+      current = s.trace;
+      stages = 0;
+    }
+    stages |= static_cast<std::uint8_t>(1u << static_cast<unsigned>(s.stage));
+    block += "  ";
+    block += trace_stage_name(s.stage);
+    block += " [";
+    block += std::to_string(s.start);
+    block += " ";
+    block += std::to_string(s.end);
+    block += "] +";
+    block += std::to_string(s.end >= s.start ? s.end - s.start : 0);
+    block += '\n';
+  }
+  flush_block();
+  return out;
+}
+
+// ------------------------------------------------------------------ ledger
+
+std::string_view drop_cause_name(DropCause c) noexcept {
+  switch (c) {
+    case DropCause::ingest_ring_overflow: return "ingest.ring_overflow";
+    case DropCause::ingest_decode_error: return "ingest.decode_error";
+    case DropCause::sample_rejected: return "sample.rejected";
+    case DropCause::parse_worker_overflow: return "parse.worker_overflow";
+    case DropCause::parse_error: return "parse.error";
+    case DropCause::parse_no_output: return "parse.no_output";
+    case DropCause::produce_buffer_overflow: return "produce.buffer_overflow";
+    case DropCause::produce_retries_exhausted:
+      return "produce.retries_exhausted";
+    case DropCause::broker_retention: return "broker.retention";
+    case DropCause::consume_poll_failure: return "consume.poll_failure";
+    case DropCause::stream_window_eviction: return "stream.window_eviction";
+  }
+  return "unknown";
+}
+
+bool drop_cause_is_loss(DropCause c) noexcept {
+  switch (c) {
+    case DropCause::consume_poll_failure:     // the data retries next poll
+    case DropCause::stream_window_eviction:   // post-aggregation state
+      return false;
+    default:
+      return true;
+  }
+}
+
+DropLedger::DropLedger(MetricsRegistry& registry, const std::string& prefix) {
+  for (std::size_t i = 0; i < kDropCauseCount; ++i) {
+    counters_[i] = &registry.counter(
+        prefix + "." +
+        std::string(drop_cause_name(static_cast<DropCause>(i))));
+  }
+}
+
+std::uint64_t DropLedger::total_losses() const noexcept {
+  std::uint64_t n = 0;
+  for (std::size_t i = 0; i < kDropCauseCount; ++i) {
+    if (drop_cause_is_loss(static_cast<DropCause>(i))) {
+      n += counters_[i]->value();
+    }
+  }
+  return n;
+}
+
+std::string DropLedger::render() const {
+  std::string out;
+  for (std::size_t i = 0; i < kDropCauseCount; ++i) {
+    const std::uint64_t v = counters_[i]->value();
+    if (v == 0) continue;
+    out += drop_cause_name(static_cast<DropCause>(i));
+    out += ' ';
+    out += std::to_string(v);
+    out += '\n';
+  }
+  return out;
+}
+
+// -------------------------------------------------------------- time series
+
+SnapshotRing::SnapshotRing(std::size_t slots) : slots_(slots == 0 ? 1 : slots) {
+  ring_.resize(slots_);
+}
+
+MetricsSnapshot SnapshotRing::delta(const MetricsSnapshot& prev,
+                                    const MetricsSnapshot& curr) {
+  MetricsSnapshot d;
+  // Names in a registry only ever grow and snapshots are name-sorted per
+  // kind, so a linear merge finds each previous value (or 0).
+  std::size_t pi = 0;
+  for (const auto& c : curr.counters) {
+    while (pi < prev.counters.size() && prev.counters[pi].name < c.name) ++pi;
+    const std::uint64_t before =
+        (pi < prev.counters.size() && prev.counters[pi].name == c.name)
+            ? prev.counters[pi].value
+            : 0;
+    if (c.value != before) d.counters.push_back({c.name, c.value - before});
+  }
+  d.gauges = curr.gauges;  // gauges are levels, kept absolute
+  pi = 0;
+  for (const auto& h : curr.histograms) {
+    while (pi < prev.histograms.size() && prev.histograms[pi].name < h.name) {
+      ++pi;
+    }
+    const bool known =
+        pi < prev.histograms.size() && prev.histograms[pi].name == h.name;
+    const std::uint64_t before = known ? prev.histograms[pi].count : 0;
+    if (h.count == before) continue;
+    MetricsSnapshot::HistogramSample s;
+    s.name = h.name;
+    s.bounds = h.bounds;
+    s.count = h.count - before;
+    s.sum = h.sum - (known ? prev.histograms[pi].sum : 0);
+    s.buckets.resize(h.buckets.size());
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      s.buckets[b] =
+          h.buckets[b] - (known ? prev.histograms[pi].buckets[b] : 0);
+    }
+    d.histograms.push_back(std::move(s));
+  }
+  return d;
+}
+
+void SnapshotRing::capture(Timestamp ts, const MetricsSnapshot& cumulative) {
+  std::lock_guard lock(mutex_);
+  Entry e;
+  e.ts = ts;
+  e.delta = delta(last_, cumulative);
+  last_ = cumulative;
+  ring_[head_] = std::move(e);
+  head_ = (head_ + 1) % slots_;
+  if (count_ < slots_) ++count_;
+  ++captures_;
+}
+
+std::vector<SnapshotRing::Entry> SnapshotRing::entries() const {
+  std::lock_guard lock(mutex_);
+  std::vector<Entry> out;
+  out.reserve(count_);
+  const std::size_t first = (head_ + slots_ - count_) % slots_;
+  for (std::size_t i = 0; i < count_; ++i) {
+    out.push_back(ring_[(first + i) % slots_]);
+  }
+  return out;
+}
+
+std::size_t SnapshotRing::size() const {
+  std::lock_guard lock(mutex_);
+  return count_;
+}
+
+std::uint64_t SnapshotRing::captures() const {
+  std::lock_guard lock(mutex_);
+  return captures_;
+}
+
+std::string SnapshotRing::render() const {
+  std::string out;
+  for (const auto& e : entries()) {
+    const std::string t = "t=" + std::to_string(e.ts) + " ";
+    for (const auto& c : e.delta.counters) {
+      out += t;
+      out += c.name;
+      out += " +";
+      out += std::to_string(c.value);
+      out += '\n';
+    }
+    for (const auto& g : e.delta.gauges) {
+      out += t;
+      out += g.name;
+      out += ' ';
+      out += std::to_string(g.value);
+      out += '\n';
+    }
+    for (const auto& h : e.delta.histograms) {
+      out += t;
+      out += h.name;
+      out += "_count +";
+      out += std::to_string(h.count);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace netalytics::common

@@ -45,6 +45,27 @@ common::Expected<void> EngineConfig::validate() const {
   return {};
 }
 
+std::string ReconcileReport::render() const {
+  std::string out;
+  const auto line = [&out](std::string_view name, std::uint64_t v) {
+    out += name;
+    out += ' ';
+    out += std::to_string(v);
+    out += '\n';
+  };
+  line("packets_in", packets_in);
+  line("tuples_out", tuples_out);
+  line("losses", losses);
+  line("in_flight", in_flight);
+  line("tick_records", tick_records);
+  line("extra_records", extra_records);
+  line("duplicated", duplicated);
+  out += "residual ";
+  out += std::to_string(residual());
+  out += exact() ? "\nexact true\n" : "\nexact false\n";
+  return out;
+}
+
 nf::MonitorStats QueryHandle::monitor_stats() const {
   nf::MonitorStats total;
   if (registry_ == nullptr) return total;
@@ -55,6 +76,7 @@ nf::MonitorStats QueryHandle::monitor_stats() const {
     const auto leaf = leaf_name(c.name);
     if (leaf == "rx_packets") total.rx_packets += c.value;
     else if (leaf == "rx_dropped") total.rx_dropped += c.value;
+    else if (leaf == "decode_failed") total.decode_failed += c.value;
     else if (leaf == "sampled_out") total.sampled_out += c.value;
     else if (leaf == "dispatched") total.dispatched += c.value;
     else if (leaf == "worker_dropped") total.worker_dropped += c.value;
@@ -79,12 +101,19 @@ std::string QueryHandle::render_metrics() const {
 }
 
 NetAlytics::NetAlytics(Emulation& emu, EngineConfig config)
-    : emu_(emu), config_(config), cluster_(config.mq_brokers, config.broker) {
+    : emu_(emu),
+      config_(config),
+      engine_ledger_(metrics_, "drop"),
+      cluster_(config.mq_brokers, config.broker) {
   if (auto ok = config_.validate(); !ok) {
     throw std::invalid_argument(ok.error().to_string());
   }
   parsers::register_builtin_parsers();
   cluster_.bind_metrics(metrics_);  // "mq.broker<i>.*"
+  cluster_.set_drop_ledger(&engine_ledger_);
+  if (config_.timeseries_slots > 0) {
+    timeseries_ = std::make_unique<common::SnapshotRing>(config_.timeseries_slots);
+  }
   queries_submitted_ = &metrics_.counter("engine.queries_submitted");
   queries_finished_ = &metrics_.counter("engine.queries_finished");
   pumps_ = &metrics_.counter("engine.pumps");
@@ -115,6 +144,12 @@ common::Expected<QueryHandle*> NetAlytics::submit(std::string_view text,
   handle->metrics_prefix_ = "q" + std::to_string(handle->id_);
   handle->tracer_ = std::make_unique<common::StageTracer>(
       metrics_, handle->metrics_prefix_);
+  handle->ledger_ = std::make_unique<common::DropLedger>(
+      metrics_, handle->metrics_prefix_ + ".drop");
+  handle->recorder_ = std::make_unique<common::TraceRecorder>(
+      common::TraceRecorder::Config{
+          .sample_denominator = config_.trace_sample_denominator,
+          .capacity_per_thread = config_.trace_span_capacity});
 
   deploy_monitors(*handle, now);
   build_processors(*handle);
@@ -138,7 +173,7 @@ void NetAlytics::deploy_monitors(QueryHandle& q, common::Timestamp now) {
         config_.producer_batch);
     producer->bind_metrics(metrics_,
                            q.metrics_prefix_ + ".producer" + std::to_string(j),
-                           q.tracer_.get());
+                           q.tracer_.get(), q.recorder_.get(), q.ledger_.get());
     mq::Producer* producer_ptr = producer.get();
 
     nf::MonitorConfig mcfg;
@@ -148,11 +183,14 @@ void NetAlytics::deploy_monitors(QueryHandle& q, common::Timestamp now) {
     mcfg.metrics = &metrics_;
     mcfg.metrics_prefix = q.metrics_prefix_ + ".mon" + std::to_string(j);
     mcfg.tracer = q.tracer_.get();
+    mcfg.trace_recorder = q.recorder_.get();
+    mcfg.drop_ledger = q.ledger_.get();
 
     nf::BatchSink sink = [this, producer_ptr](std::string_view topic,
                                               std::vector<std::byte> payload,
-                                              std::size_t) {
-      producer_ptr->send(topic, std::move(payload), now_);
+                                              const nf::BatchInfo& info) {
+      producer_ptr->send(topic, std::move(payload), now_, info.records,
+                         {info.traces.begin(), info.traces.end()});
     };
 
     const std::string host_name = "host-" + std::to_string(mp.host);
@@ -214,15 +252,23 @@ void NetAlytics::build_processors(QueryHandle& q) {
     ctx.metrics = &metrics_;
     ctx.metrics_prefix = q.metrics_prefix_ + ".proc" + std::to_string(i);
     ctx.tracer = q.tracer_.get();
+    ctx.trace_recorder = q.recorder_.get();
+    ctx.drop_ledger = q.ledger_.get();
     // End-to-end latency needs the result tuple to still carry the packet's
     // ingress timestamp; only identity preserves the record schema
     // ([id, ts:u64, ...]), so the e2e stage is stamped on its sink alone.
     const bool stamp_e2e = call.name == "identity";
     common::StageTracer* tracer = q.tracer_.get();
-    ctx.result_sink = [this, qp, tracer, stamp_e2e](const stream::Tuple& t) {
+    common::TraceRecorder* recorder = q.recorder_.get();
+    ctx.result_sink = [this, qp, tracer, recorder, stamp_e2e](const stream::Tuple& t) {
       qp->results_.push_back(t);
-      if (stamp_e2e && t.size() > 1 &&
-          std::holds_alternative<std::uint64_t>(t.at(1))) {
+      const bool has_ts =
+          t.size() > 1 && std::holds_alternative<std::uint64_t>(t.at(1));
+      if (t.trace != 0) {
+        recorder->stamp(t.trace, common::TraceStage::deliver,
+                        has_ts ? stream::as_u64(t.at(1)) : now_, now_);
+      }
+      if (stamp_e2e && has_ts) {
         tracer->stamp(common::StageTracer::Stage::e2e, now_,
                       stream::as_u64(t.at(1)));
       }
@@ -295,6 +341,47 @@ void NetAlytics::pump(common::Timestamp now) {
                             q.monitor_stats().parsed >= q.plan_.packet_limit;
     if (time_up || packets_up) stop_query(q, now);
   }
+
+  if (timeseries_ != nullptr &&
+      (timeseries_->captures() == 0 ||
+       now - last_capture_ >= config_.tick_interval)) {
+    timeseries_->capture(now, metrics_.snapshot());
+    last_capture_ = now;
+  }
+}
+
+ReconcileReport NetAlytics::reconcile(const QueryHandle& q) const {
+  ReconcileReport r;
+  // Monitor-side terms come out of the registry, so the report works
+  // identically for live and finished queries (the counters outlive the
+  // monitors). The leaf names are unique to the monitor prefix.
+  const auto snap = metrics_.snapshot(q.metrics_prefix_ + ".");
+  for (const auto& c : snap.counters) {
+    const auto leaf = leaf_name(c.name);
+    if (leaf == "rx_packets") r.packets_in += c.value;
+    else if (leaf == "tick_records") r.tick_records += c.value;
+    else if (leaf == "extra_records") r.extra_records += c.value;
+  }
+  // Spout buffers: record batches polled off the brokers but not yet
+  // re-emitted as tuples (absolute gauges, one per spout task).
+  for (const auto& g : snap.gauges) {
+    if (leaf_name(g.name) == "buffered_records" && g.value > 0) {
+      r.in_flight += static_cast<std::uint64_t>(g.value);
+    }
+  }
+
+  r.tuples_out = q.results_.size();
+  // The query ledger holds every monitor/producer-side loss; retention
+  // evictions land in the engine ledger because the broker is shared.
+  r.losses = q.drop_ledger().total_losses() +
+             engine_ledger_.value(common::DropCause::broker_retention);
+
+  for (const auto& p : q.producers) r.in_flight += p->held_records();
+  for (const auto& topic : q.plan_.topics) {
+    r.in_flight += cluster_.unread_records(topic);
+  }
+  r.duplicated = cluster_.aggregate_stats().duplicated_records;
+  return r;
 }
 
 void NetAlytics::stop_query(QueryHandle& q, common::Timestamp now) {

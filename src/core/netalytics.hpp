@@ -10,6 +10,7 @@
 
 #include "common/expected.hpp"
 #include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "core/compiler.hpp"
 #include "core/result_view.hpp"
 #include "mq/cluster.hpp"
@@ -44,6 +45,14 @@ struct EngineConfig {
   mq::BatchPolicy producer_batch{.max_records = 32,
                                  .max_bytes = 256 * 1024,
                                  .linger = 0};
+  /// Trace provenance (common/trace.hpp): 1-in-N ingested packets carry a
+  /// flight-recorder trace id through the whole pipeline. 0 disables the
+  /// recorder; the per-cause drop ledger is always on regardless.
+  std::uint64_t trace_sample_denominator = 0;
+  std::size_t trace_span_capacity = 4096;
+  /// Windowed metrics time series: keep the last N per-tick snapshot deltas
+  /// (netdata-style). 0 disables capture.
+  std::size_t timeseries_slots = 0;
 
   /// Reject configurations that cannot run: zero brokers, a zero tick
   /// interval, inverted feedback watermarks, zero processor parallelism.
@@ -83,6 +92,19 @@ class QueryHandle {
   /// consume / e2e histograms, fed in virtual time).
   const common::StageTracer& tracer() const noexcept { return *tracer_; }
 
+  /// Sampled flight recorder for this query (disabled when
+  /// EngineConfig::trace_sample_denominator == 0).
+  const common::TraceRecorder& trace_recorder() const noexcept {
+    return *recorder_;
+  }
+  /// Always-on per-cause discard counters ("q<id>.drop.*").
+  const common::DropLedger& drop_ledger() const noexcept { return *ledger_; }
+  /// Per-trace span timelines from the flight recorder (empty when tracing
+  /// is disabled).
+  std::string render_trace(std::size_t max_traces = 16) const {
+    return recorder_->render(max_traces);
+  }
+
   /// Prometheus-style rendering of everything this query put in the
   /// engine's registry ("q<id>.*": monitor counters, producer counters,
   /// processor counters, stage histograms).
@@ -109,6 +131,38 @@ class QueryHandle {
   common::MetricsRegistry* registry_ = nullptr;  // the engine's registry
   std::string metrics_prefix_;                   // "q<id>"
   std::unique_ptr<common::StageTracer> tracer_;
+  std::unique_ptr<common::TraceRecorder> recorder_;
+  std::unique_ptr<common::DropLedger> ledger_;
+};
+
+/// Conservation accounting over one query's pipeline: every packet the
+/// monitors received either became result tuples, was discarded for a
+/// ledger-accounted cause, or is still in flight between stages. Exact
+/// (residual() == 0) for deterministic runs of record-preserving
+/// processors (identity), where one shipped record is one result tuple;
+/// aggregating processors fold many records into one tuple, so only the
+/// drop/in-flight terms are meaningful there.
+struct ReconcileReport {
+  std::uint64_t packets_in = 0;    // monitor rx_packets (pre-drop)
+  std::uint64_t tuples_out = 0;    // tuples delivered to the result sink
+  std::uint64_t losses = 0;        // Σ ledger loss causes (incl. broker retention)
+  std::uint64_t in_flight = 0;     // producer held + broker unread + spout buffered
+  std::uint64_t tick_records = 0;  // records minted by parser window ticks
+  std::uint64_t extra_records = 0; // records beyond a packet's first
+  std::uint64_t duplicated = 0;    // broker at-least-once duplicate deliveries
+
+  /// packets_in − (tuples_out + losses + in_flight) corrected for record
+  /// multiplicity: tick and extra records reached the sink without being
+  /// (whole) packets, duplicates reached it twice.
+  std::int64_t residual() const noexcept {
+    return static_cast<std::int64_t>(packets_in) -
+           static_cast<std::int64_t>(tuples_out + losses + in_flight) +
+           static_cast<std::int64_t>(tick_records + extra_records + duplicated);
+  }
+  bool exact() const noexcept { return residual() == 0; }
+
+  /// One "term value" line per term plus the residual verdict.
+  std::string render() const;
 };
 
 class NetAlytics {
@@ -142,6 +196,23 @@ class NetAlytics {
     return metrics_.render_text(prefix);
   }
 
+  /// Prove drop accounting closes for `q`: every monitor-received packet is
+  /// attributed to a result tuple, a ledger'd drop cause, or in-flight
+  /// buffering. Broker-level terms (retention evictions, duplicates,
+  /// unread backlog) are engine-wide, so the report is only attributable
+  /// when `q` is the sole query on the cluster.
+  ReconcileReport reconcile(const QueryHandle& q) const;
+
+  /// Engine-wide drop ledger (broker retention lands here; per-query causes
+  /// land in each query's own ledger).
+  const common::DropLedger& drop_ledger() const noexcept { return engine_ledger_; }
+
+  /// Windowed time series of registry deltas, captured once per tick
+  /// interval during pump(). Null unless EngineConfig::timeseries_slots > 0.
+  const common::SnapshotRing* timeseries() const noexcept {
+    return timeseries_.get();
+  }
+
   /// Automation hooks (§7.3): subsequently submitted top-k queries write
   /// rankings to `store` and drive the updater callbacks.
   void set_automation(stream::KvStore* store, stream::UpdaterConfig config,
@@ -163,12 +234,16 @@ class NetAlytics {
   // Declared before the cluster/orchestrator/queries so it outlives every
   // component holding pointers into it.
   common::MetricsRegistry metrics_;
+  // Likewise: the brokers hold a pointer to this ledger.
+  common::DropLedger engine_ledger_;
   mq::Cluster cluster_;
   nf::NfvOrchestrator orchestrator_;
   std::deque<std::unique_ptr<QueryHandle>> queries_;
   std::uint64_t next_query_id_ = 1;
   std::uint64_t next_producer_id_ = 1;
   common::Timestamp now_ = 0;
+  std::unique_ptr<common::SnapshotRing> timeseries_;
+  common::Timestamp last_capture_ = 0;
 
   // Engine-level counters ("engine.*"), resolved once in the constructor.
   common::Counter* queries_submitted_ = nullptr;

@@ -22,6 +22,11 @@ void Broker::resolve_metrics(common::MetricsRegistry& registry,
   dropped_retention_ = &registry.counter(prefix + ".dropped_retention");
   consumed_ = &registry.counter(prefix + ".consumed");
   bytes_in_ = &registry.counter(prefix + ".bytes_in");
+  produced_records_ = &registry.counter(prefix + ".produced_records");
+  consumed_records_ = &registry.counter(prefix + ".consumed_records");
+  evicted_unread_records_ = &registry.counter(prefix + ".evicted_unread_records");
+  duplicated_records_ = &registry.counter(prefix + ".duplicated_records");
+  eviction_lag_ = &registry.gauge(prefix + ".eviction_lag");
   faulted_down_ = &registry.counter(prefix + ".faulted_down");
   faulted_reject_ = &registry.counter(prefix + ".faulted_reject");
   faulted_delay_ = &registry.counter(prefix + ".faulted_delay");
@@ -84,6 +89,21 @@ std::size_t Broker::unread(const Partition& part) {
   }
   const std::uint64_t floor = std::max(slowest, part.base_offset);
   return static_cast<std::size_t>(part.next_offset - floor);
+}
+
+std::uint64_t Broker::evict_front(Partition& part) {
+  std::uint64_t slowest = part.base_offset;  // no groups: nothing read yet
+  if (!part.group_offsets.empty()) {
+    slowest = part.next_offset;
+    for (const auto& [group, offset] : part.group_offsets) {
+      slowest = std::min(slowest, offset);
+    }
+  }
+  const Message& front = part.log.front();
+  const std::uint64_t lost = slowest <= front.offset ? front.records : 0;
+  part.log.pop_front();
+  ++part.base_offset;
+  return lost;
 }
 
 bool Broker::disk_admit(std::size_t bytes, common::Timestamp now) {
@@ -162,8 +182,19 @@ void Broker::produce_batch(std::span<Message> msgs, common::Timestamp now,
 
     std::uint64_t n_produced = 0, n_bytes = 0, n_blocked = 0, n_evicted = 0;
     std::uint64_t n_down = 0, n_reject = 0;
+    std::uint64_t n_records = 0, n_evicted_unread = 0;
+    std::int64_t oldest_age = -1;
     {
       std::unique_lock part_lock(part.mutex);
+      // Age retention first (Kafka's retention.ms): virtual time only
+      // advances through produce, so expiry is enforced here.
+      if (config_.retention_age != 0) {
+        while (!part.log.empty() &&
+               part.log.front().append_ts + config_.retention_age < now) {
+          n_evicted_unread += evict_front(part);
+          ++n_evicted;
+        }
+      }
       for (std::size_t j = i; j < end; ++j) {
         Message& msg = msgs[j];
         if (std::find(stalled.begin(), stalled.end(), &part) != stalled.end()) {
@@ -191,12 +222,10 @@ void Broker::produce_batch(std::span<Message> msgs, common::Timestamp now,
           continue;
         }
 
-        // Retention: evict the oldest message when the partition is full.
-        // Kafka drops by age; with a fixed cap this is the same policy at
-        // bench scale.
+        // Retention: evict the oldest message when the partition is full
+        // (size cap; the age cap ran above).
         if (part.log.size() >= config_.partition_capacity) {
-          part.log.pop_front();
-          ++part.base_offset;
+          n_evicted_unread += evict_front(part);
           ++n_evicted;
         }
 
@@ -204,6 +233,7 @@ void Broker::produce_batch(std::span<Message> msgs, common::Timestamp now,
         msg.append_ts = now;
         n_bytes += msg.payload.size();
         ++n_produced;
+        n_records += msg.records;
         part.log.push_back(std::move(msg));
 
         const double occ = static_cast<double>(unread(part)) /
@@ -211,11 +241,22 @@ void Broker::produce_batch(std::span<Message> msgs, common::Timestamp now,
         statuses[j] = occ >= config_.high_watermark ? ProduceStatus::low_buffer
                                                     : ProduceStatus::ok;
       }
+      if (!part.log.empty() && now >= part.log.front().append_ts) {
+        oldest_age = static_cast<std::int64_t>(now - part.log.front().append_ts);
+      }
     }
     if (n_produced != 0) produced_->inc(n_produced);
     if (n_bytes != 0) bytes_in_->inc(n_bytes);
     if (n_blocked != 0) blocked_->inc(n_blocked);
     if (n_evicted != 0) dropped_retention_->inc(n_evicted);
+    if (n_records != 0) produced_records_->inc(n_records);
+    if (n_evicted_unread != 0) {
+      evicted_unread_records_->inc(n_evicted_unread);
+      if (drop_ledger_ != nullptr) {
+        drop_ledger_->add(common::DropCause::broker_retention, n_evicted_unread);
+      }
+    }
+    if (oldest_age >= 0) eviction_lag_->set(oldest_age);
     if (n_down != 0) faulted_down_->inc(n_down);
     if (n_reject != 0) faulted_reject_->inc(n_reject);
     i = end;
@@ -260,12 +301,16 @@ std::vector<Message> Broker::poll(std::string_view group,
         // Re-deliver adjacent to the original: same offset, so per-key
         // order (non-decreasing offsets) still holds.
         faulted_duplicate_->inc();
+        duplicated_records_->inc(part.log[next - part.base_offset].records);
         out.push_back(part.log[next - part.base_offset]);
       }
       ++next;
     }
   }
   consumed_->inc(out.size());
+  std::uint64_t n_records = 0;
+  for (const Message& m : out) n_records += m.records;
+  if (n_records != 0) consumed_records_->inc(n_records);
   return out;
 }
 
@@ -291,6 +336,22 @@ std::size_t Broker::depth(std::string_view topic_name) const {
   return total;
 }
 
+std::uint64_t Broker::unread_records(std::string_view topic_name) const {
+  Topic* top = find_topic(topic_name);
+  if (top == nullptr) return 0;
+  std::uint64_t total = 0;
+  for (const auto& part_ptr : top->partitions) {
+    Partition& part = *part_ptr;
+    std::lock_guard part_lock(part.mutex);
+    const std::size_t n = unread(part);
+    // The unread tail is the last n log entries (groups read in order).
+    for (std::size_t i = part.log.size() - n; i < part.log.size(); ++i) {
+      total += part.log[i].records;
+    }
+  }
+  return total;
+}
+
 BrokerStats Broker::stats() const {
   // Counters are relaxed atomics; a stats snapshot needs no lock.
   BrokerStats s;
@@ -299,6 +360,10 @@ BrokerStats Broker::stats() const {
   s.dropped_retention = dropped_retention_->value();
   s.consumed = consumed_->value();
   s.bytes_in = bytes_in_->value();
+  s.produced_records = produced_records_->value();
+  s.consumed_records = consumed_records_->value();
+  s.evicted_unread_records = evicted_unread_records_->value();
+  s.duplicated_records = duplicated_records_->value();
   s.faulted_down = faulted_down_->value();
   s.faulted_reject = faulted_reject_->value();
   s.faulted_delay = faulted_delay_->value();

@@ -37,6 +37,7 @@
 #include "common/clock.hpp"
 #include "common/fault.hpp"
 #include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "mq/message.hpp"
 
 namespace netalytics::mq {
@@ -71,6 +72,11 @@ struct BrokerConfig {
   std::uint64_t persist_bytes_per_sec = 0;  // 0 = RAM disk (unlimited)
   /// How far the simulated disk may lag behind `now` before produce blocks.
   common::Duration max_persist_lag = 50 * common::kMillisecond;
+  /// Kafka-style retention.ms: messages whose append_ts is older than this
+  /// are evicted on the produce path (virtual time only advances through
+  /// produce), regardless of partition occupancy. 0 disables age retention,
+  /// leaving only the partition_capacity cap.
+  common::Duration retention_age = 0;
 };
 
 /// Thin typed view over the broker's registry counters (the numbers live in
@@ -78,9 +84,15 @@ struct BrokerConfig {
 struct BrokerStats {
   std::uint64_t produced = 0;
   std::uint64_t blocked = 0;
-  std::uint64_t dropped_retention = 0;  // evicted unread by retention
+  std::uint64_t dropped_retention = 0;  // messages evicted (capacity or age)
   std::uint64_t consumed = 0;
   std::uint64_t bytes_in = 0;
+  std::uint64_t produced_records = 0;   // parser records appended
+  std::uint64_t consumed_records = 0;   // parser records polled out
+  /// Parser records inside evicted messages no consumer group had read —
+  /// the only evictions that are real data loss.
+  std::uint64_t evicted_unread_records = 0;
+  std::uint64_t duplicated_records = 0;  // records re-delivered by injection
   // Fault accounting (all zero unless a FaultPlan is installed).
   std::uint64_t faulted_down = 0;      // produce/poll hit a down window
   std::uint64_t faulted_reject = 0;    // produce rejected by injection
@@ -124,6 +136,16 @@ class Broker {
   /// Total buffered messages in `topic` not yet evicted.
   std::size_t depth(std::string_view topic) const;
 
+  /// Parser records buffered in `topic` that the slowest consumer group has
+  /// not yet read — the broker's in-flight term in engine.reconcile().
+  std::uint64_t unread_records(std::string_view topic) const;
+
+  /// Route evicted-unread record counts into `ledger` (broker_retention
+  /// cause). Like bind_metrics: install before traffic starts.
+  void set_drop_ledger(common::DropLedger* ledger) noexcept {
+    drop_ledger_ = ledger;
+  }
+
   BrokerStats stats() const;
   const BrokerConfig& config() const noexcept { return config_; }
 
@@ -166,6 +188,9 @@ class Broker {
   Topic& topic(std::string_view name);
   /// Messages the slowest group has not read. Caller holds part.mutex.
   static std::size_t unread(const Partition& part);
+  /// Evict log.front(); returns the parser records inside it if no group
+  /// had read it yet (real loss), else 0. Caller holds part.mutex.
+  static std::uint64_t evict_front(Partition& part);
   /// Disk persistence admission for one message. Caller holds no partition
   /// lock (disk state is broker-global, guarded by disk_mutex_).
   bool disk_admit(std::size_t bytes, common::Timestamp now);
@@ -184,6 +209,14 @@ class Broker {
   common::Counter* dropped_retention_ = nullptr;
   common::Counter* consumed_ = nullptr;
   common::Counter* bytes_in_ = nullptr;
+  common::Counter* produced_records_ = nullptr;
+  common::Counter* consumed_records_ = nullptr;
+  common::Counter* evicted_unread_records_ = nullptr;
+  common::Counter* duplicated_records_ = nullptr;
+  /// Age of the oldest retained message in the most recently produced-to
+  /// partition; watch it approach retention_age.
+  common::Gauge* eviction_lag_ = nullptr;
+  common::DropLedger* drop_ledger_ = nullptr;
   common::Counter* faulted_down_ = nullptr;
   common::Counter* faulted_reject_ = nullptr;
   common::Counter* faulted_delay_ = nullptr;

@@ -76,6 +76,16 @@ std::size_t Cluster::depth(std::string_view topic) const {
   return total;
 }
 
+std::uint64_t Cluster::unread_records(std::string_view topic) const {
+  std::uint64_t total = 0;
+  for (const auto& broker : brokers_) total += broker->unread_records(topic);
+  return total;
+}
+
+void Cluster::set_drop_ledger(common::DropLedger* ledger) noexcept {
+  for (const auto& broker : brokers_) broker->set_drop_ledger(ledger);
+}
+
 BrokerStats Cluster::aggregate_stats() const {
   BrokerStats total;
   for (const auto& broker : brokers_) {
@@ -85,6 +95,10 @@ BrokerStats Cluster::aggregate_stats() const {
     total.dropped_retention += s.dropped_retention;
     total.consumed += s.consumed;
     total.bytes_in += s.bytes_in;
+    total.produced_records += s.produced_records;
+    total.consumed_records += s.consumed_records;
+    total.evicted_unread_records += s.evicted_unread_records;
+    total.duplicated_records += s.duplicated_records;
     total.faulted_down += s.faulted_down;
     total.faulted_reject += s.faulted_reject;
     total.faulted_delay += s.faulted_delay;

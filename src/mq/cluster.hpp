@@ -37,6 +37,9 @@ class Cluster {
   /// the feedback-sampling controller watches (§4.2).
   double occupancy(std::string_view topic) const;
   std::size_t depth(std::string_view topic) const;
+  /// Parser records buffered for `topic` across brokers that the slowest
+  /// consumer group has not read (engine.reconcile()'s broker term).
+  std::uint64_t unread_records(std::string_view topic) const;
 
   std::size_t broker_count() const noexcept { return brokers_.size(); }
   Broker& broker(std::size_t i) { return *brokers_.at(i); }
@@ -54,6 +57,10 @@ class Cluster {
   /// Broker index `key`-hashed messages land on (lets chaos tests aim at
   /// the node that actually carries a producer's stream).
   std::size_t broker_of_key(std::uint64_t key) const noexcept;
+
+  /// Route every broker's evicted-unread record counts into `ledger`
+  /// (broker_retention cause). Install before traffic starts.
+  void set_drop_ledger(common::DropLedger* ledger) noexcept;
 
  private:
   std::vector<std::unique_ptr<Broker>> brokers_;

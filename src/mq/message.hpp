@@ -69,6 +69,12 @@ struct Message {
   /// produce-stage latency (retries, backoff, persistence); append_ts..poll
   /// is the consume-stage latency measured by the spout.
   common::Timestamp append_ts = 0;
+  /// Parser records inside the payload. Drop accounting works in records —
+  /// a lost message loses `records` records, not one unit — so the count
+  /// rides with the message instead of being re-parsed from the payload.
+  std::uint64_t records = 1;
+  /// Trace ids of the sampled records inside the payload (usually empty).
+  std::vector<std::uint64_t> traces;
 };
 
 }  // namespace netalytics::mq

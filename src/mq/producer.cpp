@@ -27,16 +27,22 @@ void Producer::resolve_metrics_locked(common::MetricsRegistry& registry,
   bytes_ = &registry.counter(prefix + ".bytes");
   retries_ = &registry.counter(prefix + ".retries");
   batches_ = &registry.counter(prefix + ".batches");
+  sent_records_ = &registry.counter(prefix + ".sent_records");
+  lost_records_ = &registry.counter(prefix + ".lost_records");
   pending_depth_ = &registry.gauge(prefix + ".pending");
 }
 
 void Producer::bind_metrics(common::MetricsRegistry& registry,
                             const std::string& prefix,
-                            common::StageTracer* tracer) {
+                            common::StageTracer* tracer,
+                            common::TraceRecorder* recorder,
+                            common::DropLedger* ledger) {
   std::lock_guard lock(mutex_);
   resolve_metrics_locked(registry, prefix);
   owned_metrics_.reset();  // all pointers now target the bound registry
   tracer_ = tracer;
+  recorder_ = recorder;
+  ledger_ = ledger;
 }
 
 common::Duration Producer::backoff_after(std::size_t attempts) const noexcept {
@@ -48,14 +54,20 @@ common::Duration Producer::backoff_after(std::size_t attempts) const noexcept {
   return std::min(retry_.max_backoff, static_cast<common::Duration>(d));
 }
 
-void Producer::record_delivery_locked(ProduceStatus status, std::size_t bytes,
-                                      common::Timestamp origin,
-                                      common::Timestamp now,
+void Producer::record_delivery_locked(const Message& msg,
+                                      std::span<const std::uint64_t> traces,
+                                      ProduceStatus status, common::Timestamp now,
                                       std::vector<ProduceStatus>& events) {
   sent_->inc();
-  bytes_->inc(bytes);
+  sent_records_->inc(msg.records);
+  bytes_->inc(msg.payload.size());
   if (tracer_ != nullptr) {
-    tracer_->stamp(common::StageTracer::Stage::produce, now, origin);
+    tracer_->stamp(common::StageTracer::Stage::produce, now, msg.timestamp);
+  }
+  if (recorder_ != nullptr) {
+    for (const std::uint64_t trace : traces) {
+      recorder_->stamp(trace, common::TraceStage::produce, msg.timestamp, now);
+    }
   }
   if (status == ProduceStatus::low_buffer) {
     backpressure_events_->inc();
@@ -63,17 +75,25 @@ void Producer::record_delivery_locked(ProduceStatus status, std::size_t bytes,
   }
 }
 
+void Producer::lose_locked(const Message& msg, common::DropCause cause) {
+  lost_->inc();
+  lost_records_->inc(msg.records);
+  if (ledger_ != nullptr) ledger_->add(cause, msg.records);
+}
+
 void Producer::flush_locked(common::Timestamp now,
                             std::vector<ProduceStatus>& events) {
   while (!pending_.empty()) {
     PendingSend& p = pending_.front();
     if (p.next_attempt > now) break;
-    const std::size_t bytes = p.msg.payload.size();
-    const common::Timestamp origin = p.msg.timestamp;
+    // A successful produce moves the message into the broker's log, taking
+    // its trace-id vector with it; copy the ids first for span stamping.
+    std::vector<std::uint64_t> traces;
+    if (recorder_ != nullptr) traces = p.msg.traces;
     const ProduceStatus status = cluster_.produce(std::move(p.msg), now);
     retries_->inc();
     if (status == ProduceStatus::ok || status == ProduceStatus::low_buffer) {
-      record_delivery_locked(status, bytes, origin, now, events);
+      record_delivery_locked(p.msg, traces, status, now, events);
       pending_.pop_front();
       continue;
     }
@@ -81,7 +101,7 @@ void Producer::flush_locked(common::Timestamp now,
     backpressure_events_->inc();
     events.push_back(status);
     if (retry_.max_attempts != 0 && p.attempts >= retry_.max_attempts) {
-      lost_->inc();
+      lose_locked(p.msg, common::DropCause::produce_retries_exhausted);
       pending_.pop_front();
       continue;  // the next buffered message gets its own tries
     }
@@ -95,7 +115,7 @@ void Producer::flush_locked(common::Timestamp now,
 
 bool Producer::enqueue_locked(Message&& msg, common::Timestamp now) {
   if (pending_.size() >= retry_.max_buffered) {
-    lost_->inc();
+    lose_locked(msg, common::DropCause::produce_buffer_overflow);
     return false;
   }
   PendingSend p;
@@ -128,14 +148,27 @@ bool Producer::ship_locked(OpenBatch& batch, common::Timestamp now,
     big_statuses.resize(batch.msgs.size());
     statuses = big_statuses;
   }
+  // Appended messages move into the broker's log, trace ids included; copy
+  // the ids first so delivered traced records get their produce span.
+  std::vector<std::vector<std::uint64_t>> traces;
+  if (recorder_ != nullptr) {
+    traces.resize(batch.msgs.size());
+    for (std::size_t i = 0; i < batch.msgs.size(); ++i) {
+      traces[i] = batch.msgs[i].traces;
+    }
+  }
   cluster_.produce_batch(batch.msgs, now, statuses);
   batches_->inc();
   for (std::size_t i = 0; i < batch.msgs.size(); ++i) {
     const ProduceStatus status = statuses[i];
     if (status == ProduceStatus::ok || status == ProduceStatus::low_buffer) {
-      // Appended (payload moved into the log); msgs[i] is a husk.
-      record_delivery_locked(status, batch.msgs[i].payload.size(),
-                             batch.msgs[i].timestamp, now, events);
+      // Appended (payload moved into the log); msgs[i] is a husk whose
+      // scalar fields survive.
+      record_delivery_locked(batch.msgs[i],
+                             recorder_ != nullptr
+                                 ? std::span<const std::uint64_t>(traces[i])
+                                 : std::span<const std::uint64_t>{},
+                             status, now, events);
       continue;
     }
     backpressure_events_->inc();
@@ -162,7 +195,8 @@ void Producer::ship_due_locked(common::Timestamp now, DueMode mode,
 }
 
 bool Producer::send(std::string_view topic, Payload payload,
-                    common::Timestamp now) {
+                    common::Timestamp now, std::uint64_t records,
+                    std::vector<std::uint64_t> traces) {
   bool accepted = true;
   std::vector<ProduceStatus> events;
   {
@@ -186,6 +220,8 @@ bool Producer::send(std::string_view topic, Payload payload,
     msg.topic = it->first;
     msg.key = producer_id_;
     msg.timestamp = now;
+    msg.records = records == 0 ? 1 : records;
+    msg.traces = std::move(traces);
     batch.bytes += payload.size();
     msg.payload = std::move(payload);
     batch.msgs.push_back(std::move(msg));
@@ -248,6 +284,16 @@ std::size_t Producer::open_records() const {
   return open_records_locked();
 }
 
+std::uint64_t Producer::held_records() const {
+  std::lock_guard lock(mutex_);
+  std::uint64_t n = 0;
+  for (const PendingSend& p : pending_) n += p.msg.records;
+  for (const auto& [topic, batch] : open_) {
+    for (const Message& msg : batch.msgs) n += msg.records;
+  }
+  return n;
+}
+
 ProducerStats Producer::stats() const {
   std::lock_guard lock(mutex_);
   ProducerStats s;
@@ -257,6 +303,8 @@ ProducerStats Producer::stats() const {
   s.bytes = bytes_->value();
   s.retries = retries_->value();
   s.batches = batches_->value();
+  s.sent_records = sent_records_->value();
+  s.lost_records = lost_records_->value();
   return s;
 }
 

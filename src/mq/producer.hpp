@@ -24,6 +24,7 @@
 #include <map>
 #include <string_view>
 
+#include "common/trace.hpp"
 #include "mq/cluster.hpp"
 
 namespace netalytics::mq {
@@ -64,6 +65,8 @@ struct ProducerStats {
   std::uint64_t bytes = 0;
   std::uint64_t retries = 0;  // re-send attempts of buffered messages
   std::uint64_t batches = 0;  // produce_batch calls that shipped records
+  std::uint64_t sent_records = 0;  // parser records inside delivered messages
+  std::uint64_t lost_records = 0;  // parser records inside abandoned messages
 };
 
 class Producer {
@@ -76,7 +79,11 @@ class Producer {
   /// topic's open batch (and may ship immediately, per BatchPolicy); a
   /// refused ship is buffered for retry. Returns false only if the message
   /// was abandoned right away (send-buffer full at ship time). Thread-safe.
-  bool send(std::string_view topic, Payload payload, common::Timestamp now);
+  /// `records` is the parser-record count inside the payload (drop and
+  /// delivery accounting works in records); `traces` carries the trace ids
+  /// of sampled records for produce-stage span stamping.
+  bool send(std::string_view topic, Payload payload, common::Timestamp now,
+            std::uint64_t records = 1, std::vector<std::uint64_t> traces = {});
 
   /// Ship open batches whose size or linger deadline is due, then retry
   /// buffered messages whose backoff has expired. Call as time advances
@@ -93,6 +100,9 @@ class Producer {
   std::size_t pending() const;
   /// Records accumulated in open (not yet shipped) batches.
   std::size_t open_records() const;
+  /// Parser records held anywhere inside the producer (retry buffer plus
+  /// open batches) — the producer's in-flight term in engine.reconcile().
+  std::uint64_t held_records() const;
   const RetryPolicy& retry_policy() const noexcept { return retry_; }
   const BatchPolicy& batch_policy() const noexcept { return batch_; }
   ProducerStats stats() const;
@@ -100,9 +110,13 @@ class Producer {
   /// Re-home counters into `registry` under `prefix` (e.g. "q0.producer1")
   /// and, when `tracer` is given, stamp the produce stage (send -> broker
   /// append, i.e. linger + retry/backoff + persistence delay) on every
-  /// delivery. Bind before traffic starts.
+  /// delivery. `recorder` gets a per-trace produce span per delivered
+  /// traced record; `ledger` gets every abandoned record attributed to its
+  /// cause. Bind before traffic starts.
   void bind_metrics(common::MetricsRegistry& registry, const std::string& prefix,
-                    common::StageTracer* tracer = nullptr);
+                    common::StageTracer* tracer = nullptr,
+                    common::TraceRecorder* recorder = nullptr,
+                    common::DropLedger* ledger = nullptr);
 
  private:
   struct PendingSend {
@@ -131,9 +145,14 @@ class Producer {
   void ship_due_locked(common::Timestamp now, DueMode mode,
                        std::vector<ProduceStatus>& events);
   bool enqueue_locked(Message&& msg, common::Timestamp now);
-  void record_delivery_locked(ProduceStatus status, std::size_t bytes,
-                              common::Timestamp origin, common::Timestamp now,
+  /// `msg` may be a moved-from husk (scalar fields survive the move);
+  /// `traces` is the pre-move copy of its trace ids.
+  void record_delivery_locked(const Message& msg,
+                              std::span<const std::uint64_t> traces,
+                              ProduceStatus status, common::Timestamp now,
                               std::vector<ProduceStatus>& events);
+  /// Account one abandoned message (counters + ledger).
+  void lose_locked(const Message& msg, common::DropCause cause);
   void resolve_metrics_locked(common::MetricsRegistry& registry,
                               const std::string& prefix);
   std::size_t open_records_locked() const;
@@ -154,8 +173,12 @@ class Producer {
   common::Counter* bytes_ = nullptr;
   common::Counter* retries_ = nullptr;
   common::Counter* batches_ = nullptr;
+  common::Counter* sent_records_ = nullptr;
+  common::Counter* lost_records_ = nullptr;
   common::Gauge* pending_depth_ = nullptr;  // retry-buffer depth
   common::StageTracer* tracer_ = nullptr;
+  common::TraceRecorder* recorder_ = nullptr;
+  common::DropLedger* ledger_ = nullptr;
 };
 
 }  // namespace netalytics::mq

@@ -23,11 +23,16 @@ Monitor::Monitor(MonitorConfig config, BatchSink sink)
   const std::string& p = config_.metrics_prefix;
   rx_packets_ = &metrics_->counter(p + ".rx_packets");
   rx_dropped_ = &metrics_->counter(p + ".rx_dropped");
+  decode_failed_ = &metrics_->counter(p + ".decode_failed");
   sampled_out_ = &metrics_->counter(p + ".sampled_out");
   dispatched_ = &metrics_->counter(p + ".dispatched");
   worker_dropped_ = &metrics_->counter(p + ".worker_dropped");
   parser_errors_ = &metrics_->counter(p + ".parser_errors");
   parsed_ = &metrics_->counter(p + ".parsed");
+  parse_no_output_ = &metrics_->counter(p + ".parse_no_output");
+  parse_with_output_ = &metrics_->counter(p + ".parse_with_output");
+  extra_records_ = &metrics_->counter(p + ".extra_records");
+  tick_records_ = &metrics_->counter(p + ".tick_records");
   raw_bytes_ = &metrics_->counter(p + ".raw_bytes");
   rx_depth_ = &metrics_->gauge(p + ".rx_ring_depth");
   parse_time_ = &metrics_->histogram(p + ".parse_time");
@@ -47,6 +52,7 @@ Monitor::Monitor(MonitorConfig config, BatchSink sink)
       worker->output =
           std::make_unique<OutputInterface>(sink_, config_.output_batch_records);
       worker->output->set_tracer(config_.tracer);
+      worker->output->set_trace_recorder(config_.trace_recorder);
       worker->output->bind_counters(records_, record_bytes_, batches_);
       group.workers.push_back(std::move(worker));
     }
@@ -85,18 +91,19 @@ bool Monitor::inject(net::PacketPtr pkt) noexcept {
   rx_packets_->inc();
   if (faults_ != nullptr &&
       faults_->should_fail(kFaultRxOverflow, pkt ? pkt->timestamp() : 0)) {
-    rx_dropped_->inc();
+    drop(common::DropCause::ingest_ring_overflow, *rx_dropped_);
     return false;
   }
   if (!rx_ring_.try_push(std::move(pkt))) {
-    rx_dropped_->inc();
+    drop(common::DropCause::ingest_ring_overflow, *rx_dropped_);
     return false;
   }
   rx_depth_->add(1);
   return true;
 }
 
-void Monitor::dispatch(const net::PacketPtr& pkt, const net::DecodedPacket& decoded) {
+void Monitor::dispatch(const net::PacketPtr& pkt, const net::DecodedPacket& decoded,
+                       std::uint64_t trace) {
   for (auto& group : groups_) {
     // Flow-id dispatch: both directions of a connection land on the same
     // worker, so per-flow parser state is single-threaded by construction.
@@ -108,20 +115,22 @@ void Monitor::dispatch(const net::PacketPtr& pkt, const net::DecodedPacket& deco
     Worker& w = *group.workers[idx];
     if (faults_ != nullptr &&
         faults_->should_fail(kFaultWorkerOverflow, decoded.timestamp)) {
-      worker_dropped_->inc();
+      drop(common::DropCause::parse_worker_overflow, *worker_dropped_);
       continue;
     }
-    WorkItem item{pkt, decoded};
+    WorkItem item{pkt, decoded, trace};
     if (w.ring->try_push(std::move(item))) {
       dispatched_->inc();
     } else {
-      worker_dropped_->inc();
+      drop(common::DropCause::parse_worker_overflow, *worker_dropped_);
     }
   }
 }
 
 void Monitor::parse_guarded(Worker& w, const net::DecodedPacket& decoded,
-                            std::size_t raw_size) {
+                            std::size_t raw_size, std::uint64_t trace) {
+  w.output->set_current_trace(trace);
+  const std::uint64_t before = w.output->emitted();
   try {
     if (faults_ != nullptr &&
         faults_->should_fail(kFaultParserThrow, decoded.timestamp)) {
@@ -130,11 +139,27 @@ void Monitor::parse_guarded(Worker& w, const net::DecodedPacket& decoded,
     w.parser->on_packet(decoded, *w.output);
     parsed_->inc();
     raw_bytes_->inc(raw_size);
+    const std::uint64_t emitted = w.output->emitted() - before;
+    if (emitted == 0) {
+      // Parsed cleanly but produced nothing — a sink for conservation
+      // accounting, distinct from an error.
+      drop(common::DropCause::parse_no_output, *parse_no_output_);
+    } else {
+      parse_with_output_->inc();
+      // Fan-out beyond one record per packet-dispatch; reconcile subtracts
+      // this so packets and records stay comparable.
+      if (emitted > 1) extra_records_->inc(emitted - 1);
+    }
   } catch (const std::exception&) {
     // Parsers meet garbage at cloud scale; a throw costs one packet, never
     // the worker. The count surfaces in MonitorStats::parser_errors.
-    parser_errors_->inc();
+    drop(common::DropCause::parse_error, *parser_errors_);
+    // Anything emitted before the throw is surplus relative to the packet
+    // we just wrote off as lost.
+    const std::uint64_t emitted = w.output->emitted() - before;
+    if (emitted != 0) extra_records_->inc(emitted);
   }
+  w.output->set_current_trace(0);
 }
 
 void Monitor::collector_loop() {
@@ -154,16 +179,23 @@ void Monitor::collector_loop() {
       net::PacketPtr& pkt = burst[i];
       auto decoded = net::decode_packet(pkt->bytes());
       if (!decoded) {
+        drop(common::DropCause::ingest_decode_error, *decode_failed_);
         pkt.reset();
         continue;
       }
       decoded->timestamp = pkt->timestamp();
       if (!sampler_.keep(decoded->bidirectional_flow_hash)) {
-        sampled_out_->inc();
+        drop(common::DropCause::sample_rejected, *sampled_out_);
         pkt.reset();
         continue;
       }
-      dispatch(pkt, *decoded);
+      std::uint64_t trace = 0;
+      if (config_.trace_recorder != nullptr) {
+        trace = config_.trace_recorder
+                    ->begin(decoded->bidirectional_flow_hash, decoded->timestamp)
+                    .id;
+      }
+      dispatch(pkt, *decoded, trace);
       pkt.reset();
     }
   }
@@ -191,7 +223,7 @@ void Monitor::worker_loop(Worker& w) {
     const common::Timestamp t0 = clock.now();
     for (std::size_t i = 0; i < n; ++i) {
       WorkItem& item = burst[i];
-      parse_guarded(w, item.decoded, item.pkt->size());
+      parse_guarded(w, item.decoded, item.pkt->size(), item.trace);
       item.pkt.reset();
     }
     const common::Timestamp t1 = clock.now();
@@ -204,15 +236,24 @@ void Monitor::worker_loop(Worker& w) {
 void Monitor::process(std::span<const std::byte> frame, common::Timestamp ts) {
   rx_packets_->inc();
   if (faults_ != nullptr && faults_->should_fail(kFaultRxOverflow, ts)) {
-    rx_dropped_->inc();
+    drop(common::DropCause::ingest_ring_overflow, *rx_dropped_);
     return;
   }
   auto decoded = net::decode_packet(frame);
-  if (!decoded) return;
+  if (!decoded) {
+    drop(common::DropCause::ingest_decode_error, *decode_failed_);
+    return;
+  }
   decoded->timestamp = ts;
   if (!sampler_.keep(decoded->bidirectional_flow_hash)) {
-    sampled_out_->inc();
+    drop(common::DropCause::sample_rejected, *sampled_out_);
     return;
+  }
+  std::uint64_t trace = 0;
+  if (config_.trace_recorder != nullptr) {
+    trace = config_.trace_recorder
+                ->begin(decoded->bidirectional_flow_hash, ts)
+                .id;
   }
   for (auto& group : groups_) {
     const std::size_t idx =
@@ -221,7 +262,7 @@ void Monitor::process(std::span<const std::byte> frame, common::Timestamp ts) {
             : common::hash_to_bucket(decoded->bidirectional_flow_hash,
                                      group.workers.size());
     Worker& w = *group.workers[idx];
-    parse_guarded(w, *decoded, frame.size());
+    parse_guarded(w, *decoded, frame.size(), trace);
     dispatched_->inc();
   }
 }
@@ -229,7 +270,12 @@ void Monitor::process(std::span<const std::byte> frame, common::Timestamp ts) {
 void Monitor::tick(common::Timestamp now) {
   for (auto& group : groups_) {
     for (auto& worker : group.workers) {
+      const std::uint64_t before = worker->output->emitted();
       worker->parser->on_tick(now, *worker->output);
+      // Records emitted here come from aggregation windows, not from any one
+      // packet; reconcile subtracts them from the record stream.
+      const std::uint64_t emitted = worker->output->emitted() - before;
+      if (emitted != 0) tick_records_->inc(emitted);
       // Ship partially-filled batches so downstream latency is bounded by
       // the tick interval even at low record rates.
       worker->output->flush(now);
@@ -240,7 +286,10 @@ void Monitor::tick(common::Timestamp now) {
 void Monitor::close(common::Timestamp now) {
   for (auto& group : groups_) {
     for (auto& worker : group.workers) {
+      const std::uint64_t before = worker->output->emitted();
       worker->parser->on_close(now, *worker->output);
+      const std::uint64_t emitted = worker->output->emitted() - before;
+      if (emitted != 0) tick_records_->inc(emitted);
       worker->output->flush(now);
     }
   }
@@ -250,6 +299,7 @@ MonitorStats Monitor::stats() const {
   MonitorStats s;
   s.rx_packets = rx_packets_->value();
   s.rx_dropped = rx_dropped_->value();
+  s.decode_failed = decode_failed_->value();
   s.sampled_out = sampled_out_->value();
   s.dispatched = dispatched_->value();
   s.worker_dropped = worker_dropped_->value();

@@ -61,6 +61,14 @@ struct MonitorConfig {
   /// Optional per-query pipeline tracer; forwarded to every worker's output
   /// interface for emit-stage (batching delay) stamps.
   common::StageTracer* tracer = nullptr;
+  /// Optional trace-provenance recorder: a deterministic 1-in-N of admitted
+  /// packets get a trace id stamped at ingest and carried onto the records
+  /// their parsers emit.
+  common::TraceRecorder* trace_recorder = nullptr;
+  /// Optional drop ledger: every discard the monitor makes (ring overflow,
+  /// decode failure, sampler rejection, worker overflow, parser error,
+  /// parse with no output) is attributed to its cause.
+  common::DropLedger* drop_ledger = nullptr;
 };
 
 /// Thin typed view over the monitor's registry counters. The numbers live
@@ -69,6 +77,7 @@ struct MonitorConfig {
 struct MonitorStats {
   std::uint64_t rx_packets = 0;       // packets offered to the monitor
   std::uint64_t rx_dropped = 0;       // RX ring full
+  std::uint64_t decode_failed = 0;    // frames that failed to decode
   std::uint64_t sampled_out = 0;      // dropped by the flow sampler
   std::uint64_t dispatched = 0;       // descriptors enqueued to workers
   std::uint64_t worker_dropped = 0;   // worker ring full
@@ -123,6 +132,7 @@ class Monitor {
   struct WorkItem {
     net::PacketPtr pkt;
     net::DecodedPacket decoded;  // spans reference pkt's buffer
+    std::uint64_t trace = 0;     // provenance id (0 = untraced)
   };
 
   struct Worker {
@@ -140,11 +150,17 @@ class Monitor {
   void collector_loop();
   void worker_loop(Worker& w);
   /// Fan one decoded packet out to every parser group (flow-id dispatch).
-  void dispatch(const net::PacketPtr& pkt, const net::DecodedPacket& decoded);
+  void dispatch(const net::PacketPtr& pkt, const net::DecodedPacket& decoded,
+                std::uint64_t trace);
   /// Run one packet through a parser, absorbing (and counting) anything it
   /// throws — injected or real — so one bad packet never kills a worker.
+  /// `trace` tags the records this packet produces (0 = untraced).
   void parse_guarded(Worker& w, const net::DecodedPacket& decoded,
-                     std::size_t raw_size);
+                     std::size_t raw_size, std::uint64_t trace);
+  void drop(common::DropCause cause, common::Counter& counter) noexcept {
+    counter.inc();
+    if (config_.drop_ledger != nullptr) config_.drop_ledger->add(cause);
+  }
 
   MonitorConfig config_;
   BatchSink sink_;
@@ -163,11 +179,16 @@ class Monitor {
   common::MetricsRegistry* metrics_ = nullptr;
   common::Counter* rx_packets_ = nullptr;
   common::Counter* rx_dropped_ = nullptr;
+  common::Counter* decode_failed_ = nullptr;
   common::Counter* sampled_out_ = nullptr;
   common::Counter* dispatched_ = nullptr;
   common::Counter* worker_dropped_ = nullptr;
   common::Counter* parser_errors_ = nullptr;
   common::Counter* parsed_ = nullptr;
+  common::Counter* parse_no_output_ = nullptr;
+  common::Counter* parse_with_output_ = nullptr;
+  common::Counter* extra_records_ = nullptr;
+  common::Counter* tick_records_ = nullptr;
   common::Counter* raw_bytes_ = nullptr;
   common::Counter* records_ = nullptr;
   common::Counter* record_bytes_ = nullptr;

@@ -7,6 +7,8 @@ OutputInterface::OutputInterface(BatchSink sink, std::size_t batch_records)
       batch_records_(batch_records == 0 ? 1 : batch_records) {}
 
 void OutputInterface::emit(Record record) {
+  emitted_.fetch_add(1, std::memory_order_relaxed);
+  if (record.trace == 0) record.trace = current_trace_;
   auto [it, inserted] = pending_.try_emplace(record.topic);
   (void)inserted;
   it->second.push_back(std::move(record));
@@ -37,7 +39,20 @@ void OutputInterface::ship(std::string_view topic, std::vector<Record>& batch,
       tracer_->stamp(common::StageTracer::Stage::emit, ship_time, r.timestamp);
     }
   }
-  sink_(topic, std::move(payload), batch.size());
+  trace_scratch_.clear();
+  for (const Record& r : batch) {
+    if (r.trace == 0) continue;
+    trace_scratch_.push_back(r.trace);
+    if (recorder_ != nullptr) {
+      recorder_->stamp(r.trace, common::TraceStage::emit, r.timestamp,
+                       ship_time != 0 ? ship_time : r.timestamp);
+    }
+  }
+  BatchInfo info;
+  info.records = batch.size();
+  info.ship_time = ship_time;
+  info.traces = trace_scratch_;
+  sink_(topic, std::move(payload), info);
   batch.clear();
 }
 

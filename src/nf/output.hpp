@@ -16,17 +16,29 @@
 #include <vector>
 
 #include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "nf/parser.hpp"
 #include "nf/record.hpp"
 
 namespace netalytics::nf {
+
+/// What a shipped batch carries besides its serialized bytes: the record
+/// count (exact drop accounting downstream works in records, not batches)
+/// and the trace ids of the sampled records inside it. Views are only valid
+/// for the duration of the sink call.
+struct BatchInfo {
+  std::size_t records = 0;
+  /// Virtual ship time; 0 = unknown (threaded mode).
+  common::Timestamp ship_time = 0;
+  std::span<const std::uint64_t> traces;
+};
 
 /// Downstream of the monitor: the core layer wires this to an mq producer.
 /// Must be callable from multiple worker threads. The topic view is only
 /// valid for the duration of the call.
 using BatchSink = std::function<void(std::string_view topic,
                                      std::vector<std::byte> payload,
-                                     std::size_t record_count)>;
+                                     const BatchInfo& info)>;
 
 struct OutputStats {
   std::uint64_t records = 0;
@@ -51,6 +63,19 @@ class OutputInterface final : public RecordSink {
   /// must outlive this interface.
   void set_tracer(common::StageTracer* tracer) noexcept { tracer_ = tracer; }
 
+  /// Route per-trace emit spans into `recorder` (must outlive this
+  /// interface). Null disables span recording.
+  void set_trace_recorder(common::TraceRecorder* recorder) noexcept {
+    recorder_ = recorder;
+  }
+
+  /// Provenance context for subsequently emitted records: the monitor sets
+  /// this to the current packet's trace id (0 = untraced) before running
+  /// the parser, so every record the parser emits inherits it.
+  void set_current_trace(std::uint64_t trace) noexcept {
+    current_trace_ = trace;
+  }
+
   /// Mirror ship() accounting into registry counters that outlive this
   /// interface (all workers of a monitor share the same three). Null
   /// pointers are allowed and skipped.
@@ -67,12 +92,21 @@ class OutputInterface final : public RecordSink {
             bytes_.load(std::memory_order_relaxed)};
   }
 
+  /// Records emitted so far, including ones still pending in open batches.
+  /// stats().records lags this by the pending count (it counts at ship()).
+  std::uint64_t emitted() const noexcept {
+    return emitted_.load(std::memory_order_relaxed);
+  }
+
  private:
   void ship(std::string_view topic, std::vector<Record>& batch,
             common::Timestamp ship_time);
 
   BatchSink sink_;
   common::StageTracer* tracer_ = nullptr;
+  common::TraceRecorder* recorder_ = nullptr;
+  std::uint64_t current_trace_ = 0;
+  std::vector<std::uint64_t> trace_scratch_;  // reused per ship()
   common::Counter* records_ctr_ = nullptr;
   common::Counter* bytes_ctr_ = nullptr;
   common::Counter* batches_ctr_ = nullptr;
@@ -81,6 +115,7 @@ class OutputInterface final : public RecordSink {
   std::atomic<std::uint64_t> records_{0};
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> bytes_{0};
+  std::atomic<std::uint64_t> emitted_{0};
 };
 
 }  // namespace netalytics::nf

@@ -14,6 +14,11 @@ enum class FieldTag : std::uint8_t { i64 = 0, u64 = 1, f64 = 2, str = 3 };
 // the common case hoists the topic string out of every record.
 enum class BatchLayout : std::uint8_t { uniform_topic = 1, per_record_topic = 2 };
 
+// Set on the layout byte when a trace trailer (count + [index, trace id]
+// pairs for every traced record) follows the records. Untraced batches are
+// byte-identical to the pre-trace format.
+inline constexpr std::uint8_t kTraceTrailerFlag = 0x80;
+
 void write_record(common::ByteWriter& w, const Record& r, bool with_topic) {
   if (with_topic) w.str(r.topic);
   w.u64(r.id);
@@ -83,17 +88,32 @@ std::vector<std::byte> serialize_batch(std::span<const Record> records) {
       !records.empty() &&
       std::all_of(records.begin(), records.end(),
                   [&](const Record& r) { return r.topic == records[0].topic; });
-  w.u8(static_cast<std::uint8_t>(uniform ? BatchLayout::uniform_topic
-                                         : BatchLayout::per_record_topic));
+  const std::uint32_t traced = static_cast<std::uint32_t>(std::count_if(
+      records.begin(), records.end(),
+      [](const Record& r) { return r.trace != 0; }));
+  std::uint8_t layout = static_cast<std::uint8_t>(
+      uniform ? BatchLayout::uniform_topic : BatchLayout::per_record_topic);
+  if (traced != 0) layout |= kTraceTrailerFlag;
+  w.u8(layout);
   if (uniform) w.str(records[0].topic);
   w.u32(static_cast<std::uint32_t>(records.size()));
   for (const auto& rec : records) write_record(w, rec, !uniform);
+  if (traced != 0) {
+    w.u32(traced);
+    for (std::uint32_t i = 0; i < records.size(); ++i) {
+      if (records[i].trace == 0) continue;
+      w.u32(i);
+      w.u64(records[i].trace);
+    }
+  }
   return w.take();
 }
 
 std::vector<Record> deserialize_batch(std::span<const std::byte> payload) {
   common::ByteReader r(payload);
-  const auto layout = static_cast<BatchLayout>(r.u8());
+  const std::uint8_t raw_layout = r.u8();
+  const bool has_traces = (raw_layout & kTraceTrailerFlag) != 0;
+  const auto layout = static_cast<BatchLayout>(raw_layout & ~kTraceTrailerFlag);
   if (layout != BatchLayout::uniform_topic &&
       layout != BatchLayout::per_record_topic) {
     throw std::out_of_range("Record batch: unknown layout");
@@ -106,6 +126,17 @@ std::vector<Record> deserialize_batch(std::span<const std::byte> payload) {
   out.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
     out.push_back(read_record(r, uniform ? &shared_topic : nullptr));
+  }
+  if (has_traces) {
+    const std::uint32_t traced = r.u32();
+    for (std::uint32_t i = 0; i < traced; ++i) {
+      const std::uint32_t index = r.u32();
+      const std::uint64_t trace = r.u64();
+      if (index >= out.size()) {
+        throw std::out_of_range("Record batch: trace index out of range");
+      }
+      out[index].trace = trace;
+    }
   }
   return out;
 }

@@ -23,6 +23,10 @@ struct Record {
   std::uint64_t id = 0;
   common::Timestamp timestamp = 0;
   std::vector<FieldValue> fields;
+  /// Provenance: nonzero when the packet this record came from was chosen
+  /// by the trace sampler. Serialized batches carry traced records in a
+  /// compact trailer, so the wire cost is zero when tracing is off.
+  std::uint64_t trace = 0;
 
   bool operator==(const Record&) const = default;
 };

@@ -21,6 +21,7 @@ void ParsingBolt::execute(const Tuple& input, Collector& out) {
   const auto records = nf::deserialize_batch(common::as_bytes(payload));
   for (const auto& rec : records) {
     Tuple t;
+    t.trace = rec.trace;
     t.values.reserve(2 + rec.fields.size());
     t.values.emplace_back(std::uint64_t{rec.id});
     t.values.emplace_back(std::uint64_t{rec.timestamp});
@@ -34,7 +35,12 @@ void DiffBolt::execute(const Tuple& input, Collector& out) {
   const auto& event = as_str(input.at(config_.event_index));
 
   if (event == config_.start_token) {
-    if (pending_.size() >= config_.max_pending) pending_.clear();  // shed load
+    if (pending_.size() >= config_.max_pending) {  // shed load
+      if (ledger_ != nullptr) {
+        ledger_->add(common::DropCause::stream_window_eviction, pending_.size());
+      }
+      pending_.clear();
+    }
     pending_.insert_or_assign(id, input);
     return;
   }
@@ -47,6 +53,9 @@ void DiffBolt::execute(const Tuple& input, Collector& out) {
   const std::uint64_t diff = end_ts >= start_ts ? end_ts - start_ts : 0;
 
   Tuple result;
+  // Provenance follows the end event (it closed the pair), falling back to
+  // the start tuple's trace.
+  result.trace = input.trace != 0 ? input.trace : it->second.trace;
   result.values.reserve(2 + config_.passthrough.size());
   result.values.emplace_back(std::uint64_t{id});
   result.values.emplace_back(std::uint64_t{diff});
@@ -70,7 +79,12 @@ void JoinByIdBolt::execute(const Tuple& input, Collector& out) {
   const std::size_t id_index =
       is_left ? config_.left_id_index : config_.right_id_index;
   const auto id = as_u64(stored.at(id_index));
-  if (mine.size() >= config_.max_pending) mine.clear();  // shed load
+  if (mine.size() >= config_.max_pending) {  // shed load
+    if (ledger_ != nullptr) {
+      ledger_->add(common::DropCause::stream_window_eviction, mine.size());
+    }
+    mine.clear();
+  }
   // 1:1 join, first record per id wins (a flow's first HTTP request pairs
   // with its first timing event; later same-id records are dropped).
   mine.try_emplace(id, std::move(stored));
@@ -83,6 +97,7 @@ void JoinByIdBolt::try_join(std::uint64_t id, Collector& out) {
   if (lit == pending_left_.end() || rit == pending_right_.end()) return;
 
   Tuple result;
+  result.trace = lit->second.trace != 0 ? lit->second.trace : rit->second.trace;
   result.values.reserve(1 + config_.left_passthrough.size() +
                         config_.right_passthrough.size());
   result.values.emplace_back(std::uint64_t{id});

@@ -12,6 +12,7 @@
 #include <unordered_map>
 
 #include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "stream/topology.hpp"
 
 namespace netalytics::stream {
@@ -71,9 +72,13 @@ class DiffBolt final : public Bolt {
 
   std::size_t pending() const noexcept { return pending_.size(); }
 
+  /// Account shed pending state (stream_window_eviction) in `ledger`.
+  void set_drop_ledger(common::DropLedger* ledger) noexcept { ledger_ = ledger; }
+
  private:
   DiffConfig config_;
   std::unordered_map<std::uint64_t, Tuple> pending_;
+  common::DropLedger* ledger_ = nullptr;
 };
 
 /// Appends a constant string to every tuple — used to mark which upstream
@@ -121,12 +126,16 @@ class JoinByIdBolt final : public Bolt {
     return pending_left_.size() + pending_right_.size();
   }
 
+  /// Account shed pending state (stream_window_eviction) in `ledger`.
+  void set_drop_ledger(common::DropLedger* ledger) noexcept { ledger_ = ledger; }
+
  private:
   void try_join(std::uint64_t id, Collector& out);
 
   JoinConfig config_;
   std::unordered_map<std::uint64_t, Tuple> pending_left_;
   std::unordered_map<std::uint64_t, Tuple> pending_right_;
+  common::DropLedger* ledger_ = nullptr;
 };
 
 enum class AggOp { sum, avg, max, min, count };

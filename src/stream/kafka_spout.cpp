@@ -17,11 +17,16 @@ KafkaSpout::KafkaSpout(mq::Cluster& cluster, std::string group, std::string topi
 
 void KafkaSpout::bind_metrics(common::MetricsRegistry& registry,
                               const std::string& prefix,
-                              common::StageTracer* tracer) {
+                              common::StageTracer* tracer,
+                              common::TraceRecorder* recorder,
+                              common::DropLedger* ledger) {
   emitted_ = &registry.counter(prefix + ".emitted");
   poll_failures_ = &registry.counter(prefix + ".poll_failures");
   lag_ = &registry.gauge(prefix + ".lag");
+  buffered_records_ = &registry.gauge(prefix + ".buffered_records");
   tracer_ = tracer;
+  recorder_ = recorder;
+  ledger_ = ledger;
   if (&registry != owned_metrics_.get()) owned_metrics_.reset();
 }
 
@@ -31,10 +36,17 @@ bool KafkaSpout::next_tuple(Collector& out, common::Timestamp now) {
       // Transient fetch failure: nothing is consumed, offsets are
       // untouched, the broker keeps the data for the next poll.
       poll_failures_->inc();
+      if (ledger_ != nullptr) {
+        ledger_->add(common::DropCause::consume_poll_failure);
+      }
       return false;
     }
     auto batch = consumer_.poll(topic_, poll_batch_);
-    for (auto& m : batch) buffer_.push_back(std::move(m));
+    for (auto& m : batch) {
+      buffered_records_value_ += m.records;
+      buffer_.push_back(std::move(m));
+    }
+    buffered_records_->set(static_cast<std::int64_t>(buffered_records_value_));
     // Consumer lag after the fetch: what the brokers still hold for this
     // topic beyond what we just pulled (retention-based depth).
     lag_->set(static_cast<std::int64_t>(cluster_.depth(topic_)));
@@ -45,7 +57,14 @@ bool KafkaSpout::next_tuple(Collector& out, common::Timestamp now) {
   if (tracer_ != nullptr) {
     tracer_->stamp(common::StageTracer::Stage::consume, now, msg.append_ts);
   }
+  if (recorder_ != nullptr) {
+    for (const std::uint64_t trace : msg.traces) {
+      recorder_->stamp(trace, common::TraceStage::consume, msg.append_ts, now);
+    }
+  }
   out.emit(Tuple{{std::string(common::as_string_view(msg.payload))}});
+  buffered_records_value_ -= msg.records;
+  buffered_records_->set(static_cast<std::int64_t>(buffered_records_value_));
   buffer_.pop_front();
   emitted_->inc();
   return true;

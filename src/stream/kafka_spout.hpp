@@ -10,6 +10,7 @@
 
 #include "common/fault.hpp"
 #include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "mq/consumer.hpp"
 #include "stream/topology.hpp"
 
@@ -31,12 +32,21 @@ class KafkaSpout final : public Spout {
   std::uint64_t poll_failures() const noexcept { return poll_failures_->value(); }
 
   /// Re-home counters into `registry` under `prefix` ("<prefix>.emitted",
-  /// ".poll_failures", and a ".lag" gauge: messages buffered in the brokers
-  /// for this topic, refreshed at every poll). When `tracer` is given,
-  /// each emitted message stamps the consume stage (broker append -> spout
-  /// poll). Bind before the first next_tuple.
+  /// ".poll_failures", a ".lag" gauge: messages buffered in the brokers
+  /// for this topic, refreshed at every poll, and ".buffered_records": the
+  /// parser records sitting in the spout's local buffer). When `tracer` is
+  /// given, each emitted message stamps the consume stage (broker append ->
+  /// spout poll); `recorder` gets per-trace consume spans; `ledger` gets
+  /// failed polls (consume_poll_failure — bookkeeping, the data retries).
+  /// Bind before the first next_tuple.
   void bind_metrics(common::MetricsRegistry& registry, const std::string& prefix,
-                    common::StageTracer* tracer = nullptr);
+                    common::StageTracer* tracer = nullptr,
+                    common::TraceRecorder* recorder = nullptr,
+                    common::DropLedger* ledger = nullptr);
+
+  /// Parser records held in the local poll buffer (in-flight for
+  /// engine.reconcile()).
+  std::uint64_t buffered_records() const noexcept { return buffered_records_value_; }
 
  private:
   mq::Cluster& cluster_;
@@ -50,7 +60,11 @@ class KafkaSpout final : public Spout {
   common::Counter* emitted_ = nullptr;
   common::Counter* poll_failures_ = nullptr;
   common::Gauge* lag_ = nullptr;
+  common::Gauge* buffered_records_ = nullptr;
+  std::uint64_t buffered_records_value_ = 0;
   common::StageTracer* tracer_ = nullptr;
+  common::TraceRecorder* recorder_ = nullptr;
+  common::DropLedger* ledger_ = nullptr;
 };
 
 }  // namespace netalytics::stream

@@ -48,14 +48,19 @@ std::string add_source(TopologyBuilder& b, const ProcessorContext& ctx,
   common::FaultPlan* faults = ctx.fault_plan;
   common::MetricsRegistry* metrics = ctx.metrics;
   common::StageTracer* tracer = ctx.tracer;
+  common::TraceRecorder* recorder = ctx.trace_recorder;
+  common::DropLedger* ledger = ctx.drop_ledger;
   const std::string spout_prefix = ctx.metrics_prefix + "." + spout_name;
   const std::string group = ctx.consumer_group + "-" + spout_name;
   b.set_spout(
       spout_name,
-      [cluster, group, topic, faults, metrics, tracer, spout_prefix] {
+      [cluster, group, topic, faults, metrics, tracer, recorder, ledger,
+       spout_prefix] {
         auto spout = std::make_unique<KafkaSpout>(*cluster, group, topic,
                                                   /*poll_batch=*/64, faults);
-        if (metrics != nullptr) spout->bind_metrics(*metrics, spout_prefix, tracer);
+        if (metrics != nullptr) {
+          spout->bind_metrics(*metrics, spout_prefix, tracer, recorder, ledger);
+        }
         return spout;
       },
       {"payload"});
@@ -112,11 +117,13 @@ common::Expected<TopologySpec> build_topk(const ProcessorParams& params,
       ctx.metrics == nullptr
           ? nullptr
           : &ctx.metrics->gauge(ctx.metrics_prefix + ".count.window_keys");
+  common::DropLedger* count_ledger = ctx.drop_ledger;
   b.set_bolt(
        "count",
-       [key_index, slots, count_window] {
+       [key_index, slots, count_window, count_ledger] {
          auto bolt = std::make_unique<CountingBolt>(key_index, slots);
          bolt->set_window_gauge(count_window);
+         bolt->set_drop_ledger(count_ledger);
          return bolt;
        },
        {"key", "count"}, ctx.parallelism)
@@ -172,8 +179,14 @@ common::Expected<TopologySpec> build_diff_group(const ProcessorParams& params,
   // both events of a connection.
   DiffConfig dcfg;
   dcfg.passthrough = {3, 4, 5, 6};  // src_ip, dst_ip, src_port, dst_port
+  common::DropLedger* diff_ledger = ctx.drop_ledger;
   b.set_bolt(
-       "diff", [dcfg] { return std::make_unique<DiffBolt>(dcfg); },
+       "diff",
+       [dcfg, diff_ledger] {
+         auto bolt = std::make_unique<DiffBolt>(dcfg);
+         bolt->set_drop_ledger(diff_ledger);
+         return bolt;
+       },
        {"id", "diff", "src_ip", "dst_ip", "src_port", "dst_port"},
        ctx.parallelism)
       .fields_grouping("parse0", {"id"});
@@ -205,8 +218,14 @@ common::Expected<TopologySpec> build_diff_group(const ProcessorParams& params,
     jcfg.left_arity = 6;  // diff output
     jcfg.left_passthrough = {1};   // diff value
     jcfg.right_passthrough = {3};  // url
+    common::DropLedger* join_ledger = ctx.drop_ledger;
     b.set_bolt(
-         "join", [jcfg] { return std::make_unique<JoinByIdBolt>(jcfg); },
+         "join",
+         [jcfg, join_ledger] {
+           auto bolt = std::make_unique<JoinByIdBolt>(jcfg);
+           bolt->set_drop_ledger(join_ledger);
+           return bolt;
+         },
          {"id", "diff", "url"}, ctx.parallelism)
         .fields_grouping("diff", {"id"})
         .fields_grouping("filter1", {"id"});
@@ -379,8 +398,14 @@ common::Expected<TopologySpec> build_join(const ProcessorParams& params,
   jcfg.by_tag = true;
   jcfg.left_passthrough = {left_index};
   jcfg.right_passthrough = {right_index};
+  common::DropLedger* join_ledger = ctx.drop_ledger;
   b.set_bolt(
-       "join", [jcfg] { return std::make_unique<JoinByIdBolt>(jcfg); },
+       "join",
+       [jcfg, join_ledger] {
+         auto bolt = std::make_unique<JoinByIdBolt>(jcfg);
+         bolt->set_drop_ledger(join_ledger);
+         return bolt;
+       },
        {"id", left_field, right_field}, ctx.parallelism)
       .fields_grouping("tagL", {"id"})
       .fields_grouping("tagR", {"id"});

@@ -49,6 +49,11 @@ struct ProcessorContext {
   common::MetricsRegistry* metrics = nullptr;
   std::string metrics_prefix = "stream";
   common::StageTracer* tracer = nullptr;
+  /// Trace provenance: spouts stamp per-trace consume spans on `recorder`;
+  /// spouts and stateful bolts attribute discards to `ledger` (both
+  /// optional).
+  common::TraceRecorder* trace_recorder = nullptr;
+  common::DropLedger* drop_ledger = nullptr;
 };
 
 /// Tuple schema the parsing bolt produces for a parser topic

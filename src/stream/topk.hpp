@@ -7,6 +7,7 @@
 #include <functional>
 
 #include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "stream/kvstore.hpp"
 #include "stream/topology.hpp"
 #include "stream/window.hpp"
@@ -30,13 +31,21 @@ class CountingBolt final : public Bolt {
     for (const auto& [key, count] : counter_.totals()) {
       out.emit(Tuple{{key, std::uint64_t{count}}});
     }
+    const std::size_t before = counter_.key_count();
     counter_.advance();
+    const std::size_t after = counter_.key_count();
+    if (after < before && ledger_ != nullptr) {
+      ledger_->add(common::DropCause::stream_window_eviction, before - after);
+    }
     report_window();
   }
 
   /// Window-size gauge shared across parallel tasks: each task reports its
   /// key-count delta, so the gauge holds the total tracked keys.
   void set_window_gauge(common::Gauge* gauge) noexcept { window_gauge_ = gauge; }
+
+  /// Account keys aged out of the rolling window (stream_window_eviction).
+  void set_drop_ledger(common::DropLedger* ledger) noexcept { ledger_ = ledger; }
 
  private:
   void report_window() {
@@ -48,6 +57,7 @@ class CountingBolt final : public Bolt {
   std::size_t key_index_;
   RollingCounter counter_;
   common::Gauge* window_gauge_ = nullptr;
+  common::DropLedger* ledger_ = nullptr;
   std::int64_t last_window_ = 0;
 };
 

@@ -20,6 +20,10 @@ using Fields = std::vector<std::string>;
 
 struct Tuple {
   std::vector<Value> values;
+  /// Provenance: nonzero when this tuple descends from a trace-sampled
+  /// packet. Bolts deriving a tuple from inputs copy the id forward; 0 (the
+  /// usual case — tracing samples 1/N) means untraced.
+  std::uint64_t trace = 0;
 
   const Value& at(std::size_t i) const { return values.at(i); }
   std::size_t size() const noexcept { return values.size(); }

@@ -109,7 +109,7 @@ TEST(MetricsRegistryTest, RenderIsCumulativePrometheusStyle) {
   EXPECT_NE(text.find("hits 4\n"), std::string::npos);
   EXPECT_NE(text.find("lat{le=\"10\"} 1\n"), std::string::npos);
   EXPECT_NE(text.find("lat{le=\"20\"} 2\n"), std::string::npos);
-  EXPECT_NE(text.find("lat{le=\"+inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("lat{le=\"+Inf\"} 3\n"), std::string::npos);
   EXPECT_NE(text.find("lat_sum 120\n"), std::string::npos);
   EXPECT_NE(text.find("lat_count 3\n"), std::string::npos);
 }

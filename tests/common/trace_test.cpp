@@ -1,0 +1,178 @@
+#include "common/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace netalytics::common {
+namespace {
+
+TEST(TraceRecorder, DisabledByDefault) {
+  TraceRecorder rec;
+  EXPECT_FALSE(rec.enabled());
+  EXPECT_FALSE(rec.sample(42));
+  const auto ctx = rec.begin(42, 1000);
+  EXPECT_FALSE(ctx.sampled());
+  rec.stamp(7, TraceStage::emit, 0, 1);  // no-op while disabled
+  EXPECT_EQ(rec.span_count(), 0u);
+  EXPECT_TRUE(rec.render().empty());
+}
+
+TEST(TraceRecorder, DenominatorOneTracesEveryPacket) {
+  TraceRecorder rec(TraceRecorder::Config{.sample_denominator = 1});
+  const auto ctx = rec.begin(42, 1000);
+  ASSERT_TRUE(ctx.sampled());
+  EXPECT_TRUE(ctx.seen(TraceStage::ingest));
+  EXPECT_FALSE(ctx.seen(TraceStage::emit));
+
+  rec.stamp(ctx.id, TraceStage::emit, 1000, 1500);
+  rec.stamp(ctx.id, TraceStage::produce, 1500, 2000);
+  const auto spans = rec.collect();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].stage, TraceStage::ingest);
+  EXPECT_EQ(spans[1].stage, TraceStage::emit);
+  EXPECT_EQ(spans[2].stage, TraceStage::produce);
+  for (const auto& s : spans) EXPECT_EQ(s.trace, ctx.id);
+}
+
+TEST(TraceRecorder, SamplingIsDeterministicAndRoughlyOneInN) {
+  TraceRecorder a(TraceRecorder::Config{.sample_denominator = 16});
+  TraceRecorder b(TraceRecorder::Config{.sample_denominator = 16});
+  std::size_t hits = 0;
+  for (std::uint64_t key = 0; key < 4096; ++key) {
+    EXPECT_EQ(a.sample(key), b.sample(key));
+    if (a.sample(key)) ++hits;
+  }
+  // 1/16 of 4096 is 256; allow a generous band around it.
+  EXPECT_GT(hits, 128u);
+  EXPECT_LT(hits, 512u);
+}
+
+TEST(TraceRecorder, IdenticalRunsRenderIdentically) {
+  const auto run = [] {
+    TraceRecorder rec(TraceRecorder::Config{.sample_denominator = 2});
+    for (std::uint64_t flow = 0; flow < 64; ++flow) {
+      const auto ctx = rec.begin(flow, 100 + flow);
+      if (!ctx.sampled()) continue;
+      rec.stamp(ctx.id, TraceStage::emit, 100 + flow, 200 + flow);
+      rec.stamp(ctx.id, TraceStage::deliver, 200 + flow, 300 + flow);
+    }
+    return rec.render(/*max_traces=*/64);
+  };
+  const auto first = run();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, run());
+  EXPECT_NE(first.find("ingest"), std::string::npos);
+  EXPECT_NE(first.find("deliver"), std::string::npos);
+}
+
+TEST(TraceRecorder, CollectSortsByContentAcrossThreads) {
+  TraceRecorder rec(TraceRecorder::Config{.sample_denominator = 1});
+  // Two threads stamp interleaved trace ids; collect() must ignore arrival
+  // order entirely.
+  std::thread t1([&] {
+    for (std::uint64_t i = 0; i < 100; ++i) {
+      rec.stamp(2 * i + 1, TraceStage::emit, i, i + 1);
+    }
+  });
+  std::thread t2([&] {
+    for (std::uint64_t i = 0; i < 100; ++i) {
+      rec.stamp(2 * i + 2, TraceStage::emit, i, i + 1);
+    }
+  });
+  t1.join();
+  t2.join();
+  const auto spans = rec.collect();
+  ASSERT_EQ(spans.size(), 200u);
+  for (std::size_t i = 1; i < spans.size(); ++i) {
+    EXPECT_LT(spans[i - 1].trace, spans[i].trace);
+  }
+}
+
+TEST(TraceRecorder, FullSlabDropsAndCounts) {
+  TraceRecorder rec(TraceRecorder::Config{.sample_denominator = 1,
+                                          .capacity_per_thread = 4});
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    rec.stamp(i, TraceStage::ingest, i, i);
+  }
+  EXPECT_EQ(rec.span_count(), 4u);
+  EXPECT_EQ(rec.dropped_spans(), 6u);
+}
+
+TEST(DropLedger, CountsPerCauseAndSumsLosses) {
+  MetricsRegistry registry;
+  DropLedger ledger(registry, "drop");
+  ledger.add(DropCause::ingest_ring_overflow, 3);
+  ledger.add(DropCause::parse_error);
+  ledger.add(DropCause::stream_window_eviction, 100);  // not a loss
+
+  EXPECT_EQ(ledger.value(DropCause::ingest_ring_overflow), 3u);
+  EXPECT_EQ(ledger.value(DropCause::parse_error), 1u);
+  EXPECT_EQ(ledger.value(DropCause::produce_buffer_overflow), 0u);
+  EXPECT_EQ(ledger.total_losses(), 4u);
+
+  // The counters live in the registry under the prefix.
+  EXPECT_EQ(registry.snapshot().counter_value("drop.ingest.ring_overflow"), 3u);
+
+  const auto text = ledger.render();
+  EXPECT_NE(text.find("ingest.ring_overflow 3"), std::string::npos);
+  EXPECT_NE(text.find("stream.window_eviction 100"), std::string::npos);
+  EXPECT_EQ(text.find("produce.buffer_overflow"), std::string::npos);
+}
+
+TEST(DropLedger, EveryCauseHasANameAndLossClass) {
+  for (std::size_t i = 0; i < kDropCauseCount; ++i) {
+    const auto c = static_cast<DropCause>(i);
+    EXPECT_NE(drop_cause_name(c), "unknown");
+    EXPECT_NE(drop_cause_name(c).find('.'), std::string_view::npos);
+  }
+  EXPECT_TRUE(drop_cause_is_loss(DropCause::broker_retention));
+  EXPECT_FALSE(drop_cause_is_loss(DropCause::consume_poll_failure));
+  EXPECT_FALSE(drop_cause_is_loss(DropCause::stream_window_eviction));
+}
+
+TEST(SnapshotRing, KeepsDeltasAndEvictsOldestWindow) {
+  MetricsRegistry registry;
+  auto& hits = registry.counter("pipeline.hits");
+  auto& depth = registry.gauge("pipeline.depth");
+
+  SnapshotRing ring(3);
+  for (int w = 1; w <= 5; ++w) {
+    hits.inc(static_cast<std::uint64_t>(w));  // +1, +2, ... per window
+    depth.set(10 * w);
+    ring.capture(static_cast<Timestamp>(w) * 1000, registry.snapshot());
+  }
+
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.captures(), 5u);
+  const auto entries = ring.entries();
+  ASSERT_EQ(entries.size(), 3u);
+  // Windows 1 and 2 were overwritten; 3..5 remain, oldest first.
+  EXPECT_EQ(entries[0].ts, 3000u);
+  EXPECT_EQ(entries[2].ts, 5000u);
+  // Counters are per-window deltas; gauges stay absolute levels.
+  ASSERT_EQ(entries[0].delta.counters.size(), 1u);
+  EXPECT_EQ(entries[0].delta.counters[0].value, 3u);
+  EXPECT_EQ(entries[2].delta.counters[0].value, 5u);
+  ASSERT_EQ(entries[2].delta.gauges.size(), 1u);
+  EXPECT_EQ(entries[2].delta.gauges[0].value, 50);
+
+  const auto text = ring.render();
+  EXPECT_NE(text.find("t=5000 pipeline.hits +5"), std::string::npos);
+  EXPECT_NE(text.find("t=5000 pipeline.depth 50"), std::string::npos);
+}
+
+TEST(SnapshotRing, UnchangedCountersAreElided) {
+  MetricsRegistry registry;
+  registry.counter("static.counter").inc(7);
+  SnapshotRing ring(4);
+  ring.capture(1000, registry.snapshot());
+  ring.capture(2000, registry.snapshot());  // nothing changed
+  const auto entries = ring.entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].delta.counters.size(), 1u);
+  EXPECT_TRUE(entries[1].delta.counters.empty());
+}
+
+}  // namespace
+}  // namespace netalytics::common

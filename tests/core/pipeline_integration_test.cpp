@@ -189,7 +189,7 @@ TEST_F(PipelineIntegrationTest, MonitorPoolDropsAreCountedNotFatal) {
   mcfg.parsers = {{"http_get", 1}};
   mcfg.rx_ring_capacity = 8;
   nf::Monitor monitor(mcfg,
-                      [](std::string_view, std::vector<std::byte>, std::size_t) {});
+                      [](std::string_view, std::vector<std::byte>, const nf::BatchInfo&) {});
   net::PacketPool pool(4);
   pktgen::GeneratorConfig gcfg;
   gcfg.kind = pktgen::TrafficKind::http_get;

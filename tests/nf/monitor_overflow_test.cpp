@@ -24,7 +24,7 @@ class MonitorOverflowTest : public ::testing::Test {
     std::mutex mutex;
     std::vector<Record> records;
     BatchSink sink() {
-      return [this](std::string_view, std::vector<std::byte> payload, std::size_t) {
+      return [this](std::string_view, std::vector<std::byte> payload, const BatchInfo&) {
         auto recs = deserialize_batch(payload);
         std::lock_guard lock(mutex);
         for (auto& r : recs) records.push_back(std::move(r));

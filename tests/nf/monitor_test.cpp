@@ -20,7 +20,7 @@ class MonitorTest : public ::testing::Test {
     std::mutex mutex;
     std::vector<Record> records;
     BatchSink sink() {
-      return [this](std::string_view, std::vector<std::byte> payload, std::size_t) {
+      return [this](std::string_view, std::vector<std::byte> payload, const BatchInfo&) {
         auto recs = deserialize_batch(payload);
         std::lock_guard lock(mutex);
         for (auto& r : recs) records.push_back(std::move(r));
@@ -213,7 +213,7 @@ TEST_F(MonitorTest, FlowAffinityAcrossWorkersKeepsStatefulParsersCorrect) {
 TEST_F(MonitorTest, BackpressureHalvesSampleRate) {
   MonitorConfig cfg;
   cfg.parsers = {{"tcp_flow_key", 1}};
-  Monitor mon(cfg, [](std::string_view, std::vector<std::byte>, std::size_t) {});
+  Monitor mon(cfg, [](std::string_view, std::vector<std::byte>, const BatchInfo&) {});
   EXPECT_DOUBLE_EQ(mon.sample_rate(), 1.0);
   mon.on_backpressure();
   EXPECT_DOUBLE_EQ(mon.sample_rate(), 0.5);

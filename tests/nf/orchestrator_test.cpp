@@ -8,7 +8,7 @@ namespace netalytics::nf {
 namespace {
 
 BatchSink null_sink() {
-  return [](std::string_view, std::vector<std::byte>, std::size_t) {};
+  return [](std::string_view, std::vector<std::byte>, const BatchInfo&) {};
 }
 
 class OrchestratorTest : public ::testing::Test {

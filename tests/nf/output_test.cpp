@@ -21,7 +21,7 @@ Record make_record(const std::string& topic, std::uint64_t id) {
 TEST(OutputInterface, BatchesByCount) {
   std::vector<CapturedBatch> batches;
   OutputInterface out(
-      [&](std::string_view topic, std::vector<std::byte> payload, std::size_t) {
+      [&](std::string_view topic, std::vector<std::byte> payload, const BatchInfo&) {
         batches.push_back({std::string(topic), deserialize_batch(payload)});
       },
       3);
@@ -39,7 +39,7 @@ TEST(OutputInterface, BatchesByCount) {
 TEST(OutputInterface, TopicsBatchIndependently) {
   std::vector<CapturedBatch> batches;
   OutputInterface out(
-      [&](std::string_view topic, std::vector<std::byte> payload, std::size_t) {
+      [&](std::string_view topic, std::vector<std::byte> payload, const BatchInfo&) {
         batches.push_back({std::string(topic), deserialize_batch(payload)});
       },
       2);
@@ -54,7 +54,7 @@ TEST(OutputInterface, TopicsBatchIndependently) {
 TEST(OutputInterface, FlushShipsPartialBatches) {
   std::vector<CapturedBatch> batches;
   OutputInterface out(
-      [&](std::string_view topic, std::vector<std::byte> payload, std::size_t) {
+      [&](std::string_view topic, std::vector<std::byte> payload, const BatchInfo&) {
         batches.push_back({std::string(topic), deserialize_batch(payload)});
       },
       100);
@@ -67,7 +67,7 @@ TEST(OutputInterface, FlushShipsPartialBatches) {
 }
 
 TEST(OutputInterface, StatsAccumulate) {
-  OutputInterface out([](std::string_view, std::vector<std::byte>, std::size_t) {},
+  OutputInterface out([](std::string_view, std::vector<std::byte>, const BatchInfo&) {},
                       2);
   out.emit(make_record("a", 1));
   out.emit(make_record("a", 2));
@@ -82,7 +82,7 @@ TEST(OutputInterface, StatsAccumulate) {
 TEST(OutputInterface, ZeroBatchSizeBehavesAsOne) {
   int batches = 0;
   OutputInterface out(
-      [&](std::string_view, std::vector<std::byte>, std::size_t) { ++batches; }, 0);
+      [&](std::string_view, std::vector<std::byte>, const BatchInfo&) { ++batches; }, 0);
   out.emit(make_record("a", 1));
   EXPECT_EQ(batches, 1);
 }
@@ -90,7 +90,9 @@ TEST(OutputInterface, ZeroBatchSizeBehavesAsOne) {
 TEST(OutputInterface, RecordCountArgumentMatches) {
   std::size_t last_count = 0;
   OutputInterface out(
-      [&](std::string_view, std::vector<std::byte>, std::size_t n) { last_count = n; },
+      [&](std::string_view, std::vector<std::byte>, const BatchInfo& info) {
+        last_count = info.records;
+      },
       4);
   for (int i = 0; i < 4; ++i) out.emit(make_record("a", i));
   EXPECT_EQ(last_count, 4u);
