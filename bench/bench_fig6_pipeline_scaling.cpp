@@ -13,15 +13,25 @@
 // which is the standard capacity model for a staged pipeline and exactly
 // how the paper sizes deployments ("assuming a 10:1 data reduction factor
 // between the monitor and the aggregator", §6.1).
+//
+// The second half sweeps the stepped executor's worker pool (the
+// in-process "add executors" axis, ExecutorConfig::workers): real
+// wall-clock throughput at 1/2/4 workers plus the Amdahl bound composed
+// from the measured per-payload bolt service time and the measured serial
+// (spout + merge/route) fraction. Results land in BENCH_stream.json in
+// the working directory; measured and modeled numbers are labeled
+// separately because a single-core container time-slices the pool.
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <thread>
 
 #include "mq/producer.hpp"
 #include "nf/monitor.hpp"
 #include "parsers/parsers.hpp"
 #include "pktgen/generator.hpp"
 #include "stream/bolts.hpp"
+#include "stream/stepped.hpp"
 #include "stream/topk.hpp"
 #include "stream/tuple.hpp"
 
@@ -116,6 +126,76 @@ double measure_storm_rate() {
   return static_cast<double>(bytes) * 8 / secs / 1e9;
 }
 
+/// The serialized record batch the executor sweep feeds through the
+/// ParsingBolt stage (the same shape measure_storm_rate uses).
+std::string make_sweep_payload() {
+  std::vector<nf::Record> batch;
+  for (int i = 0; i < 64; ++i) {
+    nf::Record r;
+    r.topic = "http_get";
+    r.id = static_cast<std::uint64_t>(i);
+    r.fields = {std::string("request"), std::string("/video/item-12345.mp4")};
+    batch.push_back(std::move(r));
+  }
+  const auto payload = nf::serialize_batch(batch);
+  return std::string(reinterpret_cast<const char*>(payload.data()),
+                     payload.size());
+}
+
+/// Endless source of batch payloads for the sweep topology.
+class PayloadSpout final : public stream::Spout {
+ public:
+  explicit PayloadSpout(std::string payload) : payload_(std::move(payload)) {}
+  bool next_tuple(stream::Collector& out, common::Timestamp /*now*/) override {
+    out.emit(stream::Tuple{{payload_}});
+    return true;
+  }
+
+ private:
+  std::string payload_;
+};
+
+/// Payload tuples per second a stepped topology (spout -> 4-task
+/// ParsingBolt stage) executes with `workers` threads.
+double measure_stepped_rate(std::size_t workers, const std::string& payload) {
+  stream::TopologyBuilder b("sweep");
+  b.set_spout("src",
+              [payload] { return std::make_unique<PayloadSpout>(payload); },
+              {"payload"});
+  b.set_bolt("parse", [] { return std::make_unique<stream::ParsingBolt>(); },
+             {"id", "ts", "field", "value"}, 4)
+      .shuffle_grouping("src");
+  stream::SteppedTopology topo(b.build(),
+                               stream::ExecutorConfig{.workers = workers});
+  topo.step(0, 16);  // warmup (spins the pool up)
+  std::uint64_t executed = 0;
+  const auto start = std::chrono::steady_clock::now();
+  while (std::chrono::steady_clock::now() - start < std::chrono::milliseconds(300)) {
+    executed += topo.step(0, 16);
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return static_cast<double>(executed) / secs;
+}
+
+/// Seconds one ParsingBolt execution of the sweep payload takes (the
+/// parallelizable per-tuple service time t_exec).
+double measure_parse_service_time(const std::string& payload) {
+  stream::ParsingBolt parse;
+  struct Null final : stream::Collector {
+    void emit(stream::Tuple) override {}
+  } null;
+  std::uint64_t iters = 0;
+  const auto start = std::chrono::steady_clock::now();
+  while (std::chrono::steady_clock::now() - start < std::chrono::milliseconds(300)) {
+    for (int i = 0; i < 50; ++i) parse.execute(stream::Tuple{{payload}}, null);
+    iters += 50;
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return secs / static_cast<double>(iters);
+}
+
 }  // namespace
 
 int main() {
@@ -167,5 +247,72 @@ int main() {
               "core(s) + %d processing process(es) "
               "(paper: 4 monitoring + 15 processing cores)\n",
               need_monitors, need_brokers + need_workers);
-  return 0;
+
+  // == Stepped-executor worker sweep (ExecutorConfig::workers) ==
+  const unsigned hw_threads = std::max(1u, std::thread::hardware_concurrency());
+  const std::string payload = make_sweep_payload();
+  const std::size_t sweep_workers[] = {1, 2, 4};
+  double measured_tps[3] = {0, 0, 0};
+  std::printf("\n== Stepped executor: 4-task parse stage, worker sweep ==\n");
+  std::printf("hardware threads: %u%s\n", hw_threads,
+              hw_threads < 4 ? " (pool time-slices; real speedup is modeled)"
+                             : "");
+  for (int i = 0; i < 3; ++i) {
+    measured_tps[i] = measure_stepped_rate(sweep_workers[i], payload);
+    std::printf("  workers=%zu: %10.0f payloads/s (~%.0f records/s), "
+                "measured speedup %.2fx\n",
+                sweep_workers[i], measured_tps[i], measured_tps[i] * 64,
+                measured_tps[i] / measured_tps[0]);
+  }
+
+  // Amdahl composition from measured pieces: a payload costs t_exec of
+  // parallelizable bolt work plus t_serial of spout/route/merge work that
+  // the barrier design keeps single-threaded.
+  const double t_exec = measure_parse_service_time(payload);
+  const double t_total = 1.0 / measured_tps[0];
+  const double t_serial = std::max(t_total - t_exec, 0.0);
+  double modeled_speedup[3];
+  for (int i = 0; i < 3; ++i) {
+    modeled_speedup[i] =
+        t_total / (t_serial + t_exec / static_cast<double>(sweep_workers[i]));
+  }
+  std::printf("  per-payload: t_exec %.1f us (parallel), t_serial %.1f us "
+              "(spout+merge), parallel fraction %.0f%%\n",
+              t_exec * 1e6, t_serial * 1e6, 100 * t_exec / t_total);
+  std::printf("  modeled speedup (Amdahl, one worker per core): "
+              "x2=%.2f x4=%.2f (target >1.5x at 4): %s\n",
+              modeled_speedup[1], modeled_speedup[2],
+              modeled_speedup[2] > 1.5 ? "yes" : "NO");
+
+  if (std::FILE* f = std::fopen("BENCH_stream.json", "w")) {
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"hardware_threads\": %u,\n", hw_threads);
+    std::fprintf(f, "  \"stage_tasks\": 4,\n  \"records_per_payload\": 64,\n");
+    std::fprintf(f, "  \"measured\": {\n");
+    for (int i = 0; i < 3; ++i) {
+      std::fprintf(f,
+                   "    \"workers_%zu\": {\"payloads_per_sec\": %.0f, "
+                   "\"speedup\": %.3f}%s\n",
+                   sweep_workers[i], measured_tps[i],
+                   measured_tps[i] / measured_tps[0], i < 2 ? "," : "");
+    }
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"model\": {\n");
+    std::fprintf(f, "    \"t_exec_us\": %.3f,\n    \"t_serial_us\": %.3f,\n",
+                 t_exec * 1e6, t_serial * 1e6);
+    std::fprintf(f, "    \"speedup_2_workers\": %.3f,\n", modeled_speedup[1]);
+    std::fprintf(f, "    \"speedup_4_workers\": %.3f\n", modeled_speedup[2]);
+    std::fprintf(f, "  },\n");
+    std::fprintf(f,
+                 "  \"note\": \"measured = wall clock on this container "
+                 "(%u hardware thread(s)); model = Amdahl bound from the "
+                 "measured parallel/serial split, i.e. the speedup with one "
+                 "core per worker\",\n",
+                 hw_threads);
+    std::fprintf(f, "  \"modeled_speedup_4_workers_gt_1_5\": %s\n",
+                 modeled_speedup[2] > 1.5 ? "true" : "false");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+  }
+  return modeled_speedup[2] > 1.5 ? 0 : 1;
 }

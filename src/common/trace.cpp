@@ -11,6 +11,7 @@ std::string_view trace_stage_name(TraceStage s) noexcept {
     case TraceStage::emit: return "emit";
     case TraceStage::produce: return "produce";
     case TraceStage::consume: return "consume";
+    case TraceStage::execute: return "execute";
     case TraceStage::deliver: return "deliver";
   }
   return "unknown";

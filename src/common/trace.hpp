@@ -40,9 +40,10 @@ enum class TraceStage : std::uint8_t {
   emit,     // parser record left the monitor in a shipped batch
   produce,  // producer delivered the record's message to a broker
   consume,  // spout polled the message out of the broker
+  execute,  // a stream bolt executed a tuple carrying this trace
   deliver,  // result tuple reached the query's sink
 };
-inline constexpr std::size_t kTraceStageCount = 5;
+inline constexpr std::size_t kTraceStageCount = 6;
 std::string_view trace_stage_name(TraceStage s) noexcept;
 
 /// The provenance token stamped onto a sampled packet: the trace id travels

@@ -35,6 +35,10 @@ common::Expected<void> EngineConfig::validate() const {
   if (processor_parallelism == 0) {
     return Error{"config", "processor_parallelism must be > 0"};
   }
+  if (executor_workers > 256 || processor_parallelism > 256) {
+    return Error{"config",
+                 "executor_workers/processor_parallelism must be <= 256"};
+  }
   if (producer_batch.max_records == 0) {
     return Error{"config", "producer_batch.max_records must be > 0"};
   }
@@ -284,9 +288,13 @@ void NetAlytics::build_processors(QueryHandle& q) {
     auto spec = stream::build_processor(call.name, params, ctx);
     // Semantic analysis pre-validated names/topics; a failure here is a
     // programming error in the processor library.
-    q.topologies.push_back(
-        std::make_unique<stream::SteppedTopology>(std::move(spec.value())));
+    const stream::ExecutorConfig exec{
+        .workers = config_.executor_workers != 0 ? config_.executor_workers
+                                                 : config_.processor_parallelism};
+    q.topologies.push_back(std::make_unique<stream::SteppedTopology>(
+        std::move(spec.value()), exec));
     q.topologies.back()->bind_metrics(metrics_, ctx.metrics_prefix);
+    q.topologies.back()->bind_trace(q.recorder_.get());
   }
 }
 

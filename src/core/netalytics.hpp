@@ -25,7 +25,16 @@ struct EngineConfig {
   std::size_t mq_brokers = 2;
   mq::BrokerConfig broker{};  // default: RAM-disk persistence (§6.1)
   placement::MonitorStrategy monitor_strategy = placement::MonitorStrategy::greedy;
+  /// Tasks per topology component (§5.3 "add executors"): partitions the
+  /// work by grouping AND sizes the stepped executor's worker pool, so
+  /// raising it buys real cores, not just partitioning. Results are
+  /// bit-identical at any value a topology's groupings permit (the
+  /// determinism contract, docs/DETERMINISM.md).
   std::size_t processor_parallelism = 1;
+  /// Execution threads per stepped topology. 0 (default) follows
+  /// processor_parallelism; set explicitly to decouple task partitioning
+  /// from the thread count (e.g. many tasks, few cores).
+  std::size_t executor_workers = 0;
   common::Duration tick_interval = common::kSecond;
   /// Feedback-driven sampling (§4.2): halve the rate above the high
   /// occupancy watermark, recover below the low one.
@@ -55,7 +64,8 @@ struct EngineConfig {
   std::size_t timeseries_slots = 0;
 
   /// Reject configurations that cannot run: zero brokers, a zero tick
-  /// interval, inverted feedback watermarks, zero processor parallelism.
+  /// interval, inverted feedback watermarks, zero processor parallelism,
+  /// an absurd executor worker count.
   /// The NetAlytics constructor throws on a bad config; submit() returns
   /// the same error recoverably.
   common::Expected<void> validate() const;

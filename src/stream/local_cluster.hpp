@@ -1,7 +1,11 @@
-// Threaded topology executor: one thread per task, bounded MPMC inboxes,
-// blocking emit for natural backpressure. Runs the same TopologySpec as the
-// stepped executor; used where real parallelism matters (the Fig. 6
-// pipeline-scaling bench and the live quickstart).
+// Free-running threaded topology executor: one thread per task, bounded
+// MPMC inboxes, blocking emit for natural backpressure. Runs the same
+// TopologySpec as SteppedTopology but without its determinism contract —
+// tuple interleaving and shuffle destinations depend on the thread
+// schedule (docs/DETERMINISM.md spells out the difference). Use it where
+// wall-clock behaviour is the point (soak runs, live demos); use the
+// stepped executor (with ExecutorConfig::workers for real cores) wherever
+// results must replay bit-identically.
 #pragma once
 
 #include <atomic>
@@ -16,23 +20,30 @@
 namespace netalytics::stream {
 
 struct LocalClusterConfig {
+  /// Bounded per-task inbox; a full inbox blocks the emitter (the
+  /// cluster's backpressure mechanism).
   std::size_t inbox_capacity = 8192;
+  /// Wall-clock period between Bolt::tick deliveries.
   common::Duration tick_interval = 200 * common::kMillisecond;
 };
 
 class LocalCluster {
  public:
+  /// Instantiates one spout/bolt per task from the spec's factories.
+  /// Threads do not start until start().
   explicit LocalCluster(TopologySpec spec, LocalClusterConfig config = {});
   ~LocalCluster();
 
   LocalCluster(const LocalCluster&) = delete;
   LocalCluster& operator=(const LocalCluster&) = delete;
 
+  /// Launch one thread per task; spouts begin emitting immediately.
   void start();
   /// Stop spouts, drain every bolt in topological order, run cleanups.
   void stop();
   bool running() const noexcept { return running_.load(std::memory_order_acquire); }
 
+  /// Tuples executed by all bolt tasks so far (racy read, monotonic).
   std::uint64_t tuples_executed() const noexcept {
     return executed_.load(std::memory_order_relaxed);
   }

@@ -6,7 +6,9 @@
 
 namespace netalytics::stream {
 
-SteppedTopology::SteppedTopology(TopologySpec spec) : spec_(std::move(spec)) {
+SteppedTopology::SteppedTopology(TopologySpec spec, ExecutorConfig exec)
+    : spec_(std::move(spec)), exec_(exec) {
+  if (exec_.workers == 0) exec_.workers = 1;
   std::map<std::string, std::size_t> index_of;
   nodes_.reserve(spec_.components.size());
   for (const auto& c : spec_.components) {
@@ -67,6 +69,15 @@ SteppedTopology::SteppedTopology(TopologySpec spec) : spec_(std::move(spec)) {
   }
 }
 
+SteppedTopology::~SteppedTopology() {
+  {
+    std::lock_guard lock(pool_mutex_);
+    stop_workers_ = true;
+  }
+  pool_cv_.notify_all();
+  for (auto& t : pool_) t.join();
+}
+
 void SteppedTopology::route(std::size_t src_component, Tuple tuple) {
   Node& src = nodes_[src_component];
   for (std::size_t e = 0; e < src.out_edges.size(); ++e) {
@@ -95,22 +106,122 @@ void SteppedTopology::route(std::size_t src_component, Tuple tuple) {
   }
 }
 
-std::size_t SteppedTopology::drain(common::Timestamp) {
+void SteppedTopology::exec_task(Node& node, Task& task, StageKind kind,
+                                common::Timestamp now) {
+  OutboxCollector out(task.outbox);
+  switch (kind) {
+    case StageKind::execute:
+      while (!task.inbox.empty()) {
+        Tuple tuple = std::move(task.inbox.front());
+        task.inbox.pop_front();
+        if (recorder_ != nullptr && tuple.trace != 0) {
+          recorder_->stamp(tuple.trace, common::TraceStage::execute, now, now);
+        }
+        task.bolt->execute(tuple, out);
+        ++task.processed;
+        if (node.executed != nullptr) node.executed->inc();
+      }
+      break;
+    case StageKind::tick:
+      task.bolt->tick(now, out);
+      break;
+    case StageKind::cleanup:
+      task.bolt->cleanup(now, out);
+      break;
+  }
+}
+
+std::size_t SteppedTopology::merge_stage(std::size_t component) {
+  Node& node = nodes_[component];
+  std::size_t processed = 0;
+  for (auto& task : node.tasks) {
+    processed += task.processed;
+    task.processed = 0;
+    for (auto& tuple : task.outbox) route(component, std::move(tuple));
+    task.outbox.clear();
+  }
+  return processed;
+}
+
+void SteppedTopology::start_workers() {
+  if (!pool_.empty()) return;
+  pool_.reserve(exec_.workers - 1);
+  for (std::size_t i = 0; i + 1 < exec_.workers; ++i) {
+    pool_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void SteppedTopology::claim_loop(Node& node, StageKind kind,
+                                 common::Timestamp now,
+                                 std::uint64_t generation) {
+  for (;;) {
+    std::size_t t;
+    {
+      std::lock_guard lock(pool_mutex_);
+      // Claims and the generation check share the pool mutex, so a thread
+      // that slept through a stage can never claim into the next one.
+      if (generation_ != generation || next_task_ >= node.tasks.size()) return;
+      t = next_task_++;
+    }
+    exec_task(node, node.tasks[t], kind, now);
+    {
+      std::lock_guard lock(pool_mutex_);
+      if (--tasks_remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void SteppedTopology::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    Node* node = nullptr;
+    StageKind kind = StageKind::execute;
+    common::Timestamp now = 0;
+    std::uint64_t generation = 0;
+    {
+      std::unique_lock lock(pool_mutex_);
+      pool_cv_.wait(lock, [&] { return stop_workers_ || generation_ != seen; });
+      if (stop_workers_) return;
+      generation = seen = generation_;
+      node = stage_node_;
+      kind = stage_kind_;
+      now = stage_now_;
+    }
+    claim_loop(*node, kind, now, generation);
+  }
+}
+
+void SteppedTopology::run_bolt_stage(Node& node, StageKind kind,
+                                     common::Timestamp now) {
+  if (exec_.workers <= 1 || node.tasks.size() <= 1) {
+    for (auto& task : node.tasks) exec_task(node, task, kind, now);
+    return;
+  }
+  start_workers();
+  std::uint64_t generation;
+  {
+    std::lock_guard lock(pool_mutex_);
+    stage_node_ = &node;
+    stage_kind_ = kind;
+    stage_now_ = now;
+    next_task_ = 0;
+    tasks_remaining_ = node.tasks.size();
+    generation = ++generation_;
+  }
+  pool_cv_.notify_all();
+  // The stepping thread is one of the `workers` execution threads.
+  claim_loop(node, kind, now, generation);
+  std::unique_lock lock(pool_mutex_);
+  done_cv_.wait(lock, [this] { return tasks_remaining_ == 0; });
+}
+
+std::size_t SteppedTopology::drain(common::Timestamp now) {
   std::size_t processed = 0;
   for (const std::size_t n : topo_order_) {
     Node& node = nodes_[n];
     if (node.spec.is_spout()) continue;
-    for (std::size_t t = 0; t < node.tasks.size(); ++t) {
-      Task& task = node.tasks[t];
-      RoutingCollector collector(*this, n);
-      while (!task.inbox.empty()) {
-        Tuple tuple = std::move(task.inbox.front());
-        task.inbox.pop_front();
-        task.bolt->execute(tuple, collector);
-        ++processed;
-        if (node.executed != nullptr) node.executed->inc();
-      }
-    }
+    run_bolt_stage(node, StageKind::execute, now);
+    processed += merge_stage(n);
   }
   executed_ += processed;
   return processed;
@@ -125,15 +236,20 @@ void SteppedTopology::bind_metrics(common::MetricsRegistry& registry,
 
 std::size_t SteppedTopology::step(common::Timestamp now,
                                   std::size_t spout_budget_per_task) {
+  // Spouts always run sequentially in task order: they pull from shared
+  // sources (the mq brokers), where the poll order *is* the data
+  // assignment — racing them would trade determinism for nothing, since
+  // spout work is a budgeted trickle compared to the bolt stages.
   for (const std::size_t n : topo_order_) {
     Node& node = nodes_[n];
     if (!node.spec.is_spout()) continue;
     for (auto& task : node.tasks) {
-      RoutingCollector collector(*this, n);
+      OutboxCollector collector(task.outbox);
       for (std::size_t i = 0; i < spout_budget_per_task; ++i) {
         if (!task.spout->next_tuple(collector, now)) break;
       }
     }
+    merge_stage(n);
   }
   return drain(now);
 }
@@ -153,10 +269,8 @@ void SteppedTopology::tick(common::Timestamp now) {
   for (const std::size_t n : topo_order_) {
     Node& node = nodes_[n];
     if (node.spec.is_spout()) continue;
-    for (auto& task : node.tasks) {
-      RoutingCollector collector(*this, n);
-      task.bolt->tick(now, collector);
-    }
+    run_bolt_stage(node, StageKind::tick, now);
+    merge_stage(n);
     // Drain immediately so downstream bolts see window emissions in the
     // same tick (a ranking bolt's tick must observe fresh counts).
     drain(now);
@@ -166,14 +280,15 @@ void SteppedTopology::tick(common::Timestamp now) {
 void SteppedTopology::close(common::Timestamp now) {
   for (const std::size_t n : topo_order_) {
     Node& node = nodes_[n];
-    for (auto& task : node.tasks) {
-      RoutingCollector collector(*this, n);
-      if (node.spec.is_spout()) {
+    if (node.spec.is_spout()) {
+      for (auto& task : node.tasks) {
+        OutboxCollector collector(task.outbox);
         task.spout->close(collector);
-      } else {
-        task.bolt->cleanup(now, collector);
       }
+    } else {
+      run_bolt_stage(node, StageKind::cleanup, now);
     }
+    merge_stage(n);
     drain(now);
   }
 }

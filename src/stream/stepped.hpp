@@ -1,24 +1,41 @@
-// Deterministic single-threaded topology executor. Components are run in
-// topological order each step, so a tuple emitted by a spout flows through
-// every downstream bolt within the same step. Used by the simulated
-// use-case pipelines, the figure benches, and the tests; the threaded
-// LocalCluster (local_cluster.hpp) runs the same TopologySpec with real
-// parallelism.
+// Deterministic topology executor with an optional worker pool. Components
+// run in topological order each step, so a tuple emitted by a spout flows
+// through every downstream bolt within the same step. With
+// ExecutorConfig::workers > 1 each bolt stage fans its tasks out to real
+// threads behind a stage barrier while keeping the single-threaded
+// executor's exact virtual-time semantics — same tuple counts, same
+// grouping destinations, same window/tick ordering (the contract is
+// documented in docs/DETERMINISM.md and proven differentially in
+// tests/core/parallel_executor_differential_test.cpp). Used by the
+// simulated use-case pipelines, the figure benches, and the tests; the
+// threaded LocalCluster (local_cluster.hpp) runs the same TopologySpec
+// free-running, without the deterministic contract.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "stream/topology.hpp"
 
 namespace netalytics::stream {
 
 class SteppedTopology {
  public:
-  explicit SteppedTopology(TopologySpec spec);
+  /// Instantiates one spout/bolt per task from the spec's factories.
+  /// `exec.workers` > 1 enables the stage-parallel execution mode; pool
+  /// threads are started lazily on the first parallel stage.
+  explicit SteppedTopology(TopologySpec spec, ExecutorConfig exec = {});
+  ~SteppedTopology();
+
+  SteppedTopology(const SteppedTopology&) = delete;
+  SteppedTopology& operator=(const SteppedTopology&) = delete;
 
   /// One scheduling round: every spout task may emit up to
   /// `spout_budget_per_task` tuples, then all inboxes drain through the
@@ -30,7 +47,9 @@ class SteppedTopology {
   std::size_t run_until_idle(common::Timestamp now, std::size_t max_rounds = 4096);
 
   /// Deliver a tick to every bolt (rolling windows advance, rankings emit)
-  /// and drain the results.
+  /// and drain the results. Stage-ordered: a component's tick runs only
+  /// after every upstream emission of this round has been drained, and its
+  /// own emissions are drained before the next component ticks.
   void tick(common::Timestamp now);
 
   /// cleanup() every bolt and drain final emissions.
@@ -38,16 +57,29 @@ class SteppedTopology {
 
   std::uint64_t tuples_executed() const noexcept { return executed_; }
   const TopologySpec& spec() const noexcept { return spec_; }
+  /// Total execution threads a bolt stage may use (1 = inline).
+  std::size_t workers() const noexcept { return exec_.workers; }
 
   /// Publish per-component executed-tuple counters into `registry` as
   /// "<prefix>.<component>.executed". Bind before stepping.
   void bind_metrics(common::MetricsRegistry& registry, const std::string& prefix);
+
+  /// Stamp a TraceStage::execute span for every executed tuple whose
+  /// `Tuple::trace` is nonzero. Bind before stepping; pass nullptr to
+  /// disable (the default).
+  void bind_trace(common::TraceRecorder* recorder) noexcept {
+    recorder_ = recorder;
+  }
 
  private:
   struct Task {
     std::unique_ptr<Spout> spout;  // exactly one of spout/bolt set
     std::unique_ptr<Bolt> bolt;
     std::deque<Tuple> inbox;
+    // Emissions buffered during a stage, routed at the barrier in task
+    // order — the mechanism that makes parallel execution deterministic.
+    std::vector<Tuple> outbox;
+    std::size_t processed = 0;  // tuples executed this stage
   };
 
   struct Edge {
@@ -64,23 +96,55 @@ class SteppedTopology {
     common::Counter* executed = nullptr;  // null until bind_metrics
   };
 
-  class RoutingCollector final : public Collector {
+  /// Collector handed to components: appends to the executing task's
+  /// outbox. Routing happens later, single-threaded, at the stage barrier.
+  class OutboxCollector final : public Collector {
    public:
-    RoutingCollector(SteppedTopology& topo, std::size_t src) : topo_(topo), src_(src) {}
-    void emit(Tuple tuple) override { topo_.route(src_, std::move(tuple)); }
+    explicit OutboxCollector(std::vector<Tuple>& out) : out_(out) {}
+    void emit(Tuple tuple) override { out_.push_back(std::move(tuple)); }
 
    private:
-    SteppedTopology& topo_;
-    std::size_t src_;
+    std::vector<Tuple>& out_;
   };
+
+  enum class StageKind { execute, tick, cleanup };
 
   void route(std::size_t src_component, Tuple tuple);
   std::size_t drain(common::Timestamp now);
+  /// Run one bolt stage (all tasks of `node`), inline or on the pool.
+  void run_bolt_stage(Node& node, StageKind kind, common::Timestamp now);
+  /// Execute one task of the current stage (worker or stepping thread).
+  void exec_task(Node& node, Task& task, StageKind kind, common::Timestamp now);
+  /// Route every task's outbox in task-index order (the stage barrier's
+  /// deterministic merge). Returns the tuples processed this stage.
+  std::size_t merge_stage(std::size_t component);
+  void claim_loop(Node& node, StageKind kind, common::Timestamp now,
+                  std::uint64_t generation);
+  void start_workers();
+  void worker_loop();
 
   TopologySpec spec_;
+  ExecutorConfig exec_;
   std::vector<Node> nodes_;
   std::vector<std::size_t> topo_order_;
   std::uint64_t executed_ = 0;
+  common::TraceRecorder* recorder_ = nullptr;
+
+  // Stage-synchronous worker pool (empty until the first parallel stage).
+  // All coordination state is guarded by pool_mutex_; task claims go
+  // through next_task_ under the same mutex, so a worker can never act on
+  // a stale stage.
+  std::vector<std::thread> pool_;
+  std::mutex pool_mutex_;
+  std::condition_variable pool_cv_;  // workers wait for a new generation
+  std::condition_variable done_cv_;  // stepping thread waits for completion
+  std::uint64_t generation_ = 0;
+  Node* stage_node_ = nullptr;
+  StageKind stage_kind_ = StageKind::execute;
+  common::Timestamp stage_now_ = 0;
+  std::size_t next_task_ = 0;
+  std::size_t tasks_remaining_ = 0;
+  bool stop_workers_ = false;
 };
 
 }  // namespace netalytics::stream

@@ -48,6 +48,10 @@ class Bolt {
   virtual void cleanup(common::Timestamp /*now*/, Collector& /*out*/) {}
 };
 
+/// How an edge picks the consumer task for each tuple (Storm's groupings):
+/// `shuffle` round-robins, `fields` hashes a subset of the values so equal
+/// keys always land on the same task, `global` pins everything to task 0,
+/// `all` broadcasts a copy to every task.
 enum class GroupingType { shuffle, fields, global, all };
 
 struct Grouping {
@@ -55,14 +59,32 @@ struct Grouping {
   Fields fields{};  // for GroupingType::fields: names in the source's schema
 };
 
+/// Execution-resource configuration for SteppedTopology. `workers` is the
+/// total number of threads a scheduling round may use for bolt stages —
+/// the stepping thread plus `workers - 1` pool threads. 1 (the default)
+/// runs everything inline on the stepping thread; any value produces
+/// bit-identical results (see docs/DETERMINISM.md for the contract and
+/// tests/core/parallel_executor_differential_test.cpp for the proof).
+struct ExecutorConfig {
+  std::size_t workers = 1;
+};
+
+/// Factories, not instances: every task of a component gets its own
+/// spout/bolt object, which is what lets tasks run concurrently without
+/// sharing mutable state (the per-task isolation the parallel executor
+/// relies on — docs/DETERMINISM.md).
 using SpoutFactory = std::function<std::unique_ptr<Spout>()>;
 using BoltFactory = std::function<std::unique_ptr<Bolt>()>;
 
+/// One incoming edge of a bolt: which component it consumes and how tuples
+/// are distributed over this bolt's tasks.
 struct Subscription {
   std::string source;
   Grouping grouping;
 };
 
+/// One node of the DAG: a named spout or bolt, its task count, the output
+/// schema its tuples follow, and the edges it consumes.
 struct ComponentSpec {
   std::string name;
   std::size_t parallelism = 1;
@@ -74,6 +96,8 @@ struct ComponentSpec {
   bool is_spout() const noexcept { return static_cast<bool>(spout_factory); }
 };
 
+/// A validated, executor-agnostic topology: both SteppedTopology and
+/// LocalCluster instantiate their tasks from the same spec.
 struct TopologySpec {
   std::string name;
   std::vector<ComponentSpec> components;

@@ -1,0 +1,74 @@
+#!/usr/bin/env sh
+# Docs-consistency lane: cheap grep-based checks that the documentation
+# does not drift from the tree. Fails (exit 1, one line per problem) when
+#
+#   1. a markdown link target in README.md / DESIGN.md / EXPERIMENTS.md /
+#      docs/*.md points at a file that does not exist,
+#   2. a `bench_*` harness or `examples/<name>` binary mentioned in the
+#      docs has no source file under bench/ or examples/,
+#   3. a tests/*.sh, tests/**/*_test.cpp, BENCH_*.json, or docs/*.md path
+#      mentioned in the docs does not exist.
+#
+# Wired into tests/run_ci.sh as the `docs` lane.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root"
+
+docs="README.md DESIGN.md EXPERIMENTS.md"
+for f in docs/*.md; do docs="$docs $f"; done
+
+status=0
+fail() {
+  echo "check_docs: $1" >&2
+  status=1
+}
+
+# 1. Markdown link targets, resolved relative to the linking file.
+for doc in $docs; do
+  dir=$(dirname -- "$doc")
+  # [text](target) with a path-like target: no URLs, no pure anchors.
+  grep -o '](\([^)#]*\))' "$doc" | sed 's/^](//; s/)$//' |
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|'') continue ;;
+    esac
+    if [ ! -e "$dir/$target" ] && [ ! -e "$target" ]; then
+      echo "check_docs: $doc links to missing file: $target" >&2
+      touch "$repo_root/.check_docs_failed"
+    fi
+  done
+done
+
+# 2. Bench harnesses and example binaries named in the docs must exist.
+for name in $(grep -ho 'bench_[a-z0-9_]*' $docs | sort -u); do
+  [ "$name" = "bench_" ] && continue
+  if [ ! -e "bench/$name.cpp" ] && ! grep -q "$name" bench/CMakeLists.txt; then
+    fail "docs mention unknown bench harness: $name"
+  fi
+done
+for name in $(grep -ho 'examples/[a-z0-9_]*' $docs | sed 's,examples/,,' | sort -u); do
+  [ -z "$name" ] && continue
+  if [ ! -e "examples/$name.cpp" ] && [ ! -e "examples/$name" ]; then
+    fail "docs mention unknown example: examples/$name"
+  fi
+done
+
+# 3. Script, test-source, result-JSON, and docs paths named in the docs.
+for path in $(grep -ho 'tests/[a-z0-9_/]*\.\(sh\|cpp\)' $docs | sort -u) \
+            $(grep -ho 'BENCH_[a-z]*\.json' $docs | sort -u) \
+            $(grep -ho 'docs/[A-Za-z0-9_]*\.md' $docs | sort -u); do
+  if [ ! -e "$path" ]; then
+    fail "docs mention missing file: $path"
+  fi
+done
+
+if [ -e "$repo_root/.check_docs_failed" ]; then
+  rm -f "$repo_root/.check_docs_failed"
+  status=1
+fi
+
+if [ "$status" -eq 0 ]; then
+  echo "check_docs: OK ($(echo $docs | wc -w) files checked)"
+fi
+exit "$status"

@@ -220,11 +220,14 @@ TEST(TraceReconcile, ProvenanceCoversAllStagesAndRendersDeterministically) {
     return (*q)->render_trace(/*max_traces=*/200);
   };
   const std::string first = run();
-  // Request/response packets traverse the whole pipeline: all five stages
-  // present on their traces. Handshake packets stop at ingest.
-  EXPECT_NE(first.find("stages=11111"), std::string::npos);
-  EXPECT_NE(first.find("stages=1...."), std::string::npos);
-  for (const char* stage : {"ingest", "emit", "produce", "consume", "deliver"}) {
+  // Request/response packets traverse the whole pipeline: all six stages
+  // present on their traces (execute is stamped by the stepped executor
+  // for every bolt execution of a traced tuple). Handshake packets stop
+  // at ingest.
+  EXPECT_NE(first.find("stages=111111"), std::string::npos);
+  EXPECT_NE(first.find("stages=1....."), std::string::npos);
+  for (const char* stage :
+       {"ingest", "emit", "produce", "consume", "execute", "deliver"}) {
     EXPECT_NE(first.find(stage), std::string::npos) << stage;
   }
   // Virtual time + content-ordered collection: the rendering is a pure

@@ -1,17 +1,21 @@
 #!/usr/bin/env sh
 # The repo's CI entry point: every lane a merge must survive, one command.
 #
-#   tests/run_ci.sh              # tier-1 + ASan + TSan lanes
+#   tests/run_ci.sh              # tier-1 + ASan + TSan + docs lanes
 #   tests/run_ci.sh tier1        # plain build + full ctest suite only
 #   tests/run_ci.sh asan         # AddressSanitizer build + full ctest suite
 #   tests/run_ci.sh tsan         # ThreadSanitizer lane (tests/run_tsan.sh)
+#   tests/run_ci.sh docs         # docs-consistency check (tests/check_docs.sh)
 #
 # Lanes:
 #   tier1  cmake -B build-ci && ctest            (the acceptance gate)
 #   asan   NETALYTICS_SANITIZE=address, i.e. the `cmake --preset asan`
 #          configuration, full suite under ASan+UBSan-style checks
 #   tsan   delegates to tests/run_tsan.sh (`cmake --preset tsan` equivalent:
-#          the threaded mq + nf suites under ThreadSanitizer)
+#          the threaded mq/nf suites and the parallel stepped-executor
+#          differential suites under ThreadSanitizer)
+#   docs   delegates to tests/check_docs.sh (README/DESIGN/docs references
+#          must point at files and targets that exist)
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -41,7 +45,13 @@ run_tsan() {
   "$repo_root/tests/run_tsan.sh"
 }
 
+run_docs() {
+  echo "== CI lane: docs =="
+  "$repo_root/tests/check_docs.sh"
+}
+
 if [ "$#" -eq 0 ]; then
+  run_docs
   run_tier1
   run_asan
   run_tsan
@@ -54,8 +64,9 @@ for lane in "$@"; do
     tier1) run_tier1 ;;
     asan) run_asan ;;
     tsan) run_tsan ;;
+    docs) run_docs ;;
     *)
-      echo "unknown lane: $lane (expected tier1|asan|tsan)" >&2
+      echo "unknown lane: $lane (expected tier1|asan|tsan|docs)" >&2
       exit 2
       ;;
   esac

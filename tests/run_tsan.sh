@@ -1,9 +1,11 @@
 #!/usr/bin/env sh
 # ThreadSanitizer lane: build with NETALYTICS_SANITIZE=thread and run the
 # suites that exercise real threads against the sharded broker (concurrent
-# producers/consumers, producer retry under chaos, monitor worker pools).
+# producers/consumers, producer retry under chaos, monitor worker pools)
+# and the parallel stepped executor (stage barrier, worker-pool claims,
+# the determinism differentials of docs/DETERMINISM.md).
 #
-#   tests/run_tsan.sh            # the threaded mq + nf suites (CI lane)
+#   tests/run_tsan.sh            # the threaded suites (CI lane)
 #   tests/run_tsan.sh -R <re>    # any ctest selection, forwarded verbatim
 #
 # Companion to the ASan wiring: `cmake --preset asan` / `--preset tsan`
@@ -17,7 +19,7 @@ build_dir="$repo_root/build-tsan"
 cmake -B "$build_dir" -S "$repo_root" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DNETALYTICS_SANITIZE=thread
-cmake --build "$build_dir" -j "$(nproc)" --target mq_test nf_test
+cmake --build "$build_dir" -j "$(nproc)" --target mq_test nf_test stream_test core_test
 
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1${TSAN_OPTIONS:+ $TSAN_OPTIONS}"
 
@@ -25,5 +27,5 @@ if [ "$#" -gt 0 ]; then
   ctest --test-dir "$build_dir" --output-on-failure "$@"
 else
   ctest --test-dir "$build_dir" --output-on-failure \
-    -R 'ConcurrentBroker|MqChaos|ProducerBatch|Producer|Monitor'
+    -R 'ConcurrentBroker|MqChaos|ProducerBatch|Producer|Monitor|ParallelStepped|ParallelExecutor'
 fi
