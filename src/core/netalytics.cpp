@@ -39,6 +39,9 @@ common::Expected<void> EngineConfig::validate() const {
     return Error{"config",
                  "executor_workers/processor_parallelism must be <= 256"};
   }
+  if (spout_group_size == 0 || spout_group_size > 256) {
+    return Error{"config", "spout_group_size must be in [1, 256]"};
+  }
   if (producer_batch.max_records == 0) {
     return Error{"config", "producer_batch.max_records must be > 0"};
   }
@@ -252,6 +255,7 @@ void NetAlytics::build_processors(QueryHandle& q) {
         "q" + std::to_string(q.id_) + "-" + call.name + std::to_string(i);
     ctx.topics = q.plan_.topics;
     ctx.parallelism = config_.processor_parallelism;
+    ctx.spout_group_size = config_.spout_group_size;
     ctx.fault_plan = emu_.fault_plan();
     ctx.metrics = &metrics_;
     ctx.metrics_prefix = q.metrics_prefix_ + ".proc" + std::to_string(i);

@@ -35,6 +35,13 @@ struct EngineConfig {
   /// processor_parallelism; set explicitly to decouple task partitioning
   /// from the thread count (e.g. many tasks, few cores).
   std::size_t executor_workers = 0;
+  /// Kafka-spout tasks per topology source (§5.3 "multiple Kafka
+  /// 'Spouts'"): the N tasks form one consumer group and split the topic's
+  /// partitions via the cluster's GroupCoordinator instead of each
+  /// draining every broker. Delivery stays exact across join/leave
+  /// rebalances (tests/core/group_rebalance_reconcile_test.cpp); sizes
+  /// beyond broker.partitions_per_topic × mq_brokers leave members idle.
+  std::size_t spout_group_size = 1;
   common::Duration tick_interval = common::kSecond;
   /// Feedback-driven sampling (§4.2): halve the rate above the high
   /// occupancy watermark, recover below the low one.
@@ -65,7 +72,7 @@ struct EngineConfig {
 
   /// Reject configurations that cannot run: zero brokers, a zero tick
   /// interval, inverted feedback watermarks, zero processor parallelism,
-  /// an absurd executor worker count.
+  /// an absurd executor worker count or spout group size.
   /// The NetAlytics constructor throws on a bad config; submit() returns
   /// the same error recoverably.
   common::Expected<void> validate() const;

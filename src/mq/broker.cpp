@@ -265,6 +265,12 @@ void Broker::produce_batch(std::span<Message> msgs, common::Timestamp now,
 
 std::vector<Message> Broker::poll(std::string_view group,
                                   std::string_view topic_name, std::size_t max) {
+  return poll(group, topic_name, max, {});
+}
+
+std::vector<Message> Broker::poll(std::string_view group,
+                                  std::string_view topic_name, std::size_t max,
+                                  std::span<const std::size_t> partitions) {
   std::vector<Message> out;
   const common::Timestamp now = last_now_.load(std::memory_order_relaxed);
   // A down broker serves no fetches either; group offsets are untouched, so
@@ -276,9 +282,13 @@ std::vector<Message> Broker::poll(std::string_view group,
   Topic* top = find_topic(topic_name);
   if (top == nullptr) return out;
 
-  for (auto& part_ptr : top->partitions) {
+  const std::size_t count =
+      partitions.empty() ? top->partitions.size() : partitions.size();
+  for (std::size_t i = 0; i < count; ++i) {
     if (out.size() >= max) break;
-    Partition& part = *part_ptr;
+    const std::size_t index = partitions.empty() ? i : partitions[i];
+    if (index >= top->partitions.size()) continue;
+    Partition& part = *top->partitions[index];
     std::lock_guard part_lock(part.mutex);
     auto it = part.group_offsets.find(group);
     if (it == part.group_offsets.end()) {

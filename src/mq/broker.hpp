@@ -126,6 +126,16 @@ class Broker {
   std::vector<Message> poll(std::string_view group, std::string_view topic,
                             std::size_t max);
 
+  /// Assignment-aware poll: read only the listed partition indexes, in the
+  /// order given (a group member fetches its share and nothing else; see
+  /// mq/group.hpp). An empty span means every partition. Out-of-range
+  /// indexes are ignored. Offsets advance per (group, partition) exactly as
+  /// in the unfiltered poll — the cursors are shared group state, which is
+  /// what makes rebalance handoff exact.
+  std::vector<Message> poll(std::string_view group, std::string_view topic,
+                            std::size_t max,
+                            std::span<const std::size_t> partitions);
+
   /// Buffer pressure in [0,1] of the most-backlogged partition of `topic`:
   /// the fraction of the partition's capacity holding messages the slowest
   /// consumer group has not yet read (everything counts while no group has

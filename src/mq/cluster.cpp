@@ -7,7 +7,8 @@
 
 namespace netalytics::mq {
 
-Cluster::Cluster(std::size_t brokers, BrokerConfig config) {
+Cluster::Cluster(std::size_t brokers, BrokerConfig config)
+    : coordinator_(brokers == 0 ? 1 : brokers, config.partitions_per_topic) {
   const std::size_t n = brokers == 0 ? 1 : brokers;
   brokers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -56,6 +57,31 @@ std::vector<Message> Cluster::poll(std::string_view group,
   for (auto& broker : brokers_) {
     if (out.size() >= max) break;
     auto batch = broker->poll(group, topic, max - out.size());
+    out.insert(out.end(), std::make_move_iterator(batch.begin()),
+               std::make_move_iterator(batch.end()));
+  }
+  return out;
+}
+
+std::vector<Message> Cluster::poll(std::string_view group,
+                                   std::string_view topic, std::size_t max,
+                                   std::uint64_t member) {
+  if (member == 0) return poll(group, topic, max);
+  // The assignment is sorted by (broker, partition): fetch each broker's
+  // contiguous run of assigned partitions with one call, in the same order
+  // every member of every generation uses.
+  const auto assigned = coordinator_.assignment(group, member);
+  std::vector<Message> out;
+  std::vector<std::size_t> indexes;
+  std::size_t i = 0;
+  while (i < assigned.size() && out.size() < max) {
+    const std::size_t b = assigned[i].broker;
+    indexes.clear();
+    while (i < assigned.size() && assigned[i].broker == b) {
+      indexes.push_back(assigned[i].partition);
+      ++i;
+    }
+    auto batch = brokers_[b]->poll(group, topic, max - out.size(), indexes);
     out.insert(out.end(), std::make_move_iterator(batch.begin()),
                std::make_move_iterator(batch.end()));
   }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "mq/broker.hpp"
+#include "mq/group.hpp"
 
 namespace netalytics::mq {
 
@@ -29,9 +30,23 @@ class Cluster {
   void produce_batch(std::span<Message> msgs, common::Timestamp now,
                      std::span<ProduceStatus> statuses);
 
-  /// Poll up to `max` messages across all brokers for a group.
+  /// Poll up to `max` messages across all brokers for a group. The
+  /// member-less legacy shim: reads every partition of every broker (a
+  /// non-member consumer behaves like a group of one).
   std::vector<Message> poll(std::string_view group, std::string_view topic,
                             std::size_t max);
+
+  /// Membership-aware poll: fetch only the partitions the coordinator
+  /// currently assigns to `member` (see mq/group.hpp), in (broker,
+  /// partition) order. member == 0 means "not a member" and falls back to
+  /// the poll-everything shim; a departed member's poll returns nothing.
+  std::vector<Message> poll(std::string_view group, std::string_view topic,
+                            std::size_t max, std::uint64_t member);
+
+  /// Membership and deterministic partition assignment for every consumer
+  /// group on this cluster.
+  GroupCoordinator& coordinator() noexcept { return coordinator_; }
+  const GroupCoordinator& coordinator() const noexcept { return coordinator_; }
 
   /// Worst-case partition occupancy of `topic` across brokers — the signal
   /// the feedback-sampling controller watches (§4.2).
@@ -64,6 +79,7 @@ class Cluster {
 
  private:
   std::vector<std::unique_ptr<Broker>> brokers_;
+  GroupCoordinator coordinator_;
 };
 
 }  // namespace netalytics::mq

@@ -2,13 +2,32 @@
 
 namespace netalytics::mq {
 
-Consumer::Consumer(Cluster& cluster, std::string group)
-    : cluster_(cluster), group_(std::move(group)) {}
+Consumer::Consumer(Cluster& cluster, std::string group, bool join_group)
+    : cluster_(cluster), group_(std::move(group)), grouped_(join_group) {
+  if (join_group) member_ = cluster_.coordinator().join(group_);
+}
+
+Consumer::~Consumer() { leave(); }
 
 std::vector<Message> Consumer::poll(std::string_view topic, std::size_t max) {
-  auto out = cluster_.poll(group_, topic, max);
+  // A departed member owns no partitions — it must not fall back to the
+  // member-less poll-everything path, which would double-deliver against
+  // the survivors' shared cursors.
+  if (grouped_ && member_ == 0) return {};
+  auto out = cluster_.poll(group_, topic, max, member_);
   consumed_ += out.size();
   return out;
+}
+
+void Consumer::leave() {
+  if (member_ == 0) return;
+  cluster_.coordinator().leave(group_, member_);
+  member_ = 0;
+}
+
+void Consumer::rejoin() {
+  if (member_ != 0) return;
+  member_ = cluster_.coordinator().join(group_);
 }
 
 }  // namespace netalytics::mq

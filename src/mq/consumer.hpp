@@ -2,6 +2,13 @@
 // Kafka 'Spouts' (i.e. data sources linked to the Kafka servers) to poll
 // for new messages" (§5.3). Offsets are tracked per consumer group inside
 // the brokers; distinct group names replay independently.
+//
+// A consumer constructed with join_group = true becomes a *member* of its
+// group: the cluster's GroupCoordinator assigns it a deterministic share of
+// the partition grid and poll() fetches only that share, so N members split
+// a topic instead of each draining every broker. The two-argument
+// constructor keeps the original member-less semantics (poll everything) as
+// a shim for existing call sites.
 #pragma once
 
 #include <string>
@@ -14,18 +21,35 @@ namespace netalytics::mq {
 
 class Consumer {
  public:
-  Consumer(Cluster& cluster, std::string group);
+  /// join_group = false (the legacy shim) polls every partition; true joins
+  /// `group` as a member and polls only the coordinator-assigned share.
+  Consumer(Cluster& cluster, std::string group, bool join_group = false);
+  ~Consumer();
+
+  Consumer(const Consumer&) = delete;
+  Consumer& operator=(const Consumer&) = delete;
 
   /// Fetch up to `max` new messages on `topic`. Returned messages share
-  /// their payload bytes with the broker log (refcounted, zero-copy).
+  /// their payload bytes with the broker log (refcounted, zero-copy). A
+  /// member that has left the group fetches nothing until rejoin().
   std::vector<Message> poll(std::string_view topic, std::size_t max);
+
+  /// Leave the group now (idempotent; bumps the group generation so the
+  /// survivors inherit this member's partitions at their next poll).
+  void leave();
+  /// Join again after leave() — as a *new* member (fresh id, last rank).
+  void rejoin();
 
   std::uint64_t total_consumed() const noexcept { return consumed_; }
   const std::string& group() const noexcept { return group_; }
+  /// 0 for the member-less shim or after leave().
+  std::uint64_t member_id() const noexcept { return member_; }
 
  private:
   Cluster& cluster_;
   std::string group_;
+  bool grouped_ = false;  // constructed as a member (poll is share-only)
+  std::uint64_t member_ = 0;
   std::uint64_t consumed_ = 0;
 };
 

@@ -5,10 +5,12 @@
 namespace netalytics::stream {
 
 KafkaSpout::KafkaSpout(mq::Cluster& cluster, std::string group, std::string topic,
-                       std::size_t poll_batch, common::FaultPlan* faults)
+                       std::size_t poll_batch, common::FaultPlan* faults,
+                       bool join_group, std::size_t task)
     : cluster_(cluster),
-      consumer_(cluster, std::move(group)),
+      consumer_(cluster, std::move(group), join_group),
       topic_(std::move(topic)),
+      task_(task),
       poll_batch_(poll_batch == 0 ? 1 : poll_batch),
       faults_(faults) {
   owned_metrics_ = std::make_unique<common::MetricsRegistry>();
@@ -23,7 +25,12 @@ void KafkaSpout::bind_metrics(common::MetricsRegistry& registry,
   emitted_ = &registry.counter(prefix + ".emitted");
   poll_failures_ = &registry.counter(prefix + ".poll_failures");
   lag_ = &registry.gauge(prefix + ".lag");
-  buffered_records_ = &registry.gauge(prefix + ".buffered_records");
+  // Absolute gauge, so every task of a spout group needs its own (the
+  // shared counters above accumulate correctly across tasks; a shared
+  // gauge would let one task's set() hide another's buffered backlog and
+  // break engine.reconcile()).
+  buffered_records_ = &registry.gauge(prefix + ".task" + std::to_string(task_) +
+                                      ".buffered_records");
   tracer_ = tracer;
   recorder_ = recorder;
   ledger_ = ledger;

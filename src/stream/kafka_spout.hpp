@@ -23,8 +23,16 @@ inline constexpr std::string_view kFaultSpoutPoll = "stream.spout.poll";
 
 class KafkaSpout final : public Spout {
  public:
+  /// With join_group = false (the default, matching the original
+  /// signature) the spout's consumer polls every partition. With true it
+  /// joins `group` as a coordinator member (mq/group.hpp): N spout tasks
+  /// sharing one group name split the topic's partitions deterministically
+  /// — the task-index order they are constructed in is their member-rank
+  /// order. `task` distinguishes this instance's absolute gauges
+  /// (buffered_records) when several tasks bind the same metrics prefix.
   KafkaSpout(mq::Cluster& cluster, std::string group, std::string topic,
-             std::size_t poll_batch = 64, common::FaultPlan* faults = nullptr);
+             std::size_t poll_batch = 64, common::FaultPlan* faults = nullptr,
+             bool join_group = false, std::size_t task = 0);
 
   bool next_tuple(Collector& out, common::Timestamp now) override;
 
@@ -33,8 +41,10 @@ class KafkaSpout final : public Spout {
 
   /// Re-home counters into `registry` under `prefix` ("<prefix>.emitted",
   /// ".poll_failures", a ".lag" gauge: messages buffered in the brokers
-  /// for this topic, refreshed at every poll, and ".buffered_records": the
-  /// parser records sitting in the spout's local buffer). When `tracer` is
+  /// for this topic, refreshed at every poll, and ".task<i>.buffered_records":
+  /// the parser records sitting in *this task's* local buffer — per-task
+  /// because it is an absolute gauge, while the counters are shared across
+  /// all tasks of a spout group). When `tracer` is
   /// given, each emitted message stamps the consume stage (broker append ->
   /// spout poll); `recorder` gets per-trace consume spans; `ledger` gets
   /// failed polls (consume_poll_failure — bookkeeping, the data retries).
@@ -48,10 +58,16 @@ class KafkaSpout final : public Spout {
   /// engine.reconcile()).
   std::uint64_t buffered_records() const noexcept { return buffered_records_value_; }
 
+  /// The spout's group member identity — mq-level churn tests leave() /
+  /// rejoin() through this; the engine-level equivalent drives churn via
+  /// the cluster's coordinator directly.
+  mq::Consumer& consumer() noexcept { return consumer_; }
+
  private:
   mq::Cluster& cluster_;
   mq::Consumer consumer_;
   std::string topic_;
+  std::size_t task_ = 0;
   std::size_t poll_batch_;
   common::FaultPlan* faults_;
   std::deque<mq::Message> buffer_;

@@ -52,18 +52,26 @@ std::string add_source(TopologyBuilder& b, const ProcessorContext& ctx,
   common::DropLedger* ledger = ctx.drop_ledger;
   const std::string spout_prefix = ctx.metrics_prefix + "." + spout_name;
   const std::string group = ctx.consumer_group + "-" + spout_name;
+  const std::size_t group_size = std::max<std::size_t>(1, ctx.spout_group_size);
+  // The executor instantiates tasks sequentially in task-index order, so
+  // the shared counter hands each task its index — and the spouts join the
+  // consumer group in that same order, making member ranks (and therefore
+  // the partition assignment) deterministic (docs/DETERMINISM.md).
+  auto task_counter = std::make_shared<std::size_t>(0);
   b.set_spout(
       spout_name,
       [cluster, group, topic, faults, metrics, tracer, recorder, ledger,
-       spout_prefix] {
+       spout_prefix, task_counter] {
+        const std::size_t task = (*task_counter)++;
         auto spout = std::make_unique<KafkaSpout>(*cluster, group, topic,
-                                                  /*poll_batch=*/64, faults);
+                                                  /*poll_batch=*/64, faults,
+                                                  /*join_group=*/true, task);
         if (metrics != nullptr) {
           spout->bind_metrics(*metrics, spout_prefix, tracer, recorder, ledger);
         }
         return spout;
       },
-      {"payload"});
+      {"payload"}, group_size);
   b.set_bolt(
        parse_name, [] { return std::make_unique<ParsingBolt>(); },
        record_schema(topic), ctx.parallelism)

@@ -41,6 +41,11 @@ struct ProcessorContext {
   UpdaterBolt::ScaleCallback on_scale_down;
   /// Parallelism for the scalable stages (parse/count/rank).
   std::size_t parallelism = 1;
+  /// Spout tasks per source: all tasks of one source share a consumer
+  /// group and split the topic's partitions via the cluster's
+  /// GroupCoordinator (mq/group.hpp) instead of each draining every
+  /// broker. 1 (default) keeps a single member that owns everything.
+  std::size_t spout_group_size = 1;
   /// Chaos plan handed to every KafkaSpout (null = no injection).
   common::FaultPlan* fault_plan = nullptr;
   /// Observability: when `metrics` is set, spouts and windowed bolts publish

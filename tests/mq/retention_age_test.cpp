@@ -6,6 +6,7 @@
 #include "common/trace.hpp"
 #include "mq/broker.hpp"
 #include "mq/cluster.hpp"
+#include "mq/consumer.hpp"
 
 namespace netalytics::mq {
 namespace {
@@ -118,6 +119,45 @@ TEST(RetentionAge, UnreadRecordsReportsBacklogPerTopic) {
   (void)cluster.poll("g", "t", 100);
   EXPECT_EQ(cluster.unread_records("t"), 0u);
   EXPECT_EQ(cluster.unread_records("other"), 0u);
+}
+
+TEST(RetentionAge, GroupMemberBehindRetentionHorizonResumesAtLogHead) {
+  // A group member whose inherited cursor points below the retention
+  // horizon must resume at the log head: the evicted gap is charged once
+  // to broker_retention, never re-delivered and never silently skipped.
+  common::MetricsRegistry registry;
+  common::DropLedger ledger(registry, "drop");
+  Cluster cluster(1, aged(1000));
+  cluster.set_drop_ledger(&ledger);
+
+  Consumer first(cluster, "g", /*join_group=*/true);
+  for (std::uint64_t key = 0; key < 4; ++key) {
+    ASSERT_EQ(cluster.produce(make_msg("t", key, /*records=*/2), 0),
+              ProduceStatus::ok);
+  }
+  // The member reads only part of the backlog, then stalls.
+  ASSERT_EQ(first.poll("t", 1).size(), 1u);
+
+  // While the cursor lags, the unread remainder ages past retention_age
+  // (evicted on the next produce). 3 messages * 2 records were unread.
+  for (std::uint64_t key = 0; key < 4; ++key) {
+    ASSERT_EQ(cluster.produce(make_msg("t", key, /*records=*/2), 5000),
+              ProduceStatus::ok);
+  }
+  EXPECT_EQ(ledger.value(common::DropCause::broker_retention), 6u);
+
+  // Rebalance: the stalled member leaves and a fresh one inherits the
+  // group cursor — now older than the log head.
+  first.leave();
+  Consumer second(cluster, "g", /*join_group=*/true);
+  const auto resumed = second.poll("t", 100);
+  // It resumes at the head: exactly the 4 live messages, nothing replayed.
+  EXPECT_EQ(resumed.size(), 4u);
+  for (const auto& m : resumed) EXPECT_EQ(m.append_ts, 5000u);
+  // The accounting is closed: consumed + evicted-unread covers every
+  // produced record, and no further retention charge appears on poll.
+  EXPECT_EQ(ledger.value(common::DropCause::broker_retention), 6u);
+  EXPECT_EQ(cluster.unread_records("t"), 0u);
 }
 
 TEST(RetentionAge, CapacityEvictionAlsoFeedsTheLedger) {

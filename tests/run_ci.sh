@@ -1,11 +1,12 @@
 #!/usr/bin/env sh
 # The repo's CI entry point: every lane a merge must survive, one command.
 #
-#   tests/run_ci.sh              # tier-1 + ASan + TSan + docs lanes
+#   tests/run_ci.sh              # tier-1 + ASan + TSan + docs + coverage
 #   tests/run_ci.sh tier1        # plain build + full ctest suite only
 #   tests/run_ci.sh asan         # AddressSanitizer build + full ctest suite
 #   tests/run_ci.sh tsan         # ThreadSanitizer lane (tests/run_tsan.sh)
 #   tests/run_ci.sh docs         # docs-consistency check (tests/check_docs.sh)
+#   tests/run_ci.sh coverage     # gcov line-coverage gate (tests/run_coverage.sh)
 #
 # Lanes:
 #   tier1  cmake -B build-ci && ctest            (the acceptance gate)
@@ -16,6 +17,9 @@
 #          differential suites under ThreadSanitizer)
 #   docs   delegates to tests/check_docs.sh (README/DESIGN/docs references
 #          must point at files and targets that exist)
+#   coverage  delegates to tests/run_coverage.sh (gcov line coverage for
+#          src/mq and src/stream must stay at or above the recorded
+#          baselines)
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -50,11 +54,17 @@ run_docs() {
   "$repo_root/tests/check_docs.sh"
 }
 
+run_coverage() {
+  echo "== CI lane: coverage =="
+  "$repo_root/tests/run_coverage.sh"
+}
+
 if [ "$#" -eq 0 ]; then
   run_docs
   run_tier1
   run_asan
   run_tsan
+  run_coverage
   echo "== CI: all lanes green =="
   exit 0
 fi
@@ -65,8 +75,9 @@ for lane in "$@"; do
     asan) run_asan ;;
     tsan) run_tsan ;;
     docs) run_docs ;;
+    coverage) run_coverage ;;
     *)
-      echo "unknown lane: $lane (expected tier1|asan|tsan|docs)" >&2
+      echo "unknown lane: $lane (expected tier1|asan|tsan|docs|coverage)" >&2
       exit 2
       ;;
   esac

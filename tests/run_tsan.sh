@@ -3,7 +3,8 @@
 # suites that exercise real threads against the sharded broker (concurrent
 # producers/consumers, producer retry under chaos, monitor worker pools)
 # and the parallel stepped executor (stage barrier, worker-pool claims,
-# the determinism differentials of docs/DETERMINISM.md).
+# the determinism differentials of docs/DETERMINISM.md), plus the
+# consumer-group rebalance differentials (spout groups under churn).
 #
 #   tests/run_tsan.sh            # the threaded suites (CI lane)
 #   tests/run_tsan.sh -R <re>    # any ctest selection, forwarded verbatim
@@ -27,5 +28,5 @@ if [ "$#" -gt 0 ]; then
   ctest --test-dir "$build_dir" --output-on-failure "$@"
 else
   ctest --test-dir "$build_dir" --output-on-failure \
-    -R 'ConcurrentBroker|MqChaos|ProducerBatch|Producer|Monitor|ParallelStepped|ParallelExecutor'
+    -R 'ConcurrentBroker|MqChaos|ProducerBatch|Producer|Monitor|ParallelStepped|ParallelExecutor|GroupRebalance'
 fi
