@@ -1,0 +1,143 @@
+// Tiered time-series store microbench: ingest rate into the hot ring
+// (with downsampling and cold encoding in the write path), cold-tier
+// compression ratio against raw 16 B/sample storage, and range-query
+// latency for hot-only, cold-heavy and tier-straddling ranges. The
+// acceptance bar is a >= 4x compression ratio for tick-cadence counter
+// deltas (the capture() workload).
+//
+// Results land in BENCH_tsdb.json in the working directory.
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "tsdb/store.hpp"
+
+using namespace netalytics;
+using tsdb::Agg;
+using tsdb::RangeQuery;
+using tsdb::SeriesKind;
+using tsdb::StoreConfig;
+using tsdb::TieredStore;
+
+namespace {
+
+constexpr std::size_t kSamples = 2'000'000;
+constexpr std::size_t kSeries = 32;
+constexpr common::Duration kTick = common::kSecond;
+constexpr int kQueryReps = 2000;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Deterministic per-tick counter delta: small integers around a plateau,
+/// the shape registry counters produce under steady traffic.
+double delta_at(std::uint64_t& state) {
+  state = state * 6364136223846793005ull + 1442695040888963407ull;
+  return static_cast<double>(100 + (state >> 33) % 32);
+}
+
+double query_us(const TieredStore& store, const RangeQuery& q) {
+  // Warm once, then average.
+  (void)store.query_range(q);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::size_t points = 0;
+  for (int i = 0; i < kQueryReps; ++i) {
+    const auto res = store.query_range(q);
+    for (const auto& s : res.series) points += s.points.size();
+  }
+  const double total = seconds_since(t0);
+  std::fprintf(stderr, "  (%zu points/rep)\n", points / kQueryReps);
+  return total / kQueryReps * 1e6;
+}
+
+}  // namespace
+
+int main() {
+  StoreConfig cfg;  // the engine's defaults
+  TieredStore store(cfg);
+
+  // ---- ingest rate ---------------------------------------------------------
+  std::uint64_t rng = 12345;
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    std::string names[kSeries];
+    for (std::size_t s = 0; s < kSeries; ++s) {
+      names[s] = "bench.series" + std::to_string(s);
+    }
+    for (std::size_t i = 0; i < kSamples; ++i) {
+      const auto tick = i / kSeries;
+      store.ingest(names[i % kSeries], SeriesKind::counter,
+                   tick * kTick, delta_at(rng));
+    }
+  }
+  const double ingest_secs = seconds_since(t0);
+  const double ingest_rate = static_cast<double>(kSamples) / ingest_secs;
+
+  // ---- compression ratio ---------------------------------------------------
+  const auto st = store.stats();
+  const double ratio =
+      st.cold_bytes == 0
+          ? 0
+          : static_cast<double>(st.cold_raw_bytes) /
+                static_cast<double>(st.cold_bytes);
+
+  // ---- query latency -------------------------------------------------------
+  const common::Timestamp last_ts = (kSamples / kSeries - 1) * kTick;
+  // Hot: the newest hot_slots ticks of one series, per-sample resolution.
+  const RangeQuery hot_q{.selector = "bench.series0",
+                         .t0 = last_ts - (cfg.hot_slots - 1) * kTick,
+                         .t1 = last_ts,
+                         .step = kTick,
+                         .agg = Agg::sum};
+  // Cold: everything, one point per series (decodes every retained chunk).
+  const RangeQuery cold_q{.selector = "bench.", .agg = Agg::sum};
+  // Straddle: one series, windowed across the hot/cold boundary.
+  const RangeQuery straddle_q{.selector = "bench.series0",
+                              .t0 = last_ts - 4096 * kTick,
+                              .t1 = last_ts,
+                              .step = 64 * kTick,
+                              .agg = Agg::avg};
+  const double hot_us = query_us(store, hot_q);
+  const double cold_us = query_us(store, cold_q);
+  const double straddle_us = query_us(store, straddle_q);
+
+  const bool pass = ratio >= 4.0;
+  std::printf(
+      "tsdb ingest: %.0f samples/s (%zu samples, %zu series)\n"
+      "tsdb cold tier: %llu buckets, %llu bytes encoded vs %llu raw "
+      "(%.2fx)\n"
+      "tsdb query: hot %.1f us, cold %.1f us, straddle %.1f us\n"
+      "compression >= 4x: %s\n",
+      ingest_rate, kSamples, kSeries,
+      static_cast<unsigned long long>(st.cold_buckets),
+      static_cast<unsigned long long>(st.cold_bytes),
+      static_cast<unsigned long long>(st.cold_raw_bytes), ratio, hot_us,
+      cold_us, straddle_us, pass ? "pass" : "FAIL");
+
+  if (std::FILE* f = std::fopen("BENCH_tsdb.json", "w")) {
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"samples\": %zu,\n"
+        "  \"series\": %zu,\n"
+        "  \"ingest_samples_per_sec\": %.0f,\n"
+        "  \"cold_buckets\": %llu,\n"
+        "  \"cold_bytes\": %llu,\n"
+        "  \"cold_raw_bytes\": %llu,\n"
+        "  \"compression_ratio\": %.2f,\n"
+        "  \"query_hot_us\": %.1f,\n"
+        "  \"query_cold_us\": %.1f,\n"
+        "  \"query_straddle_us\": %.1f,\n"
+        "  \"pass\": %s\n"
+        "}\n",
+        kSamples, kSeries, ingest_rate,
+        static_cast<unsigned long long>(st.cold_buckets),
+        static_cast<unsigned long long>(st.cold_bytes),
+        static_cast<unsigned long long>(st.cold_raw_bytes), ratio, hot_us,
+        cold_us, straddle_us, pass ? "true" : "false");
+    std::fclose(f);
+  }
+  return pass ? 0 : 1;
+}

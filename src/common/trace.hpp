@@ -199,6 +199,10 @@ class DropLedger {
 /// every gauge, which is stored absolute), overwriting the oldest entry
 /// once `slots` are full. Deterministic: entries depend only on capture
 /// timestamps and the metric values.
+///
+/// Legacy: tsdb::TieredStore supersedes this ring for history — it keeps
+/// the same per-tick deltas in tiered storage and answers through the
+/// typed RangeQuery API instead of exposing raw entries.
 class SnapshotRing {
  public:
   struct Entry {

@@ -1,7 +1,9 @@
 #include "core/netalytics.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
+#include <utility>
 
 #include "common/logging.hpp"
 #include "common/string_util.hpp"
@@ -15,6 +17,37 @@ namespace {
 std::string_view leaf_name(std::string_view name) {
   const auto dot = name.rfind('.');
   return dot == std::string_view::npos ? name : name.substr(dot + 1);
+}
+
+/// Map a windowed emission to a (series-key, value) pair for the tiered
+/// store. Shapes (see stream/topk.hpp and GroupAggBolt::emit_groups):
+/// rolling-count / local top-k [key, count], global top-k [rank, key,
+/// count] (the rank is dropped so a key's series is stable as it moves
+/// through the ranking), group aggregations [groups..., result, count]
+/// (the double result is the value). Returns nullopt for per-event
+/// shapes, which are not captured.
+std::optional<std::pair<std::string, double>> result_series(
+    const stream::Tuple& t) {
+  if (t.size() < 2 || !std::holds_alternative<std::uint64_t>(t.values.back())) {
+    return std::nullopt;
+  }
+  std::size_t key_end = t.size() - 1;
+  double value = static_cast<double>(stream::as_u64(t.values.back()));
+  if (key_end >= 2 && std::holds_alternative<double>(t.at(key_end - 1))) {
+    value = std::get<double>(t.at(key_end - 1));
+    --key_end;
+  }
+  std::size_t key_begin = 0;
+  if (key_end >= 2 && std::holds_alternative<std::uint64_t>(t.at(0))) {
+    key_begin = 1;  // global top-k rank
+  }
+  std::string key;
+  for (std::size_t i = key_begin; i < key_end; ++i) {
+    if (!key.empty()) key += '.';
+    key += stream::format_value(t.at(i));
+  }
+  if (key.empty()) key = "value";
+  return std::make_pair(std::move(key), value);
 }
 
 }  // namespace
@@ -49,6 +82,7 @@ common::Expected<void> EngineConfig::validate() const {
     return Error{"config",
                  "producer_batch.linger must not exceed tick_interval"};
   }
+  if (auto ok = tsdb_store.validate(); !ok) return ok.error();
   return {};
 }
 
@@ -73,25 +107,41 @@ std::string ReconcileReport::render() const {
   return out;
 }
 
+RangeResult QueryHandle::query_range(RangeQuery q) const {
+  // Scope the selector under this query's registry prefix ("q<id>.", the
+  // trailing dot keeps "q1" from matching "q10.*").
+  q.selector = metrics_prefix_ + "." + q.selector;
+  if (engine_ == nullptr) {
+    RangeResult empty;
+    empty.query = std::move(q);
+    return empty;
+  }
+  return engine_->query_range(q);
+}
+
 nf::MonitorStats QueryHandle::monitor_stats() const {
   nf::MonitorStats total;
-  if (registry_ == nullptr) return total;
-  // The counters outlive the monitors (they live in the engine's registry),
-  // so this works identically for live and finished queries.
-  const auto snap = registry_->snapshot(metrics_prefix_ + ".mon");
-  for (const auto& c : snap.counters) {
-    const auto leaf = leaf_name(c.name);
-    if (leaf == "rx_packets") total.rx_packets += c.value;
-    else if (leaf == "rx_dropped") total.rx_dropped += c.value;
-    else if (leaf == "decode_failed") total.decode_failed += c.value;
-    else if (leaf == "sampled_out") total.sampled_out += c.value;
-    else if (leaf == "dispatched") total.dispatched += c.value;
-    else if (leaf == "worker_dropped") total.worker_dropped += c.value;
-    else if (leaf == "parsed") total.parsed += c.value;
-    else if (leaf == "records") total.records += c.value;
-    else if (leaf == "record_bytes") total.record_bytes += c.value;
-    else if (leaf == "raw_bytes") total.raw_bytes += c.value;
-    else if (leaf == "parser_errors") total.parser_errors += c.value;
+  if (engine_ == nullptr) return total;
+  // A whole-range sum per "q<id>.mon*" counter. The store merges the live
+  // registry head, so the sums equal the registry's current values exactly
+  // — for live and finished queries alike (the counters outlive the
+  // monitors) and even with the store disabled.
+  const auto res = query_range({.selector = "mon", .agg = Agg::sum});
+  for (const auto& s : res.series) {
+    if (s.points.empty()) continue;
+    const auto v = static_cast<std::uint64_t>(s.points.front().value);
+    const auto leaf = leaf_name(s.name);
+    if (leaf == "rx_packets") total.rx_packets += v;
+    else if (leaf == "rx_dropped") total.rx_dropped += v;
+    else if (leaf == "decode_failed") total.decode_failed += v;
+    else if (leaf == "sampled_out") total.sampled_out += v;
+    else if (leaf == "dispatched") total.dispatched += v;
+    else if (leaf == "worker_dropped") total.worker_dropped += v;
+    else if (leaf == "parsed") total.parsed += v;
+    else if (leaf == "records") total.records += v;
+    else if (leaf == "record_bytes") total.record_bytes += v;
+    else if (leaf == "raw_bytes") total.raw_bytes += v;
+    else if (leaf == "parser_errors") total.parser_errors += v;
   }
   return total;
 }
@@ -101,17 +151,18 @@ double QueryHandle::sample_rate() const {
   return monitors.front()->sample_rate();
 }
 
-std::string QueryHandle::render_metrics() const {
+std::string QueryHandle::render(const RenderOptions& opts) const {
   if (registry_ == nullptr) return {};
   // Trailing dot so "q1." never matches "q10.*".
-  return registry_->render_text(metrics_prefix_ + ".");
+  return registry_->render_text(metrics_prefix_ + "." + std::string(opts.prefix));
 }
 
 NetAlytics::NetAlytics(Emulation& emu, EngineConfig config)
     : emu_(emu),
       config_(config),
       engine_ledger_(metrics_, "drop"),
-      cluster_(config.mq_brokers, config.broker) {
+      cluster_(config.mq_brokers, config.broker),
+      store_(config.tsdb_store) {
   if (auto ok = config_.validate(); !ok) {
     throw std::invalid_argument(ok.error().to_string());
   }
@@ -148,6 +199,7 @@ common::Expected<QueryHandle*> NetAlytics::submit(std::string_view text,
   // Everything this query publishes lives under "q<id>." in the engine's
   // registry; the tracer owns the per-stage latency histograms.
   handle->registry_ = &metrics_;
+  handle->engine_ = this;
   handle->metrics_prefix_ = "q" + std::to_string(handle->id_);
   handle->tracer_ = std::make_unique<common::StageTracer>(
       metrics_, handle->metrics_prefix_);
@@ -266,9 +318,18 @@ void NetAlytics::build_processors(QueryHandle& q) {
     // ingress timestamp; only identity preserves the record schema
     // ([id, ts:u64, ...]), so the e2e stage is stamped on its sink alone.
     const bool stamp_e2e = call.name == "identity";
+    // Windowed emissions (rankings, group aggregates) are per-tick values
+    // worth a history; per-event shapes (identity, join, diffs) are not —
+    // their cardinality is the packet stream's.
+    const bool capture_results =
+        store_.enabled() &&
+        (call.name == "top-k" || call.name.rfind("group-", 0) == 0);
+    const std::string result_prefix =
+        q.metrics_prefix_ + ".result.proc" + std::to_string(i) + ".";
     common::StageTracer* tracer = q.tracer_.get();
     common::TraceRecorder* recorder = q.recorder_.get();
-    ctx.result_sink = [this, qp, tracer, recorder, stamp_e2e](const stream::Tuple& t) {
+    ctx.result_sink = [this, qp, tracer, recorder, stamp_e2e, capture_results,
+                       result_prefix](const stream::Tuple& t) {
       qp->results_.push_back(t);
       const bool has_ts =
           t.size() > 1 && std::holds_alternative<std::uint64_t>(t.at(1));
@@ -279,6 +340,12 @@ void NetAlytics::build_processors(QueryHandle& q) {
       if (stamp_e2e && has_ts) {
         tracer->stamp(common::StageTracer::Stage::e2e, now_,
                       stream::as_u64(t.at(1)));
+      }
+      if (capture_results) {
+        if (auto kv = result_series(t)) {
+          store_.ingest(result_prefix + kv->first, tsdb::SeriesKind::gauge,
+                        now_, kv->second);
+        }
       }
     };
     if (automation_store_ != nullptr && call.name == "top-k") {
@@ -354,12 +421,23 @@ void NetAlytics::pump(common::Timestamp now) {
     if (time_up || packets_up) stop_query(q, now);
   }
 
-  if (timeseries_ != nullptr &&
-      (timeseries_->captures() == 0 ||
-       now - last_capture_ >= config_.tick_interval)) {
-    timeseries_->capture(now, metrics_.snapshot());
+  // One registry snapshot per tick interval feeds both the tiered store
+  // and the deprecated SnapshotRing (first pump captures immediately).
+  if ((timeseries_ != nullptr || store_.enabled()) &&
+      (!captured_once_ || now - last_capture_ >= config_.tick_interval)) {
+    const auto snap = metrics_.snapshot();
+    if (timeseries_ != nullptr) timeseries_->capture(now, snap);
+    store_.capture(now, snap);
     last_capture_ = now;
+    captured_once_ = true;
   }
+}
+
+RangeResult NetAlytics::query_range(const RangeQuery& q) const {
+  // The live head is the registry's current cumulative state, filtered to
+  // the selector (the store filters by the same prefix internally).
+  const auto snap = metrics_.snapshot(q.selector);
+  return store_.query_range(q, tsdb::LiveHead{now_, &snap});
 }
 
 ReconcileReport NetAlytics::reconcile(const QueryHandle& q) const {

@@ -18,8 +18,15 @@
 #include "nf/orchestrator.hpp"
 #include "stream/processors.hpp"
 #include "stream/stepped.hpp"
+#include "tsdb/store.hpp"
 
 namespace netalytics::core {
+
+// The unified historical read API (src/tsdb/): re-exported here because the
+// engine façade is where callers meet it.
+using Agg = tsdb::Agg;
+using RangeQuery = tsdb::RangeQuery;
+using RangeResult = tsdb::RangeResult;
 
 struct EngineConfig {
   std::size_t mq_brokers = 2;
@@ -68,7 +75,13 @@ struct EngineConfig {
   std::size_t trace_span_capacity = 4096;
   /// Windowed metrics time series: keep the last N per-tick snapshot deltas
   /// (netdata-style). 0 disables capture.
+  /// Deprecated in favour of the tiered store below; kept for one release.
   std::size_t timeseries_slots = 0;
+  /// Embedded tiered time-series store (src/tsdb/): per-tick registry
+  /// snapshots and analytics emissions land in per-series hot rings and
+  /// downsample into a compressed cold tier. hot_slots = 0 disables
+  /// capture (query_range then serves only the live registry head).
+  tsdb::StoreConfig tsdb_store{};
 
   /// Reject configurations that cannot run: zero brokers, a zero tick
   /// interval, inverted feedback watermarks, zero processor parallelism,
@@ -99,9 +112,16 @@ class QueryHandle {
     return view().render(key_fields, max_rows);
   }
 
+  /// Historical range query scoped to this query: the selector is
+  /// interpreted under "q<id>." ("mon" -> every monitor counter, "result"
+  /// -> per-tick analytics emissions, "stage" -> latency histograms for
+  /// the percentile aggs, "" -> everything this query recorded).
+  RangeResult query_range(RangeQuery q) const;
+
   /// Combined statistics across this query's monitors — a compatibility
-  /// shim summing this query's "q<id>.mon*" counters out of the engine's
-  /// metrics registry (which outlives undeployed monitors).
+  /// shim over query_range("mon", sum): whole-range counter sums are exact
+  /// and live (the store merges the registry head), so this matches the
+  /// registry for live and finished queries alike.
   nf::MonitorStats monitor_stats() const;
   double sample_rate() const;
 
@@ -122,10 +142,14 @@ class QueryHandle {
     return recorder_->render(max_traces);
   }
 
-  /// Prometheus-style rendering of everything this query put in the
-  /// engine's registry ("q<id>.*": monitor counters, producer counters,
-  /// processor counters, stage histograms).
-  std::string render_metrics() const;
+  /// Unified render entry point: Prometheus-style rendering of this
+  /// query's slice of the engine registry ("q<id>." + opts.prefix —
+  /// monitor counters, producer counters, processor counters, stage
+  /// histograms). Table rendering of results stays on view()/render(n).
+  std::string render(const RenderOptions& opts) const;
+
+  /// Pre-RenderOptions name, kept as a thin shim for one release.
+  std::string render_metrics() const { return render(RenderOptions{}); }
 
  private:
   friend class NetAlytics;
@@ -146,6 +170,7 @@ class QueryHandle {
   double final_sample_rate_ = 1.0;
 
   common::MetricsRegistry* registry_ = nullptr;  // the engine's registry
+  const NetAlytics* engine_ = nullptr;           // for query_range
   std::string metrics_prefix_;                   // "q<id>"
   std::unique_ptr<common::StageTracer> tracer_;
   std::unique_ptr<common::TraceRecorder> recorder_;
@@ -207,10 +232,23 @@ class NetAlytics {
   /// The engine-wide metrics registry every layer publishes into.
   common::MetricsRegistry& metrics() noexcept { return metrics_; }
   const common::MetricsRegistry& metrics() const noexcept { return metrics_; }
-  /// Prometheus-style plain-text dump of the whole registry (optionally
-  /// filtered to names starting with `prefix`).
+
+  /// Execute a historical range query against the tiered store, merged
+  /// with the live registry head (so whole-range counter sums equal the
+  /// registry's current values even between captures, and queries work —
+  /// from the head alone — with the store disabled).
+  RangeResult query_range(const RangeQuery& q) const;
+  /// The store itself, for stats (compression ratio, eviction counts).
+  const tsdb::TieredStore& timeseries_store() const noexcept { return store_; }
+
+  /// Unified render entry point: Prometheus-style dump of the registry
+  /// filtered to names starting with opts.prefix (table fields unused).
+  std::string render(const RenderOptions& opts) const {
+    return metrics_.render_text(opts.prefix);
+  }
+  /// Pre-RenderOptions name, kept as a thin shim for one release.
   std::string render_metrics(std::string_view prefix = {}) const {
-    return metrics_.render_text(prefix);
+    return render(RenderOptions{.prefix = prefix});
   }
 
   /// Prove drop accounting closes for `q`: every monitor-received packet is
@@ -226,6 +264,9 @@ class NetAlytics {
 
   /// Windowed time series of registry deltas, captured once per tick
   /// interval during pump(). Null unless EngineConfig::timeseries_slots > 0.
+  /// Deprecated: the raw ring exposes internal state; use query_range()
+  /// (historical reads) or timeseries_store() (stats) instead.
+  [[deprecated("use query_range()/timeseries_store()")]]
   const common::SnapshotRing* timeseries() const noexcept {
     return timeseries_.get();
   }
@@ -260,7 +301,9 @@ class NetAlytics {
   std::uint64_t next_producer_id_ = 1;
   common::Timestamp now_ = 0;
   std::unique_ptr<common::SnapshotRing> timeseries_;
+  tsdb::TieredStore store_;
   common::Timestamp last_capture_ = 0;
+  bool captured_once_ = false;
 
   // Engine-level counters ("engine.*"), resolved once in the constructor.
   common::Counter* queries_submitted_ = nullptr;

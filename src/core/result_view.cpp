@@ -20,11 +20,11 @@ std::vector<stream::Tuple> ResultView::latest(std::size_t key_fields) const {
   return out;
 }
 
-std::string ResultView::render(std::size_t key_fields, std::size_t max_rows) const {
+std::string ResultView::render(const RenderOptions& opts) const {
   std::string out;
   std::size_t n = 0;
-  for (const auto& t : latest(key_fields)) {
-    if (n++ >= max_rows) {
+  for (const auto& t : latest(opts.key_fields)) {
+    if (n++ >= opts.max_rows) {
       out += "...\n";
       break;
     }

@@ -13,6 +13,17 @@
 
 namespace netalytics::core {
 
+/// Options for the unified render(opts) entry points (NetAlytics::render,
+/// QueryHandle::render, ResultView::render). One struct serves both render
+/// families: metrics renders honour `prefix` (a name filter under the
+/// object's scope) and ignore the table fields; table renders honour
+/// `key_fields`/`max_rows` and ignore `prefix`.
+struct RenderOptions {
+  std::string_view prefix{};
+  std::size_t key_fields = 1;
+  std::size_t max_rows = 50;
+};
+
 class ResultView {
  public:
   explicit ResultView(const std::vector<stream::Tuple>& tuples)
@@ -28,9 +39,14 @@ class ResultView {
   /// value of the first `key_fields` fields, in key order.
   std::vector<stream::Tuple> latest(std::size_t key_fields) const;
 
-  /// Plain-text rendering of latest(), one formatted tuple per line,
-  /// truncated with "..." past `max_rows`.
-  std::string render(std::size_t key_fields, std::size_t max_rows = 50) const;
+  /// Plain-text rendering of latest(): one formatted tuple per line,
+  /// truncated with "..." past opts.max_rows (opts.prefix is unused here).
+  std::string render(const RenderOptions& opts) const;
+
+  /// Pre-RenderOptions signature, kept as a thin shim for one release.
+  std::string render(std::size_t key_fields, std::size_t max_rows = 50) const {
+    return render(RenderOptions{.key_fields = key_fields, .max_rows = max_rows});
+  }
 
  private:
   const std::vector<stream::Tuple>* tuples_;

@@ -33,7 +33,10 @@ struct ProcessorContext {
   mq::Cluster* cluster = nullptr;  // aggregation layer (required)
   std::string consumer_group = "netalytics";
   std::vector<std::string> topics;  // parser topics, in PARSE order
-  SinkBolt::Callback result_sink;   // final results land here (required)
+  /// Final results land here (required). The engine's sink also feeds
+  /// windowed emissions (top-k, group-*) into its time-series store as
+  /// per-tick "q<id>.result.proc<i>.<key>" gauge series.
+  SinkBolt::Callback result_sink;
   /// Optional automation hooks (top-k only).
   KvStore* kvstore = nullptr;
   UpdaterConfig updater_config{};

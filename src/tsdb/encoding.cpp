@@ -1,0 +1,100 @@
+#include "tsdb/encoding.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace netalytics::tsdb {
+
+void put_uvarint(std::vector<std::byte>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::byte>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::byte>(v));
+}
+
+std::uint64_t get_uvarint(std::span<const std::byte> buf, std::size_t& pos) {
+  std::uint64_t v = 0;
+  unsigned shift = 0;
+  for (;;) {
+    if (pos >= buf.size() || shift > 63) {
+      throw std::out_of_range("tsdb: truncated uvarint");
+    }
+    const auto b = static_cast<std::uint8_t>(buf[pos++]);
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+void put_svarint(std::vector<std::byte>& out, std::int64_t v) {
+  put_uvarint(out, zigzag(v));
+}
+
+std::int64_t get_svarint(std::span<const std::byte> buf, std::size_t& pos) {
+  return unzigzag(get_uvarint(buf, pos));
+}
+
+namespace {
+
+// Integral doubles the folded-tag varint path can carry: zigzag needs one
+// bit, the integral/raw tag another, leaving 62 bits of magnitude.
+constexpr double kMaxIntegral = 2305843009213693952.0;  // 2^61
+
+void put_raw(std::vector<std::byte>& out, double v) {
+  out.push_back(static_cast<std::byte>(0x01));  // odd = raw escape
+  std::byte bits[8];
+  std::memcpy(bits, &v, 8);
+  out.insert(out.end(), bits, bits + 8);
+}
+
+}  // namespace
+
+bool integral_number(double v) noexcept {
+  return std::nearbyint(v) == v && v > -kMaxIntegral && v < kMaxIntegral;
+}
+
+void put_number(std::vector<std::byte>& out, double v) {
+  if (integral_number(v)) {
+    put_uvarint(out, zigzag(static_cast<std::int64_t>(v)) << 1);
+  } else {
+    put_raw(out, v);
+  }
+}
+
+double get_number(std::span<const std::byte> buf, std::size_t& pos) {
+  const auto u = get_uvarint(buf, pos);
+  if ((u & 1) == 0) return static_cast<double>(unzigzag(u >> 1));
+  if (pos + 8 > buf.size()) throw std::out_of_range("tsdb: truncated number");
+  double v;
+  std::memcpy(&v, buf.data() + pos, 8);
+  pos += 8;
+  return v;
+}
+
+void put_number_delta(std::vector<std::byte>& out, double prev, double cur) {
+  if (integral_number(prev) && integral_number(cur)) {
+    const auto d =
+        static_cast<std::int64_t>(cur) - static_cast<std::int64_t>(prev);
+    put_uvarint(out, zigzag(d) << 1);
+  } else {
+    put_raw(out, cur);
+  }
+}
+
+double get_number_delta(std::span<const std::byte> buf, std::size_t& pos,
+                        double prev) {
+  const auto u = get_uvarint(buf, pos);
+  if ((u & 1) == 0) {
+    return static_cast<double>(static_cast<std::int64_t>(prev) +
+                               unzigzag(u >> 1));
+  }
+  if (pos + 8 > buf.size()) throw std::out_of_range("tsdb: truncated number");
+  double v;
+  std::memcpy(&v, buf.data() + pos, 8);
+  pos += 8;
+  return v;
+}
+
+}  // namespace netalytics::tsdb

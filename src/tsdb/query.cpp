@@ -1,0 +1,95 @@
+#include "tsdb/query.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace netalytics::tsdb {
+
+std::string_view agg_name(Agg a) noexcept {
+  switch (a) {
+    case Agg::sum: return "sum";
+    case Agg::avg: return "avg";
+    case Agg::min: return "min";
+    case Agg::max: return "max";
+    case Agg::last: return "last";
+    case Agg::p50: return "p50";
+    case Agg::p95: return "p95";
+    case Agg::p99: return "p99";
+  }
+  return "?";
+}
+
+double agg_quantile(Agg a) noexcept {
+  switch (a) {
+    case Agg::p50: return 0.50;
+    case Agg::p95: return 0.95;
+    case Agg::p99: return 0.99;
+    default: return 0;
+  }
+}
+
+std::string_view series_kind_name(SeriesKind k) noexcept {
+  return k == SeriesKind::counter ? "counter" : "gauge";
+}
+
+double percentile_from_buckets(const std::vector<std::uint64_t>& bounds,
+                               const std::vector<double>& bucket_sums,
+                               double q) noexcept {
+  double total = 0;
+  for (const double c : bucket_sums) total += c;
+  if (total <= 0 || bounds.empty()) return 0;
+  const double target = q * total;
+  double cum = 0;
+  for (std::size_t i = 0; i < bucket_sums.size(); ++i) {
+    cum += bucket_sums[i];
+    if (cum >= target) {
+      // The +inf bucket clamps to the last finite bound (documented).
+      const std::size_t b = i < bounds.size() ? i : bounds.size() - 1;
+      return static_cast<double>(bounds[b]);
+    }
+  }
+  return static_cast<double>(bounds.back());
+}
+
+std::string format_number(double v) {
+  if (std::nearbyint(v) == v && std::abs(v) < 9.0e18) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+std::string RangeResult::render(std::size_t max_points_per_series) const {
+  std::string out = "range selector=";
+  out += query.selector.empty() ? "*" : query.selector;
+  out += " agg=";
+  out += agg_name(query.agg);
+  out += " t0=" + std::to_string(query.t0);
+  out += query.t1 == std::numeric_limits<common::Timestamp>::max()
+             ? std::string(" t1=max")
+             : " t1=" + std::to_string(query.t1);
+  out += " step=" + std::to_string(query.step);
+  out += exact ? " exact=true\n" : " exact=false\n";
+  for (const auto& s : series) {
+    out += s.name;
+    out += ' ';
+    out += series_kind_name(s.kind);
+    out += " points=" + std::to_string(s.points.size());
+    out += '\n';
+    std::size_t n = 0;
+    for (const auto& p : s.points) {
+      if (n++ >= max_points_per_series) {
+        out += "  ...\n";
+        break;
+      }
+      out += "  t=" + std::to_string(p.t);
+      out += " v=" + format_number(p.value);
+      out += " n=" + std::to_string(p.samples);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace netalytics::tsdb

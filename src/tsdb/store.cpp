@@ -1,0 +1,536 @@
+#include "tsdb/store.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "tsdb/encoding.hpp"
+
+namespace netalytics::tsdb {
+
+common::Expected<void> StoreConfig::validate() const {
+  using common::Error;
+  constexpr std::size_t kLimit = 1u << 20;
+  if (hot_slots > kLimit) {
+    return Error{"tsdb", "hot_slots must be <= 2^20"};
+  }
+  if (downsample_ticks == 0 || downsample_ticks > 4096) {
+    return Error{"tsdb", "downsample_ticks must be in [1, 4096]"};
+  }
+  if (cold_chunk_buckets == 0 || cold_chunk_buckets > 4096) {
+    return Error{"tsdb", "cold_chunk_buckets must be in [1, 4096]"};
+  }
+  if (cold_chunks > kLimit || max_series > kLimit) {
+    return Error{"tsdb", "cold_chunks/max_series must be <= 2^20"};
+  }
+  return {};
+}
+
+TieredStore::TieredStore(StoreConfig cfg) : cfg_(cfg) {}
+
+// ---- buckets ---------------------------------------------------------------
+
+void TieredStore::Bucket::fold(common::Timestamp sample_ts, double v) noexcept {
+  if (count == 0) {
+    ts = sample_ts;
+    sum = min = max = last = v;
+    count = 1;
+    return;
+  }
+  sum += v;
+  min = std::min(min, v);
+  max = std::max(max, v);
+  last = v;
+  ++count;
+}
+
+void TieredStore::Bucket::merge(const Bucket& b) noexcept {
+  if (b.count == 0) return;
+  if (count == 0) {
+    *this = b;
+    return;
+  }
+  sum += b.sum;
+  min = std::min(min, b.min);
+  max = std::max(max, b.max);
+  last = b.last;
+  count += b.count;
+}
+
+// ---- ingest ----------------------------------------------------------------
+
+TieredStore::Series* TieredStore::find_or_create(const std::string& name,
+                                                 SeriesKind kind) {
+  auto it = series_.find(name);
+  if (it != series_.end()) return &it->second;
+  if (cfg_.max_series != 0) {
+    std::size_t total = series_.size();
+    for (const auto& [n, h] : histograms_) total += h.buckets.size();
+    if (total >= cfg_.max_series) {
+      ++rejected_samples_;
+      return nullptr;
+    }
+  }
+  Series s;
+  s.kind = kind;
+  s.hot.resize(cfg_.hot_slots);
+  return &series_.emplace(name, std::move(s)).first->second;
+}
+
+void TieredStore::push(Series& s, common::Timestamp ts, double value) {
+  s.cum += value;
+  ++s.ingested;
+  if (s.count == s.hot.size()) {
+    fold_to_cold(s, s.hot[s.head]);  // head is the oldest slot when full
+  } else {
+    ++s.count;
+  }
+  s.hot[s.head] = {ts, value};
+  s.head = (s.head + 1) % s.hot.size();
+}
+
+void TieredStore::fold_to_cold(Series& s, const Sample& evictee) {
+  Cold& c = s.cold;
+  c.pending.fold(evictee.ts, evictee.value);
+  c.pending_open = true;
+  if (c.pending.count >= cfg_.downsample_ticks) {
+    append_bucket(c, c.pending);
+    c.pending = Bucket{};
+    c.pending_open = false;
+  }
+}
+
+void TieredStore::append_bucket(Cold& c, const Bucket& b) {
+  if (c.chunks.empty() || c.chunks.back().buckets >= cfg_.cold_chunk_buckets) {
+    c.chunks.emplace_back();
+    c.prev = Bucket{};
+    c.prev_ts = 0;
+    c.prev_dt = 0;
+  }
+  Chunk& ch = c.chunks.back();
+  if (ch.buckets == 0) {
+    ch.first_ts = b.ts;
+    put_uvarint(ch.bytes, b.ts);
+    put_uvarint(ch.bytes, b.count);
+    put_number(ch.bytes, b.sum);
+    put_number(ch.bytes, b.min);
+    put_number(ch.bytes, b.max);
+    put_number(ch.bytes, b.last);
+    c.prev_dt = 0;
+  } else {
+    const auto dt = static_cast<std::int64_t>(b.ts - c.prev_ts);
+    put_svarint(ch.bytes, dt - c.prev_dt);
+    c.prev_dt = dt;
+    put_uvarint(ch.bytes, b.count);
+    put_number_delta(ch.bytes, c.prev.sum, b.sum);
+    put_number_delta(ch.bytes, c.prev.min, b.min);
+    put_number_delta(ch.bytes, c.prev.max, b.max);
+    put_number_delta(ch.bytes, c.prev.last, b.last);
+  }
+  c.prev = b;
+  c.prev_ts = b.ts;
+  ++ch.buckets;
+  ch.last_ts = b.ts;
+  ch.rollup.merge(b);
+  ch.raw_bytes += 16 * b.count;
+
+  if (cfg_.cold_chunks != 0 && c.chunks.size() > cfg_.cold_chunks) {
+    c.evicted.merge(c.chunks.front().rollup);
+    c.has_evicted = true;
+    evicted_buckets_ += c.chunks.front().buckets;
+    c.chunks.pop_front();
+  }
+}
+
+std::vector<TieredStore::Bucket> TieredStore::decode_chunk(const Chunk& chunk) {
+  std::vector<Bucket> out;
+  out.reserve(chunk.buckets);
+  std::span<const std::byte> buf(chunk.bytes);
+  std::size_t pos = 0;
+  Bucket prev;
+  common::Timestamp prev_ts = 0;
+  std::int64_t prev_dt = 0;
+  for (std::size_t i = 0; i < chunk.buckets; ++i) {
+    Bucket b;
+    if (i == 0) {
+      b.ts = get_uvarint(buf, pos);
+      b.count = get_uvarint(buf, pos);
+      b.sum = get_number(buf, pos);
+      b.min = get_number(buf, pos);
+      b.max = get_number(buf, pos);
+      b.last = get_number(buf, pos);
+    } else {
+      const auto dt = prev_dt + get_svarint(buf, pos);
+      b.ts = prev_ts + static_cast<common::Timestamp>(dt);
+      prev_dt = dt;
+      b.count = get_uvarint(buf, pos);
+      b.sum = get_number_delta(buf, pos, prev.sum);
+      b.min = get_number_delta(buf, pos, prev.min);
+      b.max = get_number_delta(buf, pos, prev.max);
+      b.last = get_number_delta(buf, pos, prev.last);
+    }
+    prev = b;
+    prev_ts = b.ts;
+    out.push_back(b);
+  }
+  return out;
+}
+
+void TieredStore::capture(common::Timestamp ts,
+                          const common::MetricsSnapshot& cumulative) {
+  if (!enabled()) return;
+  std::lock_guard lock(mutex_);
+  ++captures_;
+
+  // Counters: per-capture deltas (names only ever grow and snapshots are
+  // name-sorted, so a linear merge finds each previous value).
+  std::size_t pi = 0;
+  const auto& prev = last_capture_;
+  for (const auto& c : cumulative.counters) {
+    while (pi < prev.counters.size() && prev.counters[pi].name < c.name) ++pi;
+    const std::uint64_t before =
+        (pi < prev.counters.size() && prev.counters[pi].name == c.name)
+            ? prev.counters[pi].value
+            : 0;
+    if (c.value == before) continue;
+    if (Series* s = find_or_create(c.name, SeriesKind::counter)) {
+      push(*s, ts, static_cast<double>(c.value - before));
+    }
+  }
+
+  // Gauges: absolute levels, one sample per capture.
+  for (const auto& g : cumulative.gauges) {
+    if (Series* s = find_or_create(g.name, SeriesKind::gauge)) {
+      push(*s, ts, static_cast<double>(g.value));
+    }
+  }
+
+  // Histograms: one counter-like series per bucket (percentile queries
+  // fold these), plus synthetic <name>_count / <name>_sum scalar series.
+  pi = 0;
+  for (const auto& h : cumulative.histograms) {
+    while (pi < prev.histograms.size() && prev.histograms[pi].name < h.name) {
+      ++pi;
+    }
+    const bool known =
+        pi < prev.histograms.size() && prev.histograms[pi].name == h.name;
+    const std::uint64_t count_before = known ? prev.histograms[pi].count : 0;
+    if (h.count == count_before) continue;
+
+    auto hit = histograms_.find(h.name);
+    if (hit == histograms_.end()) {
+      Histogram fam;
+      fam.bounds = h.bounds;
+      fam.buckets.resize(h.buckets.size());
+      for (auto& b : fam.buckets) b.hot.resize(cfg_.hot_slots);
+      hit = histograms_.emplace(h.name, std::move(fam)).first;
+    }
+    Histogram& fam = hit->second;
+    for (std::size_t b = 0; b < h.buckets.size() && b < fam.buckets.size();
+         ++b) {
+      const std::uint64_t bucket_before =
+          known && b < prev.histograms[pi].buckets.size()
+              ? prev.histograms[pi].buckets[b]
+              : 0;
+      if (h.buckets[b] == bucket_before) continue;
+      push(fam.buckets[b], ts,
+           static_cast<double>(h.buckets[b] - bucket_before));
+    }
+    if (Series* s = find_or_create(h.name + "_count", SeriesKind::counter)) {
+      push(*s, ts, static_cast<double>(h.count - count_before));
+    }
+    const std::uint64_t sum_before = known ? prev.histograms[pi].sum : 0;
+    if (h.sum != sum_before) {
+      if (Series* s = find_or_create(h.name + "_sum", SeriesKind::counter)) {
+        push(*s, ts, static_cast<double>(h.sum - sum_before));
+      }
+    }
+  }
+
+  last_capture_ = cumulative;
+}
+
+void TieredStore::ingest(const std::string& name, SeriesKind kind,
+                         common::Timestamp ts, double value) {
+  if (!enabled()) return;
+  std::lock_guard lock(mutex_);
+  if (Series* s = find_or_create(name, kind)) push(*s, ts, value);
+}
+
+// ---- query -----------------------------------------------------------------
+
+namespace {
+
+bool has_prefix(const std::string& name, const std::string& prefix) {
+  return name.size() >= prefix.size() &&
+         name.compare(0, prefix.size(), prefix) == 0;
+}
+
+}  // namespace
+
+void TieredStore::collect_atoms(const Series& s, common::Timestamp t0,
+                                common::Timestamp t1,
+                                std::vector<Atom>& out) const {
+  const auto bucket_atom = [](const Bucket& b) {
+    return Atom{b.ts, b.count, b.sum, b.min, b.max, b.last, b.count > 1};
+  };
+  const Cold& c = s.cold;
+  if (c.has_evicted && c.evicted.ts >= t0 && c.evicted.ts <= t1) {
+    out.push_back(bucket_atom(c.evicted));
+  }
+  for (const auto& chunk : c.chunks) {
+    if (chunk.buckets == 0 || chunk.first_ts > t1 || chunk.last_ts < t0) {
+      continue;
+    }
+    for (const auto& b : decode_chunk(chunk)) {
+      if (b.ts >= t0 && b.ts <= t1) out.push_back(bucket_atom(b));
+    }
+  }
+  if (c.pending_open && c.pending.ts >= t0 && c.pending.ts <= t1) {
+    out.push_back(bucket_atom(c.pending));
+  }
+  const std::size_t first = (s.head + s.hot.size() - s.count) % s.hot.size();
+  for (std::size_t i = 0; i < s.count; ++i) {
+    const Sample& smp = s.hot[(first + i) % s.hot.size()];
+    if (smp.ts >= t0 && smp.ts <= t1) {
+      out.push_back(
+          Atom{smp.ts, 1, smp.value, smp.value, smp.value, smp.value, false});
+    }
+  }
+}
+
+void TieredStore::fold_window(const RangeQuery& q,
+                              const std::vector<Atom>& atoms,
+                              RangeResult::Series& out, bool& exact) {
+  Bucket acc;
+  common::Timestamp window = 0;
+  bool open = false;
+  const auto flush = [&] {
+    if (!open || acc.count == 0) return;
+    double v = 0;
+    switch (q.agg) {
+      case Agg::sum: v = acc.sum; break;
+      case Agg::avg: v = acc.sum / static_cast<double>(acc.count); break;
+      case Agg::min: v = acc.min; break;
+      case Agg::max: v = acc.max; break;
+      case Agg::last: v = acc.last; break;
+      default: v = acc.sum; break;  // percentiles never reach here
+    }
+    out.points.push_back({window, v, acc.count});
+  };
+  for (const Atom& a : atoms) {
+    const common::Timestamp ws =
+        q.step == 0 ? q.t0 : q.t0 + ((a.ts - q.t0) / q.step) * q.step;
+    if (!open || ws != window) {
+      flush();
+      acc = Bucket{};
+      window = ws;
+      open = true;
+    }
+    Bucket b{a.ts, a.count, a.sum, a.min, a.max, a.last};
+    acc.merge(b);
+    if (a.downsampled) exact = false;
+  }
+  flush();
+}
+
+RangeResult TieredStore::query_range(const RangeQuery& q) const {
+  return query_range(q, LiveHead{});
+}
+
+RangeResult TieredStore::query_range(const RangeQuery& q,
+                                     const LiveHead& live) const {
+  std::lock_guard lock(mutex_);
+  RangeResult res;
+  res.query = q;
+  const bool live_ok = live.snapshot != nullptr && live.ts >= q.t0 &&
+                       live.ts <= q.t1;
+
+  if (agg_is_percentile(q.agg)) {
+    // Histogram families: stored union live, name-sorted by the map.
+    std::map<std::string,
+             std::pair<const Histogram*,
+                       const common::MetricsSnapshot::HistogramSample*>>
+        fams;
+    for (const auto& [name, fam] : histograms_) {
+      if (has_prefix(name, q.selector)) fams[name] = {&fam, nullptr};
+    }
+    if (live.snapshot != nullptr) {
+      for (const auto& h : live.snapshot->histograms) {
+        if (has_prefix(h.name, q.selector)) fams[h.name].second = &h;
+      }
+    }
+    const double quantile = agg_quantile(q.agg);
+    for (const auto& [name, fam] : fams) {
+      const auto* stored = fam.first;
+      const auto* head = fam.second;
+      const auto& bounds = stored != nullptr ? stored->bounds : head->bounds;
+      const std::size_t nb =
+          stored != nullptr ? stored->buckets.size() : head->buckets.size();
+      // window start -> per-bucket observation sums
+      std::map<common::Timestamp, std::vector<double>> windows;
+      const auto window_of = [&](common::Timestamp ts) {
+        return q.step == 0 ? q.t0 : q.t0 + ((ts - q.t0) / q.step) * q.step;
+      };
+      for (std::size_t b = 0; b < nb; ++b) {
+        std::vector<Atom> atoms;
+        double cum = 0;
+        if (stored != nullptr) {
+          collect_atoms(stored->buckets[b], q.t0, q.t1, atoms);
+          cum = stored->buckets[b].cum;
+        }
+        if (live_ok && head != nullptr && b < head->buckets.size()) {
+          const double tail = static_cast<double>(head->buckets[b]) - cum;
+          if (tail != 0) atoms.push_back(Atom{live.ts, 1, tail, tail, tail,
+                                              tail, false});
+        }
+        for (const Atom& a : atoms) {
+          auto& sums = windows[window_of(a.ts)];
+          if (sums.empty()) sums.resize(nb, 0);
+          sums[b] += a.sum;
+          if (a.downsampled) res.exact = false;
+        }
+      }
+      RangeResult::Series out;
+      out.name = name;
+      out.kind = SeriesKind::counter;
+      for (const auto& [ws, sums] : windows) {
+        double total = 0;
+        for (const double v : sums) total += v;
+        if (total <= 0) continue;
+        out.points.push_back({ws, percentile_from_buckets(bounds, sums,
+                                                          quantile),
+                              static_cast<std::uint64_t>(total)});
+      }
+      if (!out.points.empty()) res.series.push_back(std::move(out));
+    }
+    return res;
+  }
+
+  // Scalar path: stored series union live counters/gauges (plus the
+  // histogram _count/_sum synthetics the live head knows about).
+  std::map<std::string, std::pair<SeriesKind, const Series*>> names;
+  for (const auto& [name, s] : series_) {
+    if (has_prefix(name, q.selector)) names[name] = {s.kind, &s};
+  }
+  if (live.snapshot != nullptr) {
+    for (const auto& c : live.snapshot->counters) {
+      if (has_prefix(c.name, q.selector)) {
+        names.try_emplace(c.name, SeriesKind::counter, nullptr);
+      }
+    }
+    for (const auto& g : live.snapshot->gauges) {
+      if (has_prefix(g.name, q.selector)) {
+        names.try_emplace(g.name, SeriesKind::gauge, nullptr);
+      }
+    }
+    for (const auto& h : live.snapshot->histograms) {
+      for (const char* suffix : {"_count", "_sum"}) {
+        const std::string n = h.name + suffix;
+        if (has_prefix(n, q.selector)) {
+          names.try_emplace(n, SeriesKind::counter, nullptr);
+        }
+      }
+    }
+  }
+
+  // Exact live lookup helpers over the name-sorted snapshot sections.
+  const auto live_counter = [&](const std::string& name)
+      -> std::optional<double> {
+    if (live.snapshot == nullptr) return std::nullopt;
+    const auto& cs = live.snapshot->counters;
+    const auto it = std::lower_bound(
+        cs.begin(), cs.end(), name,
+        [](const auto& a, const std::string& n) { return a.name < n; });
+    if (it != cs.end() && it->name == name) {
+      return static_cast<double>(it->value);
+    }
+    for (const char* suffix : {"_count", "_sum"}) {
+      const std::string_view sv(suffix);
+      if (name.size() > sv.size() &&
+          name.compare(name.size() - sv.size(), sv.size(), sv) == 0) {
+        const auto* h = live.snapshot->find_histogram(
+            std::string_view(name).substr(0, name.size() - sv.size()));
+        if (h != nullptr) {
+          return static_cast<double>(sv == "_count" ? h->count : h->sum);
+        }
+      }
+    }
+    return std::nullopt;
+  };
+  const auto live_gauge = [&](const std::string& name)
+      -> std::optional<double> {
+    if (live.snapshot == nullptr) return std::nullopt;
+    const auto& gs = live.snapshot->gauges;
+    const auto it = std::lower_bound(
+        gs.begin(), gs.end(), name,
+        [](const auto& a, const std::string& n) { return a.name < n; });
+    if (it != gs.end() && it->name == name) {
+      return static_cast<double>(it->value);
+    }
+    return std::nullopt;
+  };
+
+  for (const auto& [name, info] : names) {
+    const SeriesKind kind = info.first;
+    const Series* stored = info.second;
+    std::vector<Atom> atoms;
+    if (stored != nullptr) collect_atoms(*stored, q.t0, q.t1, atoms);
+    if (live_ok) {
+      if (kind == SeriesKind::counter) {
+        if (const auto lv = live_counter(name)) {
+          const double tail = *lv - (stored != nullptr ? stored->cum : 0);
+          if (tail != 0) {
+            atoms.push_back(Atom{live.ts, 1, tail, tail, tail, tail, false});
+          }
+        }
+      } else {
+        // A stored sample at (or past) the live timestamp wins; otherwise
+        // the current level is the newest sample.
+        common::Timestamp newest = 0;
+        if (stored != nullptr && stored->count > 0) {
+          const std::size_t last_slot =
+              (stored->head + stored->hot.size() - 1) % stored->hot.size();
+          newest = stored->hot[last_slot].ts;
+        }
+        if ((stored == nullptr || stored->count == 0 || newest < live.ts)) {
+          if (const auto lv = live_gauge(name)) {
+            atoms.push_back(Atom{live.ts, 1, *lv, *lv, *lv, *lv, false});
+          }
+        }
+      }
+    }
+    if (atoms.empty()) continue;
+    RangeResult::Series out;
+    out.name = name;
+    out.kind = kind;
+    fold_window(q, atoms, out, res.exact);
+    if (!out.points.empty()) res.series.push_back(std::move(out));
+  }
+  return res;
+}
+
+TieredStore::Stats TieredStore::stats() const {
+  std::lock_guard lock(mutex_);
+  Stats st;
+  st.captures = captures_;
+  st.histograms = histograms_.size();
+  st.rejected_samples = rejected_samples_;
+  st.evicted_buckets = evicted_buckets_;
+  const auto add_series = [&st](const Series& s) {
+    ++st.series;
+    st.samples_ingested += s.ingested;
+    st.hot_samples += s.count;
+    for (const auto& ch : s.cold.chunks) {
+      st.cold_buckets += ch.buckets;
+      st.cold_bytes += ch.bytes.size();
+      st.cold_raw_bytes += ch.raw_bytes;
+    }
+  };
+  for (const auto& [name, s] : series_) add_series(s);
+  for (const auto& [name, h] : histograms_) {
+    for (const auto& b : h.buckets) add_series(b);
+  }
+  return st;
+}
+
+}  // namespace netalytics::tsdb

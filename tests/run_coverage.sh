@@ -1,9 +1,9 @@
 #!/usr/bin/env sh
 # Coverage lane: build with GCC --coverage instrumentation, run the mq /
-# stream / core suites, and report line coverage for src/mq and src/stream
-# (the aggregation layer and the stream engine — the modules the
-# consumer-group rebalance work lives in). The lane FAILS if either module
-# drops below its recorded baseline, so coverage can only ratchet up.
+# stream / core / tsdb suites, and report line coverage for src/mq,
+# src/stream and src/tsdb (the aggregation layer, the stream engine, and
+# the tiered time-series store). The lane FAILS if any module drops below
+# its recorded baseline, so coverage can only ratchet up.
 #
 #   tests/run_coverage.sh        # build, run, report, gate
 #
@@ -23,12 +23,13 @@ jobs=$(nproc 2>/dev/null || echo 4)
 # them as coverage grows; never lower them to make a regression pass.
 mq_baseline=95
 stream_baseline=90
+tsdb_baseline=90
 
 cmake -B "$build_dir" -S "$repo_root" \
   -DCMAKE_BUILD_TYPE=Debug \
   -DCMAKE_CXX_FLAGS=--coverage \
   -DCMAKE_EXE_LINKER_FLAGS=--coverage
-cmake --build "$build_dir" -j "$jobs" --target mq_test stream_test core_test
+cmake --build "$build_dir" -j "$jobs" --target mq_test stream_test core_test tsdb_test
 
 # Fresh counters: stale .gcda from a previous run would inflate the report.
 find "$build_dir" -name '*.gcda' -delete
@@ -37,6 +38,7 @@ echo "== coverage: running suites =="
 "$build_dir/tests/mq_test" >/dev/null
 "$build_dir/tests/stream_test" >/dev/null
 "$build_dir/tests/core_test" >/dev/null
+"$build_dir/tests/tsdb_test" >/dev/null
 
 # Aggregate "Lines executed:P% of N" over every source under src/<module>/.
 # gcov is run once per object's .gcda; a header seen from several objects
@@ -80,5 +82,6 @@ gate() {
 status=0
 gate mq "$mq_baseline" || status=1
 gate stream "$stream_baseline" || status=1
+gate tsdb "$tsdb_baseline" || status=1
 [ "$status" -eq 0 ] && echo "== coverage: gate green =="
 exit "$status"

@@ -4,7 +4,8 @@
 # producers/consumers, producer retry under chaos, monitor worker pools)
 # and the parallel stepped executor (stage barrier, worker-pool claims,
 # the determinism differentials of docs/DETERMINISM.md), plus the
-# consumer-group rebalance differentials (spout groups under churn).
+# consumer-group rebalance differentials (spout groups under churn) and
+# the tiered time-series store (concurrent ingest/capture vs queries).
 #
 #   tests/run_tsan.sh            # the threaded suites (CI lane)
 #   tests/run_tsan.sh -R <re>    # any ctest selection, forwarded verbatim
@@ -20,7 +21,7 @@ build_dir="$repo_root/build-tsan"
 cmake -B "$build_dir" -S "$repo_root" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DNETALYTICS_SANITIZE=thread
-cmake --build "$build_dir" -j "$(nproc)" --target mq_test nf_test stream_test core_test
+cmake --build "$build_dir" -j "$(nproc)" --target mq_test nf_test stream_test core_test tsdb_test
 
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1${TSAN_OPTIONS:+ $TSAN_OPTIONS}"
 
@@ -28,5 +29,5 @@ if [ "$#" -gt 0 ]; then
   ctest --test-dir "$build_dir" --output-on-failure "$@"
 else
   ctest --test-dir "$build_dir" --output-on-failure \
-    -R 'ConcurrentBroker|MqChaos|ProducerBatch|Producer|Monitor|ParallelStepped|ParallelExecutor|GroupRebalance'
+    -R 'ConcurrentBroker|MqChaos|ProducerBatch|Producer|Monitor|ParallelStepped|ParallelExecutor|GroupRebalance|TieredStore'
 fi

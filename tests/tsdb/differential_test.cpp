@@ -1,0 +1,245 @@
+// Differential suite: TieredStore vs a naive reference store fed the same
+// sample stream. The reference keeps every raw sample and evaluates
+// RangeQuery directly, so any disagreement in the regimes where the store
+// documents exactness (hot-tier ranges for every agg; whole-range and
+// bucket-aligned sums across tiers; whole-range percentiles) is a bug.
+// All test values are dyadic rationals so double addition is exact and
+// results can be compared with ==.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tsdb/store.hpp"
+
+namespace netalytics::tsdb {
+namespace {
+
+using common::Timestamp;
+
+/// Keeps every sample; evaluates queries over raw data with no tiers.
+class NaiveStore {
+ public:
+  void ingest(const std::string& name, SeriesKind kind, Timestamp ts,
+              double value) {
+    auto& s = series_[name];
+    s.kind = kind;
+    s.samples.emplace_back(ts, value);
+  }
+
+  RangeResult query_range(const RangeQuery& q) const {
+    RangeResult res;
+    res.query = q;
+    for (const auto& [name, s] : series_) {
+      if (name.compare(0, q.selector.size(), q.selector) != 0) continue;
+      RangeResult::Series out;
+      out.name = name;
+      out.kind = s.kind;
+      // Group samples per window, in timestamp order (insertion order).
+      struct Acc {
+        std::uint64_t n = 0;
+        double sum = 0, min = 0, max = 0, last = 0;
+      };
+      std::map<Timestamp, Acc> windows;
+      for (const auto& [ts, v] : s.samples) {
+        if (ts < q.t0 || ts > q.t1) continue;
+        const Timestamp w =
+            q.step == 0 ? q.t0 : q.t0 + ((ts - q.t0) / q.step) * q.step;
+        auto& a = windows[w];
+        if (a.n == 0) {
+          a.min = a.max = v;
+        } else {
+          a.min = std::min(a.min, v);
+          a.max = std::max(a.max, v);
+        }
+        a.sum += v;
+        a.last = v;
+        ++a.n;
+      }
+      for (const auto& [w, a] : windows) {
+        double value = 0;
+        switch (q.agg) {
+          case Agg::sum: value = a.sum; break;
+          case Agg::avg: value = a.sum / static_cast<double>(a.n); break;
+          case Agg::min: value = a.min; break;
+          case Agg::max: value = a.max; break;
+          case Agg::last: value = a.last; break;
+          default: break;
+        }
+        out.points.push_back({w, value, a.n});
+      }
+      if (!out.points.empty()) res.series.push_back(std::move(out));
+    }
+    return res;
+  }
+
+ private:
+  struct S {
+    SeriesKind kind = SeriesKind::counter;
+    std::vector<std::pair<Timestamp, double>> samples;
+  };
+  std::map<std::string, S> series_;
+};
+
+/// Deterministic value stream: dyadic rationals in [0, 32) at 1/8 steps.
+double dyadic(std::uint64_t& state) {
+  state = state * 6364136223846793005ull + 1442695040888963407ull;
+  return static_cast<double>((state >> 33) % 256) / 8.0;
+}
+
+constexpr Agg kScalarAggs[] = {Agg::sum, Agg::avg, Agg::min, Agg::max,
+                               Agg::last};
+
+void expect_same(const RangeResult& got, const RangeResult& want,
+                 const std::string& what) {
+  ASSERT_EQ(got.series.size(), want.series.size()) << what;
+  for (std::size_t i = 0; i < got.series.size(); ++i) {
+    EXPECT_EQ(got.series[i].name, want.series[i].name) << what;
+    EXPECT_EQ(got.series[i].points, want.series[i].points)
+        << what << " series " << got.series[i].name;
+  }
+}
+
+TEST(Differential, HotTierRangesMatchNaiveForEveryAgg) {
+  StoreConfig cfg;
+  cfg.hot_slots = 64;
+  cfg.downsample_ticks = 4;
+  TieredStore store(cfg);
+  NaiveStore naive;
+
+  std::uint64_t rng = 42;
+  for (Timestamp t = 1; t <= 200; ++t) {
+    const double v = dyadic(rng);
+    store.ingest("s", SeriesKind::gauge, t * 10, v);
+    naive.ingest("s", SeriesKind::gauge, t * 10, v);
+  }
+  // The newest 64 samples (t = 137..200 -> ts 1370..2000) are hot: the
+  // store documents per-sample exactness there, for every agg and step.
+  for (const auto agg : kScalarAggs) {
+    for (const Timestamp step : {Timestamp{0}, Timestamp{10}, Timestamp{70},
+                                 Timestamp{333}}) {
+      const RangeQuery q{.selector = "s", .t0 = 1370, .t1 = 2000,
+                         .step = step, .agg = agg};
+      const auto got = store.query_range(q);
+      EXPECT_TRUE(got.exact);
+      expect_same(got, naive.query_range(q),
+                  std::string(agg_name(agg)) + " step=" + std::to_string(step));
+    }
+  }
+}
+
+TEST(Differential, WholeRangeAggregatesMatchAcrossAllTiers) {
+  StoreConfig cfg;
+  cfg.hot_slots = 8;
+  cfg.downsample_ticks = 4;
+  cfg.cold_chunk_buckets = 4;
+  cfg.cold_chunks = 2;  // forces eviction into the lossless rollup
+  TieredStore store(cfg);
+  NaiveStore naive;
+
+  std::uint64_t rng = 7;
+  for (Timestamp t = 1; t <= 1000; ++t) {
+    const double v = dyadic(rng);
+    store.ingest("s", SeriesKind::counter, t, v);
+    naive.ingest("s", SeriesKind::counter, t, v);
+  }
+  // Everything flowed through pending buckets, encoded chunks and the
+  // evicted rollup; whole-range sum/min/max/last/samples must survive.
+  for (const auto agg : kScalarAggs) {
+    const RangeQuery q{.selector = "s", .agg = agg};
+    const auto got = store.query_range(q);
+    const auto want = naive.query_range(q);
+    if (agg != Agg::avg) {
+      expect_same(got, want, std::string(agg_name(agg)));
+    } else {
+      // avg = sum/count: both exact, but fold order differs; compare terms.
+      ASSERT_EQ(got.series.size(), 1u);
+      EXPECT_EQ(got.series[0].points[0].samples,
+                want.series[0].points[0].samples);
+      EXPECT_EQ(got.series[0].points[0].value, want.series[0].points[0].value);
+    }
+  }
+}
+
+TEST(Differential, BucketAlignedStepSumsMatchNaive) {
+  StoreConfig cfg;
+  cfg.hot_slots = 8;
+  cfg.downsample_ticks = 4;
+  cfg.cold_chunk_buckets = 8;
+  cfg.cold_chunks = 0;  // keep every bucket encoded (no rollup collapse)
+  TieredStore store(cfg);
+  NaiveStore naive;
+
+  // Fixed cadence 10 starting at t0 = 100: every cold bucket covers
+  // exactly [100 + 40k, 100 + 40k + 40), so step = 40 windows align.
+  std::uint64_t rng = 99;
+  for (Timestamp i = 0; i < 400; ++i) {
+    const double v = dyadic(rng);
+    store.ingest("s", SeriesKind::counter, 100 + i * 10, v);
+    naive.ingest("s", SeriesKind::counter, 100 + i * 10, v);
+  }
+  const RangeQuery q{.selector = "s", .t0 = 100, .t1 = 100 + 400 * 10,
+                     .step = 40, .agg = Agg::sum};
+  const auto got = store.query_range(q);
+  EXPECT_FALSE(got.exact);  // downsampled buckets contributed...
+  expect_same(got, naive.query_range(q), "aligned sum");  // ...yet sums match
+}
+
+TEST(Differential, WholeRangePercentilesMatchNaiveReference) {
+  StoreConfig cfg;
+  cfg.hot_slots = 4;  // force bucket-count series through every tier
+  cfg.downsample_ticks = 2;
+  cfg.cold_chunk_buckets = 2;
+  cfg.cold_chunks = 1;
+  TieredStore store(cfg);
+
+  const std::vector<std::uint64_t> bounds = {10, 100, 1000};
+  // Cumulative bucket counts over 50 captures; the naive reference sums
+  // raw per-capture deltas and scans the distribution independently.
+  std::vector<std::uint64_t> cum(bounds.size() + 1, 0);
+  std::vector<std::uint64_t> naive_totals(bounds.size() + 1, 0);
+  std::uint64_t rng = 5;
+  for (Timestamp t = 1; t <= 50; ++t) {
+    for (std::size_t b = 0; b < cum.size(); ++b) {
+      const auto add = static_cast<std::uint64_t>(dyadic(rng) * 8.0);
+      cum[b] += add;
+      naive_totals[b] += add;
+    }
+    common::MetricsSnapshot snap;
+    common::MetricsSnapshot::HistogramSample h;
+    h.name = "lat";
+    h.bounds = bounds;
+    h.buckets = cum;
+    for (const auto c : cum) h.count += c;
+    snap.histograms.push_back(h);
+    store.capture(t * 100, snap);
+  }
+
+  const auto naive_percentile = [&](double q) {
+    std::uint64_t total = 0;
+    for (const auto c : naive_totals) total += c;
+    const double target = q * static_cast<double>(total);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < naive_totals.size(); ++i) {
+      seen += naive_totals[i];
+      if (static_cast<double>(seen) >= target) {
+        return static_cast<double>(bounds[std::min(i, bounds.size() - 1)]);
+      }
+    }
+    return static_cast<double>(bounds.back());
+  };
+
+  for (const auto& [agg, q] : {std::pair{Agg::p50, 0.50},
+                               std::pair{Agg::p95, 0.95},
+                               std::pair{Agg::p99, 0.99}}) {
+    const auto res = store.query_range({.selector = "lat", .agg = agg});
+    ASSERT_EQ(res.series.size(), 1u) << agg_name(agg);
+    EXPECT_EQ(res.series[0].points[0].value, naive_percentile(q))
+        << agg_name(agg);
+  }
+}
+
+}  // namespace
+}  // namespace netalytics::tsdb

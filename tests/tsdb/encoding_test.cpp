@@ -1,0 +1,122 @@
+// Exactness of the cold-tier codecs: every value must roundtrip
+// bit-for-bit, including the raw-escape doubles.
+#include "tsdb/encoding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+namespace netalytics::tsdb {
+namespace {
+
+TEST(Encoding, UvarintRoundtrip) {
+  const std::uint64_t cases[] = {0,
+                                 1,
+                                 127,
+                                 128,
+                                 300,
+                                 (1ull << 21) - 1,
+                                 1ull << 21,
+                                 (1ull << 42) + 12345,
+                                 std::numeric_limits<std::uint64_t>::max()};
+  std::vector<std::byte> buf;
+  for (const auto v : cases) put_uvarint(buf, v);
+  std::size_t pos = 0;
+  for (const auto v : cases) EXPECT_EQ(get_uvarint(buf, pos), v);
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(Encoding, UvarintSmallValuesAreOneByte) {
+  std::vector<std::byte> buf;
+  put_uvarint(buf, 127);
+  EXPECT_EQ(buf.size(), 1u);
+}
+
+TEST(Encoding, UvarintThrowsOnTruncation) {
+  std::vector<std::byte> buf;
+  put_uvarint(buf, 1ull << 42);
+  buf.pop_back();
+  std::size_t pos = 0;
+  EXPECT_THROW(get_uvarint(buf, pos), std::out_of_range);
+}
+
+TEST(Encoding, ZigzagFoldsSigns) {
+  EXPECT_EQ(zigzag(0), 0u);
+  EXPECT_EQ(zigzag(-1), 1u);
+  EXPECT_EQ(zigzag(1), 2u);
+  EXPECT_EQ(zigzag(-2), 3u);
+  for (const std::int64_t v :
+       {std::int64_t{0}, std::int64_t{-1}, std::int64_t{42},
+        std::numeric_limits<std::int64_t>::min(),
+        std::numeric_limits<std::int64_t>::max()}) {
+    EXPECT_EQ(unzigzag(zigzag(v)), v);
+  }
+}
+
+TEST(Encoding, SvarintRoundtrip) {
+  const std::int64_t cases[] = {0, -1, 1, -64, 64, -1000000,
+                                std::numeric_limits<std::int64_t>::min(),
+                                std::numeric_limits<std::int64_t>::max()};
+  std::vector<std::byte> buf;
+  for (const auto v : cases) put_svarint(buf, v);
+  std::size_t pos = 0;
+  for (const auto v : cases) EXPECT_EQ(get_svarint(buf, pos), v);
+}
+
+TEST(Encoding, IntegralNumberClassification) {
+  EXPECT_TRUE(integral_number(0.0));
+  EXPECT_TRUE(integral_number(-12345.0));
+  EXPECT_TRUE(integral_number(1e15));
+  EXPECT_FALSE(integral_number(0.5));
+  EXPECT_FALSE(integral_number(1e19));  // beyond 2^61
+  EXPECT_FALSE(integral_number(std::numeric_limits<double>::infinity()));
+  EXPECT_FALSE(integral_number(std::nan("")));
+}
+
+TEST(Encoding, NumberRoundtripExact) {
+  const double cases[] = {0.0,  1.0,     -1.0, 123456789.0, 0.5,
+                          -2.5, 3.14159, 1e19, -1e300,      1.0 / 3.0};
+  std::vector<std::byte> buf;
+  for (const auto v : cases) put_number(buf, v);
+  std::size_t pos = 0;
+  for (const auto v : cases) {
+    const double got = get_number(buf, pos);
+    EXPECT_EQ(std::memcmp(&got, &v, 8), 0) << v;
+  }
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(Encoding, IntegralNumbersCompress) {
+  std::vector<std::byte> buf;
+  put_number(buf, 3.0);
+  EXPECT_EQ(buf.size(), 1u);  // vs 8 raw bytes
+  buf.clear();
+  put_number(buf, 0.5);
+  EXPECT_EQ(buf.size(), 9u);  // marker + raw IEEE bits
+}
+
+TEST(Encoding, NumberDeltaRoundtripExact) {
+  // (prev, cur) pairs covering integral deltas and the raw fallback.
+  const std::pair<double, double> cases[] = {
+      {0.0, 0.0},   {100.0, 103.0}, {103.0, 100.0}, {5.0, 0.25},
+      {0.25, 7.0},  {0.5, 0.75},    {1e18, 1e18 + 512}};
+  for (const auto& [prev, cur] : cases) {
+    std::vector<std::byte> buf;
+    put_number_delta(buf, prev, cur);
+    std::size_t pos = 0;
+    const double got = get_number_delta(buf, pos, prev);
+    EXPECT_EQ(std::memcmp(&got, &cur, 8), 0) << prev << " -> " << cur;
+  }
+}
+
+TEST(Encoding, SmallDeltasAreOneByte) {
+  std::vector<std::byte> buf;
+  put_number_delta(buf, 1000000.0, 1000003.0);
+  EXPECT_EQ(buf.size(), 1u);
+}
+
+}  // namespace
+}  // namespace netalytics::tsdb

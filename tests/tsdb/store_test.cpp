@@ -1,0 +1,330 @@
+// TieredStore behavior: hot-ring wrap-around, hot->cold downsampling
+// boundaries, chunk eviction into the lossless rollup, the live-head
+// merge, the series cap, and percentile queries over captured histograms.
+#include "tsdb/store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.hpp"
+
+namespace netalytics::tsdb {
+namespace {
+
+using common::MetricsSnapshot;
+using common::Timestamp;
+
+StoreConfig small_config() {
+  StoreConfig cfg;
+  cfg.hot_slots = 8;
+  cfg.downsample_ticks = 4;
+  cfg.cold_chunk_buckets = 4;
+  cfg.cold_chunks = 2;
+  return cfg;
+}
+
+double whole_range_sum(const TieredStore& store, const std::string& name) {
+  const auto res = store.query_range({.selector = name, .agg = Agg::sum});
+  if (res.series.empty() || res.series.front().points.empty()) return 0;
+  return res.series.front().points.front().value;
+}
+
+TEST(StoreConfig, Validation) {
+  EXPECT_TRUE(StoreConfig{}.validate());
+  StoreConfig bad;
+  bad.downsample_ticks = 0;
+  EXPECT_FALSE(bad.validate());
+  bad = StoreConfig{};
+  bad.cold_chunk_buckets = 1 << 13;
+  EXPECT_FALSE(bad.validate());
+}
+
+TEST(TieredStore, DisabledStoreServesLiveHeadOnly) {
+  StoreConfig cfg;
+  cfg.hot_slots = 0;
+  TieredStore store(cfg);
+  EXPECT_FALSE(store.enabled());
+
+  MetricsSnapshot snap;
+  snap.counters.push_back({"app.requests", 42});
+  store.capture(10, snap);  // no-op
+  EXPECT_EQ(store.stats().captures, 0u);
+
+  const auto res = store.query_range({.selector = "app", .agg = Agg::sum},
+                                     LiveHead{20, &snap});
+  ASSERT_EQ(res.series.size(), 1u);
+  EXPECT_EQ(res.series[0].name, "app.requests");
+  ASSERT_EQ(res.series[0].points.size(), 1u);
+  EXPECT_EQ(res.series[0].points[0].value, 42.0);
+  EXPECT_TRUE(res.exact);
+}
+
+TEST(TieredStore, HotRingSumExactAcrossWrapAround) {
+  TieredStore store(small_config());
+  // 100 samples of value 1 wraps the 8-slot ring many times; the
+  // whole-range sum must stay exact (cold + evicted tiers absorb it all).
+  for (Timestamp t = 1; t <= 100; ++t) {
+    store.ingest("s", SeriesKind::counter, t, 1.0);
+  }
+  EXPECT_EQ(whole_range_sum(store, "s"), 100.0);
+
+  const auto st = store.stats();
+  EXPECT_EQ(st.samples_ingested, 100u);
+  EXPECT_EQ(st.hot_samples, 8u);
+  EXPECT_GT(st.evicted_buckets, 0u);
+}
+
+TEST(TieredStore, HotTierRangeIsExactPerSample) {
+  TieredStore store(small_config());
+  for (Timestamp t = 1; t <= 20; ++t) {
+    store.ingest("s", SeriesKind::gauge, t, static_cast<double>(t));
+  }
+  // The newest 8 samples (13..20) are hot: per-sample points at step 1.
+  const auto res = store.query_range(
+      {.selector = "s", .t0 = 13, .t1 = 20, .step = 1, .agg = Agg::last});
+  ASSERT_EQ(res.series.size(), 1u);
+  EXPECT_TRUE(res.exact);
+  ASSERT_EQ(res.series[0].points.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(res.series[0].points[i].t, 13 + i);
+    EXPECT_EQ(res.series[0].points[i].value, static_cast<double>(13 + i));
+    EXPECT_EQ(res.series[0].points[i].samples, 1u);
+  }
+}
+
+TEST(TieredStore, StraddlingRangeMarksInexactButSumsExact) {
+  TieredStore store(small_config());
+  for (Timestamp t = 1; t <= 20; ++t) {
+    store.ingest("s", SeriesKind::counter, t, 2.0);
+  }
+  // Samples 1..12 were folded into cold buckets of 4; 13..20 are hot.
+  const auto res = store.query_range({.selector = "s", .agg = Agg::sum});
+  ASSERT_EQ(res.series.size(), 1u);
+  EXPECT_FALSE(res.exact);  // downsampled buckets contributed
+  ASSERT_EQ(res.series[0].points.size(), 1u);
+  EXPECT_EQ(res.series[0].points[0].value, 40.0);  // still exact in value
+  EXPECT_EQ(res.series[0].points[0].samples, 20u);
+
+  // A hot-only range stays exact.
+  const auto hot = store.query_range({.selector = "s", .t0 = 13});
+  EXPECT_TRUE(hot.exact);
+  EXPECT_EQ(hot.series[0].points[0].value, 16.0);
+}
+
+TEST(TieredStore, PendingBucketIsVisible) {
+  StoreConfig cfg = small_config();
+  cfg.downsample_ticks = 4;
+  TieredStore store(cfg);
+  // 10 samples: 2 evicted into the pending bucket (not yet a full bucket
+  // of 4), 8 hot. The pending samples must still be queryable.
+  for (Timestamp t = 1; t <= 10; ++t) {
+    store.ingest("s", SeriesKind::counter, t, 1.0);
+  }
+  EXPECT_EQ(store.stats().cold_buckets, 0u);
+  EXPECT_EQ(whole_range_sum(store, "s"), 10.0);
+}
+
+TEST(TieredStore, ChunkEvictionFoldsIntoLosslessRollup) {
+  StoreConfig cfg = small_config();  // 2 chunks x 4 buckets x 4 ticks
+  TieredStore store(cfg);
+  // Enough samples to evict several chunks: capacity past the hot ring is
+  // 2*4*4 = 32 folded samples; ingest far more.
+  for (Timestamp t = 1; t <= 500; ++t) {
+    store.ingest("s", SeriesKind::counter, t, 3.0);
+  }
+  const auto st = store.stats();
+  EXPECT_GT(st.evicted_buckets, 0u);
+  // min/max/sum/count all survive eviction exactly for a whole-range query.
+  const auto res = store.query_range({.selector = "s", .agg = Agg::sum});
+  EXPECT_EQ(res.series[0].points[0].value, 1500.0);
+  EXPECT_EQ(res.series[0].points[0].samples, 500u);
+  const auto mx = store.query_range({.selector = "s", .agg = Agg::max});
+  EXPECT_EQ(mx.series[0].points[0].value, 3.0);
+}
+
+TEST(TieredStore, ColdTierCompresses) {
+  StoreConfig cfg;
+  cfg.hot_slots = 16;
+  cfg.downsample_ticks = 4;
+  cfg.cold_chunk_buckets = 64;
+  cfg.cold_chunks = 0;  // unlimited, keep everything encoded
+  TieredStore store(cfg);
+  // Regular cadence and small integral deltas: the delta-of-delta varint
+  // path should beat 16 B/sample by a wide margin.
+  for (Timestamp t = 0; t < 10000; ++t) {
+    store.ingest("s", SeriesKind::counter, t * 1000, 5.0);
+  }
+  const auto st = store.stats();
+  ASSERT_GT(st.cold_buckets, 0u);
+  ASSERT_GT(st.cold_bytes, 0u);
+  EXPECT_GE(st.cold_raw_bytes, 4 * st.cold_bytes)
+      << "compression ratio " << (double(st.cold_raw_bytes) / st.cold_bytes);
+}
+
+TEST(TieredStore, MaxSeriesCapRejectsNewNamesOnly) {
+  StoreConfig cfg = small_config();
+  cfg.max_series = 2;
+  TieredStore store(cfg);
+  store.ingest("a", SeriesKind::gauge, 1, 1.0);
+  store.ingest("b", SeriesKind::gauge, 1, 1.0);
+  store.ingest("c", SeriesKind::gauge, 1, 1.0);  // rejected
+  store.ingest("a", SeriesKind::gauge, 2, 2.0);  // existing: accepted
+  const auto st = store.stats();
+  EXPECT_EQ(st.series, 2u);
+  EXPECT_EQ(st.rejected_samples, 1u);
+  EXPECT_EQ(st.samples_ingested, 3u);
+}
+
+TEST(TieredStore, CaptureDiffsCountersAndStoresGaugeLevels) {
+  TieredStore store(small_config());
+  MetricsSnapshot s1;
+  s1.counters.push_back({"c", 10});
+  s1.gauges.push_back({"g", 7});
+  store.capture(100, s1);
+  MetricsSnapshot s2;
+  s2.counters.push_back({"c", 25});
+  s2.gauges.push_back({"g", 3});
+  store.capture(200, s2);
+
+  // Counter: two delta samples 10 and 15.
+  const auto c = store.query_range(
+      {.selector = "c", .t0 = 0, .t1 = 1000, .step = 100, .agg = Agg::sum});
+  ASSERT_EQ(c.series.size(), 1u);
+  ASSERT_EQ(c.series[0].points.size(), 2u);
+  EXPECT_EQ(c.series[0].points[0].value, 10.0);
+  EXPECT_EQ(c.series[0].points[1].value, 15.0);
+  EXPECT_EQ(c.series[0].kind, SeriesKind::counter);
+
+  // Gauge: absolute levels at both captures.
+  const auto g = store.query_range({.selector = "g", .agg = Agg::last});
+  ASSERT_EQ(g.series.size(), 1u);
+  EXPECT_EQ(g.series[0].points[0].value, 3.0);
+  EXPECT_EQ(g.series[0].kind, SeriesKind::gauge);
+
+  // Unchanged counters produce no sample on the next capture.
+  store.capture(300, s2);
+  const auto c2 = store.query_range({.selector = "c", .agg = Agg::sum});
+  EXPECT_EQ(c2.series[0].points[0].samples, 2u);
+}
+
+TEST(TieredStore, LiveHeadMakesCounterSumsExactBetweenCaptures) {
+  TieredStore store(small_config());
+  MetricsSnapshot s1;
+  s1.counters.push_back({"c", 10});
+  store.capture(100, s1);
+
+  // The registry has moved on since the capture.
+  MetricsSnapshot live;
+  live.counters.push_back({"c", 17});
+  const auto res = store.query_range({.selector = "c", .agg = Agg::sum},
+                                     LiveHead{150, &live});
+  EXPECT_EQ(res.series[0].points[0].value, 17.0);
+
+  // A historical range ending before the live head excludes the tail.
+  const auto hist = store.query_range(
+      {.selector = "c", .t0 = 0, .t1 = 120, .agg = Agg::sum},
+      LiveHead{150, &live});
+  EXPECT_EQ(hist.series[0].points[0].value, 10.0);
+}
+
+TEST(TieredStore, LiveHeadGaugeYieldsCurrentLevel) {
+  TieredStore store(small_config());
+  MetricsSnapshot s1;
+  s1.gauges.push_back({"g", 5});
+  store.capture(100, s1);
+  MetricsSnapshot live;
+  live.gauges.push_back({"g", 9});
+  const auto res = store.query_range({.selector = "g", .agg = Agg::last},
+                                     LiveHead{150, &live});
+  EXPECT_EQ(res.series[0].points.back().value, 9.0);
+  // At the capture instant itself the stored sample wins (no double count).
+  const auto at = store.query_range({.selector = "g", .agg = Agg::sum},
+                                    LiveHead{100, &s1});
+  EXPECT_EQ(at.series[0].points[0].samples, 1u);
+}
+
+TEST(TieredStore, PercentilesFromCapturedHistograms) {
+  TieredStore store(small_config());
+  MetricsSnapshot s1;
+  MetricsSnapshot::HistogramSample h;
+  h.name = "lat";
+  h.bounds = {10, 100, 1000};
+  h.buckets = {0, 90, 10, 0};  // 90 in (10,100], 10 in (100,1000]
+  h.count = 100;
+  h.sum = 5000;
+  s1.histograms.push_back(h);
+  store.capture(100, s1);
+
+  const auto p50 = store.query_range({.selector = "lat", .agg = Agg::p50});
+  ASSERT_EQ(p50.series.size(), 1u);
+  EXPECT_EQ(p50.series[0].points[0].value, 100.0);
+  const auto p99 = store.query_range({.selector = "lat", .agg = Agg::p99});
+  EXPECT_EQ(p99.series[0].points[0].value, 1000.0);
+
+  // The synthetic _count/_sum scalar series exist for scalar aggs.
+  EXPECT_EQ(whole_range_sum(store, "lat_count"), 100.0);
+  EXPECT_EQ(whole_range_sum(store, "lat_sum"), 5000.0);
+}
+
+TEST(TieredStore, PercentileLiveTailWithoutCapture) {
+  TieredStore store(small_config());
+  MetricsSnapshot live;
+  MetricsSnapshot::HistogramSample h;
+  h.name = "lat";
+  h.bounds = {10, 100};
+  h.buckets = {100, 0, 0};
+  h.count = 100;
+  live.histograms.push_back(h);
+  const auto res = store.query_range({.selector = "lat", .agg = Agg::p95},
+                                     LiveHead{50, &live});
+  ASSERT_EQ(res.series.size(), 1u);
+  EXPECT_EQ(res.series[0].points[0].value, 10.0);
+  EXPECT_EQ(res.series[0].points[0].samples, 100u);
+}
+
+TEST(TieredStore, RenderIsDeterministicAndStable) {
+  TieredStore store(small_config());
+  store.ingest("b", SeriesKind::gauge, 10, 2.5);
+  store.ingest("a", SeriesKind::counter, 10, 3.0);
+  const RangeQuery q{.selector = "", .t0 = 0, .t1 = 100, .step = 0,
+                     .agg = Agg::sum};
+  const auto r1 = store.query_range(q).render();
+  const auto r2 = store.query_range(q).render();
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(r1,
+            "range selector=* agg=sum t0=0 t1=100 step=0 exact=true\n"
+            "a counter points=1\n"
+            "  t=0 v=3 n=1\n"
+            "b gauge points=1\n"
+            "  t=0 v=2.5 n=1\n");
+}
+
+TEST(TieredStore, ConcurrentIngestAndQuery) {
+  // TSan lane: captures, ingests and queries from multiple threads must
+  // not race (one mutex over all state).
+  TieredStore store(small_config());
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 4; ++w) {
+    threads.emplace_back([&store, w] {
+      const std::string name = "t" + std::to_string(w);
+      for (Timestamp t = 1; t <= 200; ++t) {
+        store.ingest(name, SeriesKind::counter, t, 1.0);
+        if (t % 50 == 0) {
+          (void)store.query_range({.selector = "t", .agg = Agg::sum});
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto res = store.query_range({.selector = "t", .agg = Agg::sum});
+  ASSERT_EQ(res.series.size(), 4u);
+  for (const auto& s : res.series) {
+    EXPECT_EQ(s.points[0].value, 200.0);
+  }
+}
+
+}  // namespace
+}  // namespace netalytics::tsdb
