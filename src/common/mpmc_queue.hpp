@@ -36,6 +36,17 @@ class MpmcQueue {
     return true;
   }
 
+  /// Non-blocking push that leaves `value` intact on failure, so callers
+  /// can retry (or reroute) the same item. try_push() takes by value and
+  /// destroys the item either way; a retry loop needs this variant.
+  bool try_push_keep(T& value) {
+    std::lock_guard lock(mutex_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(value));
+    not_empty_.notify_one();
+    return true;
+  }
+
   /// Blocking pop; empty optional means closed-and-drained.
   std::optional<T> pop() {
     std::unique_lock lock(mutex_);

@@ -75,6 +75,13 @@ common::Expected<void> EngineConfig::validate() const {
   if (spout_group_size == 0 || spout_group_size > 256) {
     return Error{"config", "spout_group_size must be in [1, 256]"};
   }
+  if (executor_mode != stream::ExecutorMode::stepped &&
+      executor_mode != stream::ExecutorMode::free_running) {
+    return Error{"config", "executor_mode must be stepped or free_running"};
+  }
+  if (executor_inbox_capacity == 0) {
+    return Error{"config", "executor_inbox_capacity must be > 0"};
+  }
   if (producer_batch.max_records == 0) {
     return Error{"config", "producer_batch.max_records must be > 0"};
   }
@@ -361,9 +368,11 @@ void NetAlytics::build_processors(QueryHandle& q) {
     // programming error in the processor library.
     const stream::ExecutorConfig exec{
         .workers = config_.executor_workers != 0 ? config_.executor_workers
-                                                 : config_.processor_parallelism};
-    q.topologies.push_back(std::make_unique<stream::SteppedTopology>(
-        std::move(spec.value()), exec));
+                                                 : config_.processor_parallelism,
+        .mode = config_.executor_mode,
+        .inbox_capacity = config_.executor_inbox_capacity};
+    q.topologies.push_back(
+        stream::make_executor(std::move(spec.value()), exec));
     q.topologies.back()->bind_metrics(metrics_, ctx.metrics_prefix);
     q.topologies.back()->bind_trace(q.recorder_.get());
   }

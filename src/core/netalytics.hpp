@@ -16,8 +16,8 @@
 #include "mq/cluster.hpp"
 #include "mq/producer.hpp"
 #include "nf/orchestrator.hpp"
+#include "stream/executor.hpp"
 #include "stream/processors.hpp"
-#include "stream/stepped.hpp"
 #include "tsdb/store.hpp"
 
 namespace netalytics::core {
@@ -38,10 +38,19 @@ struct EngineConfig {
   /// bit-identical at any value a topology's groupings permit (the
   /// determinism contract, docs/DETERMINISM.md).
   std::size_t processor_parallelism = 1;
-  /// Execution threads per stepped topology. 0 (default) follows
+  /// Execution threads per topology. 0 (default) follows
   /// processor_parallelism; set explicitly to decouple task partitioning
   /// from the thread count (e.g. many tasks, few cores).
   std::size_t executor_workers = 0;
+  /// Which executor runs each compiled topology. `stepped` (default) keeps
+  /// the bit-identical determinism contract; `free_running` trades
+  /// inter-key ordering for run-to-completion throughput while preserving
+  /// the multiset of results, per-key order, and exact reconcile/ledger
+  /// accounting (docs/DETERMINISM.md "relaxed mode").
+  stream::ExecutorMode executor_mode = stream::ExecutorMode::stepped;
+  /// Per-task inbox bound for the free-running executor (backpressure);
+  /// ignored in stepped mode. Must be nonzero.
+  std::size_t executor_inbox_capacity = 4096;
   /// Kafka-spout tasks per topology source (§5.3 "multiple Kafka
   /// 'Spouts'"): the N tasks form one consumer group and split the topic's
   /// partitions via the cluster's GroupCoordinator instead of each
@@ -165,7 +174,7 @@ class QueryHandle {
   std::vector<nf::Monitor*> monitors;                   // borrowed
   std::vector<std::unique_ptr<mq::Producer>> producers; // one per monitor
   std::vector<std::pair<sdn::SwitchId, std::uint64_t>> rule_cookies;
-  std::vector<std::unique_ptr<stream::SteppedTopology>> topologies;
+  std::vector<std::unique_ptr<stream::TopologyExecutor>> topologies;
   std::vector<stream::Tuple> results_;
   double final_sample_rate_ = 1.0;
 

@@ -271,7 +271,29 @@ std::vector<Message> Broker::poll(std::string_view group,
 std::vector<Message> Broker::poll(std::string_view group,
                                   std::string_view topic_name, std::size_t max,
                                   std::span<const std::size_t> partitions) {
+  FetchBatch batch = poll_batch(group, topic_name, max, partitions);
   std::vector<Message> out;
+  out.reserve(batch.records.size());
+  for (auto& r : batch.records) {
+    Message m;
+    m.topic = batch.topic;
+    m.key = r.key;
+    m.payload = std::move(r.payload);
+    m.timestamp = r.timestamp;
+    m.offset = r.offset;
+    m.append_ts = r.append_ts;
+    m.records = r.records;
+    m.traces = std::move(r.traces);
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+FetchBatch Broker::poll_batch(std::string_view group,
+                              std::string_view topic_name, std::size_t max,
+                              std::span<const std::size_t> partitions) {
+  FetchBatch out;
+  out.topic = std::string(topic_name);
   const common::Timestamp now = last_now_.load(std::memory_order_relaxed);
   // A down broker serves no fetches either; group offsets are untouched, so
   // consumers simply re-poll from where they left off after recovery.
@@ -282,13 +304,27 @@ std::vector<Message> Broker::poll(std::string_view group,
   Topic* top = find_topic(topic_name);
   if (top == nullptr) return out;
 
+  // The log message outlives the poll (retention evicts, consuming does
+  // not), so a record is a cheap header copy plus a payload refcount bump.
+  const auto fetch = [&out](const Message& m) {
+    out.records.push_back(FetchedRecord{.key = m.key,
+                                        .payload = m.payload,
+                                        .timestamp = m.timestamp,
+                                        .offset = m.offset,
+                                        .append_ts = m.append_ts,
+                                        .records = m.records,
+                                        .traces = m.traces});
+    out.total_records += m.records;
+  };
+
   const std::size_t count =
       partitions.empty() ? top->partitions.size() : partitions.size();
   for (std::size_t i = 0; i < count; ++i) {
-    if (out.size() >= max) break;
+    if (out.records.size() >= max) break;
     const std::size_t index = partitions.empty() ? i : partitions[i];
     if (index >= top->partitions.size()) continue;
     Partition& part = *top->partitions[index];
+    const std::size_t begin = out.records.size();
     std::lock_guard part_lock(part.mutex);
     auto it = part.group_offsets.find(group);
     if (it == part.group_offsets.end()) {
@@ -297,30 +333,31 @@ std::vector<Message> Broker::poll(std::string_view group,
     std::uint64_t& next = it->second;
     // If retention ran past the group's offset, skip to the oldest retained.
     if (next < part.base_offset) next = part.base_offset;
-    while (next < part.next_offset && out.size() < max) {
+    while (next < part.next_offset && out.records.size() < max) {
       if (fault(site_delay_, now)) {
         // Hold the rest of this partition back; it arrives next poll, in
         // order, because `next` was not advanced.
         faulted_delay_->inc();
         break;
       }
-      // Message copies share the payload bytes (refcounted) — the log keeps
-      // one reference, the consumer gets another; nothing is deep-copied.
-      out.push_back(part.log[next - part.base_offset]);
-      if (out.size() < max && fault(site_duplicate_, now)) {
+      fetch(part.log[next - part.base_offset]);
+      if (out.records.size() < max && fault(site_duplicate_, now)) {
         // Re-deliver adjacent to the original: same offset, so per-key
         // order (non-decreasing offsets) still holds.
         faulted_duplicate_->inc();
         duplicated_records_->inc(part.log[next - part.base_offset].records);
-        out.push_back(part.log[next - part.base_offset]);
+        fetch(part.log[next - part.base_offset]);
       }
       ++next;
     }
+    if (out.records.size() > begin) {
+      out.slices.push_back(PartitionSlice{
+          .broker = 0, .partition = index, .begin = begin,
+          .end = out.records.size()});
+    }
   }
-  consumed_->inc(out.size());
-  std::uint64_t n_records = 0;
-  for (const Message& m : out) n_records += m.records;
-  if (n_records != 0) consumed_records_->inc(n_records);
+  consumed_->inc(out.records.size());
+  if (out.total_records != 0) consumed_records_->inc(out.total_records);
   return out;
 }
 

@@ -122,7 +122,9 @@ class Broker {
 
   /// Poll up to `max` messages for a consumer group across all partitions
   /// of `topic`, advancing the group's offsets. Payload bytes are shared
-  /// with the log (refcounted), never copied.
+  /// with the log (refcounted), never copied. Compatibility wrapper over
+  /// poll_batch() — it reconstructs a Message (fresh topic string) per
+  /// record; batch-aware consumers should call poll_batch() directly.
   std::vector<Message> poll(std::string_view group, std::string_view topic,
                             std::size_t max);
 
@@ -135,6 +137,15 @@ class Broker {
   std::vector<Message> poll(std::string_view group, std::string_view topic,
                             std::size_t max,
                             std::span<const std::size_t> partitions);
+
+  /// The primary fetch path: like poll(partitions) but the result carries
+  /// one topic header for the whole batch and per-partition slice views,
+  /// so nothing per-message is heap-allocated on the consume path (payloads
+  /// refcounted as always; see FetchBatch in message.hpp). The Message
+  /// poll() overloads wrap this.
+  FetchBatch poll_batch(std::string_view group, std::string_view topic,
+                        std::size_t max,
+                        std::span<const std::size_t> partitions = {});
 
   /// Buffer pressure in [0,1] of the most-backlogged partition of `topic`:
   /// the fraction of the partition's capacity holding messages the slowest

@@ -88,6 +88,59 @@ std::vector<Message> Cluster::poll(std::string_view group,
   return out;
 }
 
+namespace {
+/// Splice one broker's batch onto the tail of `out`: records move (payload
+/// refcounts transfer, nothing re-copies), slices shift by the insertion
+/// point and learn their broker index.
+void merge_batch(FetchBatch& out, FetchBatch&& batch, std::size_t broker) {
+  const std::size_t base = out.records.size();
+  out.records.insert(out.records.end(),
+                     std::make_move_iterator(batch.records.begin()),
+                     std::make_move_iterator(batch.records.end()));
+  for (PartitionSlice slice : batch.slices) {
+    slice.broker = broker;
+    slice.begin += base;
+    slice.end += base;
+    out.slices.push_back(slice);
+  }
+  out.total_records += batch.total_records;
+}
+}  // namespace
+
+FetchBatch Cluster::poll_batch(std::string_view group, std::string_view topic,
+                               std::size_t max, std::uint64_t member) {
+  FetchBatch out;
+  out.topic = std::string(topic);
+  if (member == 0) {
+    for (std::size_t b = 0; b < brokers_.size(); ++b) {
+      if (out.records.size() >= max) break;
+      merge_batch(out,
+                  brokers_[b]->poll_batch(group, topic,
+                                          max - out.records.size()),
+                  b);
+    }
+    return out;
+  }
+  // Same broker-run walk as the member-aware poll(): the assignment is
+  // sorted by (broker, partition), so each broker is one poll_batch call.
+  const auto assigned = coordinator_.assignment(group, member);
+  std::vector<std::size_t> indexes;
+  std::size_t i = 0;
+  while (i < assigned.size() && out.records.size() < max) {
+    const std::size_t b = assigned[i].broker;
+    indexes.clear();
+    while (i < assigned.size() && assigned[i].broker == b) {
+      indexes.push_back(assigned[i].partition);
+      ++i;
+    }
+    merge_batch(out,
+                brokers_[b]->poll_batch(group, topic,
+                                        max - out.records.size(), indexes),
+                b);
+  }
+  return out;
+}
+
 double Cluster::occupancy(std::string_view topic) const {
   double worst = 0.0;
   for (const auto& broker : brokers_) {

@@ -43,6 +43,13 @@ class Cluster {
   std::vector<Message> poll(std::string_view group, std::string_view topic,
                             std::size_t max, std::uint64_t member);
 
+  /// Batched fetch (Broker::poll_batch across brokers): one topic header
+  /// per call, per-partition slice views with the broker index filled in,
+  /// no per-message allocation. Same membership semantics as poll():
+  /// member == 0 reads every partition of every broker.
+  FetchBatch poll_batch(std::string_view group, std::string_view topic,
+                        std::size_t max, std::uint64_t member = 0);
+
   /// Membership and deterministic partition assignment for every consumer
   /// group on this cluster.
   GroupCoordinator& coordinator() noexcept { return coordinator_; }

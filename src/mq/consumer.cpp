@@ -19,6 +19,13 @@ std::vector<Message> Consumer::poll(std::string_view topic, std::size_t max) {
   return out;
 }
 
+FetchBatch Consumer::poll_batch(std::string_view topic, std::size_t max) {
+  if (grouped_ && member_ == 0) return {};
+  auto out = cluster_.poll_batch(group_, topic, max, member_);
+  consumed_ += out.records.size();
+  return out;
+}
+
 void Consumer::leave() {
   if (member_ == 0) return;
   cluster_.coordinator().leave(group_, member_);

@@ -34,6 +34,11 @@ class Consumer {
   /// member that has left the group fetches nothing until rejoin().
   std::vector<Message> poll(std::string_view topic, std::size_t max);
 
+  /// Batched fetch: one FetchBatch (single topic header, per-partition
+  /// slices, no per-message allocation) instead of a vector of Message
+  /// copies. Same membership semantics as poll().
+  FetchBatch poll_batch(std::string_view topic, std::size_t max);
+
   /// Leave the group now (idempotent; bumps the group generation so the
   /// survivors inherit this member's partitions at their next poll).
   void leave();

@@ -77,4 +77,41 @@ struct Message {
   std::vector<std::uint64_t> traces;
 };
 
+/// One fetched message without the per-message header copies poll() pays:
+/// the topic lives once on the enclosing FetchBatch instead of being a
+/// fresh std::string per message, and the payload bytes stay shared with
+/// the broker log (refcounted). The only remaining allocation is `traces`,
+/// and only for the 1-in-N sampled messages that carry any.
+struct FetchedRecord {
+  std::uint64_t key = 0;
+  Payload payload;
+  common::Timestamp timestamp = 0;
+  std::uint64_t offset = 0;
+  common::Timestamp append_ts = 0;
+  std::uint64_t records = 1;
+  std::vector<std::uint64_t> traces;
+};
+
+/// A contiguous run of FetchBatch::records fetched from one partition, in
+/// offset order — the "ring slice" view of a poll: consumers that care
+/// which shard data came from (per-partition ordering checks, rebalance
+/// accounting) read the slices; consumers that don't just scan `records`.
+struct PartitionSlice {
+  std::size_t broker = 0;     // filled by Cluster::poll_batch
+  std::size_t partition = 0;  // partition index within the broker
+  std::size_t begin = 0;      // [begin, end) into FetchBatch::records
+  std::size_t end = 0;
+};
+
+/// Result of a batched fetch: one topic header for the whole batch.
+struct FetchBatch {
+  std::string topic;
+  std::vector<FetchedRecord> records;
+  std::vector<PartitionSlice> slices;  // per-partition runs, fetch order
+  std::uint64_t total_records = 0;     // Σ records[i].records
+
+  bool empty() const noexcept { return records.empty(); }
+  std::size_t size() const noexcept { return records.size(); }
+};
+
 }  // namespace netalytics::mq

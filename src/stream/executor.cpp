@@ -1,0 +1,26 @@
+#include "stream/executor.hpp"
+
+#include "stream/free_running.hpp"
+#include "stream/stepped.hpp"
+
+namespace netalytics::stream {
+
+const char* to_string(ExecutorMode mode) noexcept {
+  switch (mode) {
+    case ExecutorMode::stepped:
+      return "stepped";
+    case ExecutorMode::free_running:
+      return "free_running";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<TopologyExecutor> make_executor(TopologySpec spec,
+                                                ExecutorConfig exec) {
+  if (exec.mode == ExecutorMode::free_running) {
+    return std::make_unique<FreeRunningTopology>(std::move(spec), exec);
+  }
+  return std::make_unique<SteppedTopology>(std::move(spec), exec);
+}
+
+}  // namespace netalytics::stream

@@ -1,0 +1,72 @@
+// Executor-agnostic interface over a TopologySpec. Two implementations
+// share it: SteppedTopology (stage barriers, bit-identical determinism —
+// stepped.hpp) and FreeRunningTopology (work-stealing run-to-completion,
+// relaxed inter-key ordering — free_running.hpp). Both are driven by the
+// same virtual-time loop: step()/run_until_idle() pump tuples, tick()
+// fires windows and rankings, close() flushes. The engine picks one via
+// make_executor(ExecutorConfig::mode); everything downstream of the
+// factory call is mode-agnostic.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
+#include "stream/topology.hpp"
+
+namespace netalytics::stream {
+
+class TopologyExecutor {
+ public:
+  virtual ~TopologyExecutor() = default;
+
+  /// One scheduling round: every spout task may emit up to
+  /// `spout_budget_per_task` tuples, then emitted tuples are executed
+  /// through the bolts. Returns the number of tuples executed. Both
+  /// executors return quiescent — the stepped one drains in topological
+  /// stage order, the free-running one lets its pool race ahead and then
+  /// helps drain to in_flight == 0 — so every step boundary is a valid
+  /// reconcile point.
+  virtual std::size_t step(common::Timestamp now,
+                           std::size_t spout_budget_per_task = 32) = 0;
+
+  /// Step until the spouts report idle and the topology is quiescent, or
+  /// until `max_rounds` is hit. Returns tuples executed. On return the
+  /// topology is quiescent in both modes: no tuple is buffered or in
+  /// flight, which is what makes engine.reconcile() exact at pump
+  /// boundaries regardless of mode.
+  virtual std::size_t run_until_idle(common::Timestamp now,
+                                     std::size_t max_rounds = 4096) = 0;
+
+  /// Deliver a tick to every bolt (rolling windows advance, rankings
+  /// emit). Both executors order ticks per component over a quiescent
+  /// topology, so windows fire exactly once with identical contents.
+  virtual void tick(common::Timestamp now) = 0;
+
+  /// cleanup() every bolt and drain final emissions.
+  virtual void close(common::Timestamp now) = 0;
+
+  virtual std::uint64_t tuples_executed() const noexcept = 0;
+  virtual const TopologySpec& spec() const noexcept = 0;
+  /// Total execution threads the executor may use (1 = inline).
+  virtual std::size_t workers() const noexcept = 0;
+  virtual ExecutorMode mode() const noexcept = 0;
+
+  /// Publish per-component executed-tuple counters into `registry` as
+  /// "<prefix>.<component>.executed". Bind before stepping.
+  virtual void bind_metrics(common::MetricsRegistry& registry,
+                            const std::string& prefix) = 0;
+
+  /// Stamp a TraceStage::execute span for every executed tuple whose
+  /// `Tuple::trace` is nonzero. Bind before stepping; pass nullptr to
+  /// disable (the default).
+  virtual void bind_trace(common::TraceRecorder* recorder) noexcept = 0;
+};
+
+/// Instantiate the executor `exec.mode` selects over `spec`.
+std::unique_ptr<TopologyExecutor> make_executor(TopologySpec spec,
+                                                ExecutorConfig exec = {});
+
+}  // namespace netalytics::stream

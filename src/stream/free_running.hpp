@@ -1,0 +1,186 @@
+// Free-running topology executor: work-stealing, run-to-completion. Where
+// SteppedTopology buys bit-identical determinism with stage barriers, this
+// executor routes every emission immediately into bounded per-task MPMC
+// inboxes and lets a worker pool drain whichever task has work — the
+// Storm-style datapath the paper assumes (§2.2), with the stepped executor
+// retained as the correctness oracle.
+//
+// What survives the relaxation (docs/DETERMINISM.md "relaxed mode",
+// proven differentially in tests/core/free_running_differential_test.cpp):
+//   - the multiset of delivered results (inter-key order is relaxed, but
+//     every fields/global-grouped bolt still sees its whole key stream),
+//   - per-key order: one task's emissions enter a downstream inbox in
+//     emission order, because a task has at most one claimer at a time and
+//     emissions are routed while the claim is held,
+//   - tick/close semantics: both are quiescence points (in_flight_ == 0),
+//     so windows and rankings fire exactly once over the same contents the
+//     stepped executor would show them,
+//   - metrics/trace/DropLedger accounting, and engine.reconcile() at pump
+//     boundaries — step() returns quiescent, so nothing is silently in
+//     flight.
+//
+// Deadlock freedom: a thread whose push finds a full inbox helps drain the
+// destination task (if it can claim it) and retries. A claim holder only
+// blocks pushing further downstream, and sinks never emit, so every chain
+// of full inboxes bottoms out at a task whose claimer is making progress —
+// induction on the (acyclic) topology depth.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "common/mpmc_queue.hpp"
+#include "common/trace.hpp"
+#include "stream/executor.hpp"
+#include "stream/topology.hpp"
+
+namespace netalytics::stream {
+
+class FreeRunningTopology final : public TopologyExecutor {
+ public:
+  /// Instantiates one spout/bolt per task from the spec's factories and
+  /// starts `exec.workers - 1` pool threads (the driving thread is the
+  /// remaining worker: it helps drain during step/quiesce).
+  explicit FreeRunningTopology(TopologySpec spec, ExecutorConfig exec = {});
+  ~FreeRunningTopology() override;
+
+  FreeRunningTopology(const FreeRunningTopology&) = delete;
+  FreeRunningTopology& operator=(const FreeRunningTopology&) = delete;
+
+  /// Emit up to `spout_budget_per_task` tuples per spout task (spouts run
+  /// sequentially on the driving thread: broker poll order is the data
+  /// assignment), then drain to quiescence — pool workers execute
+  /// concurrently with the spout emission and the drain. Returns tuples
+  /// executed during the call.
+  std::size_t step(common::Timestamp now,
+                   std::size_t spout_budget_per_task = 32) override;
+
+  std::size_t run_until_idle(common::Timestamp now,
+                             std::size_t max_rounds = 4096) override;
+
+  /// Quiesce, then tick each component in topological order, quiescing
+  /// again after every component so downstream windows observe fresh
+  /// upstream emissions — the same once-per-tick firing the stepped
+  /// executor guarantees.
+  void tick(common::Timestamp now) override;
+
+  /// Quiesce, then close spouts / cleanup bolts in topological order with
+  /// a quiescence point after every component.
+  void close(common::Timestamp now) override;
+
+  std::uint64_t tuples_executed() const noexcept override {
+    return executed_total_.load(std::memory_order_relaxed);
+  }
+  const TopologySpec& spec() const noexcept override { return spec_; }
+  std::size_t workers() const noexcept override { return exec_.workers; }
+  ExecutorMode mode() const noexcept override {
+    return ExecutorMode::free_running;
+  }
+
+  void bind_metrics(common::MetricsRegistry& registry,
+                    const std::string& prefix) override;
+  void bind_trace(common::TraceRecorder* recorder) noexcept override {
+    recorder_ = recorder;
+  }
+
+ private:
+  /// One task: a spout/bolt instance plus its bounded inbox. `claimed` is
+  /// the single-claimer gate — exchange(true, acquire) to claim,
+  /// store(false, release) to hand it back, so claim hand-offs publish the
+  /// bolt's state to the next claimer.
+  struct Task {
+    explicit Task(std::size_t inbox_capacity) : inbox(inbox_capacity) {}
+    std::unique_ptr<Spout> spout;  // exactly one of spout/bolt set
+    std::unique_ptr<Bolt> bolt;
+    common::MpmcQueue<Tuple> inbox;
+    std::atomic<bool> claimed{false};
+  };
+
+  struct Edge {
+    std::size_t dst = 0;  // component index
+    GroupingType type = GroupingType::shuffle;
+    std::vector<std::size_t> field_indices;
+    std::atomic<std::size_t> rr_cursor{0};  // shuffle round-robin
+  };
+
+  // std::deque because Task and Edge hold non-movable members (queues,
+  // atomics) — deque never relocates elements.
+  struct Node {
+    ComponentSpec spec;
+    std::deque<Task> tasks;
+    std::deque<Edge> out_edges;
+    common::Counter* executed = nullptr;  // null until bind_metrics
+  };
+
+  /// Routes immediately from whichever thread is executing — the
+  /// free-running replacement for the stepped executor's OutboxCollector.
+  class RouteCollector final : public Collector {
+   public:
+    RouteCollector(FreeRunningTopology& topo, std::size_t src)
+        : topo_(topo), src_(src) {}
+    void emit(Tuple tuple) override { topo_.route(src_, std::move(tuple)); }
+
+   private:
+    FreeRunningTopology& topo_;
+    std::size_t src_;
+  };
+
+  static bool try_claim(Task& task) noexcept {
+    return !task.claimed.exchange(true, std::memory_order_acquire);
+  }
+  static void release_claim(Task& task) noexcept {
+    task.claimed.store(false, std::memory_order_release);
+  }
+
+  void route(std::size_t src_component, Tuple tuple);
+  void enqueue(std::size_t dst_component, Task& task, Tuple tuple);
+  /// Execute up to `limit` inbox tuples of a claimed task. Returns the
+  /// number executed.
+  std::size_t execute_chunk(std::size_t component, Task& task,
+                            std::size_t limit);
+  /// One work-finding pass over every bolt task (claim, run to completion,
+  /// release). Returns the number of tuples executed.
+  std::size_t run_pass();
+  /// Drive (and help) until in_flight_ hits zero.
+  void quiesce();
+  void wake_workers();
+  void worker_loop();
+
+  TopologySpec spec_;
+  ExecutorConfig exec_;
+  std::deque<Node> nodes_;
+  std::vector<std::size_t> topo_order_;
+  common::TraceRecorder* recorder_ = nullptr;
+
+  /// Tuples enqueued but not yet executed. Incremented before the inbox
+  /// push; decremented only after the bolt's execute() returns, so a
+  /// parent tuple stays counted until its children are — zero therefore
+  /// means the whole topology is quiescent, not just that inboxes look
+  /// empty.
+  std::atomic<std::uint64_t> in_flight_{0};
+  std::atomic<std::uint64_t> executed_total_{0};
+  std::atomic<common::Timestamp> now_{0};  // worker-side trace stamps
+
+  // Worker parking: an eventcount. Workers snapshot wake_seq_ before
+  // scanning for work and park only if the sequence is unchanged when they
+  // get the mutex; every enqueue bumps the sequence, so a push that lands
+  // after a failed scan flips the predicate before the scanner can sleep.
+  // The bounded wait_for is a belt-and-braces liveness net, and the
+  // driving thread never parks (quiesce() spins/helps), so forward
+  // progress never depends on a wakeup.
+  std::vector<std::thread> pool_;
+  std::mutex park_mutex_;
+  std::condition_variable park_cv_;
+  std::atomic<std::uint64_t> wake_seq_{0};
+  std::atomic<std::size_t> idle_workers_{0};
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace netalytics::stream

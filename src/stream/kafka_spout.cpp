@@ -48,10 +48,10 @@ bool KafkaSpout::next_tuple(Collector& out, common::Timestamp now) {
       }
       return false;
     }
-    auto batch = consumer_.poll(topic_, poll_batch_);
-    for (auto& m : batch) {
-      buffered_records_value_ += m.records;
-      buffer_.push_back(std::move(m));
+    auto batch = consumer_.poll_batch(topic_, poll_batch_);
+    for (auto& r : batch.records) {
+      buffered_records_value_ += r.records;
+      buffer_.push_back(std::move(r));
     }
     buffered_records_->set(static_cast<std::int64_t>(buffered_records_value_));
     // Consumer lag after the fetch: what the brokers still hold for this
@@ -60,7 +60,7 @@ bool KafkaSpout::next_tuple(Collector& out, common::Timestamp now) {
   }
   if (buffer_.empty()) return false;
 
-  const mq::Message& msg = buffer_.front();
+  const mq::FetchedRecord& msg = buffer_.front();
   if (tracer_ != nullptr) {
     tracer_->stamp(common::StageTracer::Stage::consume, now, msg.append_ts);
   }

@@ -70,7 +70,10 @@ class KafkaSpout final : public Spout {
   std::size_t task_ = 0;
   std::size_t poll_batch_;
   common::FaultPlan* faults_;
-  std::deque<mq::Message> buffer_;
+  // FetchedRecord, not Message: the spout consumes via the zero-copy
+  // poll_batch path, so nothing per-message (topic strings included) is
+  // allocated between broker log and tuple emission.
+  std::deque<mq::FetchedRecord> buffer_;
   // Counters live in the bound (or owned fallback) registry.
   std::unique_ptr<common::MetricsRegistry> owned_metrics_;
   common::Counter* emitted_ = nullptr;

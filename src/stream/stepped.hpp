@@ -22,17 +22,18 @@
 
 #include "common/metrics.hpp"
 #include "common/trace.hpp"
+#include "stream/executor.hpp"
 #include "stream/topology.hpp"
 
 namespace netalytics::stream {
 
-class SteppedTopology {
+class SteppedTopology final : public TopologyExecutor {
  public:
   /// Instantiates one spout/bolt per task from the spec's factories.
   /// `exec.workers` > 1 enables the stage-parallel execution mode; pool
   /// threads are started lazily on the first parallel stage.
   explicit SteppedTopology(TopologySpec spec, ExecutorConfig exec = {});
-  ~SteppedTopology();
+  ~SteppedTopology() override;
 
   SteppedTopology(const SteppedTopology&) = delete;
   SteppedTopology& operator=(const SteppedTopology&) = delete;
@@ -40,34 +41,38 @@ class SteppedTopology {
   /// One scheduling round: every spout task may emit up to
   /// `spout_budget_per_task` tuples, then all inboxes drain through the
   /// bolts in topological order. Returns the number of tuples executed.
-  std::size_t step(common::Timestamp now, std::size_t spout_budget_per_task = 32);
+  std::size_t step(common::Timestamp now,
+                   std::size_t spout_budget_per_task = 32) override;
 
   /// Step until the spouts report idle and all inboxes are empty, or until
   /// `max_rounds` is hit. Returns tuples executed.
-  std::size_t run_until_idle(common::Timestamp now, std::size_t max_rounds = 4096);
+  std::size_t run_until_idle(common::Timestamp now,
+                             std::size_t max_rounds = 4096) override;
 
   /// Deliver a tick to every bolt (rolling windows advance, rankings emit)
   /// and drain the results. Stage-ordered: a component's tick runs only
   /// after every upstream emission of this round has been drained, and its
   /// own emissions are drained before the next component ticks.
-  void tick(common::Timestamp now);
+  void tick(common::Timestamp now) override;
 
   /// cleanup() every bolt and drain final emissions.
-  void close(common::Timestamp now);
+  void close(common::Timestamp now) override;
 
-  std::uint64_t tuples_executed() const noexcept { return executed_; }
-  const TopologySpec& spec() const noexcept { return spec_; }
+  std::uint64_t tuples_executed() const noexcept override { return executed_; }
+  const TopologySpec& spec() const noexcept override { return spec_; }
   /// Total execution threads a bolt stage may use (1 = inline).
-  std::size_t workers() const noexcept { return exec_.workers; }
+  std::size_t workers() const noexcept override { return exec_.workers; }
+  ExecutorMode mode() const noexcept override { return ExecutorMode::stepped; }
 
   /// Publish per-component executed-tuple counters into `registry` as
   /// "<prefix>.<component>.executed". Bind before stepping.
-  void bind_metrics(common::MetricsRegistry& registry, const std::string& prefix);
+  void bind_metrics(common::MetricsRegistry& registry,
+                    const std::string& prefix) override;
 
   /// Stamp a TraceStage::execute span for every executed tuple whose
   /// `Tuple::trace` is nonzero. Bind before stepping; pass nullptr to
   /// disable (the default).
-  void bind_trace(common::TraceRecorder* recorder) noexcept {
+  void bind_trace(common::TraceRecorder* recorder) noexcept override {
     recorder_ = recorder;
   }
 

@@ -59,14 +59,29 @@ struct Grouping {
   Fields fields{};  // for GroupingType::fields: names in the source's schema
 };
 
-/// Execution-resource configuration for SteppedTopology. `workers` is the
-/// total number of threads a scheduling round may use for bolt stages —
-/// the stepping thread plus `workers - 1` pool threads. 1 (the default)
-/// runs everything inline on the stepping thread; any value produces
+/// Which executor make_executor() builds over a TopologySpec.
+/// `stepped` (default): stage barriers, bit-identical results at any worker
+/// count. `free_running`: work-stealing run-to-completion over per-task
+/// MPMC inboxes — relaxed inter-key ordering, but the multiset of results,
+/// per-key order for fields groupings, and reconcile/ledger accounting are
+/// preserved (docs/DETERMINISM.md "relaxed mode", proven in
+/// tests/core/free_running_differential_test.cpp).
+enum class ExecutorMode { stepped, free_running };
+
+const char* to_string(ExecutorMode mode) noexcept;
+
+/// Execution-resource configuration for a topology executor. `workers` is
+/// the total number of threads a scheduling round may use — the stepping
+/// thread plus `workers - 1` pool threads. 1 (the default) runs everything
+/// inline on the stepping thread; in stepped mode any value produces
 /// bit-identical results (see docs/DETERMINISM.md for the contract and
 /// tests/core/parallel_executor_differential_test.cpp for the proof).
+/// `inbox_capacity` bounds each free-running task inbox (backpressure);
+/// ignored by the stepped executor, whose inboxes are unbounded deques.
 struct ExecutorConfig {
   std::size_t workers = 1;
+  ExecutorMode mode = ExecutorMode::stepped;
+  std::size_t inbox_capacity = 4096;
 };
 
 /// Factories, not instances: every task of a component gets its own

@@ -7,7 +7,10 @@
 #   2. a `bench_*` harness or `examples/<name>` binary mentioned in the
 #      docs has no source file under bench/ or examples/,
 #   3. a tests/*.sh, tests/**/*_test.cpp, BENCH_*.json, or docs/*.md path
-#      mentioned in the docs does not exist.
+#      mentioned in the docs does not exist,
+#   4. docs/DETERMINISM.md stops documenting both executor modes
+#      (stepped and free_running) — the contract page must cover
+#      whichever mode EngineConfig::executor_mode selects.
 #
 # Wired into tests/run_ci.sh as the `docs` lane.
 set -eu
@@ -60,6 +63,15 @@ for path in $(grep -ho 'tests/[a-z0-9_/]*\.\(sh\|cpp\)' $docs | sort -u) \
             $(grep -ho 'docs/[A-Za-z0-9_]*\.md' $docs | sort -u); do
   if [ ! -e "$path" ]; then
     fail "docs mention missing file: $path"
+  fi
+done
+
+# 4. The determinism page must document both executor modes: the stepped
+# contract and the free-running relaxed contract are the reference for
+# every differential suite.
+for mode in stepped free_running; do
+  if ! grep -q "$mode" docs/DETERMINISM.md; then
+    fail "docs/DETERMINISM.md no longer documents executor mode: $mode"
   fi
 done
 

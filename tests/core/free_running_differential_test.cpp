@@ -1,0 +1,158 @@
+// Differential proof of the free-running executor's relaxed contract
+// (docs/DETERMINISM.md, "relaxed mode") at full-engine scale: the chaos
+// workload of parallel_executor_differential_test.cpp — every discard site
+// armed at once — is run under executor_mode = stepped and under
+// free_running, and the *multiset* of result tuples must match (inter-key
+// order is the one thing relaxed mode gives up), while the conservation
+// identity engine.reconcile() must stay exact at every pump boundary in
+// both modes: quiescent step() boundaries mean nothing is silently in
+// flight, and the DropLedger accounts for every discarded record.
+#include "core/netalytics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/fault.hpp"
+#include "pktgen/payloads.hpp"
+#include "pktgen/session.hpp"
+#include "stream/tuple.hpp"
+
+namespace netalytics::core {
+namespace {
+
+constexpr std::string_view kQuery =
+    "PARSE http_get FROM * TO h5:80 LIMIT 600s PROCESS (identity)";
+
+/// Emit one HTTP GET session client->server through `emu`'s fabric.
+void http_session(Emulation& emu, int port, common::Timestamp start,
+                  const char* url = "/r") {
+  pktgen::SessionSpec s;
+  s.flow = {*emu.ip_of_name("h0"), *emu.ip_of_name("h5"),
+            static_cast<net::Port>(30000 + port), 80, 6};
+  s.start = start;
+  s.rtt = common::kMillisecond;
+  s.server_latency = common::kMillisecond;
+  const auto req = pktgen::http_get_request(url, "h5");
+  const auto resp = pktgen::http_response(200, 100);
+  s.request = req;
+  s.response = resp;
+  pktgen::emit_tcp_session(
+      s, [&emu](std::span<const std::byte> f, common::Timestamp ts) {
+        emu.transmit(f, ts);
+      });
+}
+
+/// Canonical multiset view of a result stream.
+std::vector<std::string> sorted_renders(
+    const std::vector<stream::Tuple>& tuples) {
+  std::vector<std::string> out;
+  out.reserve(tuples.size());
+  for (const auto& t : tuples) out.push_back(stream::format_tuple(t));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// The chaos workload, parameterized by executor mode. Fresh emulation and
+/// fresh FaultPlan per run (plans carry mutable fire counters). All broker
+/// and spout interaction happens on the sequential driving thread in both
+/// modes, so the fault schedule the engine observes is identical — the
+/// only degree of freedom is the worker interleaving inside the topology.
+std::vector<stream::Tuple> run_chaos(stream::ExecutorMode mode,
+                                     std::size_t workers) {
+  Emulation emu = Emulation::make_small(4);
+  common::FaultPlan plan(7);
+  common::FaultSpec ring;
+  ring.every_nth = 7;
+  plan.arm("nf.ring.overflow", ring);
+  common::FaultSpec parser;
+  parser.every_nth = 5;
+  plan.arm("nf.parser.throw", parser);
+  common::FaultSpec down;
+  down.window_start = 2 * common::kSecond;
+  down.window_end = 3 * common::kSecond;
+  plan.arm("mq.broker.0.down", down);
+  plan.arm("mq.broker.1.down", down);
+  common::FaultSpec reject;
+  reject.every_nth = 2;
+  reject.max_fires = 4;
+  plan.arm("mq.broker.0.reject", reject);
+  common::FaultSpec spout;
+  spout.probability = 1.0;
+  plan.arm("stream.spout.poll", spout);
+  emu.install_faults(&plan);
+
+  EngineConfig cfg;
+  cfg.broker.retention_age = 2 * common::kSecond;
+  cfg.monitor_output_batch = 1;
+  cfg.producer_retry.max_attempts = 0;
+  cfg.trace_sample_denominator = 4;
+  cfg.processor_parallelism = 4;
+  cfg.executor_workers = workers;
+  cfg.executor_mode = mode;
+  NetAlytics engine(emu, cfg);
+
+  auto q = engine.submit(kQuery, 0);
+  EXPECT_TRUE(q.has_value()) << q.error().to_string();
+  for (int i = 0; i < 14; ++i) {
+    http_session(engine.emulation(), i,
+                 common::kSecond + i * 30 * common::kMillisecond, "/chaos");
+  }
+  // Relaxed mode keeps the conservation identity exact at every pump
+  // boundary: step() drains to quiescence before returning, so the
+  // residual cannot hide in worker inboxes.
+  for (const common::Timestamp t :
+       {common::kSecond, 2500 * common::kMillisecond,
+        3500 * common::kMillisecond, 4500 * common::kMillisecond,
+        6 * common::kSecond}) {
+    engine.pump(t);
+    const auto report = engine.reconcile(**q);
+    EXPECT_TRUE(report.exact())
+        << "mode=" << stream::to_string(mode) << " workers=" << workers
+        << " t=" << t << "\n"
+        << report.render();
+  }
+  plan.disarm("stream.spout.poll");
+  for (const common::Timestamp t : {7 * common::kSecond, 8 * common::kSecond}) {
+    engine.pump(t);
+    EXPECT_TRUE(engine.reconcile(**q).exact())
+        << "mode=" << stream::to_string(mode) << " workers=" << workers;
+  }
+  return (*q)->results();
+}
+
+TEST(FreeRunningDifferential, ChaosMultisetMatchesSteppedOracle) {
+  const auto oracle = sorted_renders(run_chaos(stream::ExecutorMode::stepped, 1));
+  // The spouts healed and the surviving backlog drained into results.
+  EXPECT_FALSE(oracle.empty());
+  // Same delivered multiset under chaos at every worker count; reconcile()
+  // exactness at each boundary is asserted inside run_chaos.
+  for (const std::size_t workers : {1u, 2u, 4u}) {
+    EXPECT_EQ(oracle, sorted_renders(run_chaos(
+                          stream::ExecutorMode::free_running, workers)))
+        << "workers=" << workers;
+  }
+}
+
+TEST(FreeRunningDifferential, RepeatedFreeRunningChaosIsMultisetStable) {
+  // Schedule-independence of the relaxed contract itself: two free-running
+  // runs with different thread interleavings still deliver the same
+  // multiset (and both reconcile exactly, checked inside run_chaos).
+  const auto first =
+      sorted_renders(run_chaos(stream::ExecutorMode::free_running, 4));
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first,
+            sorted_renders(run_chaos(stream::ExecutorMode::free_running, 4)));
+}
+
+TEST(FreeRunningDifferential, ConfigValidationRejectsBadExecutorConfig) {
+  Emulation emu = Emulation::make_small(4);
+  EngineConfig cfg;
+  cfg.executor_inbox_capacity = 0;
+  EXPECT_THROW(NetAlytics(emu, cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace netalytics::core

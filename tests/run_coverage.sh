@@ -2,7 +2,8 @@
 # Coverage lane: build with GCC --coverage instrumentation, run the mq /
 # stream / core / tsdb suites, and report line coverage for src/mq,
 # src/stream and src/tsdb (the aggregation layer, the stream engine, and
-# the tiered time-series store). The lane FAILS if any module drops below
+# the tiered time-series store), plus a per-file floor for the
+# free-running executor sources. The lane FAILS if any module drops below
 # its recorded baseline, so coverage can only ratchet up.
 #
 #   tests/run_coverage.sh        # build, run, report, gate
@@ -24,6 +25,9 @@ jobs=$(nproc 2>/dev/null || echo 4)
 mq_baseline=95
 stream_baseline=90
 tsdb_baseline=90
+# Per-file floor for the free-running executor sources: new concurrency
+# code ships with its differential suites or not at all.
+executor_file_baseline=85
 
 cmake -B "$build_dir" -S "$repo_root" \
   -DCMAKE_BUILD_TYPE=Debug \
@@ -68,6 +72,31 @@ module_coverage() {
   rm -rf "$scratch"
 }
 
+# Same aggregation, restricted to one source file (header or .cpp).
+file_coverage() {
+  file=$1
+  scratch=$(mktemp -d)
+  (
+    cd "$scratch"
+    find "$build_dir/src" "$build_dir/tests" -name '*.gcda' \
+      -exec gcov '{}' + 2>/dev/null || true
+  ) >"$scratch/gcov.out"
+  awk -v want="/$file" '
+    /^File / { file = $0; next }
+    /^Lines executed:/ && index(file, want) {
+      pct = $0; sub(/^Lines executed:/, "", pct); sub(/% of .*/, "", pct)
+      n = $0; sub(/.*% of /, "", n)
+      covered += pct * n / 100.0
+      total += n
+    }
+    END {
+      if (total == 0) { print "0"; exit }
+      printf "%d\n", (covered * 100.0 / total)
+    }
+  ' "$scratch/gcov.out"
+  rm -rf "$scratch"
+}
+
 gate() {
   module=$1
   baseline=$2
@@ -79,9 +108,22 @@ gate() {
   fi
 }
 
+gate_file() {
+  file=$1
+  baseline=$2
+  pct=$(file_coverage "$file")
+  echo "coverage $file: ${pct}% (baseline ${baseline}%)"
+  if [ "$pct" -lt "$baseline" ]; then
+    echo "FAIL: $file line coverage ${pct}% fell below baseline ${baseline}%" >&2
+    return 1
+  fi
+}
+
 status=0
 gate mq "$mq_baseline" || status=1
 gate stream "$stream_baseline" || status=1
 gate tsdb "$tsdb_baseline" || status=1
+gate_file src/stream/free_running.cpp "$executor_file_baseline" || status=1
+gate_file src/stream/executor.cpp "$executor_file_baseline" || status=1
 [ "$status" -eq 0 ] && echo "== coverage: gate green =="
 exit "$status"

@@ -2,10 +2,13 @@
 # ThreadSanitizer lane: build with NETALYTICS_SANITIZE=thread and run the
 # suites that exercise real threads against the sharded broker (concurrent
 # producers/consumers, producer retry under chaos, monitor worker pools)
-# and the parallel stepped executor (stage barrier, worker-pool claims,
-# the determinism differentials of docs/DETERMINISM.md), plus the
-# consumer-group rebalance differentials (spout groups under churn) and
-# the tiered time-series store (concurrent ingest/capture vs queries).
+# and both topology executors: the parallel stepped executor (stage
+# barrier, worker-pool claims, the determinism differentials of
+# docs/DETERMINISM.md) and the free-running executor (work-stealing
+# claims, MPMC inboxes, help-on-full backpressure, the relaxed-mode
+# multiset differentials), plus the consumer-group rebalance
+# differentials (spout groups under churn) and the tiered time-series
+# store (concurrent ingest/capture vs queries).
 #
 #   tests/run_tsan.sh            # the threaded suites (CI lane)
 #   tests/run_tsan.sh -R <re>    # any ctest selection, forwarded verbatim
@@ -29,5 +32,5 @@ if [ "$#" -gt 0 ]; then
   ctest --test-dir "$build_dir" --output-on-failure "$@"
 else
   ctest --test-dir "$build_dir" --output-on-failure \
-    -R 'ConcurrentBroker|MqChaos|ProducerBatch|Producer|Monitor|ParallelStepped|ParallelExecutor|GroupRebalance|TieredStore'
+    -R 'ConcurrentBroker|MqChaos|ProducerBatch|Producer|Monitor|ParallelStepped|ParallelExecutor|FreeRunning|GroupRebalance|TieredStore'
 fi
