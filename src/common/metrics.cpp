@@ -58,6 +58,13 @@ std::uint64_t MetricsSnapshot::counter_value(std::string_view name) const {
   return 0;
 }
 
+std::int64_t MetricsSnapshot::gauge_value(std::string_view name) const {
+  for (const auto& g : gauges) {
+    if (g.name == name) return g.value;
+  }
+  return 0;
+}
+
 const MetricsSnapshot::HistogramSample* MetricsSnapshot::find_histogram(
     std::string_view name) const {
   for (const auto& h : histograms) {

@@ -135,6 +135,8 @@ struct MetricsSnapshot {
 
   /// First counter matching `name` exactly; 0 if absent.
   std::uint64_t counter_value(std::string_view name) const;
+  /// First gauge matching `name` exactly; 0 if absent.
+  std::int64_t gauge_value(std::string_view name) const;
   const HistogramSample* find_histogram(std::string_view name) const;
 
   /// Plain-text, Prometheus-style rendering with all series merged in

@@ -7,6 +7,9 @@
 
 #include "common/logging.hpp"
 #include "common/string_util.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/profile.hpp"
+#include "obs/prometheus.hpp"
 #include "parsers/parsers.hpp"
 
 namespace netalytics::core {
@@ -90,6 +93,19 @@ common::Expected<void> EngineConfig::validate() const {
                  "producer_batch.linger must not exceed tick_interval"};
   }
   if (auto ok = tsdb_store.validate(); !ok) return ok.error();
+  if (executor_profiler && !stream::profiler_available()) {
+    return Error{"config",
+                 "executor_profiler requires a metrics-enabled build "
+                 "(built with NETALYTICS_NO_METRICS)"};
+  }
+  if (!obs::valid_metric_prefix(obs_export.metric_prefix)) {
+    return Error{"config",
+                 "obs_export.metric_prefix must match "
+                 "[a-zA-Z_:][a-zA-Z0-9_:]*"};
+  }
+  if (obs_export.max_spans > obs::kMaxExportSpans) {
+    return Error{"config", "obs_export.max_spans must be <= 2^24"};
+  }
   return {};
 }
 
@@ -162,6 +178,37 @@ std::string QueryHandle::render(const RenderOptions& opts) const {
   if (registry_ == nullptr) return {};
   // Trailing dot so "q1." never matches "q10.*".
   return registry_->render_text(metrics_prefix_ + "." + std::string(opts.prefix));
+}
+
+std::string QueryHandle::export_chrome_trace() const {
+  obs::ChromeTraceOptions options;
+  options.pid = id_;
+  options.process_name = "netalytics " + metrics_prefix_;
+  if (engine_ != nullptr) {
+    options.max_spans = engine_->config().obs_export.max_spans;
+  }
+  const common::Timestamp now = engine_ != nullptr ? engine_->now() : 0;
+  return obs::ChromeTraceExporter(std::move(options))
+      .export_json(*recorder_, ledger_.get(), now);
+}
+
+std::string QueryHandle::export_metrics() const {
+  if (registry_ == nullptr) return {};
+  const obs::ExportOptions options = engine_ != nullptr
+                                         ? engine_->config().obs_export
+                                         : obs::ExportOptions{};
+  return obs::PrometheusExporter(options).export_snapshot(
+      registry_->snapshot(metrics_prefix_ + "."));
+}
+
+std::string QueryHandle::export_profile() const {
+  if (registry_ == nullptr) return {};
+  return obs::collapsed_stack(registry_->snapshot(metrics_prefix_ + "."));
+}
+
+std::string NetAlytics::export_metrics(std::string_view prefix) const {
+  return obs::PrometheusExporter(config_.obs_export)
+      .export_snapshot(metrics_.snapshot(prefix));
 }
 
 NetAlytics::NetAlytics(Emulation& emu, EngineConfig config)
@@ -341,8 +388,13 @@ void NetAlytics::build_processors(QueryHandle& q) {
       const bool has_ts =
           t.size() > 1 && std::holds_alternative<std::uint64_t>(t.at(1));
       if (t.trace != 0) {
+        // Only record-schema tuples ([id, ts, ...], i.e. identity) carry
+        // the ingress timestamp at index 1; aggregated shapes (rankings,
+        // group rows) reach here too now that traces continue through
+        // windowed bolts, and their at(1) is a count, not a time.
         recorder->stamp(t.trace, common::TraceStage::deliver,
-                        has_ts ? stream::as_u64(t.at(1)) : now_, now_);
+                        stamp_e2e && has_ts ? stream::as_u64(t.at(1)) : now_,
+                        now_);
       }
       if (stamp_e2e && has_ts) {
         tracer->stamp(common::StageTracer::Stage::e2e, now_,
@@ -370,7 +422,8 @@ void NetAlytics::build_processors(QueryHandle& q) {
         .workers = config_.executor_workers != 0 ? config_.executor_workers
                                                  : config_.processor_parallelism,
         .mode = config_.executor_mode,
-        .inbox_capacity = config_.executor_inbox_capacity};
+        .inbox_capacity = config_.executor_inbox_capacity,
+        .profile = config_.executor_profiler};
     q.topologies.push_back(
         stream::make_executor(std::move(spec.value()), exec));
     q.topologies.back()->bind_metrics(metrics_, ctx.metrics_prefix);

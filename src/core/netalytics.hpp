@@ -16,6 +16,7 @@
 #include "mq/cluster.hpp"
 #include "mq/producer.hpp"
 #include "nf/orchestrator.hpp"
+#include "obs/export.hpp"
 #include "stream/executor.hpp"
 #include "stream/processors.hpp"
 #include "tsdb/store.hpp"
@@ -91,6 +92,15 @@ struct EngineConfig {
   /// downsample into a compressed cold tier. hot_slots = 0 disables
   /// capture (query_range then serves only the live registry head).
   tsdb::StoreConfig tsdb_store{};
+  /// Executor stage profiler (docs/OBSERVABILITY.md): per-task wall-clock
+  /// self-time / queue-wait / pool-event counters published under
+  /// "q<id>.proc<i>.profiler.*". Off by default — wall-clock series are
+  /// excluded from the deterministic render contract — and rejected by
+  /// validate() in a NETALYTICS_NO_METRICS build.
+  bool executor_profiler = false;
+  /// Export-layer knobs (src/obs/): the Prometheus metric-family prefix
+  /// and the chrome://tracing span cap, validated with the other fields.
+  obs::ExportOptions obs_export{};
 
   /// Reject configurations that cannot run: zero brokers, a zero tick
   /// interval, inverted feedback watermarks, zero processor parallelism,
@@ -159,6 +169,20 @@ class QueryHandle {
 
   /// Pre-RenderOptions name, kept as a thin shim for one release.
   std::string render_metrics() const { return render(RenderOptions{}); }
+
+  // Export layer (src/obs/, docs/OBSERVABILITY.md). All three are pure
+  // functions of deterministic inputs, so repeated calls (and stepped-mode
+  // runs at any worker count) produce byte-identical output.
+
+  /// chrome://tracing / Perfetto event-array JSON of this query's recorded
+  /// spans (pid = query id, one lane per pipeline stage, drop-cause
+  /// counters from the ledger). Span cap from EngineConfig::obs_export.
+  std::string export_chrome_trace() const;
+  /// Prometheus text exposition of this query's registry slice ("q<id>.").
+  std::string export_metrics() const;
+  /// flamegraph.pl collapsed-stack profile of this query's executor
+  /// stage-profiler counters (empty unless EngineConfig::executor_profiler).
+  std::string export_profile() const;
 
  private:
   friend class NetAlytics;
@@ -259,6 +283,16 @@ class NetAlytics {
   std::string render_metrics(std::string_view prefix = {}) const {
     return render(RenderOptions{.prefix = prefix});
   }
+
+  /// Prometheus text exposition of the whole registry (optionally filtered
+  /// to names starting with `prefix`), using EngineConfig::obs_export for
+  /// the family prefix. The exposition every external scraper reads; see
+  /// docs/OBSERVABILITY.md.
+  std::string export_metrics(std::string_view prefix = {}) const;
+
+  const EngineConfig& config() const noexcept { return config_; }
+  /// Last virtual timestamp the engine saw (submit/pump).
+  common::Timestamp now() const noexcept { return now_; }
 
   /// Prove drop accounting closes for `q`: every monitor-received packet is
   /// attributed to a result tuple, a ledger'd drop cause, or in-flight

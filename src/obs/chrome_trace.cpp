@@ -1,0 +1,156 @@
+#include "obs/chrome_trace.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <string_view>
+
+namespace netalytics::obs {
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// Virtual-time ns rendered as a chrome-trace µs JSON number with the ns
+/// fraction preserved ("12.345"). Integer math only: deterministic.
+void append_us(std::string& out, common::Timestamp ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%" PRIu64 ".%03" PRIu64, ns / 1000,
+                ns % 1000);
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out += buf;
+}
+
+void append_hex_id(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "0x%016" PRIx64, v);
+  out += buf;
+}
+
+void event_head(std::string& out, bool& first, char ph, std::uint64_t pid,
+                unsigned tid, std::string_view name) {
+  out += first ? "\n" : ",\n";
+  first = false;
+  out += "{\"ph\":\"";
+  out += ph;
+  out += "\",\"pid\":";
+  append_u64(out, pid);
+  out += ",\"tid\":";
+  append_u64(out, tid);
+  out += ",\"name\":\"";
+  append_escaped(out, name);
+  out += '"';
+}
+
+}  // namespace
+
+std::string ChromeTraceExporter::export_json(
+    const std::vector<common::TraceSpan>& spans,
+    const common::DropLedger* ledger, common::Timestamp now,
+    std::uint64_t dropped_spans) const {
+  const std::uint64_t pid = options_.pid;
+  std::string out;
+  out.reserve(256 + spans.size() * 128);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+
+  event_head(out, first, 'M', pid, 0, "process_name");
+  out += ",\"args\":{\"name\":\"";
+  append_escaped(out, options_.process_name);
+  out += "\"}}";
+
+  // One lane per pipeline stage, sorted top-to-bottom in pipeline order.
+  for (std::size_t i = 0; i < common::kTraceStageCount; ++i) {
+    const auto stage = static_cast<common::TraceStage>(i);
+    event_head(out, first, 'M', pid, static_cast<unsigned>(i),
+               "thread_name");
+    out += ",\"args\":{\"name\":\"stage:";
+    append_escaped(out, common::trace_stage_name(stage));
+    out += "\"}}";
+    event_head(out, first, 'M', pid, static_cast<unsigned>(i),
+               "thread_sort_index");
+    out += ",\"args\":{\"sort_index\":";
+    append_u64(out, i);
+    out += "}}";
+  }
+
+  const std::size_t cap =
+      options_.max_spans == 0 ? spans.size()
+                              : std::min(options_.max_spans, spans.size());
+  for (std::size_t i = 0; i < cap; ++i) {
+    const auto& span = spans[i];
+    const auto tid = static_cast<unsigned>(span.stage);
+    event_head(out, first, 'X', pid, tid,
+               common::trace_stage_name(span.stage));
+    out += ",\"cat\":\"span\",\"ts\":";
+    append_us(out, span.start);
+    out += ",\"dur\":";
+    append_us(out, span.end >= span.start ? span.end - span.start : 0);
+    out += ",\"args\":{\"trace\":\"";
+    append_hex_id(out, span.trace);
+    out += "\"}}";
+  }
+
+  if (options_.drop_counters && ledger != nullptr) {
+    for (std::size_t i = 0; i < common::kDropCauseCount; ++i) {
+      const auto cause = static_cast<common::DropCause>(i);
+      const std::uint64_t n = ledger->value(cause);
+      if (n == 0) continue;
+      std::string name = "drop:";
+      name += common::drop_cause_name(cause);
+      event_head(out, first, 'C', pid, 0, name);
+      out += ",\"ts\":";
+      append_us(out, now);
+      out += ",\"args\":{\"count\":";
+      append_u64(out, n);
+      out += "}}";
+    }
+  }
+
+  event_head(out, first, 'I', pid, 0, "export_summary");
+  out += ",\"s\":\"p\",\"ts\":";
+  append_us(out, now);
+  out += ",\"args\":{\"spans\":";
+  append_u64(out, spans.size());
+  out += ",\"exported\":";
+  append_u64(out, cap);
+  out += ",\"truncated\":";
+  append_u64(out, spans.size() - cap);
+  out += ",\"dropped_spans\":";
+  append_u64(out, dropped_spans);
+  out += "}}";
+
+  out += "\n]}\n";
+  return out;
+}
+
+std::string ChromeTraceExporter::export_json(
+    const common::TraceRecorder& recorder, const common::DropLedger* ledger,
+    common::Timestamp now) const {
+  return export_json(recorder.collect(), ledger, now,
+                     recorder.dropped_spans());
+}
+
+}  // namespace netalytics::obs

@@ -1,0 +1,62 @@
+// chrome://tracing exporter: turns TraceRecorder spans into the Trace
+// Event Format event-array JSON that chrome://tracing and Perfetto load
+// directly (docs/OBSERVABILITY.md has the walkthrough). Layout: one
+// chrome "process" per query (pid = query id), one "thread" lane per
+// pipeline stage (tid = TraceStage index, sorted in pipeline order), one
+// complete ("X") event per span with args carrying the trace id, plus
+// counter ("C") events for the DropLedger's per-cause totals and a
+// closing instant event summarizing the export (span counts, truncation,
+// recorder slab drops).
+//
+// Deterministic: spans arrive content-sorted from TraceRecorder::collect()
+// and are serialized in that order with integer-only µs.ns formatting, so
+// the JSON is byte-identical across runs and worker counts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/trace.hpp"
+
+namespace netalytics::obs {
+
+struct ChromeTraceOptions {
+  /// chrome "process id" for every event; the engine passes the query id.
+  std::uint64_t pid = 1;
+  /// chrome "process name" metadata (shown in the Perfetto track header).
+  std::string process_name = "netalytics";
+  /// Serialize at most this many spans (0 = all). Truncation keeps the
+  /// content-sorted prefix and reports the cut in the summary event.
+  std::size_t max_spans = 0;
+  /// Emit one counter ("C") event per nonzero DropLedger cause.
+  bool drop_counters = true;
+};
+
+class ChromeTraceExporter {
+ public:
+  ChromeTraceExporter() = default;
+  explicit ChromeTraceExporter(ChromeTraceOptions options)
+      : options_(std::move(options)) {}
+
+  const ChromeTraceOptions& options() const noexcept { return options_; }
+
+  /// Serialize pre-collected spans. `ledger` (optional) contributes the
+  /// drop-cause counter events, `now` timestamps them, and
+  /// `dropped_spans` (recorder slab overflow) lands in the summary.
+  std::string export_json(const std::vector<common::TraceSpan>& spans,
+                          const common::DropLedger* ledger = nullptr,
+                          common::Timestamp now = 0,
+                          std::uint64_t dropped_spans = 0) const;
+
+  /// Convenience: collect() + export in one call.
+  std::string export_json(const common::TraceRecorder& recorder,
+                          const common::DropLedger* ledger = nullptr,
+                          common::Timestamp now = 0) const;
+
+ private:
+  ChromeTraceOptions options_{};
+};
+
+}  // namespace netalytics::obs

@@ -1,0 +1,64 @@
+#include "obs/export.hpp"
+
+#include <cctype>
+#include <fstream>
+
+namespace netalytics::obs {
+
+const std::vector<ExporterFormat>& exporter_formats() {
+  // One literal per format, one per line: tests/check_docs.sh check 5
+  // extracts the names from this initializer and requires
+  // docs/OBSERVABILITY.md to document each of them.
+  static const std::vector<ExporterFormat> kFormats = {
+      ExporterFormat{"chrome-trace", ".trace.json",
+                     "chrome://tracing / Perfetto event-array JSON of "
+                     "TraceRecorder spans"},
+      ExporterFormat{"prometheus", ".prom",
+                     "Prometheus text exposition of MetricsRegistry "
+                     "snapshots and tsdb range results"},
+      ExporterFormat{"collapsed-stack", ".folded",
+                     "flamegraph.pl collapsed-stack text of executor "
+                     "stage profiler self-time"},
+  };
+  return kFormats;
+}
+
+const ExporterFormat* find_format(std::string_view name) noexcept {
+  for (const auto& f : exporter_formats()) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+bool valid_metric_prefix(std::string_view prefix) noexcept {
+  if (prefix.empty()) return false;
+  const auto head = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+           c == ':';
+  };
+  const auto tail = [&](char c) {
+    return head(c) || std::isdigit(static_cast<unsigned char>(c)) != 0;
+  };
+  if (!head(prefix.front())) return false;
+  for (std::size_t i = 1; i < prefix.size(); ++i) {
+    if (!tail(prefix[i])) return false;
+  }
+  return true;
+}
+
+common::Expected<void> write_file(const std::string& path,
+                                  std::string_view content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return common::Error{"obs", "cannot open export file: " + path};
+  }
+  out.write(content.data(),
+            static_cast<std::streamsize>(content.size()));
+  out.flush();
+  if (!out) {
+    return common::Error{"obs", "short write to export file: " + path};
+  }
+  return {};
+}
+
+}  // namespace netalytics::obs

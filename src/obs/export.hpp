@@ -1,0 +1,64 @@
+// Unified observability export layer (see docs/OBSERVABILITY.md): the
+// bridge between the engine's internal signals — TraceRecorder spans,
+// MetricsRegistry snapshots, tsdb range results, the executor stage
+// profiler — and standard external formats a human or a scraper can read.
+// This header is the module's front door: the format registry (what the
+// code can serialize, greppable by tests/check_docs.sh), the shared
+// ExportOptions knob block EngineConfig embeds, and the file sink.
+//
+// Determinism contract: every exporter in this module is a pure function
+// of already-deterministic inputs (content-sorted spans, name-sorted
+// snapshots), so exported bytes are identical across repeated runs and
+// across stepped-mode worker counts — the property tests/obs/ locks in.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/expected.hpp"
+
+namespace netalytics::obs {
+
+/// One output format this module can serialize. `name` is the stable
+/// machine identifier (docs must mention every registered name;
+/// tests/check_docs.sh check 5 enforces it).
+struct ExporterFormat {
+  std::string_view name;
+  std::string_view extension;
+  std::string_view description;
+};
+
+/// Every format registered by the export layer, in pipeline order
+/// (traces, metrics, profile).
+const std::vector<ExporterFormat>& exporter_formats();
+
+/// Lookup by stable name; nullptr when unknown.
+const ExporterFormat* find_format(std::string_view name) noexcept;
+
+/// Export knobs embedded in core::EngineConfig as `obs_export` and
+/// validated there alongside the other config fields.
+struct ExportOptions {
+  /// Prefix prepended to every Prometheus metric family name. Must match
+  /// the Prometheus metric-name grammar ([a-zA-Z_:][a-zA-Z0-9_:]*).
+  std::string metric_prefix = "netalytics_";
+  /// Cap on spans serialized into one chrome://tracing export; 0 = all.
+  /// Truncation keeps the content-sorted order deterministic and is
+  /// reported in the export's summary event.
+  std::size_t max_spans = 0;
+};
+
+/// Largest accepted `ExportOptions::max_spans` (16M spans ~ 2-3 GB of
+/// JSON — anything above is a config mistake, not a real export).
+inline constexpr std::size_t kMaxExportSpans = std::size_t{1} << 24;
+
+/// True when `prefix` is a valid Prometheus metric-name prefix.
+bool valid_metric_prefix(std::string_view prefix) noexcept;
+
+/// File sink for any exporter's output. Overwrites; parent directory must
+/// exist. Errors are recoverable (code "obs").
+common::Expected<void> write_file(const std::string& path,
+                                  std::string_view content);
+
+}  // namespace netalytics::obs

@@ -1,0 +1,66 @@
+#include "obs/profile.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <string_view>
+
+namespace netalytics::obs {
+namespace {
+
+constexpr std::string_view kMarker = ".profiler.";
+
+bool ends_with(std::string_view name, std::string_view suffix) {
+  return name.size() >= suffix.size() &&
+         name.substr(name.size() - suffix.size()) == suffix;
+}
+
+bool is_profiler(std::string_view name) {
+  return name.find(kMarker) != std::string_view::npos;
+}
+
+}  // namespace
+
+ProfileTotals profile_totals(const common::MetricsSnapshot& snapshot) {
+  ProfileTotals totals;
+  for (const auto& c : snapshot.counters) {
+    if (!is_profiler(c.name)) continue;
+    if (ends_with(c.name, ".tuples")) {
+      totals.tuples += c.value;
+    } else if (ends_with(c.name, ".self_ns")) {
+      totals.self_ns += c.value;
+      ++totals.tasks;
+    } else if (ends_with(c.name, ".queue_wait_ns")) {
+      totals.queue_wait_ns += c.value;
+    }
+  }
+  return totals;
+}
+
+std::string collapsed_stack(const common::MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& c : snapshot.counters) {
+    if (!is_profiler(c.name) || !ends_with(c.name, ".self_ns")) continue;
+    if (c.value == 0) continue;
+    // "q1.proc0.profiler.count.t0.self_ns" -> "q1;proc0;count;t0".
+    const std::string_view name = c.name;
+    const std::string_view path =
+        name.substr(0, name.size() - sizeof(".self_ns") + 1);
+    std::string frames;
+    for (std::size_t pos = 0; pos <= path.size();) {
+      const std::size_t dot = std::min(path.find('.', pos), path.size());
+      const std::string_view seg = path.substr(pos, dot - pos);
+      pos = dot + 1;
+      if (seg.empty() || seg == "profiler") continue;
+      if (!frames.empty()) frames += ';';
+      frames += seg;
+    }
+    char weight[32];
+    std::snprintf(weight, sizeof weight, " %" PRIu64 "\n", c.value);
+    out += frames;
+    out += weight;
+  }
+  return out;
+}
+
+}  // namespace netalytics::obs

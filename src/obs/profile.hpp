@@ -1,0 +1,45 @@
+// Executor stage-profiler export. Both executors, when
+// ExecutorConfig::profile is on, publish per-task wall-clock counters
+// into the registry under the executor's metrics prefix:
+//
+//   <prefix>.profiler.<component>.t<k>.tuples         bolt executions
+//   <prefix>.profiler.<component>.t<k>.self_ns        time inside execute()/poll
+//   <prefix>.profiler.<component>.t<k>.queue_wait_ns  dispatch/inbox wait
+//   <prefix>.profiler.pool.*                          executor-wide events
+//                                                     (stage_dispatches,
+//                                                     parallel_stages /
+//                                                     claims, helps, parks)
+//
+// Because they live in the registry they flow into tsdb captures for
+// free; this header turns a snapshot of them into a flamegraph.pl
+// collapsed-stack profile ("q1;proc0;count;t0 123456" lines, self_ns
+// weights) and into totals that reconcile against
+// TopologyExecutor::tuples_executed().
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/metrics.hpp"
+
+namespace netalytics::obs {
+
+/// Sums of the per-task profiler counters in a snapshot. `tuples` counts
+/// bolt executions only (spout tasks publish time, not tuples), so it
+/// equals the executor's tuples_executed() for the same topology.
+struct ProfileTotals {
+  std::uint64_t tuples = 0;
+  std::uint64_t self_ns = 0;
+  std::uint64_t queue_wait_ns = 0;
+  std::uint64_t tasks = 0;  // distinct per-task self_ns series seen
+};
+
+ProfileTotals profile_totals(const common::MetricsSnapshot& snapshot);
+
+/// flamegraph.pl collapsed-stack text: one "frame;frame;... weight" line
+/// per task with nonzero self-time, frames = the counter's dotted path
+/// minus the "profiler" marker and the trailing field. Deterministic:
+/// snapshot order is name-sorted.
+std::string collapsed_stack(const common::MetricsSnapshot& snapshot);
+
+}  // namespace netalytics::obs

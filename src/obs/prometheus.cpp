@@ -1,0 +1,256 @@
+#include "obs/prometheus.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace netalytics::obs {
+namespace {
+
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Structural segment prefixes lifted into labels, alphabetical by prefix.
+/// A segment qualifies when it is one of these prefixes followed by only
+/// decimal digits ("q1", "mon0", "t3", ...).
+constexpr std::pair<std::string_view, std::string_view> kStructural[] = {
+    {"broker", "broker"}, {"mon", "monitor"},     {"proc", "processor"},
+    {"producer", "producer"}, {"q", "query"},     {"spout", "spout"},
+    {"t", "task"},        {"task", "task"},
+};
+
+std::string_view structural_label(std::string_view prefix) noexcept {
+  for (const auto& [p, label] : kStructural) {
+    if (p == prefix) return label;
+  }
+  return {};
+}
+
+void append_sanitized(std::string& out, std::string_view segment) {
+  for (char c : segment) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                    c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+}
+
+struct ParsedName {
+  std::string family;  // metric_prefix + '_'-joined non-structural segments
+  Labels labels;       // sorted by label name
+};
+
+ParsedName parse_name(std::string_view name, const std::string& prefix) {
+  ParsedName parsed;
+  parsed.family = prefix;
+  bool have_part = false;
+  std::size_t pos = 0;
+  while (pos <= name.size()) {
+    const std::size_t dot = std::min(name.find('.', pos), name.size());
+    const std::string_view seg = name.substr(pos, dot - pos);
+    pos = dot + 1;
+    if (seg.empty()) continue;
+    std::size_t alpha = 0;
+    while (alpha < seg.size() &&
+           std::isalpha(static_cast<unsigned char>(seg[alpha])) != 0) {
+      ++alpha;
+    }
+    const bool digits_tail =
+        alpha > 0 && alpha < seg.size() &&
+        std::all_of(seg.begin() + static_cast<std::ptrdiff_t>(alpha),
+                    seg.end(), [](char c) {
+                      return std::isdigit(static_cast<unsigned char>(c)) != 0;
+                    });
+    const std::string_view label =
+        digits_tail ? structural_label(seg.substr(0, alpha))
+                    : std::string_view{};
+    const bool label_taken =
+        !label.empty() &&
+        std::any_of(parsed.labels.begin(), parsed.labels.end(),
+                    [&](const auto& kv) { return kv.first == label; });
+    if (!label.empty() && !label_taken) {
+      parsed.labels.emplace_back(std::string(label),
+                                 std::string(seg.substr(alpha)));
+    } else {
+      // Non-structural segment (or a repeated coordinate, which stays in
+      // the name so no duplicate label can be emitted).
+      if (have_part) parsed.family += '_';
+      append_sanitized(parsed.family, seg);
+      have_part = true;
+    }
+  }
+  if (!have_part) parsed.family += "series";
+  std::sort(parsed.labels.begin(), parsed.labels.end());
+  return parsed;
+}
+
+void append_label_value(std::string& out, std::string_view v) {
+  for (char c : v) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+}
+
+/// `{a="1",b="2"}` (or nothing when empty); `extra` is merged into the
+/// sorted position by label name (used for the histogram `le` label).
+void append_labels(std::string& out, const Labels& labels,
+                   const std::pair<std::string_view, std::string_view>* extra =
+                       nullptr) {
+  if (labels.empty() && extra == nullptr) return;
+  out += '{';
+  bool first = true;
+  bool extra_done = extra == nullptr;
+  const auto emit = [&](std::string_view k, std::string_view v) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    append_label_value(out, v);
+    out += '"';
+  };
+  for (const auto& [k, v] : labels) {
+    if (!extra_done && extra->first < k) {
+      emit(extra->first, extra->second);
+      extra_done = true;
+    }
+    emit(k, v);
+  }
+  if (!extra_done) emit(extra->first, extra->second);
+  out += '}';
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out += buf;
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRId64, v);
+  out += buf;
+}
+
+/// Family accumulator: "# TYPE" line type plus sample lines in insertion
+/// order (snapshots are name-sorted, so insertion order is deterministic).
+struct Family {
+  std::string type;
+  std::vector<std::string> lines;
+};
+
+std::string render_families(const std::map<std::string, Family>& families) {
+  std::string out;
+  for (const auto& [name, fam] : families) {
+    out += "# TYPE ";
+    out += name;
+    out += ' ';
+    out += fam.type;
+    out += '\n';
+    for (const auto& line : fam.lines) {
+      out += line;
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+Family& family_for(std::map<std::string, Family>& families,
+                   const std::string& name, std::string_view type) {
+  auto [it, inserted] = families.try_emplace(std::string(name));
+  if (inserted) it->second.type = type;
+  return it->second;
+}
+
+}  // namespace
+
+std::string PrometheusExporter::export_snapshot(
+    const common::MetricsSnapshot& snapshot) const {
+  std::map<std::string, Family> families;
+  const std::string& prefix = options_.metric_prefix;
+
+  for (const auto& c : snapshot.counters) {
+    const ParsedName p = parse_name(c.name, prefix);
+    Family& fam = family_for(families, p.family, "counter");
+    std::string line = p.family;
+    append_labels(line, p.labels);
+    line += ' ';
+    append_u64(line, c.value);
+    fam.lines.push_back(std::move(line));
+  }
+
+  for (const auto& g : snapshot.gauges) {
+    const ParsedName p = parse_name(g.name, prefix);
+    Family& fam = family_for(families, p.family, "gauge");
+    std::string line = p.family;
+    append_labels(line, p.labels);
+    line += ' ';
+    append_i64(line, g.value);
+    fam.lines.push_back(std::move(line));
+  }
+
+  for (const auto& h : snapshot.histograms) {
+    const ParsedName p = parse_name(h.name, prefix);
+    Family& fam = family_for(families, p.family, "histogram");
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i <= h.bounds.size(); ++i) {
+      cumulative += i < h.buckets.size() ? h.buckets[i] : 0;
+      std::string le;
+      if (i < h.bounds.size()) {
+        append_u64(le, h.bounds[i]);
+      } else {
+        le = "+Inf";
+      }
+      const std::pair<std::string_view, std::string_view> extra{"le", le};
+      std::string line = p.family;
+      line += "_bucket";
+      append_labels(line, p.labels, &extra);
+      line += ' ';
+      append_u64(line, cumulative);
+      fam.lines.push_back(std::move(line));
+    }
+    std::string sum_line = p.family;
+    sum_line += "_sum";
+    append_labels(sum_line, p.labels);
+    sum_line += ' ';
+    append_u64(sum_line, h.sum);
+    fam.lines.push_back(std::move(sum_line));
+    std::string count_line = p.family;
+    count_line += "_count";
+    append_labels(count_line, p.labels);
+    count_line += ' ';
+    append_u64(count_line, h.count);
+    fam.lines.push_back(std::move(count_line));
+  }
+
+  return render_families(families);
+}
+
+std::string PrometheusExporter::export_range(
+    const tsdb::RangeResult& result) const {
+  std::map<std::string, Family> families;
+  for (const auto& series : result.series) {
+    const ParsedName p = parse_name(series.name, options_.metric_prefix);
+    Family& fam = family_for(
+        families, p.family,
+        series.kind == tsdb::SeriesKind::counter ? "counter" : "gauge");
+    for (const auto& point : series.points) {
+      std::string line = p.family;
+      append_labels(line, p.labels);
+      line += ' ';
+      line += tsdb::format_number(point.value);
+      line += ' ';
+      append_u64(line, point.t / 1'000'000);  // virtual ns -> ms
+      fam.lines.push_back(std::move(line));
+    }
+  }
+  return render_families(families);
+}
+
+}  // namespace netalytics::obs

@@ -1,0 +1,47 @@
+// Prometheus text-exposition exporter over the registry's dotted names.
+// The registry namespaces series structurally ("q1.proc0.count.window_keys",
+// "q2.mon3.rx_packets"); a scraper wants those coordinates as labels, not
+// baked into the family name. The exporter splits each dotted name into
+// segments and lifts the structural ones — a known alphabetic prefix plus a
+// decimal index (q3 -> query="3", mon0 -> monitor="0", proc1 ->
+// processor="1", spout0/task2/t2, producer/broker indices) — into labels;
+// the remaining segments join with '_' under ExportOptions::metric_prefix
+// to form the family name. Families render sorted by name with one
+// "# TYPE" line each; labels render sorted by label name; histograms
+// expose cumulative _bucket{le=...} / _sum / _count.
+//
+// Everything is derived from name-sorted snapshots with pure string math,
+// so the exposition is byte-identical across runs and worker counts.
+#pragma once
+
+#include <string>
+
+#include "common/metrics.hpp"
+#include "obs/export.hpp"
+#include "tsdb/query.hpp"
+
+namespace netalytics::obs {
+
+class PrometheusExporter {
+ public:
+  PrometheusExporter() = default;
+  explicit PrometheusExporter(ExportOptions options)
+      : options_(std::move(options)) {}
+
+  const ExportOptions& options() const noexcept { return options_; }
+
+  /// Current levels: counters/gauges/histograms of one registry snapshot.
+  std::string export_snapshot(const common::MetricsSnapshot& snapshot) const;
+
+  /// Historical range: one timestamped sample line (milliseconds) per
+  /// point. Counter series hold per-capture deltas folded by the query's
+  /// aggregation, so they are exposed with their stored kind but carry
+  /// multiple timestamped samples per labelset (backfill-style exposition;
+  /// see docs/OBSERVABILITY.md).
+  std::string export_range(const tsdb::RangeResult& result) const;
+
+ private:
+  ExportOptions options_{};
+};
+
+}  // namespace netalytics::obs

@@ -136,6 +136,7 @@ void GroupAggBolt::execute(const Tuple& input, Collector&) {
   }
   agg.sum += v;
   ++agg.count;
+  agg.trace = std::max(agg.trace, input.trace);
   report_window();
 }
 
@@ -160,6 +161,7 @@ void GroupAggBolt::emit_groups(Collector& out) {
     t.values = agg.group_values;
     t.values.emplace_back(result);
     t.values.emplace_back(std::uint64_t{agg.count});
+    t.trace = agg.trace;
     out.emit(std::move(t));
   }
   if (config_.reset_after_emit) {

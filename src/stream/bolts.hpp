@@ -170,6 +170,9 @@ class GroupAggBolt final : public Bolt {
     double max = 0;
     double min = 0;
     std::uint64_t count = 0;
+    // Max sampled trace id among the group's contributors: commutative, so
+    // trace continuation is independent of arrival interleaving.
+    std::uint64_t trace = 0;
   };
   void emit_groups(Collector& out);
   void report_window();

@@ -14,6 +14,14 @@ constexpr std::size_t kChunk = 128;
 // Help-on-full drains less so the blocked pusher gets back to its own
 // tuple quickly once space exists.
 constexpr std::size_t kHelpChunk = 32;
+
+/// Wall-clock for the stage profiler only — virtual time never touches it.
+std::uint64_t mono_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 }  // namespace
 
 FreeRunningTopology::FreeRunningTopology(TopologySpec spec,
@@ -21,6 +29,7 @@ FreeRunningTopology::FreeRunningTopology(TopologySpec spec,
     : spec_(std::move(spec)), exec_(exec) {
   if (exec_.workers == 0) exec_.workers = 1;
   if (exec_.inbox_capacity == 0) exec_.inbox_capacity = 1;
+  profile_ = exec_.profile && profiler_available();
   std::map<std::string, std::size_t> index_of;
   for (const auto& c : spec_.components) {
     index_of[c.name] = nodes_.size();
@@ -97,6 +106,23 @@ void FreeRunningTopology::bind_metrics(common::MetricsRegistry& registry,
   for (auto& node : nodes_) {
     node.executed =
         &registry.counter(prefix + "." + node.spec.name + ".executed");
+    if (!profile_) continue;
+    node.prof.assign(node.tasks.size(), TaskProf{});
+    for (std::size_t k = 0; k < node.tasks.size(); ++k) {
+      const std::string base = prefix + ".profiler." + node.spec.name + ".t" +
+                               std::to_string(k) + ".";
+      node.prof[k].tuples = &registry.counter(base + "tuples");
+      node.prof[k].self_ns = &registry.counter(base + "self_ns");
+      node.prof[k].queue_wait_ns = &registry.counter(base + "queue_wait_ns");
+    }
+  }
+  if (profile_) {
+    prof_claims_.store(&registry.counter(prefix + ".profiler.pool.claims"),
+                       std::memory_order_release);
+    prof_helps_.store(&registry.counter(prefix + ".profiler.pool.helps"),
+                      std::memory_order_release);
+    prof_parks_.store(&registry.counter(prefix + ".profiler.pool.parks"),
+                      std::memory_order_release);
   }
 }
 
@@ -115,48 +141,68 @@ void FreeRunningTopology::route(std::size_t src_component, Tuple tuple) {
         const std::size_t idx =
             edge.rr_cursor.fetch_add(1, std::memory_order_relaxed) %
             dst.tasks.size();
-        enqueue(edge.dst, dst.tasks[idx],
-                last_edge ? std::move(tuple) : tuple);
+        enqueue(edge.dst, idx, last_edge ? std::move(tuple) : tuple);
         break;
       }
       case GroupingType::fields: {
         const std::uint64_t h = hash_fields(tuple, edge.field_indices);
         const std::size_t idx = h % dst.tasks.size();
-        enqueue(edge.dst, dst.tasks[idx],
-                last_edge ? std::move(tuple) : tuple);
+        enqueue(edge.dst, idx, last_edge ? std::move(tuple) : tuple);
         break;
       }
       case GroupingType::global:
-        enqueue(edge.dst, dst.tasks[0], last_edge ? std::move(tuple) : tuple);
+        enqueue(edge.dst, 0, last_edge ? std::move(tuple) : tuple);
         break;
       case GroupingType::all:
-        for (auto& task : dst.tasks) enqueue(edge.dst, task, tuple);
+        for (std::size_t k = 0; k < dst.tasks.size(); ++k) {
+          enqueue(edge.dst, k, tuple);
+        }
         break;
     }
   }
 }
 
-void FreeRunningTopology::enqueue(std::size_t dst_component, Task& task,
-                                  Tuple tuple) {
+void FreeRunningTopology::enqueue(std::size_t dst_component,
+                                  std::size_t task_index, Tuple tuple) {
+  Task& task = nodes_[dst_component].tasks[task_index];
   in_flight_.fetch_add(1, std::memory_order_acq_rel);
   while (!task.inbox.try_push_keep(tuple)) {
     // Full inbox: help drain the destination instead of spinning — the
     // backpressure mechanism that keeps the bounded inboxes deadlock-free
     // (progress argument in free_running.hpp).
     if (try_claim(task)) {
-      execute_chunk(dst_component, task, kHelpChunk);
+      if (profile_) {
+        if (auto* c = prof_helps_.load(std::memory_order_acquire)) c->inc();
+      }
+      execute_chunk(dst_component, task_index, kHelpChunk);
       release_claim(task);
     } else {
       std::this_thread::yield();
     }
   }
+  if (profile_ &&
+      task.pending_since_ns.load(std::memory_order_relaxed) == 0) {
+    task.pending_since_ns.store(mono_ns(), std::memory_order_relaxed);
+  }
   wake_workers();
 }
 
 std::size_t FreeRunningTopology::execute_chunk(std::size_t component,
-                                               Task& task,
+                                               std::size_t task_index,
                                                std::size_t limit) {
   Node& node = nodes_[component];
+  Task& task = node.tasks[task_index];
+  TaskProf* prof = nullptr;
+  std::uint64_t t0 = 0;
+  if (profile_ && task_index < node.prof.size()) {
+    prof = &node.prof[task_index];
+    t0 = mono_ns();
+    const std::uint64_t pending =
+        task.pending_since_ns.exchange(0, std::memory_order_relaxed);
+    if (pending != 0 && t0 > pending) {
+      prof->queue_wait_ns->inc(t0 - pending);
+    }
+  }
   RouteCollector out(*this, component);
   std::size_t done = 0;
   while (done < limit) {
@@ -175,6 +221,10 @@ std::size_t FreeRunningTopology::execute_chunk(std::size_t component,
     in_flight_.fetch_sub(1, std::memory_order_acq_rel);
     ++done;
   }
+  if (prof != nullptr) {
+    prof->self_ns->inc(mono_ns() - t0);
+    if (done != 0) prof->tuples->inc(done);
+  }
   return done;
 }
 
@@ -183,13 +233,17 @@ std::size_t FreeRunningTopology::run_pass() {
   for (const std::size_t n : topo_order_) {
     Node& node = nodes_[n];
     if (node.spec.is_spout()) continue;
-    for (auto& task : node.tasks) {
+    for (std::size_t t = 0; t < node.tasks.size(); ++t) {
+      Task& task = node.tasks[t];
       if (task.inbox.size() == 0) continue;
       if (!try_claim(task)) continue;
+      if (profile_) {
+        if (auto* c = prof_claims_.load(std::memory_order_acquire)) c->inc();
+      }
       // Run to completion: drain until the inbox stays empty.
       std::size_t chunk;
       do {
-        chunk = execute_chunk(n, task, kChunk);
+        chunk = execute_chunk(n, t, kChunk);
         executed += chunk;
       } while (chunk == kChunk);
       release_claim(task);
@@ -227,6 +281,9 @@ void FreeRunningTopology::worker_loop() {
     if (run_pass() > 0) continue;
     std::unique_lock lock(park_mutex_);
     if (stop_.load(std::memory_order_relaxed)) return;
+    if (profile_) {
+      if (auto* c = prof_parks_.load(std::memory_order_acquire)) c->inc();
+    }
     idle_workers_.fetch_add(1, std::memory_order_seq_cst);
     park_cv_.wait_for(lock, std::chrono::milliseconds(1), [&] {
       return stop_.load(std::memory_order_relaxed) ||
@@ -249,10 +306,15 @@ std::size_t FreeRunningTopology::step(common::Timestamp now,
     Node& node = nodes_[n];
     if (!node.spec.is_spout()) continue;
     RouteCollector out(*this, n);
-    for (auto& task : node.tasks) {
+    for (std::size_t t = 0; t < node.tasks.size(); ++t) {
+      Task& task = node.tasks[t];
+      TaskProf* prof =
+          profile_ && t < node.prof.size() ? &node.prof[t] : nullptr;
+      const std::uint64_t t0 = prof != nullptr ? mono_ns() : 0;
       for (std::size_t i = 0; i < spout_budget_per_task; ++i) {
         if (!task.spout->next_tuple(out, now)) break;
       }
+      if (prof != nullptr) prof->self_ns->inc(mono_ns() - t0);
     }
   }
   // Return quiescent so every step boundary is a reconcile point —

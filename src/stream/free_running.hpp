@@ -84,6 +84,9 @@ class FreeRunningTopology final : public TopologyExecutor {
     return ExecutorMode::free_running;
   }
 
+  /// Publish per-component executed-tuple counters (and, with
+  /// ExecutorConfig::profile, the "<prefix>.profiler.*" stage-profiler
+  /// counters). Bind before stepping.
   void bind_metrics(common::MetricsRegistry& registry,
                     const std::string& prefix) override;
   void bind_trace(common::TraceRecorder* recorder) noexcept override {
@@ -101,6 +104,9 @@ class FreeRunningTopology final : public TopologyExecutor {
     std::unique_ptr<Bolt> bolt;
     common::MpmcQueue<Tuple> inbox;
     std::atomic<bool> claimed{false};
+    // Stage profiler: wall-clock instant the inbox last went empty ->
+    // nonempty; the next chunk's start minus this is the queue-wait.
+    std::atomic<std::uint64_t> pending_since_ns{0};
   };
 
   struct Edge {
@@ -112,11 +118,21 @@ class FreeRunningTopology final : public TopologyExecutor {
 
   // std::deque because Task and Edge hold non-movable members (queues,
   // atomics) — deque never relocates elements.
+  /// Stage-profiler counters of one task (set by bind_metrics when
+  /// ExecutorConfig::profile is on). Wall-clock values: excluded from the
+  /// deterministic render contract (docs/DETERMINISM.md).
+  struct TaskProf {
+    common::Counter* tuples = nullptr;
+    common::Counter* self_ns = nullptr;
+    common::Counter* queue_wait_ns = nullptr;
+  };
+
   struct Node {
     ComponentSpec spec;
     std::deque<Task> tasks;
     std::deque<Edge> out_edges;
     common::Counter* executed = nullptr;  // null until bind_metrics
+    std::vector<TaskProf> prof;           // empty unless profiling
   };
 
   /// Routes immediately from whichever thread is executing — the
@@ -140,10 +156,11 @@ class FreeRunningTopology final : public TopologyExecutor {
   }
 
   void route(std::size_t src_component, Tuple tuple);
-  void enqueue(std::size_t dst_component, Task& task, Tuple tuple);
+  void enqueue(std::size_t dst_component, std::size_t task_index, Tuple tuple);
   /// Execute up to `limit` inbox tuples of a claimed task. Returns the
-  /// number executed.
-  std::size_t execute_chunk(std::size_t component, Task& task,
+  /// number executed. Tasks are addressed by index (Node::tasks is a
+  /// deque, so no pointer arithmetic) — the profiler keys off it.
+  std::size_t execute_chunk(std::size_t component, std::size_t task_index,
                             std::size_t limit);
   /// One work-finding pass over every bolt task (claim, run to completion,
   /// release). Returns the number of tuples executed.
@@ -181,6 +198,14 @@ class FreeRunningTopology final : public TopologyExecutor {
   std::atomic<std::uint64_t> wake_seq_{0};
   std::atomic<std::size_t> idle_workers_{0};
   std::atomic<bool> stop_{false};
+
+  // Stage profiler (ExecutorConfig::profile && profiler_available()).
+  // Pool counters are atomic pointers because workers run (and may park)
+  // from construction, before bind_metrics installs the counters.
+  bool profile_ = false;
+  std::atomic<common::Counter*> prof_claims_{nullptr};
+  std::atomic<common::Counter*> prof_helps_{nullptr};
+  std::atomic<common::Counter*> prof_parks_{nullptr};
 };
 
 }  // namespace netalytics::stream

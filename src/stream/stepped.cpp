@@ -1,14 +1,26 @@
 #include "stream/stepped.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <stdexcept>
 
 namespace netalytics::stream {
 
+namespace {
+/// Wall-clock for the stage profiler only — virtual time never touches it.
+std::uint64_t mono_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
 SteppedTopology::SteppedTopology(TopologySpec spec, ExecutorConfig exec)
     : spec_(std::move(spec)), exec_(exec) {
   if (exec_.workers == 0) exec_.workers = 1;
+  profile_ = exec_.profile && profiler_available();
   std::map<std::string, std::size_t> index_of;
   nodes_.reserve(spec_.components.size());
   for (const auto& c : spec_.components) {
@@ -108,6 +120,17 @@ void SteppedTopology::route(std::size_t src_component, Tuple tuple) {
 
 void SteppedTopology::exec_task(Node& node, Task& task, StageKind kind,
                                 common::Timestamp now) {
+  TaskProf* prof = nullptr;
+  std::uint64_t t0 = 0;
+  if (profile_ && !node.prof.empty()) {
+    prof = &node.prof[static_cast<std::size_t>(&task - node.tasks.data())];
+    t0 = mono_ns();
+    const std::uint64_t dispatched =
+        prof_stage_start_ns_.load(std::memory_order_relaxed);
+    if (dispatched != 0 && t0 > dispatched) {
+      prof->queue_wait_ns->inc(t0 - dispatched);
+    }
+  }
   OutboxCollector out(task.outbox);
   switch (kind) {
     case StageKind::execute:
@@ -120,6 +143,7 @@ void SteppedTopology::exec_task(Node& node, Task& task, StageKind kind,
         task.bolt->execute(tuple, out);
         ++task.processed;
         if (node.executed != nullptr) node.executed->inc();
+        if (prof != nullptr) prof->tuples->inc();
       }
       break;
     case StageKind::tick:
@@ -129,6 +153,7 @@ void SteppedTopology::exec_task(Node& node, Task& task, StageKind kind,
       task.bolt->cleanup(now, out);
       break;
   }
+  if (prof != nullptr) prof->self_ns->inc(mono_ns() - t0);
 }
 
 std::size_t SteppedTopology::merge_stage(std::size_t component) {
@@ -193,9 +218,16 @@ void SteppedTopology::worker_loop() {
 
 void SteppedTopology::run_bolt_stage(Node& node, StageKind kind,
                                      common::Timestamp now) {
+  if (profile_) {
+    prof_stage_start_ns_.store(mono_ns(), std::memory_order_relaxed);
+    if (prof_stage_dispatches_ != nullptr) prof_stage_dispatches_->inc();
+  }
   if (exec_.workers <= 1 || node.tasks.size() <= 1) {
     for (auto& task : node.tasks) exec_task(node, task, kind, now);
     return;
+  }
+  if (profile_ && prof_parallel_stages_ != nullptr) {
+    prof_parallel_stages_->inc();
   }
   start_workers();
   std::uint64_t generation;
@@ -231,6 +263,21 @@ void SteppedTopology::bind_metrics(common::MetricsRegistry& registry,
                                    const std::string& prefix) {
   for (auto& node : nodes_) {
     node.executed = &registry.counter(prefix + "." + node.spec.name + ".executed");
+    if (!profile_) continue;
+    node.prof.assign(node.tasks.size(), TaskProf{});
+    for (std::size_t k = 0; k < node.tasks.size(); ++k) {
+      const std::string base = prefix + ".profiler." + node.spec.name + ".t" +
+                               std::to_string(k) + ".";
+      node.prof[k].tuples = &registry.counter(base + "tuples");
+      node.prof[k].self_ns = &registry.counter(base + "self_ns");
+      node.prof[k].queue_wait_ns = &registry.counter(base + "queue_wait_ns");
+    }
+  }
+  if (profile_) {
+    prof_stage_dispatches_ =
+        &registry.counter(prefix + ".profiler.pool.stage_dispatches");
+    prof_parallel_stages_ =
+        &registry.counter(prefix + ".profiler.pool.parallel_stages");
   }
 }
 
@@ -244,10 +291,16 @@ std::size_t SteppedTopology::step(common::Timestamp now,
     Node& node = nodes_[n];
     if (!node.spec.is_spout()) continue;
     for (auto& task : node.tasks) {
+      TaskProf* prof =
+          profile_ && !node.prof.empty()
+              ? &node.prof[static_cast<std::size_t>(&task - node.tasks.data())]
+              : nullptr;
+      const std::uint64_t t0 = prof != nullptr ? mono_ns() : 0;
       OutboxCollector collector(task.outbox);
       for (std::size_t i = 0; i < spout_budget_per_task; ++i) {
         if (!task.spout->next_tuple(collector, now)) break;
       }
+      if (prof != nullptr) prof->self_ns->inc(mono_ns() - t0);
     }
     merge_stage(n);
   }

@@ -12,6 +12,7 @@
 // free-running, without the deterministic contract.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -65,7 +66,10 @@ class SteppedTopology final : public TopologyExecutor {
   ExecutorMode mode() const noexcept override { return ExecutorMode::stepped; }
 
   /// Publish per-component executed-tuple counters into `registry` as
-  /// "<prefix>.<component>.executed". Bind before stepping.
+  /// "<prefix>.<component>.executed". With ExecutorConfig::profile also
+  /// creates the stage-profiler counters
+  /// ("<prefix>.profiler.<component>.t<k>.{tuples,self_ns,queue_wait_ns}"
+  /// plus "<prefix>.profiler.pool.*"). Bind before stepping.
   void bind_metrics(common::MetricsRegistry& registry,
                     const std::string& prefix) override;
 
@@ -94,11 +98,21 @@ class SteppedTopology final : public TopologyExecutor {
     std::size_t rr_cursor = 0;  // shuffle round-robin
   };
 
+  /// Stage-profiler counters of one task (null until bind_metrics with
+  /// ExecutorConfig::profile). Wall-clock values: never part of the
+  /// deterministic render contract (docs/DETERMINISM.md).
+  struct TaskProf {
+    common::Counter* tuples = nullptr;
+    common::Counter* self_ns = nullptr;
+    common::Counter* queue_wait_ns = nullptr;
+  };
+
   struct Node {
     ComponentSpec spec;
     std::vector<Task> tasks;
     std::vector<Edge> out_edges;
     common::Counter* executed = nullptr;  // null until bind_metrics
+    std::vector<TaskProf> prof;           // empty unless profiling
   };
 
   /// Collector handed to components: appends to the executing task's
@@ -134,6 +148,14 @@ class SteppedTopology final : public TopologyExecutor {
   std::vector<std::size_t> topo_order_;
   std::uint64_t executed_ = 0;
   common::TraceRecorder* recorder_ = nullptr;
+
+  // Stage profiler (ExecutorConfig::profile && profiler_available()).
+  // prof_stage_start_ns_ is the wall-clock instant the current stage was
+  // dispatched; each task's queue-wait is its start minus that instant.
+  bool profile_ = false;
+  common::Counter* prof_stage_dispatches_ = nullptr;
+  common::Counter* prof_parallel_stages_ = nullptr;
+  std::atomic<std::uint64_t> prof_stage_start_ns_{0};
 
   // Stage-synchronous worker pool (empty until the first parallel stage).
   // All coordination state is guarded by pool_mutex_; task claims go

@@ -4,7 +4,10 @@
 // (§5.3, §7.3).
 #pragma once
 
+#include <algorithm>
 #include <functional>
+#include <map>
+#include <string>
 
 #include "common/metrics.hpp"
 #include "common/trace.hpp"
@@ -24,18 +27,32 @@ class CountingBolt final : public Bolt {
       : key_index_(key_index), counter_(slots) {}
 
   void execute(const Tuple& input, Collector&) override {
-    counter_.incr(format_value(input.at(key_index_)));
+    const std::string key = format_value(input.at(key_index_));
+    counter_.incr(key);
+    if (input.trace != 0) {
+      // Trace continuation: a windowed emission inherits the max sampled
+      // trace id among its contributors — max is commutative, so the
+      // choice is independent of tuple arrival interleaving.
+      auto& t = trace_of_[key];
+      t = std::max(t, input.trace);
+    }
     report_window();
   }
   void tick(common::Timestamp, Collector& out) override {
     for (const auto& [key, count] : counter_.totals()) {
-      out.emit(Tuple{{key, std::uint64_t{count}}});
+      const auto it = trace_of_.find(key);
+      out.emit(Tuple{{key, std::uint64_t{count}},
+                     it != trace_of_.end() ? it->second : 0});
     }
     const std::size_t before = counter_.key_count();
     counter_.advance();
     const std::size_t after = counter_.key_count();
     if (after < before && ledger_ != nullptr) {
       ledger_->add(common::DropCause::stream_window_eviction, before - after);
+    }
+    const auto live = counter_.totals();
+    for (auto it = trace_of_.begin(); it != trace_of_.end();) {
+      it = live.count(it->first) != 0 ? std::next(it) : trace_of_.erase(it);
     }
     report_window();
   }
@@ -56,6 +73,7 @@ class CountingBolt final : public Bolt {
 
   std::size_t key_index_;
   RollingCounter counter_;
+  std::map<std::string, std::uint64_t> trace_of_;  // key -> max sampled trace
   common::Gauge* window_gauge_ = nullptr;
   common::DropLedger* ledger_ = nullptr;
   std::int64_t last_window_ = 0;
@@ -68,16 +86,35 @@ class IntermediateRankingsBolt final : public Bolt {
   explicit IntermediateRankingsBolt(std::size_t k) : rankings_(k) {}
 
   void execute(const Tuple& input, Collector&) override {
-    rankings_.update(as_str(input.at(0)), as_u64(input.at(1)));
+    const std::string key = as_str(input.at(0));
+    rankings_.update(key, as_u64(input.at(1)));
+    if (input.trace != 0) {
+      auto& t = trace_of_[key];
+      t = std::max(t, input.trace);
+    }
   }
   void tick(common::Timestamp, Collector& out) override {
     for (const auto& e : rankings_.entries()) {
-      out.emit(Tuple{{e.key, std::uint64_t{e.count}}});
+      const auto it = trace_of_.find(e.key);
+      out.emit(Tuple{{e.key, std::uint64_t{e.count}},
+                     it != trace_of_.end() ? it->second : 0});
     }
+    prune_traces();
   }
 
  private:
+  /// Keep trace ids only for keys still ranked, so the map stays O(k).
+  void prune_traces() {
+    std::map<std::string, std::uint64_t> live;
+    for (const auto& e : rankings_.entries()) {
+      const auto it = trace_of_.find(e.key);
+      if (it != trace_of_.end()) live.emplace(e.key, it->second);
+    }
+    trace_of_ = std::move(live);
+  }
+
   Rankings rankings_;
+  std::map<std::string, std::uint64_t> trace_of_;  // key -> max sampled trace
 };
 
 /// Global top-k (global-grouped): merges local rankings and emits the final
@@ -87,17 +124,31 @@ class TotalRankingsBolt final : public Bolt {
   explicit TotalRankingsBolt(std::size_t k) : rankings_(k) {}
 
   void execute(const Tuple& input, Collector&) override {
-    rankings_.update(as_str(input.at(0)), as_u64(input.at(1)));
+    const std::string key = as_str(input.at(0));
+    rankings_.update(key, as_u64(input.at(1)));
+    if (input.trace != 0) {
+      auto& t = trace_of_[key];
+      t = std::max(t, input.trace);
+    }
   }
   void tick(common::Timestamp, Collector& out) override {
     std::uint64_t rank = 1;
     for (const auto& e : rankings_.entries()) {
-      out.emit(Tuple{{std::uint64_t{rank++}, e.key, std::uint64_t{e.count}}});
+      const auto it = trace_of_.find(e.key);
+      out.emit(Tuple{{std::uint64_t{rank++}, e.key, std::uint64_t{e.count}},
+                     it != trace_of_.end() ? it->second : 0});
     }
+    std::map<std::string, std::uint64_t> live;
+    for (const auto& e : rankings_.entries()) {
+      const auto it = trace_of_.find(e.key);
+      if (it != trace_of_.end()) live.emplace(e.key, it->second);
+    }
+    trace_of_ = std::move(live);
   }
 
  private:
   Rankings rankings_;
+  std::map<std::string, std::uint64_t> trace_of_;  // key -> max sampled trace
 };
 
 /// Stores the rolling top-k into the KV store (Redis substitute): hash

@@ -78,10 +78,16 @@ const char* to_string(ExecutorMode mode) noexcept;
 /// tests/core/parallel_executor_differential_test.cpp for the proof).
 /// `inbox_capacity` bounds each free-running task inbox (backpressure);
 /// ignored by the stepped executor, whose inboxes are unbounded deques.
+/// `profile` turns on the executor stage profiler: per-task wall-clock
+/// self-time / queue-wait / pool-event counters published into the bound
+/// registry under "<prefix>.profiler." (see docs/OBSERVABILITY.md). Off by
+/// default because wall-clock values are not part of the deterministic
+/// render contract; ignored when built with NETALYTICS_NO_METRICS.
 struct ExecutorConfig {
   std::size_t workers = 1;
   ExecutorMode mode = ExecutorMode::stepped;
   std::size_t inbox_capacity = 4096;
+  bool profile = false;
 };
 
 /// Factories, not instances: every task of a component gets its own

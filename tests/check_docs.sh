@@ -10,7 +10,9 @@
 #      mentioned in the docs does not exist,
 #   4. docs/DETERMINISM.md stops documenting both executor modes
 #      (stepped and free_running) — the contract page must cover
-#      whichever mode EngineConfig::executor_mode selects.
+#      whichever mode EngineConfig::executor_mode selects,
+#   5. docs/OBSERVABILITY.md stops documenting an exporter format the
+#      code registers (the ExporterFormat names in src/obs/export.cpp).
 #
 # Wired into tests/run_ci.sh as the `docs` lane.
 set -eu
@@ -74,6 +76,20 @@ for mode in stepped free_running; do
     fail "docs/DETERMINISM.md no longer documents executor mode: $mode"
   fi
 done
+
+# 5. Every export format the code registers must be documented where the
+# observability walkthrough lives. The names are extracted from the
+# ExporterFormat{"<name>", ...} literals, which export.cpp keeps one per
+# line for exactly this reason.
+if [ ! -e docs/OBSERVABILITY.md ]; then
+  fail "docs/OBSERVABILITY.md is missing"
+else
+  for fmt in $(sed -n 's/.*ExporterFormat{"\([a-z-]*\)".*/\1/p' src/obs/export.cpp); do
+    if ! grep -q "$fmt" docs/OBSERVABILITY.md; then
+      fail "docs/OBSERVABILITY.md does not document exporter format: $fmt"
+    fi
+  done
+fi
 
 if [ -e "$repo_root/.check_docs_failed" ]; then
   rm -f "$repo_root/.check_docs_failed"

@@ -1,0 +1,152 @@
+// chrome://tracing exporter golden invariants: the output is well-formed
+// JSON a trace viewer would load, events carry the documented fields
+// (stage lanes, trace-id args, drop counters, export summary), spans
+// serialize in the content-sorted order collect() established, repeated
+// exports are byte-identical, and the max_spans cap truncates the sorted
+// prefix deterministically while reporting the cut.
+#include "obs/chrome_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
+#include "obs_test_util.hpp"
+
+namespace netalytics::obs {
+namespace {
+
+using common::TraceSpan;
+using common::TraceStage;
+using testing::count_occurrences;
+using testing::json_ok;
+
+std::vector<TraceSpan> sample_spans() {
+  // Already content-sorted by (trace, stage, start, end), the order
+  // TraceRecorder::collect() guarantees.
+  return {
+      {0x1111, TraceStage::ingest, 1'000, 2'000},
+      {0x1111, TraceStage::emit, 2'000, 5'500},
+      {0x1111, TraceStage::deliver, 9'000, 12'345},
+      {0x2222, TraceStage::ingest, 1'500, 1'500},
+      {0x2222, TraceStage::execute, 7'000, 8'000},
+  };
+}
+
+TEST(ObsChromeTrace, ExportIsWellFormedJsonWithMetadataLanes) {
+  common::MetricsRegistry registry;
+  common::DropLedger ledger(registry, "q7.drop");
+  ledger.add(common::DropCause::parse_no_output, 4);
+  ledger.add(common::DropCause::broker_retention, 2);
+
+  ChromeTraceExporter exporter(
+      ChromeTraceOptions{.pid = 7, .process_name = "netalytics q7"});
+  const std::string json =
+      exporter.export_json(sample_spans(), &ledger, 10'000'000);
+
+  ASSERT_TRUE(json_ok(json)) << json;
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  // Process metadata names the query; every stage gets a named, sorted lane.
+  EXPECT_NE(json.find("\"args\":{\"name\":\"netalytics q7\"}"),
+            std::string::npos);
+  for (const char* stage :
+       {"ingest", "emit", "produce", "consume", "execute", "deliver"}) {
+    EXPECT_NE(json.find("stage:" + std::string(stage)), std::string::npos)
+        << stage;
+  }
+  EXPECT_EQ(count_occurrences(json, "\"name\":\"thread_sort_index\""),
+            common::kTraceStageCount);
+  // One complete event per span, on the stage's lane, trace id in args.
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"X\""), 5u);
+  EXPECT_EQ(count_occurrences(json, "\"pid\":7"),
+            count_occurrences(json, "\"ph\":\""));
+  EXPECT_NE(json.find("\"trace\":\"0x0000000000001111\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace\":\"0x0000000000002222\""), std::string::npos);
+  // Virtual ns render as µs with the ns fraction kept: 5500ns -> dur 3.500.
+  EXPECT_NE(json.find("\"ts\":2.000,\"dur\":3.500"), std::string::npos);
+  // Nonzero drop causes become counter events; zero causes are omitted.
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"C\""), 2u);
+  EXPECT_NE(json.find("\"name\":\"drop:parse.no_output\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":4"), std::string::npos);
+  EXPECT_EQ(json.find("drop:ingest.ring_overflow"), std::string::npos);
+  // Closing summary instant.
+  EXPECT_NE(json.find("\"name\":\"export_summary\""), std::string::npos);
+  EXPECT_NE(json.find("\"spans\":5,\"exported\":5,\"truncated\":0,"
+                      "\"dropped_spans\":0"),
+            std::string::npos);
+}
+
+TEST(ObsChromeTrace, SpansSerializeInTheGivenOrder) {
+  const std::string json = ChromeTraceExporter().export_json(sample_spans());
+  const std::size_t first = json.find("0x0000000000001111");
+  const std::size_t second = json.find("0x0000000000002222");
+  ASSERT_NE(first, std::string::npos);
+  ASSERT_NE(second, std::string::npos);
+  EXPECT_LT(first, second);
+  // All three 0x1111 spans precede the 0x2222 block.
+  EXPECT_EQ(count_occurrences(json.substr(0, second), "0x0000000000001111"),
+            3u);
+}
+
+TEST(ObsChromeTrace, RepeatedExportsAreByteIdentical) {
+  common::MetricsRegistry registry;
+  common::DropLedger ledger(registry, "drop");
+  ledger.add(common::DropCause::parse_error, 9);
+  ChromeTraceExporter exporter(ChromeTraceOptions{.pid = 3});
+  const auto spans = sample_spans();
+  const std::string a = exporter.export_json(spans, &ledger, 42, 1);
+  const std::string b = exporter.export_json(spans, &ledger, 42, 1);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ObsChromeTrace, MaxSpansKeepsSortedPrefixAndReportsTruncation) {
+  ChromeTraceExporter exporter(ChromeTraceOptions{.max_spans = 2});
+  const std::string json = exporter.export_json(sample_spans());
+  ASSERT_TRUE(json_ok(json)) << json;
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"X\""), 2u);
+  // The prefix of the content-sorted input survives; the tail is cut.
+  EXPECT_NE(json.find("0x0000000000001111"), std::string::npos);
+  EXPECT_EQ(json.find("0x0000000000002222"), std::string::npos);
+  EXPECT_NE(json.find("\"spans\":5,\"exported\":2,\"truncated\":3,"),
+            std::string::npos);
+}
+
+TEST(ObsChromeTrace, RecorderOverloadExportsCollectedSpans) {
+  common::TraceRecorder recorder({.sample_denominator = 1});
+  // Stamped out of order: collect() content-sorts, so the export is a pure
+  // function of the span set.
+  recorder.stamp(0xbeef, TraceStage::execute, 5'000, 6'000);
+  recorder.stamp(0xbeef, TraceStage::ingest, 1'000, 1'000);
+  const std::string json = ChromeTraceExporter().export_json(recorder);
+  ASSERT_TRUE(json_ok(json)) << json;
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"X\""), 2u);
+  const std::size_t ingest = json.find("\"name\":\"ingest\",\"cat\":\"span\"");
+  const std::size_t execute =
+      json.find("\"name\":\"execute\",\"cat\":\"span\"");
+  ASSERT_NE(ingest, std::string::npos);
+  ASSERT_NE(execute, std::string::npos);
+  EXPECT_LT(ingest, execute);  // stage order, not stamp order
+  EXPECT_NE(json.find("\"spans\":2,\"exported\":2"), std::string::npos);
+}
+
+TEST(ObsChromeTrace, EmptyExportIsStillLoadable) {
+  const std::string json = ChromeTraceExporter().export_json(std::vector<TraceSpan>{});
+  ASSERT_TRUE(json_ok(json)) << json;
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"X\""), 0u);
+  EXPECT_NE(json.find("\"spans\":0,\"exported\":0,\"truncated\":0,"),
+            std::string::npos);
+}
+
+TEST(ObsChromeTrace, ProcessNamesAreJsonEscaped) {
+  ChromeTraceExporter exporter(
+      ChromeTraceOptions{.process_name = "quote\" slash\\ tab\t"});
+  const std::string json = exporter.export_json(std::vector<TraceSpan>{});
+  ASSERT_TRUE(json_ok(json)) << json;
+  EXPECT_NE(json.find("quote\\\" slash\\\\ tab\\t"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace netalytics::obs

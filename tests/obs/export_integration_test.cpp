@@ -1,0 +1,209 @@
+// End-to-end export-layer acceptance against a live engine: a chaos-fault
+// top-k run exports chrome://tracing JSON a viewer would load — with
+// execute spans for the aggregating processors beyond the spout and
+// deliver spans at the sink (the trace-continuation tentpole) — plus a
+// Prometheus exposition whose counter totals round-trip against
+// engine.reconcile(), a collapsed-stack profile, and byte-identical
+// stepped-mode exports across executor worker counts and repeated runs.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/fault.hpp"
+#include "core/netalytics.hpp"
+#include "obs/export.hpp"
+#include "obs/profile.hpp"
+#include "obs_test_util.hpp"
+#include "pktgen/payloads.hpp"
+#include "pktgen/session.hpp"
+
+namespace netalytics::core {
+namespace {
+
+using obs::testing::count_occurrences;
+using obs::testing::json_ok;
+using obs::testing::prometheus_text_ok;
+
+constexpr std::string_view kTopKQuery =
+    "PARSE http_get FROM * TO h5:80 LIMIT 600s PROCESS (top-k: k=3, w=1s)";
+
+void http_session(Emulation& emu, int port, common::Timestamp start,
+                  const char* url = "/r") {
+  pktgen::SessionSpec s;
+  s.flow = {*emu.ip_of_name("h0"), *emu.ip_of_name("h5"),
+            static_cast<net::Port>(30000 + port), 80, 6};
+  s.start = start;
+  s.rtt = common::kMillisecond;
+  s.server_latency = common::kMillisecond;
+  const auto req = pktgen::http_get_request(url, "h5");
+  const auto resp = pktgen::http_response(200, 100);
+  s.request = req;
+  s.response = resp;
+  pktgen::emit_tcp_session(
+      s, [&emu](std::span<const std::byte> f, common::Timestamp ts) {
+        emu.transmit(f, ts);
+      });
+}
+
+/// Sum of the values on exposition lines starting with `family_open`
+/// ("name{" or "name "): the scraper's view of a counter family total.
+std::uint64_t family_total(const std::string& text,
+                           const std::string& family_open) {
+  std::uint64_t total = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t nl = std::min(text.find('\n', pos), text.size());
+    const std::string line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (!line.starts_with(family_open)) continue;
+    const std::size_t sp = line.rfind(' ');
+    if (sp == std::string::npos) continue;
+    total += std::stoull(line.substr(sp + 1));
+  }
+  return total;
+}
+
+TEST(ObsExportIntegration, ChaosTopKRunExportsLoadableTraceAndPrometheus) {
+  Emulation emu = Emulation::make_small(4);
+  // Light chaos so the drop-counter events have something to report.
+  common::FaultPlan plan(11);
+  common::FaultSpec ring;
+  ring.every_nth = 9;
+  plan.arm("nf.ring.overflow", ring);
+  emu.install_faults(&plan);
+
+  EngineConfig cfg;
+  cfg.trace_sample_denominator = 1;  // trace every packet
+  cfg.executor_profiler = true;
+  cfg.processor_parallelism = 2;
+  NetAlytics engine(emu, cfg);
+  auto q = engine.submit(kTopKQuery, 0);
+  ASSERT_TRUE(q.has_value()) << q.error().to_string();
+
+  for (int i = 0; i < 10; ++i) {
+    http_session(emu, i, common::kSecond + i * 10 * common::kMillisecond);
+  }
+  engine.pump(2 * common::kSecond);
+  engine.pump(3 * common::kSecond);
+  ASSERT_FALSE((*q)->results().empty());
+
+  // -- chrome://tracing -----------------------------------------------
+  const std::string json = (*q)->export_chrome_trace();
+  ASSERT_TRUE(json_ok(json));
+  EXPECT_NE(json.find("\"args\":{\"name\":\"netalytics q1\"}"),
+            std::string::npos);
+  // Trace continuation: the aggregating pipeline keeps executing traced
+  // tuples beyond the spout hand-off, and results reach the sink with
+  // their provenance intact.
+  const std::size_t executes = count_occurrences(json, "\"name\":\"execute\"");
+  const std::size_t consumes = count_occurrences(json, "\"name\":\"consume\"");
+  EXPECT_GT(executes, consumes);  // > one execute per consumed record
+  ASSERT_GT(count_occurrences(json, "\"name\":\"deliver\""), 0u);
+  // A delivered trace id shows up executing inside the topology too.
+  const std::size_t deliver = json.find("\"name\":\"deliver\"");
+  const std::size_t id_at = json.find("\"trace\":\"", deliver);
+  ASSERT_NE(id_at, std::string::npos);
+  const std::string trace_id = json.substr(id_at + 10, 18);  // 0x + 16 hex
+  EXPECT_GE(count_occurrences(json, trace_id), 3u) << trace_id;
+  // The chaos faults landed in the drop-counter events.
+  EXPECT_NE(json.find("\"name\":\"drop:ingest.ring_overflow\""),
+            std::string::npos);
+
+  // -- Prometheus -----------------------------------------------------
+  const std::string prom = (*q)->export_metrics();
+  std::string bad;
+  ASSERT_TRUE(prometheus_text_ok(prom, &bad)) << bad;
+  // The exposition's rx_packets family total round-trips the packets_in
+  // term reconcile() proves.
+  const auto report = engine.reconcile(**q);
+  EXPECT_GT(report.packets_in, 0u);
+  EXPECT_EQ(family_total(prom, "netalytics_rx_packets{"), report.packets_in);
+  // Engine-wide exposition covers the same series plus engine counters.
+  const std::string engine_prom = engine.export_metrics();
+  ASSERT_TRUE(prometheus_text_ok(engine_prom, &bad)) << bad;
+  EXPECT_EQ(family_total(engine_prom, "netalytics_rx_packets{"),
+            report.packets_in);
+  EXPECT_NE(engine_prom.find("# TYPE netalytics_engine_pumps counter"),
+            std::string::npos);
+
+  // -- profiler -------------------------------------------------------
+  const std::string folded = (*q)->export_profile();
+  ASSERT_FALSE(folded.empty());
+  EXPECT_NE(folded.find("q1;proc"), std::string::npos);
+  const auto totals =
+      obs::profile_totals(engine.metrics().snapshot("q1."));
+  EXPECT_GT(totals.tuples, 0u);
+  EXPECT_GT(totals.tasks, 0u);
+
+  // -- file sink ------------------------------------------------------
+  const std::string path = ::testing::TempDir() + "/netalytics_q1.trace.json";
+  ASSERT_TRUE(obs::write_file(path, json).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(ObsExportIntegration, SteppedExportsByteIdenticalAcrossWorkerCounts) {
+  const auto run = [](std::size_t workers) {
+    Emulation emu = Emulation::make_small(4);
+    EngineConfig cfg;
+    cfg.trace_sample_denominator = 1;
+    cfg.processor_parallelism = 2;
+    cfg.executor_workers = workers;
+    // Profiler off: wall-clock series are exempt from the byte-identity
+    // contract, everything else must hold it.
+    NetAlytics engine(emu, cfg);
+    auto q = engine.submit(kTopKQuery, 0);
+    EXPECT_TRUE(q.has_value());
+    for (int i = 0; i < 8; ++i) {
+      http_session(emu, i, common::kSecond + i * 10 * common::kMillisecond);
+    }
+    engine.pump(2 * common::kSecond);
+    engine.pump(3 * common::kSecond);
+    return (*q)->export_chrome_trace() + "\x1e" + (*q)->export_metrics() +
+           "\x1e" + engine.export_metrics();
+  };
+  const std::string one = run(1);
+  EXPECT_EQ(one, run(1));  // repeated runs
+  EXPECT_EQ(one, run(4));  // worker counts
+}
+
+TEST(ObsExportIntegration, EngineHonorsMaxSpansCap) {
+  Emulation emu = Emulation::make_small(4);
+  EngineConfig cfg;
+  cfg.trace_sample_denominator = 1;
+  cfg.obs_export.max_spans = 5;
+  NetAlytics engine(emu, cfg);
+  auto q = engine.submit(kTopKQuery, 0);
+  ASSERT_TRUE(q.has_value());
+  for (int i = 0; i < 6; ++i) http_session(emu, i, common::kSecond);
+  engine.pump(2 * common::kSecond);
+  const std::string json = (*q)->export_chrome_trace();
+  ASSERT_TRUE(json_ok(json));
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"X\""), 5u);
+  EXPECT_NE(json.find("\"exported\":5,"), std::string::npos);
+}
+
+TEST(ObsExportIntegration, ValidateCoversObsKnobs) {
+  EngineConfig good;
+  good.executor_profiler = true;  // metrics-enabled build accepts it
+  EXPECT_TRUE(good.validate().has_value());
+
+  EngineConfig bad_prefix;
+  bad_prefix.obs_export.metric_prefix = "1bad";
+  const auto prefix_err = bad_prefix.validate();
+  ASSERT_FALSE(prefix_err.has_value());
+  EXPECT_NE(prefix_err.error().message.find("metric_prefix"),
+            std::string::npos);
+
+  EngineConfig bad_cap;
+  bad_cap.obs_export.max_spans = obs::kMaxExportSpans + 1;
+  const auto cap_err = bad_cap.validate();
+  ASSERT_FALSE(cap_err.has_value());
+  EXPECT_NE(cap_err.error().message.find("max_spans"), std::string::npos);
+
+  // submit() surfaces the same error recoverably via the engine ctor path.
+  EXPECT_EQ(obs::kMaxExportSpans, std::size_t{1} << 24);
+}
+
+}  // namespace
+}  // namespace netalytics::core

@@ -1,0 +1,252 @@
+// Shared validators for the export-layer golden-invariant tests: a
+// minimal JSON well-formedness checker (enough to prove a chrome-trace
+// export would load) and a Prometheus text-exposition line checker
+// (metric-name grammar, label syntax, numeric values).
+#pragma once
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace netalytics::obs::testing {
+
+/// Recursive-descent JSON well-formedness check. Accepts exactly the
+/// grammar chrome://tracing / Perfetto parse: objects, arrays, strings
+/// with escapes, numbers, true/false/null. No semantic validation.
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view s) : s_(s) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return i_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (i_ >= s_.size()) return false;
+    switch (s_[i_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++i_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++i_; return true; }
+    while (true) {
+      skip_ws();
+      if (peek() != '"' || !string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++i_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++i_; continue; }
+      if (peek() == '}') { ++i_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++i_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++i_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++i_; continue; }
+      if (peek() == ']') { ++i_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    ++i_;  // '"'
+    while (i_ < s_.size()) {
+      const char c = s_[i_];
+      if (c == '"') { ++i_; return true; }
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '\\') {
+        ++i_;
+        if (i_ >= s_.size()) return false;
+        const char e = s_[i_];
+        if (e == 'u') {
+          for (int k = 0; k < 4; ++k) {
+            ++i_;
+            if (i_ >= s_.size() ||
+                std::isxdigit(static_cast<unsigned char>(s_[i_])) == 0) {
+              return false;
+            }
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      }
+      ++i_;
+    }
+    return false;  // unterminated
+  }
+
+  bool number() {
+    const std::size_t start = i_;
+    if (peek() == '-') ++i_;
+    std::size_t digits = 0;
+    while (std::isdigit(static_cast<unsigned char>(peek())) != 0) {
+      ++i_;
+      ++digits;
+    }
+    if (digits == 0) return false;
+    if (peek() == '.') {
+      ++i_;
+      digits = 0;
+      while (std::isdigit(static_cast<unsigned char>(peek())) != 0) {
+        ++i_;
+        ++digits;
+      }
+      if (digits == 0) return false;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++i_;
+      if (peek() == '+' || peek() == '-') ++i_;
+      digits = 0;
+      while (std::isdigit(static_cast<unsigned char>(peek())) != 0) {
+        ++i_;
+        ++digits;
+      }
+      if (digits == 0) return false;
+    }
+    return i_ > start;
+  }
+
+  bool literal(std::string_view lit) {
+    if (s_.substr(i_, lit.size()) != lit) return false;
+    i_ += lit.size();
+    return true;
+  }
+
+  char peek() const { return i_ < s_.size() ? s_[i_] : '\0'; }
+  void skip_ws() {
+    while (i_ < s_.size() && (s_[i_] == ' ' || s_[i_] == '\t' ||
+                              s_[i_] == '\n' || s_[i_] == '\r')) {
+      ++i_;
+    }
+  }
+
+  std::string_view s_;
+  std::size_t i_ = 0;
+};
+
+inline bool json_ok(std::string_view s) { return JsonChecker(s).valid(); }
+
+inline bool is_metric_name_char(char c, bool first) {
+  const bool alpha = std::isalpha(static_cast<unsigned char>(c)) != 0;
+  if (first) return alpha || c == '_' || c == ':';
+  return alpha || std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+         c == '_' || c == ':';
+}
+
+/// One Prometheus exposition line: "# TYPE <name> <type>" or
+/// `<name>[{k="v",...}] <value>[ <timestamp>]`.
+inline bool prometheus_line_ok(std::string_view line) {
+  if (line.starts_with("# TYPE ")) {
+    std::string_view rest = line.substr(7);
+    const std::size_t sp = rest.find(' ');
+    if (sp == 0 || sp == std::string_view::npos) return false;
+    const std::string_view type = rest.substr(sp + 1);
+    return type == "counter" || type == "gauge" || type == "histogram" ||
+           type == "summary" || type == "untyped";
+  }
+  std::size_t i = 0;
+  if (i >= line.size() || !is_metric_name_char(line[i], true)) return false;
+  while (i < line.size() && is_metric_name_char(line[i], false)) ++i;
+  if (i < line.size() && line[i] == '{') {
+    ++i;
+    while (i < line.size() && line[i] != '}') {
+      std::size_t name_len = 0;
+      while (i < line.size() && is_metric_name_char(line[i], name_len == 0)) {
+        ++i;
+        ++name_len;
+      }
+      if (name_len == 0 || i >= line.size() || line[i] != '=') return false;
+      ++i;
+      if (i >= line.size() || line[i] != '"') return false;
+      ++i;
+      while (i < line.size() && line[i] != '"') {
+        if (line[i] == '\\') ++i;
+        ++i;
+      }
+      if (i >= line.size()) return false;
+      ++i;  // closing '"'
+      if (i < line.size() && line[i] == ',') ++i;
+    }
+    if (i >= line.size()) return false;
+    ++i;  // '}'
+  }
+  if (i >= line.size() || line[i] != ' ') return false;
+  ++i;
+  // Value then optional timestamp, both plain numbers (or +Inf/-Inf/NaN).
+  int fields = 0;
+  while (i < line.size()) {
+    const std::size_t sp = std::min(line.find(' ', i), line.size());
+    const std::string_view tok = line.substr(i, sp - i);
+    if (tok.empty()) return false;
+    if (tok != "+Inf" && tok != "-Inf" && tok != "NaN") {
+      for (std::size_t k = 0; k < tok.size(); ++k) {
+        const char c = tok[k];
+        const bool ok = std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+                        c == '-' || c == '+' || c == '.' || c == 'e' ||
+                        c == 'E';
+        if (!ok) return false;
+      }
+    }
+    ++fields;
+    i = sp + (sp < line.size() ? 1 : 0);
+    if (sp >= line.size()) break;
+  }
+  return fields == 1 || fields == 2;
+}
+
+/// Every non-empty line of a full exposition passes prometheus_line_ok.
+/// On failure `bad_line` (if given) receives the first offending line.
+inline bool prometheus_text_ok(std::string_view text,
+                               std::string* bad_line = nullptr) {
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t nl = std::min(text.find('\n', pos), text.size());
+    const std::string_view line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty()) continue;
+    if (!prometheus_line_ok(line)) {
+      if (bad_line != nullptr) *bad_line = std::string(line);
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Number of times `needle` occurs in `haystack` (non-overlapping).
+inline std::size_t count_occurrences(std::string_view haystack,
+                                     std::string_view needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = haystack.find(needle);
+       pos != std::string_view::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace netalytics::obs::testing

@@ -1,0 +1,201 @@
+// Prometheus exporter golden invariants: every output line obeys the
+// text-exposition grammar, structural name segments (q1/mon0/proc2/t3)
+// lift into sorted labels, histograms expose cumulative
+// _bucket/_sum/_count with the +Inf bucket equal to _count, families
+// render sorted with one # TYPE line, range results carry millisecond
+// timestamps, and repeated exports are byte-identical. Plus the format
+// registry and the file sink the export layer fronts.
+#include "obs/prometheus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/metrics.hpp"
+#include "obs/export.hpp"
+#include "obs_test_util.hpp"
+#include "tsdb/query.hpp"
+
+namespace netalytics::obs {
+namespace {
+
+using testing::count_occurrences;
+using testing::prometheus_text_ok;
+
+TEST(ObsPrometheus, StructuralSegmentsLiftIntoSortedLabels) {
+  common::MetricsRegistry registry;
+  registry.counter("q1.mon0.rx_packets").inc(7);
+  registry.counter("q1.mon3.rx_packets").inc(5);
+  registry.counter("q1.proc0.sink.executed").inc(11);
+  registry.gauge("broker2.unread").set(-4);
+
+  const std::string text =
+      PrometheusExporter().export_snapshot(registry.snapshot());
+  std::string bad;
+  ASSERT_TRUE(prometheus_text_ok(text, &bad)) << bad << "\n" << text;
+
+  // Coordinates become labels (sorted by label name); the remaining
+  // segments join under the default family prefix.
+  EXPECT_NE(text.find("# TYPE netalytics_rx_packets counter\n"
+                      "netalytics_rx_packets{monitor=\"0\",query=\"1\"} 7\n"
+                      "netalytics_rx_packets{monitor=\"3\",query=\"1\"} 5\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(
+      text.find(
+          "netalytics_sink_executed{processor=\"0\",query=\"1\"} 11\n"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE netalytics_unread gauge\n"
+                      "netalytics_unread{broker=\"2\"} -4\n"),
+            std::string::npos)
+      << text;
+}
+
+TEST(ObsPrometheus, RepeatedCoordinateStaysInTheFamilyName) {
+  common::MetricsRegistry registry;
+  registry.counter("q1.t0.t1.retries").inc(2);
+  const std::string text =
+      PrometheusExporter().export_snapshot(registry.snapshot());
+  // The first t0 becomes task="0"; a second task segment would collide, so
+  // it stays in the name — no duplicate label is ever emitted.
+  EXPECT_NE(text.find("netalytics_t1_retries{query=\"1\",task=\"0\"} 2\n"),
+            std::string::npos)
+      << text;
+}
+
+TEST(ObsPrometheus, HistogramExposesCumulativeBucketsSumCount) {
+  common::MetricsRegistry registry;
+  auto& h = registry.histogram("q1.stage.e2e", {10, 20});
+  h.observe(5);
+  h.observe(15);
+  h.observe(99);
+
+  const std::string text =
+      PrometheusExporter().export_snapshot(registry.snapshot());
+  std::string bad;
+  ASSERT_TRUE(prometheus_text_ok(text, &bad)) << bad << "\n" << text;
+  // Cumulative buckets, `le` merged into sorted label position, +Inf
+  // bucket == _count, exact _sum.
+  EXPECT_NE(
+      text.find(
+          "# TYPE netalytics_stage_e2e histogram\n"
+          "netalytics_stage_e2e_bucket{le=\"10\",query=\"1\"} 1\n"
+          "netalytics_stage_e2e_bucket{le=\"20\",query=\"1\"} 2\n"
+          "netalytics_stage_e2e_bucket{le=\"+Inf\",query=\"1\"} 3\n"
+          "netalytics_stage_e2e_sum{query=\"1\"} 119\n"
+          "netalytics_stage_e2e_count{query=\"1\"} 3\n"),
+      std::string::npos)
+      << text;
+}
+
+TEST(ObsPrometheus, FamiliesRenderSortedWithOneTypeLineEach) {
+  common::MetricsRegistry registry;
+  registry.counter("q2.proc0.count.executed").inc(1);
+  registry.counter("q1.proc0.count.executed").inc(1);
+  registry.counter("q1.aaa").inc(1);
+
+  const std::string text =
+      PrometheusExporter().export_snapshot(registry.snapshot());
+  EXPECT_EQ(count_occurrences(text, "# TYPE netalytics_count_executed"), 1u);
+  // Family order is name-sorted; both queries share one family block.
+  const std::size_t aaa = text.find("# TYPE netalytics_aaa");
+  const std::size_t count = text.find("# TYPE netalytics_count_executed");
+  ASSERT_NE(aaa, std::string::npos);
+  ASSERT_NE(count, std::string::npos);
+  EXPECT_LT(aaa, count);
+}
+
+TEST(ObsPrometheus, CustomPrefixAndSanitization) {
+  common::MetricsRegistry registry;
+  registry.counter("q1.weird-seg.count").inc(3);
+  PrometheusExporter exporter(ExportOptions{.metric_prefix = "na:"});
+  const std::string text = exporter.export_snapshot(registry.snapshot());
+  std::string bad;
+  ASSERT_TRUE(prometheus_text_ok(text, &bad)) << bad << "\n" << text;
+  EXPECT_NE(text.find("na:weird_seg_count{query=\"1\"} 3\n"),
+            std::string::npos)
+      << text;
+}
+
+TEST(ObsPrometheus, RepeatedExportsAreByteIdentical) {
+  common::MetricsRegistry registry;
+  registry.counter("q1.mon0.rx_packets").inc(7);
+  registry.gauge("q1.sample_ppm").set(500'000);
+  registry.histogram("q1.stage.emit", {100}).observe(40);
+  const auto snap = registry.snapshot();
+  PrometheusExporter exporter;
+  EXPECT_EQ(exporter.export_snapshot(snap), exporter.export_snapshot(snap));
+}
+
+TEST(ObsPrometheus, RangeResultsEmitTimestampedSamples) {
+  tsdb::RangeResult result;
+  result.series.push_back(
+      {.name = "q1.mon0.rx_packets",
+       .kind = tsdb::SeriesKind::counter,
+       .points = {{.t = 2'000'000'000, .value = 5, .samples = 3},
+                  {.t = 3'000'000'000, .value = 7.5, .samples = 2}}});
+  result.series.push_back({.name = "q1.result.hits",
+                           .kind = tsdb::SeriesKind::gauge,
+                           .points = {{.t = 2'000'000'000, .value = 12}}});
+
+  const std::string text = PrometheusExporter().export_range(result);
+  std::string bad;
+  ASSERT_TRUE(prometheus_text_ok(text, &bad)) << bad << "\n" << text;
+  // One timestamped line per point, virtual ns -> ms.
+  EXPECT_NE(
+      text.find("# TYPE netalytics_rx_packets counter\n"
+                "netalytics_rx_packets{monitor=\"0\",query=\"1\"} 5 2000\n"
+                "netalytics_rx_packets{monitor=\"0\",query=\"1\"} 7.5 3000\n"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE netalytics_result_hits gauge\n"
+                      "netalytics_result_hits{query=\"1\"} 12 2000\n"),
+            std::string::npos)
+      << text;
+}
+
+TEST(ObsExport, FormatRegistryListsEveryExporter) {
+  const auto& formats = exporter_formats();
+  ASSERT_EQ(formats.size(), 3u);
+  for (const char* name : {"chrome-trace", "prometheus", "collapsed-stack"}) {
+    const ExporterFormat* f = find_format(name);
+    ASSERT_NE(f, nullptr) << name;
+    EXPECT_EQ(f->name, name);
+    EXPECT_FALSE(f->extension.empty());
+    EXPECT_FALSE(f->description.empty());
+  }
+  EXPECT_EQ(find_format("protobuf"), nullptr);
+}
+
+TEST(ObsExport, MetricPrefixValidation) {
+  EXPECT_TRUE(valid_metric_prefix("netalytics_"));
+  EXPECT_TRUE(valid_metric_prefix("na:sub_"));
+  EXPECT_TRUE(valid_metric_prefix("_x"));
+  EXPECT_FALSE(valid_metric_prefix(""));
+  EXPECT_FALSE(valid_metric_prefix("1bad"));
+  EXPECT_FALSE(valid_metric_prefix("has-dash"));
+  EXPECT_FALSE(valid_metric_prefix("sp ace"));
+}
+
+TEST(ObsExport, FileSinkWritesAndReportsErrors) {
+  const std::string path =
+      ::testing::TempDir() + "/netalytics_obs_export_test.prom";
+  const auto ok = write_file(path, "# TYPE a counter\na 1\n");
+  ASSERT_TRUE(ok.has_value()) << ok.error().to_string();
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buf[64] = {};
+  const std::size_t n = std::fread(buf, 1, sizeof buf, f);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(std::string(buf, n), "# TYPE a counter\na 1\n");
+
+  const auto err = write_file("/no/such/dir/out.json", "x");
+  ASSERT_FALSE(err.has_value());
+  EXPECT_EQ(err.error().code, "obs");
+}
+
+}  // namespace
+}  // namespace netalytics::obs

@@ -7,8 +7,9 @@
 # docs/DETERMINISM.md) and the free-running executor (work-stealing
 # claims, MPMC inboxes, help-on-full backpressure, the relaxed-mode
 # multiset differentials), plus the consumer-group rebalance
-# differentials (spout groups under churn) and the tiered time-series
-# store (concurrent ingest/capture vs queries).
+# differentials (spout groups under churn), the tiered time-series
+# store (concurrent ingest/capture vs queries), and the executor stage
+# profiler (relaxed-atomic counter publication on the worker hot path).
 #
 #   tests/run_tsan.sh            # the threaded suites (CI lane)
 #   tests/run_tsan.sh -R <re>    # any ctest selection, forwarded verbatim
@@ -24,7 +25,7 @@ build_dir="$repo_root/build-tsan"
 cmake -B "$build_dir" -S "$repo_root" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DNETALYTICS_SANITIZE=thread
-cmake --build "$build_dir" -j "$(nproc)" --target mq_test nf_test stream_test core_test tsdb_test
+cmake --build "$build_dir" -j "$(nproc)" --target mq_test nf_test stream_test core_test tsdb_test obs_test
 
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1${TSAN_OPTIONS:+ $TSAN_OPTIONS}"
 
@@ -32,5 +33,5 @@ if [ "$#" -gt 0 ]; then
   ctest --test-dir "$build_dir" --output-on-failure "$@"
 else
   ctest --test-dir "$build_dir" --output-on-failure \
-    -R 'ConcurrentBroker|MqChaos|ProducerBatch|Producer|Monitor|ParallelStepped|ParallelExecutor|FreeRunning|GroupRebalance|TieredStore'
+    -R 'ConcurrentBroker|MqChaos|ProducerBatch|Producer|Monitor|ParallelStepped|ParallelExecutor|FreeRunning|GroupRebalance|TieredStore|ObsProfiler|ObsExportIntegration'
 fi
