@@ -1,0 +1,223 @@
+// Federation streaming bench (docs/FEDERATION.md): wire-level records/s
+// per child while a parent terminates 1/2/4 concurrent child streams
+// (frame encode -> link -> reassembly -> offset dedup -> fan-in), and the
+// per-record overhead of the framed wire path against an in-process
+// baseline that feeds the same records straight into the fan-in stage.
+// The acceptance bar is correctness, not a rate: every streamed record
+// must be applied exactly once at every fleet size.
+//
+// Results land in BENCH_fed.json in the working directory.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fed/parent.hpp"
+#include "fed/wire.hpp"
+#include "stream/fanin.hpp"
+
+using namespace netalytics;
+
+namespace {
+
+constexpr std::size_t kRecordsPerChild = 262'144;
+constexpr std::size_t kRecordsPerFrame = 64;
+constexpr std::size_t kFramesPerPump = 8;
+constexpr std::size_t kKeyField = 3;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// One http_get-shaped record ({id, ts, kind, value}); 64 distinct keys.
+nf::Record make_record(std::uint64_t i) {
+  nf::Record r;
+  r.topic = "fed";
+  r.timestamp = i * common::kMillisecond;
+  r.fields = {nf::FieldValue{i}, nf::FieldValue{i * common::kMillisecond},
+              nf::FieldValue{std::string{"GET"}},
+              nf::FieldValue{"/url" + std::to_string(i % 64)}};
+  return r;
+}
+
+struct SweepResult {
+  std::size_t children = 0;
+  double seconds = 0;
+  double records_per_sec = 0;        // fleet total
+  double records_per_sec_child = 0;  // per child
+  bool exact = false;
+};
+
+/// Stream kRecordsPerChild records from each of `n` children through real
+/// links into one ParentNode, frames of kRecordsPerFrame, parent pumped
+/// every kFramesPerPump frames per child (a settled streaming cadence).
+SweepResult run_sweep(std::size_t n) {
+  std::vector<std::unique_ptr<fed::Link>> links;
+  std::vector<fed::Link*> raw;
+  for (std::size_t i = 0; i < n; ++i) {
+    links.push_back(std::make_unique<fed::Link>(
+        fed::LinkConfig{.child_index = static_cast<std::uint32_t>(i),
+                        .fault_prefix = {}}));
+    raw.push_back(links.back().get());
+  }
+  fed::ParentConfig cfg;
+  cfg.children = n;
+  cfg.top_k = 10;
+  cfg.key_field = kKeyField;
+  fed::ParentNode parent(raw, cfg);
+
+  common::Timestamp now = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    links[i]->connect(now);
+    links[i]->send_up(
+        fed::encode(fed::Hello{.child_index = static_cast<std::uint32_t>(i),
+                               .node_name = "bench" + std::to_string(i)}),
+        now);
+  }
+  parent.pump(now);
+  for (auto& link : links) (void)link->drain_down();  // WELCOMEs
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::uint64_t> offsets(n, 0);
+  std::size_t frames_since_pump = 0;
+  for (std::size_t batch = 0; batch * kRecordsPerFrame < kRecordsPerChild;
+       ++batch) {
+    for (std::size_t i = 0; i < n; ++i) {
+      fed::RecordsFrame rf;
+      rf.offset = offsets[i];
+      rf.tick = now;
+      rf.records.reserve(kRecordsPerFrame);
+      for (std::size_t j = 0; j < kRecordsPerFrame; ++j) {
+        rf.records.push_back(make_record(offsets[i] + j));
+      }
+      offsets[i] += kRecordsPerFrame;
+      links[i]->send_up(fed::encode(rf), now);
+    }
+    if (++frames_since_pump == kFramesPerPump) {
+      frames_since_pump = 0;
+      now += common::kMillisecond;
+      parent.pump(now);
+      for (auto& link : links) (void)link->drain_down();  // ACKs
+    }
+  }
+  parent.pump(now + common::kMillisecond);
+  const double secs = seconds_since(t0);
+
+  SweepResult res;
+  res.children = n;
+  res.seconds = secs;
+  res.records_per_sec = static_cast<double>(kRecordsPerChild * n) / secs;
+  res.records_per_sec_child = res.records_per_sec / static_cast<double>(n);
+  res.exact = parent.total_records_applied() == kRecordsPerChild * n;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& st = parent.child_stats(i);
+    if (st.applied != kRecordsPerChild || st.lost_records != 0 ||
+        st.duplicate_records != 0) {
+      res.exact = false;
+    }
+  }
+  return res;
+}
+
+struct OverheadResult {
+  double wire_ns = 0;       // encode + reassemble + decode + apply
+  double inprocess_ns = 0;  // apply only (same records, no wire)
+  double overhead_x = 0;
+};
+
+/// Per-record cost of the framed wire path vs feeding the fan-in stage
+/// directly — the price of crossing a node boundary.
+OverheadResult run_overhead() {
+  constexpr std::size_t kRecords = 1u << 20;
+  std::vector<nf::Record> records;
+  records.reserve(kRecordsPerFrame);
+  for (std::size_t j = 0; j < kRecordsPerFrame; ++j) {
+    records.push_back(make_record(j));
+  }
+
+  OverheadResult res;
+  {
+    stream::FanInTopK fanin(1, 10);
+    fed::FrameParser parser;
+    const auto t0 = std::chrono::steady_clock::now();
+    std::uint64_t offset = 0;
+    for (std::size_t f = 0; f * kRecordsPerFrame < kRecords; ++f) {
+      fed::RecordsFrame rf;
+      rf.offset = offset;
+      rf.records = records;
+      parser.feed(fed::encode(rf));
+      while (auto frame = parser.next()) {
+        const auto decoded = fed::decode_records(frame->payload);
+        for (const auto& r : decoded.records) {
+          fanin.add(0, std::get<std::string>(r.fields[kKeyField]), 1);
+        }
+        offset += decoded.records.size();
+      }
+    }
+    res.wire_ns = seconds_since(t0) / static_cast<double>(kRecords) * 1e9;
+  }
+  {
+    stream::FanInTopK fanin(1, 10);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t f = 0; f * kRecordsPerFrame < kRecords; ++f) {
+      for (const auto& r : records) {
+        fanin.add(0, std::get<std::string>(r.fields[kKeyField]), 1);
+      }
+    }
+    res.inprocess_ns =
+        seconds_since(t0) / static_cast<double>(kRecords) * 1e9;
+  }
+  res.overhead_x = res.wire_ns / res.inprocess_ns;
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  SweepResult sweep[3];
+  const std::size_t sizes[3] = {1, 2, 4};
+  bool pass = true;
+  for (int i = 0; i < 3; ++i) {
+    sweep[i] = run_sweep(sizes[i]);
+    pass = pass && sweep[i].exact;
+    std::printf(
+        "fed stream: %zu child(ren), %.0f records/s fleet, %.0f records/s "
+        "per child (%zu records each, %.2fs) exact=%s\n",
+        sweep[i].children, sweep[i].records_per_sec,
+        sweep[i].records_per_sec_child, kRecordsPerChild,
+        sweep[i].seconds, sweep[i].exact ? "yes" : "NO");
+  }
+  const OverheadResult oh = run_overhead();
+  std::printf(
+      "fed wire path: %.0f ns/record vs %.0f ns/record in-process "
+      "(%.2fx overhead)\n"
+      "exact delivery at every fleet size: %s\n",
+      oh.wire_ns, oh.inprocess_ns, oh.overhead_x, pass ? "pass" : "FAIL");
+
+  if (std::FILE* f = std::fopen("BENCH_fed.json", "w")) {
+    std::fprintf(f, "{\n  \"records_per_child\": %zu,\n", kRecordsPerChild);
+    std::fprintf(f, "  \"records_per_frame\": %zu,\n", kRecordsPerFrame);
+    std::fprintf(f, "  \"sweep\": [\n");
+    for (int i = 0; i < 3; ++i) {
+      std::fprintf(f,
+                   "    {\"children\": %zu, \"records_per_sec_fleet\": %.0f, "
+                   "\"records_per_sec_per_child\": %.0f, \"exact\": %s}%s\n",
+                   sweep[i].children, sweep[i].records_per_sec,
+                   sweep[i].records_per_sec_child,
+                   sweep[i].exact ? "true" : "false", i < 2 ? "," : "");
+    }
+    std::fprintf(f,
+                 "  ],\n"
+                 "  \"wire_ns_per_record\": %.1f,\n"
+                 "  \"inprocess_ns_per_record\": %.1f,\n"
+                 "  \"wire_overhead_x\": %.2f,\n"
+                 "  \"pass\": %s\n"
+                 "}\n",
+                 oh.wire_ns, oh.inprocess_ns, oh.overhead_x,
+                 pass ? "true" : "false");
+    std::fclose(f);
+  }
+  return pass ? 0 : 1;
+}

@@ -48,6 +48,29 @@ inline void store_be32(std::span<std::byte> buf, std::size_t off, std::uint32_t 
   buf[off + 3] = static_cast<std::byte>(v & 0xff);
 }
 
+// ---- Little-endian raw accessors (frame headers) ---------------------------
+// ByteWriter/ByteReader below stream little-endian fields; these standalone
+// loads let incremental parsers (the federation FrameParser, src/fed/wire.hpp)
+// peek a length prefix out of a partially-buffered stream without committing
+// a reader position.
+
+inline std::uint16_t load_le16(std::span<const std::byte> buf, std::size_t off) {
+  return static_cast<std::uint16_t>(static_cast<std::uint16_t>(buf[off]) |
+                                    (static_cast<std::uint16_t>(buf[off + 1]) << 8));
+}
+
+inline std::uint32_t load_le32(std::span<const std::byte> buf, std::size_t off) {
+  return static_cast<std::uint32_t>(buf[off]) |
+         (static_cast<std::uint32_t>(buf[off + 1]) << 8) |
+         (static_cast<std::uint32_t>(buf[off + 2]) << 16) |
+         (static_cast<std::uint32_t>(buf[off + 3]) << 24);
+}
+
+inline std::uint64_t load_le64(std::span<const std::byte> buf, std::size_t off) {
+  return static_cast<std::uint64_t>(load_le32(buf, off)) |
+         (static_cast<std::uint64_t>(load_le32(buf, off + 4)) << 32);
+}
+
 // ---- Record framing (little-endian, length-prefixed) -----------------------
 
 /// Append-only writer over an owned byte vector.

@@ -109,6 +109,36 @@ common::Expected<void> EngineConfig::validate() const {
   return {};
 }
 
+common::Expected<void> FederationConfig::validate() const {
+  using common::Error;
+  if (children == 0 || children > 64) {
+    return Error{"config", "federation children must be in [1, 64]"};
+  }
+  if (hosts_per_rack == 0) {
+    return Error{"config", "hosts_per_rack must be > 0"};
+  }
+  if (replay_capacity == 0) {
+    return Error{"config", "replay_capacity must be > 0"};
+  }
+  if (records_per_frame == 0) {
+    return Error{"config", "records_per_frame must be > 0"};
+  }
+  if (reconnect_backoff == 0 || reconnect_backoff > reconnect_backoff_max) {
+    return Error{"config",
+                 "reconnect_backoff must be in (0, reconnect_backoff_max]"};
+  }
+  if (top_k == 0) {
+    return Error{"config", "top_k must be > 0"};
+  }
+  if (auto ok = parent_store.validate(); !ok) return ok.error();
+  if (!obs::valid_metric_prefix(parent_export.metric_prefix)) {
+    return Error{"config",
+                 "parent_export.metric_prefix must match "
+                 "[a-zA-Z_:][a-zA-Z0-9_:]*"};
+  }
+  return child_engine.validate();
+}
+
 std::string ReconcileReport::render() const {
   std::string out;
   const auto line = [&out](std::string_view name, std::uint64_t v) {

@@ -7,6 +7,7 @@
 
 #include <deque>
 #include <memory>
+#include <span>
 
 #include "common/expected.hpp"
 #include "common/metrics.hpp"
@@ -110,6 +111,48 @@ struct EngineConfig {
   common::Expected<void> validate() const;
 };
 
+/// Fleet shape for multi-node streaming federation (src/fed/,
+/// docs/FEDERATION.md): N child engines, each monitoring its own traffic
+/// slice with this child EngineConfig, stream records and metric
+/// snapshots to a parent over the framed wire protocol. Lives here — next
+/// to EngineConfig — because the core façade owns engine construction;
+/// fed::Federation consumes it to wire parent and children together.
+struct FederationConfig {
+  /// Child engines in the fleet. Child index, assigned at construction,
+  /// is the protocol-visible identity and the deterministic merge order.
+  std::size_t children = 2;
+  /// Configuration every child engine is built with (the per-slice
+  /// EngineConfig — executor workers, tsdb store, chaos wiring all apply
+  /// per child).
+  EngineConfig child_engine{};
+  /// Hosts per rack of each child's emulated fabric
+  /// (core::Emulation::make_small).
+  std::size_t hosts_per_rack = 4;
+  /// Bound on each child's replay buffer (unacknowledged RECORDS frames
+  /// kept for gap replication). Overflow drops the oldest frame and is
+  /// charged to the child's replay_overflow counters — sizing this too
+  /// small is the one way federation gives up exactness.
+  std::size_t replay_capacity = 1024;
+  /// Max records batched into one RECORDS frame.
+  std::size_t records_per_frame = 64;
+  /// Reconnect backoff after a link drop: first retry after
+  /// `reconnect_backoff`, doubling up to `reconnect_backoff_max`, reset
+  /// on a completed handshake.
+  common::Duration reconnect_backoff = 200 * common::kMillisecond;
+  common::Duration reconnect_backoff_max = 2 * common::kSecond;
+  /// Global fan-in top-k size kept by the parent.
+  std::size_t top_k = 10;
+  /// Record-field index the parent's fan-in counts keys from (e.g. 3 =
+  /// "value" in the http_get schema).
+  std::size_t key_field = 0;
+  /// Parent-side tiered store for the fleet's metric history.
+  tsdb::StoreConfig parent_store{};
+  /// Parent-side Prometheus export options (fleet-prefixed families).
+  obs::ExportOptions parent_export{};
+
+  common::Expected<void> validate() const;
+};
+
 class NetAlytics;
 
 /// A live (or finished) query: the result interface of Fig. 1.
@@ -124,6 +167,14 @@ class QueryHandle {
 
   // Pre-ResultView accessors, kept as thin forwarders.
   const std::vector<stream::Tuple>& results() const noexcept { return results_; }
+  /// Results appended since `cursor` (a previous results().size()); the
+  /// incremental drain a federation child streams from. An out-of-range
+  /// cursor yields an empty span.
+  std::span<const stream::Tuple> results_since(std::size_t cursor) const noexcept {
+    return cursor >= results_.size()
+               ? std::span<const stream::Tuple>{}
+               : std::span<const stream::Tuple>{results_}.subspan(cursor);
+  }
   std::vector<stream::Tuple> latest_by_key(std::size_t key_fields) const {
     return view().latest(key_fields);
   }

@@ -1,0 +1,83 @@
+#include "fed/link.hpp"
+
+#include <utility>
+
+namespace netalytics::fed {
+
+Link::Link(LinkConfig cfg, common::FaultPlan* faults)
+    : cfg_(std::move(cfg)), faults_(faults) {
+  if (cfg_.fault_prefix.empty()) {
+    cfg_.fault_prefix = "fed.link." + std::to_string(cfg_.child_index);
+  }
+  down_site_ = cfg_.fault_prefix + ".down";
+  duplicate_site_ = cfg_.fault_prefix + ".duplicate";
+}
+
+bool Link::check_down(common::Timestamp now) {
+  return faults_ != nullptr && faults_->should_fail(down_site_, now);
+}
+
+bool Link::connect(common::Timestamp now) {
+  if (connected_) return true;
+  if (check_down(now)) return false;
+  connected_ = true;
+  stats_.connects += 1;
+  return true;
+}
+
+void Link::drop() noexcept {
+  if (!connected_ && up_.empty() && down_.empty()) return;
+  connected_ = false;
+  stats_.drops += 1;
+  stats_.frames_lost += up_frames_ + down_frames_;
+  up_.clear();
+  down_.clear();
+  up_frames_ = 0;
+  down_frames_ = 0;
+}
+
+bool Link::send(std::vector<std::byte>& buf, std::uint64_t& frames,
+                std::uint64_t& stat_frames, std::uint64_t& stat_bytes,
+                std::span<const std::byte> frame_bytes, common::Timestamp now) {
+  if (!connected_) return false;
+  if (check_down(now)) {
+    drop();
+    return false;
+  }
+  buf.insert(buf.end(), frame_bytes.begin(), frame_bytes.end());
+  frames += 1;
+  stat_frames += 1;
+  stat_bytes += frame_bytes.size();
+  if (faults_ != nullptr && faults_->should_fail(duplicate_site_, now)) {
+    buf.insert(buf.end(), frame_bytes.begin(), frame_bytes.end());
+    frames += 1;
+    stat_frames += 1;
+    stat_bytes += frame_bytes.size();
+    stats_.duplicated_frames += 1;
+  }
+  return true;
+}
+
+bool Link::send_up(std::span<const std::byte> frame_bytes,
+                   common::Timestamp now) {
+  return send(up_, up_frames_, stats_.frames_up, stats_.bytes_up, frame_bytes,
+              now);
+}
+
+bool Link::send_down(std::span<const std::byte> frame_bytes,
+                     common::Timestamp now) {
+  return send(down_, down_frames_, stats_.frames_down, stats_.bytes_down,
+              frame_bytes, now);
+}
+
+std::vector<std::byte> Link::drain_up() {
+  up_frames_ = 0;
+  return std::exchange(up_, {});
+}
+
+std::vector<std::byte> Link::drain_down() {
+  down_frames_ = 0;
+  return std::exchange(down_, {});
+}
+
+}  // namespace netalytics::fed

@@ -1,0 +1,100 @@
+// The emulated child<->parent transport: an in-process duplex byte stream
+// with TCP-connection semantics and deterministic fault injection via
+// common::FaultPlan. Frames written with send_up()/send_down() keep their
+// byte layout (the receiver reassembles them with fed::FrameParser), so
+// the wire format of docs/FEDERATION.md is exercised end to end even
+// though no real socket exists.
+//
+// Connection model: a link is either connected or down. Any fired
+// "<prefix>.down" fault drops the connection *and both directions'
+// undelivered bytes* (RST semantics — in-flight data on a dead TCP
+// connection is gone); subsequent sends fail until connect() succeeds
+// again, which the child drives with backoff. A fired
+// "<prefix>.duplicate" fault delivers the sent frame twice, emulating the
+// retransmission double-delivery the parent's offset dedup must absorb.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/fault.hpp"
+
+namespace netalytics::fed {
+
+struct LinkConfig {
+  std::uint32_t child_index = 0;
+  /// Fault-site prefix; empty selects "fed.link.<child_index>". Sites:
+  /// "<prefix>.down" (checked on every connect and send; drops the
+  /// connection) and "<prefix>.duplicate" (checked on every successful
+  /// send; delivers the frame twice).
+  std::string fault_prefix;
+};
+
+struct LinkStats {
+  std::uint64_t connects = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t frames_up = 0;
+  std::uint64_t frames_down = 0;
+  std::uint64_t bytes_up = 0;
+  std::uint64_t bytes_down = 0;
+  std::uint64_t duplicated_frames = 0;
+  /// Frames that were queued but destroyed by a connection drop before
+  /// the receiver drained them.
+  std::uint64_t frames_lost = 0;
+};
+
+class Link {
+ public:
+  explicit Link(LinkConfig cfg, common::FaultPlan* faults = nullptr);
+
+  bool connected() const noexcept { return connected_; }
+
+  /// Attempt to (re)establish the connection. Fails while the down site
+  /// fires (e.g. an armed outage window). Idempotent when connected.
+  bool connect(common::Timestamp now);
+
+  /// Drop the connection, losing all undelivered bytes in both
+  /// directions. Used by chaos tests and by the down fault.
+  void drop() noexcept;
+
+  /// Queue one encoded frame child -> parent (parent -> child). Returns
+  /// false — after dropping the connection — when the link is down or the
+  /// down fault fires on this send.
+  bool send_up(std::span<const std::byte> frame_bytes, common::Timestamp now);
+  bool send_down(std::span<const std::byte> frame_bytes, common::Timestamp now);
+
+  /// Take every byte delivered to the parent (child) side. A drained
+  /// frame is delivered: connection drops only lose undrained bytes.
+  std::vector<std::byte> drain_up();
+  std::vector<std::byte> drain_down();
+
+  /// Frames currently queued (sent, not yet drained) child -> parent —
+  /// the link's contribution to the in-flight term of Federation
+  /// reconcile().
+  std::uint64_t frames_in_flight_up() const noexcept { return up_frames_; }
+
+  const LinkStats& stats() const noexcept { return stats_; }
+  const LinkConfig& config() const noexcept { return cfg_; }
+
+ private:
+  bool check_down(common::Timestamp now);
+  bool send(std::vector<std::byte>& buf, std::uint64_t& frames,
+            std::uint64_t& stat_frames, std::uint64_t& stat_bytes,
+            std::span<const std::byte> frame_bytes, common::Timestamp now);
+
+  LinkConfig cfg_;
+  std::string down_site_;
+  std::string duplicate_site_;
+  common::FaultPlan* faults_ = nullptr;
+  bool connected_ = false;
+  std::vector<std::byte> up_;
+  std::vector<std::byte> down_;
+  std::uint64_t up_frames_ = 0;
+  std::uint64_t down_frames_ = 0;
+  LinkStats stats_;
+};
+
+}  // namespace netalytics::fed

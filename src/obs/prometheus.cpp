@@ -18,9 +18,9 @@ using Labels = std::vector<std::pair<std::string, std::string>>;
 /// A segment qualifies when it is one of these prefixes followed by only
 /// decimal digits ("q1", "mon0", "t3", ...).
 constexpr std::pair<std::string_view, std::string_view> kStructural[] = {
-    {"broker", "broker"}, {"mon", "monitor"},     {"proc", "processor"},
-    {"producer", "producer"}, {"q", "query"},     {"spout", "spout"},
-    {"t", "task"},        {"task", "task"},
+    {"broker", "broker"},     {"child", "child"}, {"mon", "monitor"},
+    {"proc", "processor"},    {"producer", "producer"}, {"q", "query"},
+    {"spout", "spout"},       {"t", "task"},      {"task", "task"},
 };
 
 std::string_view structural_label(std::string_view prefix) noexcept {

@@ -12,7 +12,10 @@
 #      (stepped and free_running) — the contract page must cover
 #      whichever mode EngineConfig::executor_mode selects,
 #   5. docs/OBSERVABILITY.md stops documenting an exporter format the
-#      code registers (the ExporterFormat names in src/obs/export.cpp).
+#      code registers (the ExporterFormat names in src/obs/export.cpp),
+#   6. docs/FEDERATION.md stops documenting a federation message type the
+#      wire protocol defines (the MsgType enumerators in
+#      src/fed/wire.hpp).
 #
 # Wired into tests/run_ci.sh as the `docs` lane.
 set -eu
@@ -87,6 +90,21 @@ else
   for fmt in $(sed -n 's/.*ExporterFormat{"\([a-z-]*\)".*/\1/p' src/obs/export.cpp); do
     if ! grep -q "$fmt" docs/OBSERVABILITY.md; then
       fail "docs/OBSERVABILITY.md does not document exporter format: $fmt"
+    fi
+  done
+fi
+
+# 6. Every federation wire message type must be documented in the wire
+# spec. The enumerators are extracted from the MsgType enum, which
+# wire.hpp keeps one per line for exactly this reason; the spec names
+# them uppercase (HELLO, WELCOME, ...), so the match is case-insensitive.
+if [ ! -e docs/FEDERATION.md ]; then
+  fail "docs/FEDERATION.md is missing"
+else
+  for msg in $(sed -n '/enum class MsgType/,/};/s/^  \([a-z_]*\) =.*/\1/p' \
+                 src/fed/wire.hpp); do
+    if ! grep -qi "$msg" docs/FEDERATION.md; then
+      fail "docs/FEDERATION.md does not document federation message: $msg"
     fi
   done
 fi

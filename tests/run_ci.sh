@@ -18,8 +18,8 @@
 #   docs   delegates to tests/check_docs.sh (README/DESIGN/docs references
 #          must point at files and targets that exist)
 #   coverage  delegates to tests/run_coverage.sh (gcov line coverage for
-#          src/mq and src/stream must stay at or above the recorded
-#          baselines)
+#          src/mq, src/stream, src/tsdb and the src/obs + src/fed
+#          per-file floors must stay at or above the recorded baselines)
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)

@@ -1,11 +1,12 @@
 #!/usr/bin/env sh
 # Coverage lane: build with GCC --coverage instrumentation, run the mq /
-# stream / core / tsdb / obs suites, and report line coverage for src/mq,
-# src/stream, src/tsdb and src/obs (the aggregation layer, the stream
-# engine, the tiered time-series store, and the export layer), plus
-# per-file floors for the free-running executor and every export-layer
-# source. The lane FAILS if any module drops below its recorded baseline,
-# so coverage can only ratchet up.
+# stream / core / tsdb / obs / fed suites, and report line coverage for
+# src/mq, src/stream, src/tsdb and src/obs (the aggregation layer, the
+# stream engine, the tiered time-series store, and the export layer),
+# plus per-file floors for the free-running executor, every export-layer
+# source, and every federation source (docs/FEDERATION.md). The lane
+# FAILS if any module drops below its recorded baseline, so coverage can
+# only ratchet up.
 #
 #   tests/run_coverage.sh        # build, run, report, gate
 #
@@ -32,12 +33,15 @@ executor_file_baseline=85
 # Per-file floor for every export-layer source: exporters are pure
 # string-building functions, so near-total coverage is the natural state.
 obs_file_baseline=85
+# Per-file floor for every federation source: protocol code ships with
+# its chaos/differential suites or not at all.
+fed_file_baseline=85
 
 cmake -B "$build_dir" -S "$repo_root" \
   -DCMAKE_BUILD_TYPE=Debug \
   -DCMAKE_CXX_FLAGS=--coverage \
   -DCMAKE_EXE_LINKER_FLAGS=--coverage
-cmake --build "$build_dir" -j "$jobs" --target mq_test stream_test core_test tsdb_test obs_test
+cmake --build "$build_dir" -j "$jobs" --target mq_test stream_test core_test tsdb_test obs_test fed_test
 
 # Fresh counters: stale .gcda from a previous run would inflate the report.
 find "$build_dir" -name '*.gcda' -delete
@@ -48,6 +52,7 @@ echo "== coverage: running suites =="
 "$build_dir/tests/core_test" >/dev/null
 "$build_dir/tests/tsdb_test" >/dev/null
 "$build_dir/tests/obs_test" >/dev/null
+"$build_dir/tests/fed_test" >/dev/null
 
 # Aggregate "Lines executed:P% of N" over every source under src/<module>/.
 # gcov is run once per object's .gcda; a header seen from several objects
@@ -132,6 +137,9 @@ gate_file src/stream/free_running.cpp "$executor_file_baseline" || status=1
 gate_file src/stream/executor.cpp "$executor_file_baseline" || status=1
 for obs_src in src/obs/*.cpp; do
   gate_file "$obs_src" "$obs_file_baseline" || status=1
+done
+for fed_src in src/fed/*.cpp; do
+  gate_file "$fed_src" "$fed_file_baseline" || status=1
 done
 [ "$status" -eq 0 ] && echo "== coverage: gate green =="
 exit "$status"
